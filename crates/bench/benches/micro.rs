@@ -1,0 +1,164 @@
+//! Microbenchmarks of the data-plane building blocks: the per-packet /
+//! per-event operations whose cost bounds the software model's fidelity
+//! and throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use edp_core::event::UserEvent;
+use edp_core::{AggregConfig, AggregatedState, Event, EventMerger, MergerConfig};
+use edp_packet::{parse_packet, FlowKey, IpProto, PacketBuilder};
+use edp_pisa::{insert_ipv4_route, ipv4_lpm_schema, MatchKind, MatchTable, RegisterArray};
+use edp_primitives::{CountMinSketch, Pifo, TimerTokenBucket, WindowRate};
+use std::net::Ipv4Addr;
+
+fn bench_packet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet");
+    let frame = PacketBuilder::udp(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 1, 2, 3),
+        4000,
+        8080,
+        b"payload",
+    )
+    .pad_to(1500)
+    .build();
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("parse_1500B", |b| {
+        b.iter(|| parse_packet(black_box(&frame)).expect("parse"))
+    });
+    g.bench_function("build_udp_1500B", |b| {
+        b.iter(|| {
+            PacketBuilder::udp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 1, 2, 3),
+                4000,
+                8080,
+                b"payload",
+            )
+            .pad_to(1500)
+            .build()
+        })
+    });
+    let key = FlowKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 1, 2, 3),
+        IpProto::Udp,
+        4000,
+        8080,
+    );
+    g.bench_function("flow_hash64", |b| b.iter(|| black_box(key).hash64()));
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("match_tables");
+    let mut exact: MatchTable<u32> = MatchTable::new("exact", vec![MatchKind::Exact]);
+    for i in 0..10_000u64 {
+        exact.insert_exact(&[i], i as u32);
+    }
+    g.bench_function("exact_lookup_10k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            exact.lookup(black_box(&[i])).copied()
+        })
+    });
+    let mut lpm: MatchTable<u32> = MatchTable::new("lpm", ipv4_lpm_schema());
+    for i in 0..256u32 {
+        insert_ipv4_route(&mut lpm, Ipv4Addr::new(10, (i / 8) as u8, 0, 0), 16, i);
+    }
+    insert_ipv4_route(&mut lpm, Ipv4Addr::new(0, 0, 0, 0), 0, 999);
+    g.bench_function("lpm_lookup_257", |b| {
+        let key = [u32::from(Ipv4Addr::new(10, 3, 9, 9)) as u64];
+        b.iter(|| lpm.lookup(black_box(&key)).copied())
+    });
+    g.finish();
+}
+
+fn bench_registers_and_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state");
+    let mut reg = RegisterArray::new("r", 4096);
+    g.bench_function("register_rmw", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 97) % 4096;
+            reg.rmw(black_box(i), |v| v.wrapping_add(100))
+        })
+    });
+    let mut cms = CountMinSketch::new(1024, 4);
+    g.bench_function("cms_update", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E3779B97F4A7C15);
+            cms.update(black_box(k), 1500)
+        })
+    });
+    g.bench_function("cms_query", |b| b.iter(|| cms.query(black_box(12345))));
+    let mut w = WindowRate::new(8, 1_000_000);
+    g.bench_function("window_add_and_rate", |b| {
+        b.iter(|| {
+            w.add(1500);
+            black_box(w.rate_bps())
+        })
+    });
+    let mut tb = TimerTokenBucket::new(12_500_000, 100_000, 15_000);
+    g.bench_function("token_bucket_offer", |b| {
+        b.iter(|| {
+            tb.refill();
+            tb.offer(black_box(1500))
+        })
+    });
+    g.finish();
+}
+
+fn bench_pifo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pifo");
+    g.bench_function("push_pop_1k", |b| {
+        b.iter(|| {
+            let mut p: Pifo<u64> = Pifo::new(1024);
+            for i in 0..1024u64 {
+                p.push((i * 2654435761) % 1000, i);
+            }
+            let mut acc = 0u64;
+            while let Some(v) = p.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_event_machinery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_machinery");
+    g.bench_function("merger_push_and_slot", |b| {
+        let mut m = EventMerger::new(MergerConfig::default());
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            m.push_event(cycle, Event::User(UserEvent { code: 1, args: [cycle, 0, 0, 0] }));
+            m.packet_slot(cycle)
+        })
+    });
+    g.bench_function("aggreg_op_and_fold", |b| {
+        let mut st = AggregatedState::new(AggregConfig { entries: 256, folds_per_idle_cycle: 1 });
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 13) % 256;
+            st.enqueue(i, 1500);
+            st.dequeue((i + 1) % 256, 1500);
+            st.idle_cycle();
+            black_box(st.packet_read(i))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_packet,
+    bench_tables,
+    bench_registers_and_primitives,
+    bench_pifo,
+    bench_event_machinery
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! System benches: whole-switch packet rates, baseline vs event-driven.
+//!
+//! The interesting number is the *overhead of event delivery*: the event
+//! switch runs the same parser/TM path as the baseline plus the enqueue/
+//! dequeue/transmit handler dispatches per packet.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use edp_apps::microburst::MicroburstEvent;
+use edp_core::{BaselineAdapter, EventSwitch, EventSwitchConfig};
+use edp_evsim::SimTime;
+use edp_packet::{Packet, PacketBuilder};
+use edp_pisa::{BaselineSwitch, ForwardTo, QueueConfig};
+use std::net::Ipv4Addr;
+
+fn frame() -> Vec<u8> {
+    PacketBuilder::udp(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        4000,
+        8080,
+        &[],
+    )
+    .pad_to(256)
+    .build()
+}
+
+fn bench_switches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switch_pps");
+    g.throughput(Throughput::Elements(1));
+    let f = frame();
+
+    g.bench_function("baseline_forward", |b| {
+        let mut sw = BaselineSwitch::new(ForwardTo(1), 4, QueueConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            sw.receive(SimTime::from_nanos(t), 0, Packet::anonymous(f.clone()));
+            black_box(sw.transmit(SimTime::from_nanos(t + 50), 1))
+        })
+    });
+
+    g.bench_function("event_forward_noop_handlers", |b| {
+        // Same program via the adapter: measures pure event-delivery cost.
+        let cfg = EventSwitchConfig { n_ports: 4, ..Default::default() };
+        let mut sw = EventSwitch::new(BaselineAdapter(ForwardTo(1)), cfg);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            sw.receive(SimTime::from_nanos(t), 0, Packet::anonymous(f.clone()));
+            black_box(sw.transmit(SimTime::from_nanos(t + 50), 1))
+        })
+    });
+
+    g.bench_function("event_forward_microburst_program", |b| {
+        // A real stateful program on every packet + enqueue + dequeue.
+        let cfg = EventSwitchConfig { n_ports: 4, ..Default::default() };
+        let mut sw = EventSwitch::new(MicroburstEvent::new(1024, 20_000, 1), cfg);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            sw.receive(SimTime::from_nanos(t), 0, Packet::anonymous(f.clone()));
+            black_box(sw.transmit(SimTime::from_nanos(t + 50), 1))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_switches);
+criterion_main!(benches);

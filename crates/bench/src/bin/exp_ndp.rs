@@ -1,0 +1,98 @@
+//! §3 experiment — NDP-style trimming from buffer-overflow events.
+//!
+//! Sweeps burst size through a small buffer and reports how many packets
+//! the receiver learns about: with trimming every overflow victim
+//! arrives as a high-priority header; with drop-tail the victims vanish.
+
+use edp_apps::common::{addr, dumbbell, run_until, sink_addr};
+use edp_apps::ndp::NdpTrim;
+use edp_bench::{footnote, table_header};
+use edp_core::event::OverflowEvent;
+use edp_core::{EventActions, EventProgram, EventSwitch, EventSwitchConfig};
+use edp_evsim::{Sim, SimDuration, SimTime};
+use edp_netsim::traffic::start_burst;
+use edp_netsim::Network;
+use edp_packet::{Packet, PacketBuilder, ParsedPacket};
+use edp_pisa::{QueueConfig, QueueDisc, StdMeta};
+
+const CAPACITY: u64 = 20_000;
+
+#[derive(Debug)]
+struct NoTrim(NdpTrim);
+impl EventProgram for NoTrim {
+    fn on_ingress(
+        &mut self,
+        p: &mut Packet,
+        h: &ParsedPacket,
+        m: &mut StdMeta,
+        t: SimTime,
+        a: &mut EventActions,
+    ) {
+        self.0.on_ingress(p, h, m, t, a)
+    }
+    fn on_overflow(&mut self, _e: &OverflowEvent, _t: SimTime, _a: &mut EventActions) {
+        self.0.overflows += 1;
+    }
+}
+
+fn run(trim: bool, burst: u64) -> (u64, u64, u64) {
+    let cfg = EventSwitchConfig {
+        n_ports: 2,
+        queue: QueueConfig {
+            capacity_bytes: CAPACITY,
+            disc: QueueDisc::StrictPriority { classes: 2 },
+            rank0_headroom: 8_000,
+        },
+        ..Default::default()
+    };
+    let (mut net, senders, sink, _) = if trim {
+        dumbbell(Box::new(EventSwitch::new(NdpTrim::new(1), cfg)), 1, 100_000_000, 95)
+    } else {
+        dumbbell(Box::new(EventSwitch::new(NoTrim(NdpTrim::new(1)), cfg)), 1, 100_000_000, 95)
+    };
+    let mut sim: Sim<Network> = Sim::new();
+    let src = addr(1);
+    start_burst(&mut sim, senders[0], SimTime::ZERO, burst, SimDuration::ZERO, move |i| {
+        PacketBuilder::udp(src, sink_addr(), 40, 50, &[]).ident(i as u16).pad_to(1500).build()
+    });
+    run_until(&mut net, &mut sim, SimTime::from_millis(100));
+    let delivered = net.hosts[sink].stats.rx_pkts;
+    let (trimmed, lost) = if trim {
+        let c = net.switch_as::<EventSwitch<NdpTrim>>(0).counters();
+        (c.trimmed, c.dropped_overflow)
+    } else {
+        let c = net.switch_as::<EventSwitch<NoTrim>>(0).counters();
+        (c.trimmed, c.dropped_overflow)
+    };
+    (delivered, trimmed, lost)
+}
+
+fn main() {
+    println!("20 KB data buffer + 8 KB header reserve; 1500 B bursts into 100 Mb/s");
+    table_header(
+        "NDP trimming vs drop-tail: what the receiver learns about",
+        &[
+            ("burst", 6),
+            ("droptail rx", 12),
+            ("silent losses", 14),
+            ("trim rx", 8),
+            ("trimmed", 8),
+            ("trim losses", 12),
+        ],
+    );
+    for &burst in &[10u64, 20, 50, 100, 200] {
+        let (d_rx, _, d_lost) = run(false, burst);
+        let (t_rx, t_trim, t_lost) = run(true, burst);
+        println!(
+            "{:>6} {:>12} {:>14} {:>8} {:>8} {:>12}",
+            burst, d_rx, d_lost, t_rx, t_trim, t_lost
+        );
+    }
+    footnote(
+        "the overflow event plus trim_and_requeue turns every would-be \
+         silent loss into a high-priority header the receiver can act on \
+         (NDP's pull-based retransmit); drop-tail hides the same losses \
+         behind timeouts. Header reserve bounds the rescue capacity: \
+         oversized bursts overflow even the header queue eventually.",
+    );
+}

@@ -1,0 +1,116 @@
+//! §3 experiment — NetCache-style caching with timer-cleared statistics.
+//!
+//! Part 1: server load shed vs workload skew (Zipf exponent).
+//! Part 2: the paper's specific claim — timer events clearing statistics
+//! let the cache "more rapidly react to workload changes". The hot set
+//! shifts mid-run; we compare phase-2 hit rates with and without resets.
+
+use edp_apps::common::run_until;
+use edp_apps::netcache::{NetCacheSwitch, TIMER_STATS};
+use edp_bench::{f2, footnote, table_header};
+use edp_core::{EventSwitch, EventSwitchConfig, TimerSpec};
+use edp_evsim::{Sim, SimDuration, SimRng, SimTime, Zipf};
+use edp_netsim::{Host, HostApp, LinkSpec, Network, NodeRef};
+use edp_packet::{KvHeader, KvOp, PacketBuilder};
+use std::net::Ipv4Addr;
+
+fn client_addr() -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, 1)
+}
+fn server_addr() -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, 2)
+}
+
+fn build(reset_stats: bool, capacity: usize) -> (Network, usize, usize) {
+    let mut net = Network::new(71);
+    let cfg = EventSwitchConfig {
+        n_ports: 2,
+        timers: vec![TimerSpec {
+            id: TIMER_STATS,
+            period: SimDuration::from_millis(2),
+            start: SimDuration::from_millis(2),
+        }],
+        ..Default::default()
+    };
+    let sw = net.add_switch(Box::new(EventSwitch::new(
+        NetCacheSwitch::new(0, 1, capacity, 3, reset_stats),
+        cfg,
+    )));
+    let client = net.add_host(Host::new(client_addr(), HostApp::Sink));
+    let server = net.add_host(Host::new(
+        server_addr(),
+        HostApp::KvServer { store: (0..2000u64).map(|k| (k, k * 3)).collect(), served: 0 },
+    ));
+    let spec = LinkSpec::ten_gig(SimDuration::from_micros(2));
+    net.connect((NodeRef::Host(client), 0), (NodeRef::Switch(sw), 0), spec);
+    net.connect((NodeRef::Switch(sw), 1), (NodeRef::Host(server), 0), spec);
+    (net, client, server)
+}
+
+fn gets(sim: &mut Sim<Network>, client: usize, start: SimTime, n: u64, s: f64, offset: u64, seed: u64) {
+    let zipf = Zipf::new(200, s);
+    let mut rng = SimRng::seed_from_u64(seed);
+    edp_netsim::traffic::start_cbr(sim, client, start, SimDuration::from_micros(20), n, move |_| {
+        let key = zipf.sample(&mut rng) as u64 + offset;
+        PacketBuilder::kv(client_addr(), server_addr(), &KvHeader { op: KvOp::Get, key, value: 0 })
+            .build()
+    });
+}
+
+fn server_load(net: &Network, server: usize) -> u64 {
+    match &net.hosts[server].app {
+        HostApp::KvServer { served, .. } => *served,
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    table_header(
+        "server load shed vs workload skew (5000 GETs, 8-entry cache)",
+        &[("zipf s", 7), ("hit rate", 9), ("server GETs", 12), ("load shed %", 12)],
+    );
+    for &s in &[0.0, 0.5, 0.9, 1.2] {
+        let (mut net, client, server) = build(true, 8);
+        let mut sim: Sim<Network> = Sim::new();
+        gets(&mut sim, client, SimTime::ZERO, 5000, s, 0, 5);
+        run_until(&mut net, &mut sim, SimTime::from_millis(150));
+        let prog = &net.switch_as::<EventSwitch<NetCacheSwitch>>(0).program;
+        println!(
+            "{:>7} {:>9} {:>12} {:>12}",
+            f2(s),
+            f2(prog.hit_rate()),
+            server_load(&net, server),
+            f2(100.0 * prog.cache_hits as f64 / 5000.0),
+        );
+    }
+
+    table_header(
+        "adaptation to a hot-set shift (phase 2 hits; paper's timer-reset claim)",
+        &[("stats reset", 12), ("phase1 hits", 12), ("phase2 hits", 12), ("phase2 rate", 12)],
+    );
+    for &reset in &[true, false] {
+        let (mut net, client, _server) = build(reset, 8);
+        let mut sim: Sim<Network> = Sim::new();
+        gets(&mut sim, client, SimTime::ZERO, 3000, 0.9, 0, 7);
+        gets(&mut sim, client, SimTime::from_millis(70), 3000, 0.9, 1000, 8);
+        run_until(&mut net, &mut sim, SimTime::from_millis(70));
+        let p1 = net.switch_as::<EventSwitch<NetCacheSwitch>>(0).program.cache_hits;
+        run_until(&mut net, &mut sim, SimTime::from_millis(200));
+        let prog = &net.switch_as::<EventSwitch<NetCacheSwitch>>(0).program;
+        let p2 = prog.cache_hits - p1;
+        println!(
+            "{:>12} {:>12} {:>12} {:>12}",
+            if reset { "timer (2ms)" } else { "never" },
+            p1,
+            p2,
+            f2(p2 as f64 / 3000.0),
+        );
+    }
+    footnote(
+        "cached GETs are answered by switch-generated replies (the \
+         Generated Packet event); hot-key detection is a CMS cleared by a \
+         timer event. Clearing keeps popularity *recent*, so the cache \
+         re-converges after the hot set shifts — the paper's NetCache \
+         improvement, measured.",
+    );
+}

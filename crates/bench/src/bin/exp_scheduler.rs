@@ -1,0 +1,99 @@
+//! §3 experiment — a complete programmable scheduler (STFQ over PIFO).
+//!
+//! The dequeue event advances STFQ's virtual time; the PIFO dequeues by
+//! the computed rank. Compares steady-flow latency against FIFO when a
+//! burst flow dumps its demand at once, and fairness across equal flows.
+
+use edp_apps::common::{addr, dumbbell, run_until, sink_addr};
+use edp_apps::scheduler::StfqScheduler;
+use edp_bench::{f2, footnote, table_header};
+use edp_core::{EventSwitch, EventSwitchConfig};
+use edp_evsim::{Sim, SimDuration, SimTime};
+use edp_netsim::traffic::{start_burst, start_cbr};
+use edp_netsim::Network;
+use edp_packet::PacketBuilder;
+use edp_pisa::{QueueConfig, QueueDisc};
+
+const BOTTLENECK: u64 = 100_000_000;
+const HORIZON: SimTime = SimTime::from_millis(60);
+
+/// Returns per-flow mean latency (µs): [steady0, steady1, burst].
+fn run(pifo: bool, burst_pkts: u64) -> Vec<f64> {
+    let disc = if pifo { QueueDisc::Pifo } else { QueueDisc::DropTailFifo };
+    let cfg = EventSwitchConfig {
+        n_ports: 4,
+        queue: QueueConfig { capacity_bytes: 1_000_000, disc, ..QueueConfig::default() },
+        ..Default::default()
+    };
+    let sw = EventSwitch::new(StfqScheduler::new(64, 3), cfg);
+    let (mut net, senders, sink, _) = dumbbell(Box::new(sw), 3, BOTTLENECK, 83);
+    let mut sim: Sim<Network> = Sim::new();
+    for (i, &h) in senders.iter().take(2).enumerate() {
+        let src = addr(i as u8 + 1);
+        start_cbr(&mut sim, h, SimTime::ZERO, SimDuration::from_micros(400), 120, move |s| {
+            PacketBuilder::udp(src, sink_addr(), 100 + i as u16, 9000, &[])
+                .ident(s as u16)
+                .pad_to(1500)
+                .build()
+        });
+    }
+    let src = addr(3);
+    start_burst(&mut sim, senders[2], SimTime::ZERO, burst_pkts, SimDuration::ZERO, move |s| {
+        PacketBuilder::udp(src, sink_addr(), 300, 9000, &[]).ident(s as u16).pad_to(1500).build()
+    });
+    run_until(&mut net, &mut sim, HORIZON);
+    (0..3)
+        .map(|i| {
+            let key = edp_packet::FlowKey::new(
+                addr(i as u8 + 1),
+                sink_addr(),
+                edp_packet::IpProto::Udp,
+                if i == 2 { 300 } else { 100 + i as u16 },
+                9000,
+            );
+            net.hosts[sink]
+                .stats
+                .flows
+                .get(&key)
+                .map(|f| f.latency_ns.mean() / 1000.0)
+                .unwrap_or(f64::NAN)
+        })
+        .collect()
+}
+
+fn main() {
+    println!("2 steady flows (30 Mb/s each) + 1 burst flow into 100 Mb/s; PIFO rank = STFQ start tag");
+    table_header(
+        "steady-flow mean latency (us) vs burst size: FIFO vs STFQ/PIFO",
+        &[
+            ("burst pkts", 11),
+            ("FIFO steady", 12),
+            ("STFQ steady", 12),
+            ("FIFO burst", 11),
+            ("STFQ burst", 11),
+            ("protection", 11),
+        ],
+    );
+    for &burst in &[40u64, 80, 120, 240] {
+        let fifo = run(false, burst);
+        let stfq = run(true, burst);
+        let f_steady = (fifo[0] + fifo[1]) / 2.0;
+        let s_steady = (stfq[0] + stfq[1]) / 2.0;
+        println!(
+            "{:>11} {:>12} {:>12} {:>11} {:>11} {:>11}",
+            burst,
+            f2(f_steady),
+            f2(s_steady),
+            f2(fifo[2]),
+            f2(stfq[2]),
+            format!("{:.1}x", f_steady / s_steady),
+        );
+    }
+    footnote(
+        "the burst parks its whole demand in the queue; under FIFO the \
+         steady flows wait behind all of it, under STFQ their rank lets \
+         them interleave — latency protection grows with the burst while \
+         the burst itself finishes at essentially the same time \
+         (work conservation). Virtual time comes from dequeue events.",
+    );
+}

@@ -1,0 +1,114 @@
+//! Table 1 — the data-plane event taxonomy, with live coverage.
+//!
+//! Exercises one SUME Event Switch so that all thirteen event kinds fire,
+//! then prints Table 1 augmented with the observed count and whether a
+//! baseline PISA programming model exposes the event.
+
+use edp_bench::{footnote, table_header};
+use edp_core::{
+    EventActions, EventKind, EventProgram, EventSwitch, EventSwitchConfig, PacketGenConfig,
+    TimerSpec,
+};
+use edp_evsim::{SimDuration, SimTime};
+use edp_packet::{Packet, PacketBuilder, ParsedPacket};
+use edp_pisa::{Destination, QueueConfig, StdMeta};
+use std::net::Ipv4Addr;
+
+struct Exerciser {
+    recirculated: bool,
+}
+
+impl EventProgram for Exerciser {
+    fn on_ingress(
+        &mut self,
+        _p: &mut Packet,
+        _h: &ParsedPacket,
+        meta: &mut StdMeta,
+        _n: SimTime,
+        _a: &mut EventActions,
+    ) {
+        meta.dest = if !self.recirculated && meta.recirc_count == 0 {
+            Destination::Recirculate
+        } else {
+            Destination::Port(1)
+        };
+    }
+    fn on_recirculated(
+        &mut self,
+        _p: &mut Packet,
+        _h: &ParsedPacket,
+        meta: &mut StdMeta,
+        _n: SimTime,
+        _a: &mut EventActions,
+    ) {
+        self.recirculated = true;
+        meta.dest = Destination::Port(1);
+    }
+    fn on_enqueue(
+        &mut self,
+        ev: &edp_core::event::EnqueueEvent,
+        _n: SimTime,
+        a: &mut EventActions,
+    ) {
+        if ev.q_pkts == 1 {
+            a.raise_user_event(1, [ev.q_bytes, 0, 0, 0]);
+        }
+    }
+}
+
+fn main() {
+    let cfg = EventSwitchConfig {
+        n_ports: 2,
+        queue: QueueConfig { capacity_bytes: 600, ..QueueConfig::default() },
+        timers: vec![TimerSpec {
+            id: 0,
+            period: SimDuration::from_micros(10),
+            start: SimDuration::from_micros(10),
+        }],
+        generator: Some(PacketGenConfig {
+            period: SimDuration::from_micros(15),
+            template: PacketBuilder::udp(
+                Ipv4Addr::new(9, 9, 9, 9),
+                Ipv4Addr::new(8, 8, 8, 8),
+                7,
+                8,
+                &[],
+            )
+            .build(),
+        }),
+        switch_id: 0,
+    };
+    let mut sw = EventSwitch::new(Exerciser { recirculated: false }, cfg);
+    let frame = || {
+        Packet::anonymous(
+            PacketBuilder::udp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 5, 6, &[])
+                .pad_to(400)
+                .build(),
+        )
+    };
+    sw.receive(SimTime::from_nanos(100), 0, frame());
+    sw.receive(SimTime::from_nanos(200), 0, frame()); // overflow (600 B cap)
+    sw.transmit(SimTime::from_nanos(300), 1);
+    sw.transmit(SimTime::from_nanos(400), 0); // underflow
+    sw.fire_due_timers(SimTime::from_micros(20));
+    sw.control_plane(SimTime::from_micros(21), 1, [0; 4]);
+    sw.set_link_status(SimTime::from_micros(22), 0, false);
+
+    table_header(
+        "Table 1: data-plane events (with observed coverage)",
+        &[("event", 24), ("baseline PISA", 14), ("observed", 9)],
+    );
+    let counters = sw.event_counters();
+    for kind in EventKind::ALL {
+        println!(
+            "{:>24} {:>14} {:>9}",
+            kind.name(),
+            if kind.baseline_supported() { "yes" } else { "no" },
+            counters.get(kind)
+        );
+    }
+    footnote(
+        "all 13 kinds fired in one run of the SUME Event Switch model; \
+         the baseline model exposes only the three packet events.",
+    );
+}

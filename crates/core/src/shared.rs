@@ -1,0 +1,157 @@
+//! The `shared_register` extern.
+//!
+//! The paper introduces a new extern type so that *event processing
+//! threads can share state* with packet processing threads (§2). In the
+//! logical architecture model (Figure 2), a shared register is multiported
+//! memory every handler reads and writes directly; that is what this type
+//! models. The single-ported, aggregated realization for high-line-rate
+//! devices (Figure 3) lives in [`crate::aggreg`].
+
+use edp_pisa::RegisterArray;
+use serde::{Deserialize, Serialize};
+
+/// Which class of handler performed an access — used to attribute memory
+/// bandwidth, the scarce resource §4 trades in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Accessor {
+    /// The ingress/egress packet-event handler.
+    Packet,
+    /// The enqueue event handler.
+    Enqueue,
+    /// The dequeue event handler.
+    Dequeue,
+    /// Any other handler (timer, link, control plane, user).
+    Other,
+}
+
+/// A multiported shared register array: the `shared_register<bit<W>>(N)`
+/// extern from `microburst.p4`.
+///
+/// Functionally identical to a plain [`RegisterArray`], plus per-accessor
+/// port accounting: the number of distinct accessor classes that touched
+/// the array is the number of memory ports a direct hardware realization
+/// would need (the paper's low-line-rate option).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SharedRegister {
+    inner: RegisterArray,
+    port_accesses: std::collections::BTreeMap<Accessor, u64>,
+}
+
+impl SharedRegister {
+    /// Allocates `size` zeroed shared registers.
+    pub fn new(name: impl Into<String>, size: usize) -> Self {
+        SharedRegister {
+            inner: RegisterArray::new(name, size),
+            port_accesses: Default::default(),
+        }
+    }
+
+    /// Reads entry `index` as accessor `who`.
+    pub fn read(&mut self, who: Accessor, index: usize) -> u64 {
+        *self.port_accesses.entry(who).or_insert(0) += 1;
+        self.inner.read(index)
+    }
+
+    /// Writes entry `index` as accessor `who`.
+    pub fn write(&mut self, who: Accessor, index: usize, value: u64) {
+        *self.port_accesses.entry(who).or_insert(0) += 1;
+        self.inner.write(index, value)
+    }
+
+    /// Read-modify-write as accessor `who` (one port transaction).
+    pub fn rmw(&mut self, who: Accessor, index: usize, f: impl FnOnce(u64) -> u64) -> u64 {
+        *self.port_accesses.entry(who).or_insert(0) += 1;
+        self.inner.rmw(index, f)
+    }
+
+    /// Saturating add (the enqueue-handler idiom).
+    pub fn add(&mut self, who: Accessor, index: usize, delta: u64) -> u64 {
+        self.rmw(who, index, |v| v.saturating_add(delta))
+    }
+
+    /// Saturating subtract (the dequeue-handler idiom).
+    pub fn sub(&mut self, who: Accessor, index: usize, delta: u64) -> u64 {
+        self.rmw(who, index, |v| v.saturating_sub(delta))
+    }
+
+    /// Zeroes the array (timer-driven reset).
+    pub fn reset(&mut self, who: Accessor) {
+        *self.port_accesses.entry(who).or_insert(0) += 1;
+        self.inner.reset();
+    }
+
+    /// Peek without accounting (tests/observability).
+    pub fn peek(&self, index: usize) -> u64 {
+        self.inner.peek(index)
+    }
+
+    /// Entry count.
+    pub fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    /// State footprint in words (for the state-reduction comparison).
+    pub fn state_words(&self) -> usize {
+        self.inner.state_words()
+    }
+
+    /// Entries currently non-zero.
+    pub fn nonzero_entries(&self) -> usize {
+        self.inner.nonzero_entries()
+    }
+
+    /// Number of memory ports a direct multiported realization needs:
+    /// one per accessor class that has touched the array.
+    pub fn ports_required(&self) -> usize {
+        self.port_accesses.len()
+    }
+
+    /// Accesses performed by `who`.
+    pub fn accesses_by(&self, who: Accessor) -> u64 {
+        self.port_accesses.get(&who).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microburst_usage_pattern() {
+        // The exact access pattern of microburst.p4 §2.
+        let mut reg = SharedRegister::new("flowBufSize", 64);
+        let flow = 17usize;
+        // Enqueue handler: read + add.
+        reg.add(Accessor::Enqueue, flow, 1500);
+        // Ingress packet handler: read and compare to threshold.
+        let occ = reg.read(Accessor::Packet, flow);
+        assert_eq!(occ, 1500);
+        // Dequeue handler: subtract.
+        reg.sub(Accessor::Dequeue, flow, 1500);
+        assert_eq!(reg.peek(flow), 0);
+        assert_eq!(reg.ports_required(), 3, "pkt + enq + deq ports");
+    }
+
+    #[test]
+    fn accessor_accounting() {
+        let mut reg = SharedRegister::new("x", 4);
+        reg.write(Accessor::Packet, 0, 1);
+        reg.write(Accessor::Packet, 1, 1);
+        reg.read(Accessor::Other, 0);
+        assert_eq!(reg.accesses_by(Accessor::Packet), 2);
+        assert_eq!(reg.accesses_by(Accessor::Other), 1);
+        assert_eq!(reg.accesses_by(Accessor::Enqueue), 0);
+        assert_eq!(reg.ports_required(), 2);
+    }
+
+    #[test]
+    fn reset_and_footprint() {
+        let mut reg = SharedRegister::new("y", 32);
+        reg.write(Accessor::Other, 3, 9);
+        assert_eq!(reg.nonzero_entries(), 1);
+        reg.reset(Accessor::Other);
+        assert_eq!(reg.nonzero_entries(), 0);
+        assert_eq!(reg.state_words(), 32);
+        assert_eq!(reg.size(), 32);
+    }
+}

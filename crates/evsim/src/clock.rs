@@ -1,0 +1,116 @@
+//! Clock-domain conversion between cycles and simulated time.
+//!
+//! The SUME Event Switch datapath in `edp-core` is modelled at cycle
+//! granularity (the FPGA design runs at 200 MHz; one 5 ns cycle moves one
+//! pipeline word). [`ClockDomain`] converts between cycle counts and
+//! [`SimTime`]/[`SimDuration`] without accumulating rounding error: it keeps
+//! the period as an exact rational (ns numerator / denominator).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Cycle count within one clock domain.
+pub type Cycles = u64;
+
+/// A fixed-frequency clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockDomain {
+    /// Frequency in hertz.
+    freq_hz: u64,
+}
+
+impl ClockDomain {
+    /// The NetFPGA SUME datapath clock (200 MHz, 5 ns/cycle).
+    pub const SUME: ClockDomain = ClockDomain {
+        freq_hz: 200_000_000,
+    };
+
+    /// Creates a clock domain; panics on zero frequency.
+    pub const fn from_hz(freq_hz: u64) -> Self {
+        assert!(freq_hz > 0, "zero-frequency clock");
+        ClockDomain { freq_hz }
+    }
+
+    /// Creates a clock domain from megahertz.
+    pub const fn from_mhz(mhz: u64) -> Self {
+        Self::from_hz(mhz * 1_000_000)
+    }
+
+    /// Frequency in hertz.
+    pub const fn freq_hz(self) -> u64 {
+        self.freq_hz
+    }
+
+    /// Exact duration of `cycles` clock cycles (rounded to nearest ns,
+    /// computed in one shot so errors do not accumulate per-cycle).
+    pub fn cycles_to_duration(self, cycles: Cycles) -> SimDuration {
+        let ns = (cycles as u128 * 1_000_000_000 + self.freq_hz as u128 / 2)
+            / self.freq_hz as u128;
+        SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Number of *complete* cycles elapsed at instant `t`.
+    pub fn time_to_cycles(self, t: SimTime) -> Cycles {
+        (t.as_nanos() as u128 * self.freq_hz as u128 / 1_000_000_000) as u64
+    }
+
+    /// Number of complete cycles that fit in `d`.
+    pub fn duration_to_cycles(self, d: SimDuration) -> Cycles {
+        (d.as_nanos() as u128 * self.freq_hz as u128 / 1_000_000_000) as u64
+    }
+
+    /// Cycles needed to cover `d`, rounding up (e.g. a timer period).
+    pub fn duration_to_cycles_ceil(self, d: SimDuration) -> Cycles {
+        (d.as_nanos() as u128 * self.freq_hz as u128).div_ceil(1_000_000_000) as u64
+    }
+
+    /// Bytes of line capacity that pass in one cycle at `bits_per_sec`.
+    ///
+    /// The SUME pipeline moves 32 B/cycle at 200 MHz, exactly 4×10GbE plus
+    /// headroom; this helper lets models compute how many "wire bytes" each
+    /// cycle represents when deciding whether a cycle is idle.
+    pub fn bytes_per_cycle(self, bits_per_sec: u64) -> f64 {
+        bits_per_sec as f64 / 8.0 / self.freq_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sume_cycle_is_5ns() {
+        assert_eq!(
+            ClockDomain::SUME.cycles_to_duration(1),
+            SimDuration::from_nanos(5)
+        );
+        assert_eq!(
+            ClockDomain::SUME.cycles_to_duration(200_000_000),
+            SimDuration::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn time_cycle_round_trip() {
+        let c = ClockDomain::from_mhz(250); // 4 ns period
+        assert_eq!(c.time_to_cycles(SimTime::from_nanos(12)), 3);
+        assert_eq!(c.time_to_cycles(SimTime::from_nanos(13)), 3);
+        assert_eq!(c.duration_to_cycles(SimDuration::from_nanos(13)), 3);
+        assert_eq!(c.duration_to_cycles_ceil(SimDuration::from_nanos(13)), 4);
+    }
+
+    #[test]
+    fn odd_frequency_rounds_not_truncates() {
+        let c = ClockDomain::from_hz(3); // 333,333,333.33 ns period
+        assert_eq!(c.cycles_to_duration(3), SimDuration::from_secs(1));
+        // One cycle rounds to nearest ns rather than truncating.
+        assert_eq!(c.cycles_to_duration(1).as_nanos(), 333_333_333);
+    }
+
+    #[test]
+    fn bytes_per_cycle_sume_10g() {
+        // 10 Gb/s over 200 MHz = 6.25 B/cycle per port.
+        let b = ClockDomain::SUME.bytes_per_cycle(10_000_000_000);
+        assert!((b - 6.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Parallel parameter sweeps.
+//!
+//! Individual simulations are single-threaded and deterministic; experiment
+//! harnesses, however, sweep parameters (pipeline speedup factors, load
+//! levels, probe periods). [`sweep`] fans the points out over a fixed-size
+//! thread pool with crossbeam's scoped threads and returns results in input
+//! order, so a parallel sweep is byte-identical to a sequential one.
+
+use parking_lot::Mutex;
+
+/// Runs `f` once per input point across `threads` worker threads.
+///
+/// Results come back in the order of `points`, independent of scheduling.
+/// `f` must be `Sync` (it is shared by reference across workers); per-run
+/// state, including RNG seeds, should be derived from the point itself.
+pub fn sweep<P, R, F>(points: Vec<P>, threads: usize, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let n = points.len();
+    let work: Mutex<std::vec::IntoIter<(usize, P)>> =
+        Mutex::new(points.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let item = work.lock().next();
+                match item {
+                    Some((idx, p)) => {
+                        let r = f(p);
+                        *slots[idx].lock() = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("sweep slot unfilled"))
+        .collect()
+}
+
+/// A sensible default worker count: available parallelism capped at 8
+/// (simulation sweeps are memory-bandwidth-bound beyond that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let points: Vec<u64> = (0..64).collect();
+        let out = sweep(points.clone(), 4, |p| p * 2);
+        assert_eq!(out, points.iter().map(|p| p * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_multi() {
+        let points: Vec<u64> = (0..32).collect();
+        let a = sweep(points.clone(), 1, |p| p * p + 1);
+        let b = sweep(points, 7, |p| p * p + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = sweep(Vec::<u64>::new(), 4, |p| p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_points() {
+        let out = sweep(vec![1u32, 2], 16, |p| p + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

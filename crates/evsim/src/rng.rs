@@ -1,0 +1,242 @@
+//! Deterministic randomness for workloads.
+//!
+//! All stochastic behaviour in the workspace draws from a [`SimRng`] that is
+//! seeded explicitly, usually by forking from one experiment master seed via
+//! [`SimRng::fork`]. Forking gives each component an independent stream, so
+//! adding a new consumer of randomness does not perturb existing ones.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random number generator with networking-flavoured helpers.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream labelled by `tag`.
+    ///
+    /// The child seed mixes the tag with fresh output of this RNG, so two
+    /// forks with the same tag from the same parent state still differ.
+    pub fn fork(&mut self, tag: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(s)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`. Panics if the range is empty.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Exponentially distributed value with the given mean (inverse CDF).
+    ///
+    /// Used for Poisson inter-arrival times. Always finite and positive.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "non-positive mean {mean}");
+        // 1 - u in (0, 1]: avoids ln(0).
+        let u = 1.0 - self.inner.gen::<f64>();
+        -mean * u.ln()
+    }
+
+    /// Geometric-ish bounded Pareto sample in `[lo, hi]` with shape `alpha`.
+    ///
+    /// Used for heavy-tailed flow sizes. `alpha` around 1.2–1.5 reproduces
+    /// the elephant/mice mix typical of data-center traces.
+    pub fn bounded_pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0);
+        let u = self.inner.gen::<f64>();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the truncated Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element; `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.index(items.len())])
+        }
+    }
+}
+
+/// A Zipf(*n*, *s*) sampler over ranks `0..n` with precomputed CDF.
+///
+/// Rank 0 is the most popular item. Used to generate skewed flow and key
+/// popularity (e.g. NetCache-style workloads where a few keys are hot).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with exponent `s` (s = 0 is uniform;
+    /// s around 0.9–1.1 matches measured key-value workloads).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(s >= 0.0, "negative Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating error leaving the last bucket slightly < 1.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is exactly one rank (degenerate distribution).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in CDF"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1 << 40), b.uniform_u64(0, 1 << 40));
+        }
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let mut root = SimRng::seed_from_u64(1);
+        let mut a = root.fork(1);
+        let mut b = root.fork(1);
+        let va: Vec<u64> = (0..10).map(|_| a.uniform_u64(0, u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.uniform_u64(0, u64::MAX - 1)).collect();
+        assert_ne!(va, vb, "same tag from advanced parent must differ");
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exp(mean)).sum();
+        let got = sum / n as f64;
+        assert!((got - mean).abs() < 0.2, "exp mean {got} too far from {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let z = Zipf::new(100, 1.0);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            let r = z.sample(&mut rng);
+            counts[r] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 should dominate rank 10");
+        assert!(counts[0] > counts[99] * 5, "head vs tail skew missing");
+    }
+
+    #[test]
+    fn zipf_s0_is_uniformish() {
+        let mut rng = SimRng::seed_from_u64(10);
+        let z = Zipf::new(4, 0.0);
+        let mut counts = vec![0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "uniform bucket {c}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.bounded_pareto(100.0, 1_000_000.0, 1.2);
+            assert!((100.0..=1_000_000.0 + 1e-6).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

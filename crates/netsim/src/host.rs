@@ -1,0 +1,226 @@
+//! End hosts: traffic sinks with per-flow accounting plus small
+//! programmable responders (echo, key-value server).
+
+use edp_evsim::{SimTime, Welford};
+use edp_packet::{
+    parse_packet, AppHeader, FlowKey, KvHeader, KvOp, Packet, PacketBuilder,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Index of a host within the network.
+pub type HostId = usize;
+
+/// Per-flow receive statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Packets received.
+    pub pkts: u64,
+    /// Bytes received.
+    pub bytes: u64,
+    /// One-way latency samples (ns), when send times were recorded.
+    pub latency_ns: Welford,
+}
+
+/// Aggregate host receive statistics.
+#[derive(Debug, Clone, Default)]
+pub struct HostStats {
+    /// Total frames received.
+    pub rx_pkts: u64,
+    /// Total bytes received.
+    pub rx_bytes: u64,
+    /// Frames that failed to parse.
+    pub rx_errors: u64,
+    /// Per-flow breakdown.
+    pub flows: HashMap<FlowKey, FlowStats>,
+}
+
+impl HostStats {
+    /// Received packets for a flow (0 if none).
+    pub fn flow_pkts(&self, key: &FlowKey) -> u64 {
+        self.flows.get(key).map(|f| f.pkts).unwrap_or(0)
+    }
+
+    /// Total goodput in bits over the interval `[0, now]`, as bits/s.
+    pub fn goodput_bps(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        self.rx_bytes as f64 * 8.0 * 1e9 / now.as_nanos() as f64
+    }
+}
+
+/// What a host does with arriving packets beyond counting them.
+#[derive(Debug, Clone)]
+pub enum HostApp {
+    /// Count only.
+    Sink,
+    /// Reflect every UDP datagram back to its sender (ports swapped).
+    UdpEcho,
+    /// A NetCache-style key-value server: answers `Get` with `Reply`,
+    /// applies `Put`s to its store.
+    KvServer {
+        /// The backing store.
+        store: HashMap<u64, u64>,
+        /// Served request count.
+        served: u64,
+    },
+}
+
+/// An end host attached to the network by one link.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// This host's IPv4 address.
+    pub addr: Ipv4Addr,
+    /// Behaviour on receive.
+    pub app: HostApp,
+    /// Receive statistics.
+    pub stats: HostStats,
+}
+
+impl Host {
+    /// Creates a host.
+    pub fn new(addr: Ipv4Addr, app: HostApp) -> Self {
+        Host {
+            addr,
+            app,
+            stats: HostStats::default(),
+        }
+    }
+
+    /// Processes an arriving frame; returns response frames to send.
+    ///
+    /// `latency_ns` is the precomputed one-way latency when the network
+    /// tracked the packet's send time.
+    pub fn on_receive(&mut self, _now: SimTime, pkt: &Packet, latency_ns: Option<u64>) -> Vec<Vec<u8>> {
+        self.stats.rx_pkts += 1;
+        self.stats.rx_bytes += pkt.len() as u64;
+        let parsed = match parse_packet(pkt.bytes()) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.rx_errors += 1;
+                return Vec::new();
+            }
+        };
+        if let Some(key) = parsed.flow_key() {
+            let f = self.stats.flows.entry(key).or_default();
+            f.pkts += 1;
+            f.bytes += pkt.len() as u64;
+            if let Some(l) = latency_ns {
+                f.latency_ns.add(l as f64);
+            }
+        }
+        match &mut self.app {
+            HostApp::Sink => Vec::new(),
+            HostApp::UdpEcho => {
+                if let (Some(ip), Some(edp_packet::L4::Udp(udp))) = (parsed.ipv4, parsed.l4) {
+                    let payload = &pkt.bytes()[parsed.payload_offset..];
+                    let resp = PacketBuilder::udp(ip.dst, ip.src, udp.dst_port, udp.src_port, payload)
+                        .build();
+                    vec![resp]
+                } else {
+                    Vec::new()
+                }
+            }
+            HostApp::KvServer { store, served } => {
+                let (Some(ip), Some(AppHeader::Kv(kv))) = (parsed.ipv4, parsed.app) else {
+                    return Vec::new();
+                };
+                match kv.op {
+                    KvOp::Get => {
+                        *served += 1;
+                        let value = store.get(&kv.key).copied().unwrap_or(0);
+                        let reply = KvHeader { op: KvOp::Reply, key: kv.key, value };
+                        vec![PacketBuilder::kv(ip.dst, ip.src, &reply).build()]
+                    }
+                    KvOp::Put => {
+                        *served += 1;
+                        store.insert(kv.key, kv.value);
+                        Vec::new()
+                    }
+                    KvOp::Reply => Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, n)
+    }
+
+    #[test]
+    fn sink_counts_flows_and_latency() {
+        let mut h = Host::new(a(2), HostApp::Sink);
+        let f = PacketBuilder::udp(a(1), a(2), 7, 8, b"abc").build();
+        let pkt = Packet::anonymous(f);
+        h.on_receive(SimTime::ZERO, &pkt, Some(1500));
+        h.on_receive(SimTime::ZERO, &pkt, Some(2500));
+        assert_eq!(h.stats.rx_pkts, 2);
+        let parsed = parse_packet(pkt.bytes()).expect("p");
+        let key = parsed.flow_key().expect("k");
+        let fs = &h.stats.flows[&key];
+        assert_eq!(fs.pkts, 2);
+        assert_eq!(fs.latency_ns.mean(), 2000.0);
+    }
+
+    #[test]
+    fn echo_swaps_addresses_and_ports() {
+        let mut h = Host::new(a(2), HostApp::UdpEcho);
+        let f = PacketBuilder::udp(a(1), a(2), 1111, 2222, b"ping").build();
+        let out = h.on_receive(SimTime::ZERO, &Packet::anonymous(f), None);
+        assert_eq!(out.len(), 1);
+        let parsed = parse_packet(&out[0]).expect("parse");
+        let ip = parsed.ipv4.expect("ip");
+        assert_eq!(ip.src, a(2));
+        assert_eq!(ip.dst, a(1));
+        match parsed.l4 {
+            Some(edp_packet::L4::Udp(u)) => {
+                assert_eq!(u.src_port, 2222);
+                assert_eq!(u.dst_port, 1111);
+            }
+            other => panic!("not udp: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kv_server_get_put() {
+        let mut h = Host::new(
+            a(5),
+            HostApp::KvServer { store: HashMap::new(), served: 0 },
+        );
+        // Put 99 => 1234.
+        let put = PacketBuilder::kv(a(1), a(5), &KvHeader { op: KvOp::Put, key: 99, value: 1234 })
+            .build();
+        assert!(h.on_receive(SimTime::ZERO, &Packet::anonymous(put), None).is_empty());
+        // Get 99 -> reply 1234.
+        let get = PacketBuilder::kv(a(1), a(5), &KvHeader { op: KvOp::Get, key: 99, value: 0 })
+            .build();
+        let out = h.on_receive(SimTime::ZERO, &Packet::anonymous(get), None);
+        assert_eq!(out.len(), 1);
+        let parsed = parse_packet(&out[0]).expect("parse");
+        match parsed.app {
+            Some(AppHeader::Kv(kv)) => {
+                assert_eq!(kv.op, KvOp::Reply);
+                assert_eq!(kv.value, 1234);
+            }
+            other => panic!("not kv: {other:?}"),
+        }
+        match &h.app {
+            HostApp::KvServer { served, .. } => assert_eq!(*served, 2),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn garbage_counted_as_error() {
+        let mut h = Host::new(a(2), HostApp::Sink);
+        h.on_receive(SimTime::ZERO, &Packet::anonymous(vec![9, 9]), None);
+        assert_eq!(h.stats.rx_errors, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # edp-netsim — the network substrate
+//!
+//! Topologies of hosts and switches over links with serialization delay,
+//! propagation latency, failure schedules, and probabilistic fault
+//! injection — everything needed to put the event-driven and baseline
+//! switches under realistic, reproducible workloads.
+//!
+//! * [`Network`] is the simulation world: build a topology with
+//!   [`Network::add_switch`] / [`Network::add_host`] /
+//!   [`Network::connect`], then run it on a [`edp_evsim::Sim`].
+//! * [`SwitchHarness`] drives baseline and event switches uniformly; the
+//!   trait's no-op defaults for timers/link-status/control-plane *are*
+//!   the baseline architecture's blindness to those stimuli.
+//! * [`Host`] endpoints count per-flow statistics and can run small
+//!   responders (UDP echo, key-value server).
+//! * [`traffic`] provides CBR / Poisson / microburst / on-off generators.
+//! * Control-plane round trips are modelled by
+//!   [`Network::control_plane_send`] with an explicit channel latency —
+//!   the quantity the paper's event-driven designs remove from the
+//!   critical path.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod harness;
+mod host;
+mod link;
+mod net;
+pub mod trace;
+pub mod traffic;
+
+pub use harness::SwitchHarness;
+pub use host::{FlowStats, Host, HostApp, HostId, HostStats};
+pub use link::{Dir, LinkDirState, LinkId, LinkSpec, LinkState};
+pub use net::{Endpoint, Network, NodeRef};
+pub use trace::{TraceEntry, Tracer};

@@ -1,0 +1,197 @@
+//! Point-to-point links with serialization, propagation, and faults.
+
+use edp_evsim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Index of a link within the network.
+pub type LinkId = usize;
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Capacity in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Probability of silently dropping each frame (fault injection).
+    pub drop_prob: f64,
+}
+
+impl LinkSpec {
+    /// A 10 Gb/s link with the given propagation delay and no faults —
+    /// the SUME port speed.
+    pub fn ten_gig(latency: SimDuration) -> Self {
+        LinkSpec {
+            bandwidth_bps: 10_000_000_000,
+            latency,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Serialization delay for a frame of `bytes` on this link.
+    pub fn ser_delay(&self, bytes: usize) -> SimDuration {
+        SimDuration::for_bytes_at_rate(bytes as u64, self.bandwidth_bps)
+    }
+}
+
+/// One direction of a full-duplex link.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LinkDirState {
+    /// The wire is serializing a frame until this instant.
+    pub busy_until: SimTime,
+    /// Frames carried.
+    pub tx_frames: u64,
+    /// Bytes carried.
+    pub tx_bytes: u64,
+    /// Frames dropped by fault injection.
+    pub fault_drops: u64,
+    /// Frames dropped because the link was down.
+    pub down_drops: u64,
+}
+
+/// Runtime state of a full-duplex link.
+#[derive(Debug, Clone)]
+pub struct LinkState {
+    /// Static parameters.
+    pub spec: LinkSpec,
+    /// Administrative/physical status.
+    pub up: bool,
+    /// Per-direction state, indexed by [`Dir`].
+    pub dirs: [LinkDirState; 2],
+}
+
+/// Link direction: A→B or B→A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// From endpoint A to endpoint B.
+    AtoB = 0,
+    /// From endpoint B to endpoint A.
+    BtoA = 1,
+}
+
+impl LinkState {
+    /// Creates an up link.
+    pub fn new(spec: LinkSpec) -> Self {
+        LinkState {
+            spec,
+            up: true,
+            dirs: [LinkDirState::default(), LinkDirState::default()],
+        }
+    }
+
+    /// Attempts to put a frame of `bytes` on the wire in direction `dir`
+    /// at `now`. Returns the delivery time at the far end, or `None` if
+    /// the frame was dropped (link down or fault injection). The wire is
+    /// marked busy for the serialization time either way it is accepted.
+    pub fn offer(
+        &mut self,
+        dir: Dir,
+        now: SimTime,
+        bytes: usize,
+        rng: &mut SimRng,
+    ) -> Option<SimTime> {
+        let d = &mut self.dirs[dir as usize];
+        if !self.up {
+            d.down_drops += 1;
+            return None;
+        }
+        let ser = self.spec.ser_delay(bytes);
+        let start = now.max(d.busy_until);
+        d.busy_until = start + ser;
+        if self.spec.drop_prob > 0.0 && rng.chance(self.spec.drop_prob) {
+            d.fault_drops += 1;
+            return None;
+        }
+        d.tx_frames += 1;
+        d.tx_bytes += bytes as u64;
+        Some(d.busy_until + self.spec.latency)
+    }
+
+    /// Utilization of direction `dir` over `[0, now]`: busy time fraction.
+    ///
+    /// Approximated as bytes·8/bandwidth over elapsed time — exact for
+    /// non-preempted serialization.
+    pub fn utilization(&self, dir: Dir, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        let d = &self.dirs[dir as usize];
+        let busy_ns = d.tx_bytes as f64 * 8.0 * 1e9 / self.spec.bandwidth_bps as f64;
+        (busy_ns / now.as_nanos() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn delivery_time_includes_ser_and_latency() {
+        let mut l = LinkState::new(LinkSpec::ten_gig(SimDuration::from_micros(1)));
+        let t = l
+            .offer(Dir::AtoB, SimTime::ZERO, 1250, &mut rng())
+            .expect("delivered");
+        // 1250 B at 10 Gb/s = 1 us ser + 1 us latency.
+        assert_eq!(t, SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn back_to_back_serialize_in_order() {
+        let mut l = LinkState::new(LinkSpec::ten_gig(SimDuration::ZERO));
+        let mut r = rng();
+        let t1 = l.offer(Dir::AtoB, SimTime::ZERO, 1250, &mut r).expect("1");
+        let t2 = l.offer(Dir::AtoB, SimTime::ZERO, 1250, &mut r).expect("2");
+        assert_eq!(t1, SimTime::from_micros(1));
+        assert_eq!(t2, SimTime::from_micros(2), "second waits for the wire");
+    }
+
+    #[test]
+    fn directions_independent() {
+        let mut l = LinkState::new(LinkSpec::ten_gig(SimDuration::ZERO));
+        let mut r = rng();
+        let t1 = l.offer(Dir::AtoB, SimTime::ZERO, 1250, &mut r).expect("a");
+        let t2 = l.offer(Dir::BtoA, SimTime::ZERO, 1250, &mut r).expect("b");
+        assert_eq!(t1, t2, "full duplex");
+    }
+
+    #[test]
+    fn down_link_drops() {
+        let mut l = LinkState::new(LinkSpec::ten_gig(SimDuration::ZERO));
+        l.up = false;
+        assert!(l.offer(Dir::AtoB, SimTime::ZERO, 100, &mut rng()).is_none());
+        assert_eq!(l.dirs[0].down_drops, 1);
+    }
+
+    #[test]
+    fn fault_injection_drops_statistically() {
+        let mut l = LinkState::new(LinkSpec {
+            bandwidth_bps: 10_000_000_000,
+            latency: SimDuration::ZERO,
+            drop_prob: 0.5,
+        });
+        let mut r = rng();
+        let mut dropped = 0;
+        for i in 0..1000 {
+            if l.offer(Dir::AtoB, SimTime::from_micros(i * 10), 100, &mut r).is_none() {
+                dropped += 1;
+            }
+        }
+        assert!((380..620).contains(&dropped), "drop_prob 0.5 gave {dropped}/1000");
+        assert_eq!(l.dirs[0].fault_drops, dropped);
+    }
+
+    #[test]
+    fn utilization_tracks_bytes() {
+        let mut l = LinkState::new(LinkSpec::ten_gig(SimDuration::ZERO));
+        let mut r = rng();
+        // 1250 B = 1 us of a 10 Gb/s wire.
+        l.offer(Dir::AtoB, SimTime::ZERO, 1250, &mut r);
+        let u = l.utilization(Dir::AtoB, SimTime::from_micros(10));
+        assert!((u - 0.1).abs() < 1e-9, "{u}");
+        assert_eq!(l.utilization(Dir::BtoA, SimTime::from_micros(10)), 0.0);
+    }
+}

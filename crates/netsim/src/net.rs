@@ -1,0 +1,534 @@
+//! The network world: nodes, links, and the event-driven glue.
+//!
+//! [`Network`] is the world type `W` for [`Sim<Network>`]: every link
+//! delivery, transmission opportunity, timer crank, and control-plane
+//! round trip is a scheduled event. All methods that advance the world
+//! take `&mut Sim<Network>` so they can schedule follow-up events.
+
+use crate::harness::SwitchHarness;
+use crate::host::{Host, HostId};
+use crate::link::{Dir, LinkId, LinkSpec, LinkState};
+use crate::trace::Tracer;
+use edp_core::CpNotification;
+use edp_evsim::{Sim, SimDuration, SimRng, SimTime};
+use edp_packet::{Packet, PacketUid};
+use edp_pisa::PortId;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A node in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeRef {
+    /// A switch, by index.
+    Switch(usize),
+    /// A host, by index.
+    Host(HostId),
+}
+
+/// A (node, port) attachment point.
+pub type Endpoint = (NodeRef, PortId);
+
+struct NetLink {
+    state: LinkState,
+    ends: [Endpoint; 2],
+}
+
+/// The simulated network.
+pub struct Network {
+    /// Switches (baseline or event-driven), boxed behind the harness.
+    pub switches: Vec<Box<dyn SwitchHarness>>,
+    /// End hosts.
+    pub hosts: Vec<Host>,
+    links: Vec<NetLink>,
+    port_links: HashMap<Endpoint, (LinkId, Dir)>,
+    tx_armed: HashSet<Endpoint>,
+    host_txq: Vec<VecDeque<Packet>>,
+    send_times: HashMap<PacketUid, SimTime>,
+    next_uid: u64,
+    /// Workload randomness (fault injection, Poisson arrivals).
+    pub rng: SimRng,
+    /// Control-plane notifications collected from all switches:
+    /// `(switch index, notification)`.
+    pub cp_log: Vec<(usize, CpNotification)>,
+    /// Control-plane messages sent *to* switches (overhead accounting).
+    pub cp_messages: u64,
+    /// Frames a switch emitted on a port with no link attached.
+    pub dropped_unconnected: u64,
+    /// Optional tcpdump-style packet trace (disabled by default).
+    pub tracer: Tracer,
+}
+
+impl Network {
+    /// Creates an empty network with the given workload seed.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            switches: Vec::new(),
+            hosts: Vec::new(),
+            links: Vec::new(),
+            port_links: HashMap::new(),
+            tx_armed: HashSet::new(),
+            host_txq: Vec::new(),
+            send_times: HashMap::new(),
+            next_uid: 1,
+            rng: SimRng::seed_from_u64(seed),
+            cp_log: Vec::new(),
+            cp_messages: 0,
+            dropped_unconnected: 0,
+            tracer: Tracer::new(4096),
+        }
+    }
+
+    /// Adds a switch; returns its index.
+    pub fn add_switch(&mut self, sw: Box<dyn SwitchHarness>) -> usize {
+        self.switches.push(sw);
+        self.switches.len() - 1
+    }
+
+    /// Adds a host; returns its id.
+    pub fn add_host(&mut self, host: Host) -> HostId {
+        self.hosts.push(host);
+        self.host_txq.push(VecDeque::new());
+        self.hosts.len() - 1
+    }
+
+    /// Connects two endpoints with a link; returns the link id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is already connected or out of range.
+    pub fn connect(&mut self, a: Endpoint, b: Endpoint, spec: LinkSpec) -> LinkId {
+        self.validate_endpoint(a);
+        self.validate_endpoint(b);
+        let id = self.links.len();
+        assert!(
+            self.port_links.insert(a, (id, Dir::AtoB)).is_none(),
+            "endpoint {a:?} already connected"
+        );
+        assert!(
+            self.port_links.insert(b, (id, Dir::BtoA)).is_none(),
+            "endpoint {b:?} already connected"
+        );
+        self.links.push(NetLink {
+            state: LinkState::new(spec),
+            ends: [a, b],
+        });
+        id
+    }
+
+    fn validate_endpoint(&self, (node, port): Endpoint) {
+        match node {
+            NodeRef::Switch(i) => {
+                assert!(i < self.switches.len(), "no switch {i}");
+                assert!(
+                    (port as usize) < self.switches[i].n_ports(),
+                    "switch {i} has no port {port}"
+                );
+            }
+            NodeRef::Host(h) => {
+                assert!(h < self.hosts.len(), "no host {h}");
+                assert_eq!(port, 0, "hosts have a single port 0");
+            }
+        }
+    }
+
+    /// Access a switch's concrete type (e.g. to read program state).
+    ///
+    /// # Panics
+    /// Panics if the switch at `i` is not a `T`.
+    pub fn switch_as<T: 'static>(&self, i: usize) -> &T {
+        self.switches[i]
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("switch type mismatch")
+    }
+
+    /// Mutable access to a switch's concrete type.
+    pub fn switch_as_mut<T: 'static>(&mut self, i: usize) -> &mut T {
+        self.switches[i]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("switch type mismatch")
+    }
+
+    /// Link utilization in `[0,1]` for the direction leaving `ep`.
+    pub fn link_utilization(&self, ep: Endpoint, now: SimTime) -> f64 {
+        let Some(&(lid, dir)) = self.port_links.get(&ep) else {
+            return 0.0;
+        };
+        self.links[lid].state.utilization(dir, now)
+    }
+
+    /// Per-direction drop counters of a link: (fault drops, down drops).
+    pub fn link_drops(&self, link: LinkId) -> (u64, u64) {
+        let l = &self.links[link].state;
+        (
+            l.dirs[0].fault_drops + l.dirs[1].fault_drops,
+            l.dirs[0].down_drops + l.dirs[1].down_drops,
+        )
+    }
+
+    /// Allocates a fresh packet uid and records its send time.
+    pub fn stamp_packet(&mut self, now: SimTime, frame: Vec<u8>) -> Packet {
+        let uid = PacketUid(self.next_uid);
+        self.next_uid += 1;
+        self.send_times.insert(uid, now);
+        Packet::new(uid, frame)
+    }
+
+    // ------------------------------------------------------------------
+    // Event-driven machinery
+    // ------------------------------------------------------------------
+
+    /// Sends `frame` from `host` (stamps uid and send time).
+    pub fn host_send(&mut self, sim: &mut Sim<Network>, host: HostId, frame: Vec<u8>) {
+        let pkt = self.stamp_packet(sim.now(), frame);
+        self.host_txq[host].push_back(pkt);
+        self.kick(sim, (NodeRef::Host(host), 0));
+    }
+
+    /// Arms a transmit attempt on `ep` if none is pending.
+    pub fn kick(&mut self, sim: &mut Sim<Network>, ep: Endpoint) {
+        if self.tx_armed.contains(&ep) {
+            return;
+        }
+        self.tx_armed.insert(ep);
+        sim.schedule_in(SimDuration::ZERO, move |w: &mut Network, s: &mut Sim<Network>| {
+            w.try_transmit(s, ep)
+        });
+    }
+
+    /// Arms transmit attempts on every switch port with pending frames.
+    pub fn kick_switch_ports(&mut self, sim: &mut Sim<Network>, i: usize) {
+        for port in 0..self.switches[i].n_ports() as PortId {
+            if self.switches[i].has_pending(port) {
+                self.kick(sim, (NodeRef::Switch(i), port));
+            }
+        }
+    }
+
+    fn try_transmit(&mut self, sim: &mut Sim<Network>, ep: Endpoint) {
+        self.tx_armed.remove(&ep);
+        let now = sim.now();
+        let (node, port) = ep;
+        let link = self.port_links.get(&ep).copied();
+        // If the wire is still busy, wait until it frees.
+        if let Some((lid, dir)) = link {
+            let busy = self.links[lid].state.dirs[dir as usize].busy_until;
+            if busy > now {
+                self.tx_armed.insert(ep);
+                sim.schedule_at(busy, move |w: &mut Network, s: &mut Sim<Network>| {
+                    w.try_transmit(s, ep)
+                });
+                return;
+            }
+        }
+        let pkt = match node {
+            NodeRef::Switch(i) => {
+                if !self.switches[i].has_pending(port) {
+                    return;
+                }
+                let p = self.switches[i].transmit(now, port);
+                self.collect_cp(i);
+                p
+            }
+            NodeRef::Host(h) => self.host_txq[h].pop_front(),
+        };
+        let Some(pkt) = pkt else {
+            // Program dropped it at egress; try the next one if any.
+            self.maybe_rekick(sim, ep, now);
+            return;
+        };
+        let Some((lid, dir)) = link else {
+            self.dropped_unconnected += 1;
+            self.maybe_rekick(sim, ep, now);
+            return;
+        };
+        let delivery = self.links[lid].state.offer(dir, now, pkt.len(), &mut self.rng);
+        let dest = self.links[lid].ends[match dir {
+            Dir::AtoB => 1,
+            Dir::BtoA => 0,
+        }];
+        if let Some(at) = delivery {
+            sim.schedule_at(at, move |w: &mut Network, s: &mut Sim<Network>| {
+                w.deliver(s, dest, pkt)
+            });
+        }
+        self.maybe_rekick(sim, ep, now);
+    }
+
+    fn maybe_rekick(&mut self, sim: &mut Sim<Network>, ep: Endpoint, _now: SimTime) {
+        let (node, port) = ep;
+        let pending = match node {
+            NodeRef::Switch(i) => self.switches[i].has_pending(port),
+            NodeRef::Host(h) => !self.host_txq[h].is_empty(),
+        };
+        if pending {
+            self.kick(sim, ep);
+        }
+    }
+
+    fn deliver(&mut self, sim: &mut Sim<Network>, ep: Endpoint, pkt: Packet) {
+        let now = sim.now();
+        self.tracer.record(now, ep, pkt.bytes());
+        let (node, port) = ep;
+        match node {
+            NodeRef::Switch(i) => {
+                self.switches[i].receive(now, port, pkt);
+                self.collect_cp(i);
+                self.kick_switch_ports(sim, i);
+            }
+            NodeRef::Host(h) => {
+                let latency = self
+                    .send_times
+                    .remove(&pkt.uid)
+                    .map(|t| now.saturating_since(t).as_nanos());
+                let responses = self.hosts[h].on_receive(now, &pkt, latency);
+                for frame in responses {
+                    self.host_send(sim, h, frame);
+                }
+            }
+        }
+    }
+
+    fn collect_cp(&mut self, i: usize) {
+        for n in self.switches[i].drain_cp() {
+            self.cp_log.push((i, n));
+        }
+    }
+
+    /// Schedules the timer crank for switch `i` (call once after build;
+    /// re-arms itself). No-op if the switch has no timers.
+    pub fn arm_switch_timers(&mut self, sim: &mut Sim<Network>, i: usize) {
+        let Some(due) = self.switches[i].next_timer_due() else {
+            return;
+        };
+        let due = due.max(sim.now());
+        sim.schedule_at(due, move |w: &mut Network, s: &mut Sim<Network>| {
+            w.switches[i].fire_due_timers(s.now());
+            w.collect_cp(i);
+            w.kick_switch_ports(s, i);
+            w.arm_switch_timers(s, i);
+        });
+    }
+
+    /// Arms timers on every switch.
+    pub fn arm_all_timers(&mut self, sim: &mut Sim<Network>) {
+        for i in 0..self.switches.len() {
+            self.arm_switch_timers(sim, i);
+        }
+    }
+
+    /// Changes a link's status, delivering link-status-change events to
+    /// attached switches (the hardware-level signal of Table 1).
+    pub fn set_link_up(&mut self, sim: &mut Sim<Network>, link: LinkId, up: bool) {
+        if self.links[link].state.up == up {
+            return;
+        }
+        self.links[link].state.up = up;
+        let now = sim.now();
+        for &(node, port) in &self.links[link].ends.clone() {
+            if let NodeRef::Switch(i) = node {
+                self.switches[i].set_link_status(now, port, up);
+                self.collect_cp(i);
+                self.kick_switch_ports(sim, i);
+            }
+        }
+    }
+
+    /// Schedules a link failure at `at` and optional recovery at `back_up`.
+    pub fn schedule_link_failure(
+        &mut self,
+        sim: &mut Sim<Network>,
+        link: LinkId,
+        at: SimTime,
+        back_up: Option<SimTime>,
+    ) {
+        sim.schedule_at(at, move |w: &mut Network, s: &mut Sim<Network>| {
+            w.set_link_up(s, link, false)
+        });
+        if let Some(t) = back_up {
+            sim.schedule_at(t, move |w: &mut Network, s: &mut Sim<Network>| {
+                w.set_link_up(s, link, true)
+            });
+        }
+    }
+
+    /// Sends a control-plane command to switch `i` after `delay`
+    /// (modelling the controller↔switch channel latency) and counts the
+    /// message.
+    pub fn control_plane_send(
+        &mut self,
+        sim: &mut Sim<Network>,
+        delay: SimDuration,
+        i: usize,
+        opcode: u32,
+        args: [u64; 4],
+    ) {
+        self.cp_messages += 1;
+        sim.schedule_in(delay, move |w: &mut Network, s: &mut Sim<Network>| {
+            w.switches[i].control_plane(s.now(), opcode, args);
+            w.collect_cp(i);
+            w.kick_switch_ports(s, i);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostApp;
+    use edp_packet::PacketBuilder;
+    use edp_pisa::{BaselineSwitch, ForwardTo, QueueConfig};
+    use std::net::Ipv4Addr;
+
+    fn a(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, n)
+    }
+
+    /// host0 — sw(port0) — (port1) — host1, ForwardTo(1).
+    fn line_topology() -> (Network, HostId, HostId) {
+        let mut net = Network::new(7);
+        let sw = net.add_switch(Box::new(BaselineSwitch::new(
+            ForwardTo(1),
+            2,
+            QueueConfig::default(),
+        )));
+        let h0 = net.add_host(Host::new(a(1), HostApp::Sink));
+        let h1 = net.add_host(Host::new(a(2), HostApp::Sink));
+        let spec = LinkSpec::ten_gig(SimDuration::from_micros(1));
+        net.connect((NodeRef::Host(h0), 0), (NodeRef::Switch(sw), 0), spec);
+        net.connect((NodeRef::Switch(sw), 1), (NodeRef::Host(h1), 0), spec);
+        (net, h0, h1)
+    }
+
+    #[test]
+    fn packet_crosses_switch() {
+        let (mut net, h0, h1) = line_topology();
+        let mut sim: Sim<Network> = Sim::new();
+        let frame = PacketBuilder::udp(a(1), a(2), 5, 6, b"hello").pad_to(125).build();
+        sim.schedule_at(SimTime::ZERO, move |w: &mut Network, s: &mut Sim<Network>| {
+            w.host_send(s, h0, frame.clone());
+        });
+        sim.run(&mut net);
+        assert_eq!(net.hosts[h1].stats.rx_pkts, 1);
+        assert_eq!(net.hosts[h0].stats.rx_pkts, 0);
+        // Latency = 2 links × (ser 100ns + prop 1us) = 2.2 us.
+        let fs = net.hosts[h1].stats.flows.values().next().expect("flow");
+        assert_eq!(fs.latency_ns.mean(), 2_200.0);
+    }
+
+    #[test]
+    fn serialization_paces_back_to_back_packets() {
+        let (mut net, h0, h1) = line_topology();
+        let mut sim: Sim<Network> = Sim::new();
+        sim.schedule_at(SimTime::ZERO, move |w: &mut Network, s: &mut Sim<Network>| {
+            for i in 0..10u16 {
+                let f = PacketBuilder::udp(a(1), a(2), 5, 6, &[])
+                    .ident(i)
+                    .pad_to(1250)
+                    .build();
+                w.host_send(s, h0, f);
+            }
+        });
+        sim.run(&mut net);
+        assert_eq!(net.hosts[h1].stats.rx_pkts, 10);
+        // 10 × 1250 B at 10 Gb/s = 10 us of wire time + 2 us prop + 1 us
+        // last-hop ser; the run can't finish faster than ~12 us.
+        assert!(sim.now() >= SimTime::from_micros(12), "finished at {}", sim.now());
+    }
+
+    #[test]
+    fn echo_host_replies() {
+        /// Forwards port 0 → 1 and port 1 → 0 (a two-port wire).
+        struct PortSwap;
+        impl edp_pisa::PisaProgram for PortSwap {
+            fn ingress(
+                &mut self,
+                _p: &mut Packet,
+                _h: &edp_packet::ParsedPacket,
+                m: &mut edp_pisa::StdMeta,
+                _n: SimTime,
+            ) {
+                m.dest = edp_pisa::Destination::Port(1 - m.ingress_port);
+            }
+        }
+        let mut net = Network::new(1);
+        let sw = net.add_switch(Box::new(BaselineSwitch::new(
+            PortSwap,
+            2,
+            QueueConfig::default(),
+        )));
+        let h0 = net.add_host(Host::new(a(1), HostApp::Sink));
+        let h1 = net.add_host(Host::new(a(2), HostApp::UdpEcho));
+        let spec = LinkSpec::ten_gig(SimDuration::from_nanos(100));
+        net.connect((NodeRef::Host(h0), 0), (NodeRef::Switch(sw), 0), spec);
+        net.connect((NodeRef::Switch(sw), 1), (NodeRef::Host(h1), 0), spec);
+        let mut sim: Sim<Network> = Sim::new();
+        let f = PacketBuilder::udp(a(1), a(2), 5, 6, b"ping").build();
+        sim.schedule_at(SimTime::ZERO, move |w: &mut Network, s: &mut Sim<Network>| {
+            w.host_send(s, h0, f.clone());
+        });
+        sim.run(&mut net);
+        assert_eq!(net.hosts[h1].stats.rx_pkts, 1, "echo host got the ping");
+        assert_eq!(net.hosts[h0].stats.rx_pkts, 1, "sender got the echo");
+    }
+
+    #[test]
+    fn link_failure_drops_traffic_and_recovery_restores() {
+        let (mut net, h0, h1) = line_topology();
+        let mut sim: Sim<Network> = Sim::new();
+        net.schedule_link_failure(
+            &mut sim,
+            1, // switch->h1 link
+            SimTime::from_micros(10),
+            Some(SimTime::from_micros(50)),
+        );
+        // One packet while up, one while down, one after recovery.
+        for (t, ident) in [(0u64, 0u16), (20, 1), (60, 2)] {
+            sim.schedule_at(
+                SimTime::from_micros(t),
+                move |w: &mut Network, s: &mut Sim<Network>| {
+                    let f = PacketBuilder::udp(a(1), a(2), 5, 6, &[]).ident(ident).build();
+                    w.host_send(s, h0, f);
+                },
+            );
+        }
+        sim.run(&mut net);
+        assert_eq!(net.hosts[h1].stats.rx_pkts, 2, "middle packet lost");
+        let (_, down_drops) = net.link_drops(1);
+        assert_eq!(down_drops, 1);
+    }
+
+    #[test]
+    fn unconnected_port_counts_drops() {
+        let mut net = Network::new(1);
+        let sw = net.add_switch(Box::new(BaselineSwitch::new(
+            ForwardTo(1), // port 1 not connected
+            2,
+            QueueConfig::default(),
+        )));
+        let h0 = net.add_host(Host::new(a(1), HostApp::Sink));
+        net.connect(
+            (NodeRef::Host(h0), 0),
+            (NodeRef::Switch(sw), 0),
+            LinkSpec::ten_gig(SimDuration::ZERO),
+        );
+        let mut sim: Sim<Network> = Sim::new();
+        let f = PacketBuilder::udp(a(1), a(2), 5, 6, &[]).build();
+        sim.schedule_at(SimTime::ZERO, move |w: &mut Network, s: &mut Sim<Network>| {
+            w.host_send(s, h0, f.clone());
+        });
+        sim.run(&mut net);
+        assert_eq!(net.dropped_unconnected, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut net = Network::new(1);
+        let h0 = net.add_host(Host::new(a(1), HostApp::Sink));
+        let h1 = net.add_host(Host::new(a(2), HostApp::Sink));
+        let h2 = net.add_host(Host::new(a(3), HostApp::Sink));
+        let spec = LinkSpec::ten_gig(SimDuration::ZERO);
+        net.connect((NodeRef::Host(h0), 0), (NodeRef::Host(h1), 0), spec);
+        net.connect((NodeRef::Host(h0), 0), (NodeRef::Host(h2), 0), spec);
+    }
+}

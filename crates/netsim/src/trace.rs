@@ -1,0 +1,160 @@
+//! Packet tracing: a tcpdump-flavoured view of everything on the wire.
+//!
+//! Enable with [`Tracer::enabled`]; the network records one line per
+//! delivery with timestamp, receiving endpoint, and a parsed summary.
+//! Bounded capacity keeps long experiments from hoarding memory — the
+//! oldest entries are dropped and counted.
+
+use crate::net::{Endpoint, NodeRef};
+use edp_evsim::SimTime;
+use std::collections::VecDeque;
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// When the frame was delivered.
+    pub at: SimTime,
+    /// Receiving endpoint.
+    pub to: Endpoint,
+    /// Frame length in bytes.
+    pub len: usize,
+    /// Parsed one-line summary.
+    pub summary: String,
+}
+
+impl TraceEntry {
+    /// Renders the entry tcpdump-style.
+    pub fn render(&self) -> String {
+        let who = match self.to.0 {
+            NodeRef::Switch(i) => format!("sw{}:p{}", i, self.to.1),
+            NodeRef::Host(h) => format!("host{h}"),
+        };
+        format!("{:>12} {:>10} rx {}", self.at.to_string(), who, self.summary)
+    }
+}
+
+/// A bounded in-memory packet trace.
+#[derive(Debug)]
+pub struct Tracer {
+    /// Whether recording is active.
+    pub enabled: bool,
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer with the given entry capacity.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            enabled: false,
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Records a delivery (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, to: Endpoint, frame: &[u8]) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            to,
+            len: frame.len(),
+            summary: edp_packet::summarize(frame),
+        });
+    }
+
+    /// Recorded entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the whole trace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edp_packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn frame() -> Vec<u8> {
+        PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5,
+            6,
+            b"x",
+        )
+        .build()
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::new(10);
+        t.record(SimTime::ZERO, (NodeRef::Host(0), 0), &frame());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let mut t = Tracer::new(10);
+        t.enabled = true;
+        t.record(SimTime::from_micros(3), (NodeRef::Switch(1), 2), &frame());
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.contains("sw1:p2"), "{s}");
+        assert!(s.contains("10.0.0.1:5 > 10.0.0.2:6 UDP"), "{s}");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let mut t = Tracer::new(3);
+        t.enabled = true;
+        for i in 0..5u64 {
+            t.record(SimTime::from_nanos(i), (NodeRef::Host(0), 0), &frame());
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.entries().next().expect("entry");
+        assert_eq!(first.at, SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn malformed_frames_still_trace() {
+        let mut t = Tracer::new(4);
+        t.enabled = true;
+        t.record(SimTime::ZERO, (NodeRef::Host(0), 0), &[1, 2, 3]);
+        assert!(t.render().contains("malformed"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Application headers carried over UDP by the paper's example apps.
+//!
+//! Each header starts with a one-byte magic so a handler can reject stray
+//! traffic on its port, and rides on a well-known UDP destination port
+//! (see the `PORT_*` constants). Wire layouts are fixed-size big-endian.
+
+use crate::error::{check_len, ParseError, ParseResult};
+use crate::wire::{get_u16, get_u32, get_u64};
+use serde::{Deserialize, Serialize};
+
+/// UDP port for HULA utilization probes.
+pub const PORT_HULA: u16 = 17066;
+/// UDP port for in-band telemetry reports (multi-bit ECN experiments).
+pub const PORT_TELEMETRY: u16 = 17067;
+/// UDP port for the NetCache-style key-value protocol.
+pub const PORT_KV: u16 = 17068;
+/// UDP port for data-plane liveness echo probes.
+pub const PORT_LIVENESS: u16 = 17069;
+
+const MAGIC_HULA: u8 = 0xA1;
+const MAGIC_TELEMETRY: u8 = 0xA2;
+const MAGIC_KV: u8 = 0xA3;
+const MAGIC_LIVENESS: u8 = 0xA4;
+
+/// A HULA-style path utilization probe (cf. Katta et al., SOSR '16).
+///
+/// Switches forward probes toward every ToR and fold in the maximum link
+/// utilization seen along the path; ToRs use the result to pick the best
+/// next hop per destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HulaProbe {
+    /// Destination top-of-rack identifier the probe measures a path to.
+    pub tor_id: u16,
+    /// Maximum link utilization along the path so far, in 1/255 units
+    /// (255 = fully utilized).
+    pub max_util: u8,
+    /// Probe sequence number (stale probes are ignored).
+    pub seq: u32,
+}
+
+impl HulaProbe {
+    /// Encoded length.
+    pub const WIRE_LEN: usize = 8;
+
+    /// Parses from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> ParseResult<(Self, usize)> {
+        check_len("hula", buf.len(), Self::WIRE_LEN)?;
+        if buf[0] != MAGIC_HULA {
+            return Err(ParseError::Unsupported {
+                layer: "hula",
+                field: "magic",
+                value: buf[0] as u64,
+            });
+        }
+        Ok((
+            HulaProbe {
+                tor_id: get_u16(buf, 1),
+                max_util: buf[3],
+                seq: get_u32(buf, 4),
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+
+    /// Appends the encoded probe to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.push(MAGIC_HULA);
+        out.extend_from_slice(&self.tor_id.to_be_bytes());
+        out.push(self.max_util);
+        out.extend_from_slice(&self.seq.to_be_bytes());
+    }
+}
+
+/// An in-band telemetry record: the "multiple bits rather than just one"
+/// congestion signal from the paper's congestion-aware forwarding class.
+///
+/// Each hop folds its local queue occupancy into `max_queue_bytes` (the
+/// bottleneck occupancy variant) and increments `hop_count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryHeader {
+    /// Maximum queue occupancy observed along the path, in bytes.
+    pub max_queue_bytes: u32,
+    /// Sum of per-hop queueing delays along the path, in nanoseconds.
+    pub path_delay_ns: u32,
+    /// Number of hops that have stamped this packet.
+    pub hop_count: u8,
+}
+
+impl TelemetryHeader {
+    /// Encoded length.
+    pub const WIRE_LEN: usize = 10;
+
+    /// Parses from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> ParseResult<(Self, usize)> {
+        check_len("telemetry", buf.len(), Self::WIRE_LEN)?;
+        if buf[0] != MAGIC_TELEMETRY {
+            return Err(ParseError::Unsupported {
+                layer: "telemetry",
+                field: "magic",
+                value: buf[0] as u64,
+            });
+        }
+        Ok((
+            TelemetryHeader {
+                max_queue_bytes: get_u32(buf, 1),
+                path_delay_ns: get_u32(buf, 5),
+                hop_count: buf[9],
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+
+    /// Appends the encoded record to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.push(MAGIC_TELEMETRY);
+        out.extend_from_slice(&self.max_queue_bytes.to_be_bytes());
+        out.extend_from_slice(&self.path_delay_ns.to_be_bytes());
+        out.push(self.hop_count);
+    }
+
+    /// Stamps one hop's contribution into an already-encoded record at
+    /// `off` within `buf` (the in-pipeline rewrite the telemetry app does).
+    pub fn stamp(buf: &mut [u8], off: usize, queue_bytes: u32, delay_ns: u32) {
+        let cur = get_u32(buf, off + 1);
+        if queue_bytes > cur {
+            buf[off + 1..off + 5].copy_from_slice(&queue_bytes.to_be_bytes());
+        }
+        let d = get_u32(buf, off + 5).saturating_add(delay_ns);
+        buf[off + 5..off + 9].copy_from_slice(&d.to_be_bytes());
+        buf[off + 9] = buf[off + 9].saturating_add(1);
+    }
+}
+
+/// NetCache-style key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KvOp {
+    /// Read a key.
+    Get,
+    /// Write a key (invalidates/updates cache).
+    Put,
+    /// Reply carrying a value.
+    Reply,
+}
+
+/// A NetCache-style key-value message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvHeader {
+    /// Operation.
+    pub op: KvOp,
+    /// 64-bit key.
+    pub key: u64,
+    /// 64-bit value (meaningful for `Put` and `Reply`).
+    pub value: u64,
+}
+
+impl KvHeader {
+    /// Encoded length.
+    pub const WIRE_LEN: usize = 18;
+
+    /// Parses from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> ParseResult<(Self, usize)> {
+        check_len("kv", buf.len(), Self::WIRE_LEN)?;
+        if buf[0] != MAGIC_KV {
+            return Err(ParseError::Unsupported {
+                layer: "kv",
+                field: "magic",
+                value: buf[0] as u64,
+            });
+        }
+        let op = match buf[1] {
+            0 => KvOp::Get,
+            1 => KvOp::Put,
+            2 => KvOp::Reply,
+            other => {
+                return Err(ParseError::Unsupported {
+                    layer: "kv",
+                    field: "op",
+                    value: other as u64,
+                })
+            }
+        };
+        Ok((
+            KvHeader {
+                op,
+                key: get_u64(buf, 2),
+                value: get_u64(buf, 10),
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+
+    /// Appends the encoded message to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.push(MAGIC_KV);
+        out.push(match self.op {
+            KvOp::Get => 0,
+            KvOp::Put => 1,
+            KvOp::Reply => 2,
+        });
+        out.extend_from_slice(&self.key.to_be_bytes());
+        out.extend_from_slice(&self.value.to_be_bytes());
+    }
+}
+
+/// Liveness echo direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LivenessKind {
+    /// Request generated by the monitoring switch's timer event.
+    Request,
+    /// Reply reflected by the neighbor's data plane.
+    Reply,
+}
+
+/// A data-plane liveness probe (the §5 "Liveness Monitoring" project).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LivenessHeader {
+    /// Request or reply.
+    pub kind: LivenessKind,
+    /// Node id of the probe originator.
+    pub origin: u16,
+    /// Probe sequence number.
+    pub seq: u32,
+    /// Originator's send timestamp in simulation nanoseconds (echoed back
+    /// verbatim, giving the originator an RTT sample).
+    pub ts_ns: u64,
+}
+
+impl LivenessHeader {
+    /// Encoded length.
+    pub const WIRE_LEN: usize = 16;
+
+    /// Parses from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> ParseResult<(Self, usize)> {
+        check_len("liveness", buf.len(), Self::WIRE_LEN)?;
+        if buf[0] != MAGIC_LIVENESS {
+            return Err(ParseError::Unsupported {
+                layer: "liveness",
+                field: "magic",
+                value: buf[0] as u64,
+            });
+        }
+        let kind = match buf[1] {
+            0 => LivenessKind::Request,
+            1 => LivenessKind::Reply,
+            other => {
+                return Err(ParseError::Unsupported {
+                    layer: "liveness",
+                    field: "kind",
+                    value: other as u64,
+                })
+            }
+        };
+        Ok((
+            LivenessHeader {
+                kind,
+                origin: get_u16(buf, 2),
+                seq: get_u32(buf, 4),
+                ts_ns: get_u64(buf, 8),
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+
+    /// Appends the encoded probe to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.push(MAGIC_LIVENESS);
+        out.push(match self.kind {
+            LivenessKind::Request => 0,
+            LivenessKind::Reply => 1,
+        });
+        out.extend_from_slice(&self.origin.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ts_ns.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hula_round_trip() {
+        let p = HulaProbe { tor_id: 3, max_util: 200, seq: 99 };
+        let mut out = Vec::new();
+        p.emit(&mut out);
+        assert_eq!(out.len(), HulaProbe::WIRE_LEN);
+        assert_eq!(HulaProbe::parse(&out).expect("parse").0, p);
+    }
+
+    #[test]
+    fn hula_wrong_magic() {
+        let mut out = Vec::new();
+        HulaProbe { tor_id: 1, max_util: 0, seq: 0 }.emit(&mut out);
+        out[0] = 0x00;
+        assert!(HulaProbe::parse(&out).is_err());
+    }
+
+    #[test]
+    fn telemetry_round_trip_and_stamp() {
+        let t = TelemetryHeader {
+            max_queue_bytes: 100,
+            path_delay_ns: 50,
+            hop_count: 1,
+        };
+        let mut out = Vec::new();
+        t.emit(&mut out);
+        assert_eq!(out.len(), TelemetryHeader::WIRE_LEN);
+        TelemetryHeader::stamp(&mut out, 0, 500, 25);
+        let (t2, _) = TelemetryHeader::parse(&out).expect("parse");
+        assert_eq!(t2.max_queue_bytes, 500);
+        assert_eq!(t2.path_delay_ns, 75);
+        assert_eq!(t2.hop_count, 2);
+        // Smaller queue leaves the max untouched.
+        TelemetryHeader::stamp(&mut out, 0, 10, 5);
+        let (t3, _) = TelemetryHeader::parse(&out).expect("parse");
+        assert_eq!(t3.max_queue_bytes, 500);
+        assert_eq!(t3.path_delay_ns, 80);
+    }
+
+    #[test]
+    fn kv_round_trip_all_ops() {
+        for op in [KvOp::Get, KvOp::Put, KvOp::Reply] {
+            let k = KvHeader { op, key: 0xDEAD, value: 0xBEEF };
+            let mut out = Vec::new();
+            k.emit(&mut out);
+            assert_eq!(KvHeader::parse(&out).expect("parse").0, k);
+        }
+    }
+
+    #[test]
+    fn kv_bad_op_rejected() {
+        let mut out = Vec::new();
+        KvHeader { op: KvOp::Get, key: 0, value: 0 }.emit(&mut out);
+        out[1] = 77;
+        assert!(KvHeader::parse(&out).is_err());
+    }
+
+    #[test]
+    fn liveness_round_trip() {
+        let l = LivenessHeader {
+            kind: LivenessKind::Reply,
+            origin: 4,
+            seq: 123,
+            ts_ns: 0x1122_3344_5566_7788,
+        };
+        let mut out = Vec::new();
+        l.emit(&mut out);
+        assert_eq!(out.len(), LivenessHeader::WIRE_LEN);
+        assert_eq!(LivenessHeader::parse(&out).expect("parse").0, l);
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        assert!(HulaProbe::parse(&[MAGIC_HULA]).is_err());
+        assert!(TelemetryHeader::parse(&[MAGIC_TELEMETRY]).is_err());
+        assert!(KvHeader::parse(&[MAGIC_KV]).is_err());
+        assert!(LivenessHeader::parse(&[MAGIC_LIVENESS]).is_err());
+    }
+}

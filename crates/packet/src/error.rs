@@ -1,0 +1,85 @@
+//! Packet parsing and construction errors.
+
+use core::fmt;
+
+/// Why a packet failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ended before the header (or declared length) did.
+    Truncated {
+        /// Which layer was being parsed.
+        layer: &'static str,
+        /// Bytes that were needed.
+        needed: usize,
+        /// Bytes that were available.
+        have: usize,
+    },
+    /// A version / magic / type field had an unsupported value.
+    Unsupported {
+        /// Which layer was being parsed.
+        layer: &'static str,
+        /// The offending field.
+        field: &'static str,
+        /// The value seen.
+        value: u64,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Which layer failed.
+        layer: &'static str,
+    },
+    /// A length field is inconsistent with the enclosing buffer.
+    BadLength {
+        /// Which layer failed.
+        layer: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { layer, needed, have } => {
+                write!(f, "{layer}: truncated, needed {needed} bytes, have {have}")
+            }
+            ParseError::Unsupported { layer, field, value } => {
+                write!(f, "{layer}: unsupported {field} = {value:#x}")
+            }
+            ParseError::BadChecksum { layer } => write!(f, "{layer}: bad checksum"),
+            ParseError::BadLength { layer } => write!(f, "{layer}: inconsistent length"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parsers.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+/// Bounds-checks a read of `needed` bytes from a `have`-byte buffer.
+pub(crate) fn check_len(layer: &'static str, have: usize, needed: usize) -> ParseResult<()> {
+    if have < needed {
+        Err(ParseError::Truncated { layer, needed, have })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        let e = ParseError::Truncated { layer: "ipv4", needed: 20, have: 3 };
+        assert_eq!(e.to_string(), "ipv4: truncated, needed 20 bytes, have 3");
+        let e = ParseError::Unsupported { layer: "eth", field: "ethertype", value: 0x1234 };
+        assert!(e.to_string().contains("0x1234"));
+        assert!(ParseError::BadChecksum { layer: "udp" }.to_string().contains("udp"));
+    }
+
+    #[test]
+    fn check_len_boundary() {
+        assert!(check_len("x", 4, 4).is_ok());
+        assert!(check_len("x", 3, 4).is_err());
+    }
+}

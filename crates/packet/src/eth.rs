@@ -1,0 +1,141 @@
+//! Ethernet II framing.
+
+use crate::addr::MacAddr;
+use crate::error::{check_len, ParseError, ParseResult};
+use crate::wire::{get_u16, put_u16};
+use serde::{Deserialize, Serialize};
+
+/// Ethernet II header length (no VLAN tag).
+pub const ETH_HEADER_LEN: usize = 14;
+
+/// EtherType values used in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806) — parsed but not interpreted by the dataplane models.
+    Arp,
+    /// Carrier frames injected by the event merger when no ingress packet
+    /// is available to piggyback event metadata on (experimental type
+    /// 0x88B5, IEEE Std 802 local experimental).
+    EventCarrier,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::EventCarrier => 0x88B5,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x88B5 => EtherType::EventCarrier,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload type.
+    pub ethertype: EtherType,
+}
+
+impl EthHeader {
+    /// Parses the header from the front of `buf`, returning it and the
+    /// number of bytes consumed.
+    pub fn parse(buf: &[u8]) -> ParseResult<(Self, usize)> {
+        check_len("eth", buf.len(), ETH_HEADER_LEN)?;
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = get_u16(buf, 12);
+        if ethertype < 0x0600 {
+            // 802.3 length field — out of scope, as in smoltcp.
+            return Err(ParseError::Unsupported {
+                layer: "eth",
+                field: "ethertype",
+                value: ethertype as u64,
+            });
+        }
+        Ok((
+            EthHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype: EtherType::from_u16(ethertype),
+            },
+            ETH_HEADER_LEN,
+        ))
+    }
+
+    /// Appends the encoded header to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        let mut ty = [0u8; 2];
+        put_u16(&mut ty, 0, self.ethertype.to_u16());
+        out.extend_from_slice(&ty);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = EthHeader {
+            dst: MacAddr::from_id(1),
+            src: MacAddr::from_id(2),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut out = Vec::new();
+        h.emit(&mut out);
+        assert_eq!(out.len(), ETH_HEADER_LEN);
+        let (parsed, used) = EthHeader::parse(&out).expect("parse");
+        assert_eq!(parsed, h);
+        assert_eq!(used, ETH_HEADER_LEN);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            EthHeader::parse(&[0u8; 13]),
+            Err(ParseError::Truncated { layer: "eth", .. })
+        ));
+    }
+
+    #[test]
+    fn length_field_rejected() {
+        let mut buf = vec![0u8; 14];
+        put_u16(&mut buf, 12, 0x0100); // 802.3 length, not a type
+        assert!(matches!(
+            EthHeader::parse(&buf),
+            Err(ParseError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_u16(0x88B5), EtherType::EventCarrier);
+        assert_eq!(EtherType::Other(0x86DD).to_u16(), 0x86DD);
+        assert_eq!(EtherType::from_u16(0x0806), EtherType::Arp);
+    }
+}

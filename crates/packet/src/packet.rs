@@ -1,0 +1,121 @@
+//! The owned packet buffer that flows through every model.
+
+use bytes::{Bytes, BytesMut};
+use core::fmt;
+
+/// A unique per-simulation packet identifier.
+///
+/// Assigned by whoever injects the packet (traffic generators, the packet
+/// generator block, the event merger); uniqueness is the injector's
+/// responsibility. Uid 0 is reserved for "synthetic/anonymous".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PacketUid(pub u64);
+
+impl fmt::Display for PacketUid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+/// An owned, mutable packet: the frame bytes plus a simulation identity.
+///
+/// Pipelines rewrite headers in place (`patch_*` codecs), so the buffer is
+/// a [`BytesMut`]. Cloning copies the bytes — models that fan a packet out
+/// (multicast, mirroring) clone explicitly and the cost is visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Simulation-unique identity for tracing and latency bookkeeping.
+    pub uid: PacketUid,
+    data: BytesMut,
+}
+
+impl Packet {
+    /// Wraps raw frame bytes.
+    pub fn new(uid: PacketUid, bytes: Vec<u8>) -> Self {
+        Packet {
+            uid,
+            data: BytesMut::from(&bytes[..]),
+        }
+    }
+
+    /// An anonymous packet (uid 0) — convenient in unit tests.
+    pub fn anonymous(bytes: Vec<u8>) -> Self {
+        Packet::new(PacketUid(0), bytes)
+    }
+
+    /// Frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for a zero-length buffer (never valid on a wire, but carrier
+    /// frames in tests may start empty before headers are pushed).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the frame.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable view of the frame, for in-place header rewrites.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Freezes into an immutable [`Bytes`] handle (zero-copy).
+    pub fn freeze(self) -> Bytes {
+        self.data.freeze()
+    }
+
+    /// Extends the frame with `more` bytes (e.g. appending a telemetry
+    /// record at the end of the payload).
+    pub fn extend(&mut self, more: &[u8]) {
+        self.data.extend_from_slice(more);
+    }
+
+    /// Truncates the frame to `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let mut p = Packet::new(PacketUid(7), vec![1, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.bytes(), &[1, 2, 3]);
+        p.bytes_mut()[0] = 9;
+        assert_eq!(p.bytes(), &[9, 2, 3]);
+        assert_eq!(p.uid.to_string(), "pkt#7");
+    }
+
+    #[test]
+    fn extend_truncate() {
+        let mut p = Packet::anonymous(vec![1]);
+        p.extend(&[2, 3]);
+        assert_eq!(p.bytes(), &[1, 2, 3]);
+        p.truncate(2);
+        assert_eq!(p.bytes(), &[1, 2]);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Packet::anonymous(vec![1, 2]);
+        let b = a.clone();
+        a.bytes_mut()[0] = 5;
+        assert_eq!(b.bytes(), &[1, 2]);
+    }
+
+    #[test]
+    fn freeze_preserves_bytes() {
+        let p = Packet::anonymous(vec![4, 5, 6]);
+        assert_eq!(&p.freeze()[..], &[4, 5, 6]);
+    }
+}

@@ -1,0 +1,80 @@
+//! The baseline (synchronous packet-by-packet) programming model.
+//!
+//! A [`PisaProgram`] is the Rust embedding of a baseline P4 program: one
+//! control invoked per ingress packet event and one per egress packet
+//! event — and *nothing else*. There is deliberately no way for a baseline
+//! program to see enqueue/dequeue/overflow records, timers, or link
+//! changes; that is the restriction the event-driven model in `edp-core`
+//! lifts.
+
+use crate::meta::StdMeta;
+use edp_evsim::SimTime;
+use edp_packet::{Packet, ParsedPacket};
+
+/// A baseline PISA program: ingress + egress packet-event handlers.
+pub trait PisaProgram {
+    /// Handles an ingress packet event. Set `meta.dest` to forward; the
+    /// parsed view reflects the packet *before* any rewrites this call
+    /// makes.
+    fn ingress(&mut self, pkt: &mut Packet, parsed: &ParsedPacket, meta: &mut StdMeta, now: SimTime);
+
+    /// Handles an egress packet event (after the traffic manager). The
+    /// packet was re-parsed, PSA-style. Default: pass through.
+    fn egress(
+        &mut self,
+        pkt: &mut Packet,
+        parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        now: SimTime,
+    ) {
+        let _ = (pkt, parsed, meta, now);
+    }
+
+    /// Applies a control-plane update (P4Runtime-style table/register
+    /// write). This is *not* a data-plane event: it is the ordinary
+    /// management channel every PISA target has, and the only way a
+    /// baseline program's behaviour can change at run time. Default:
+    /// ignore.
+    fn control_update(&mut self, opcode: u32, args: [u64; 4], now: SimTime) {
+        let _ = (opcode, args, now);
+    }
+}
+
+/// A trivial program forwarding everything to a fixed port (useful as a
+/// building block and in tests).
+#[derive(Debug, Clone, Copy)]
+pub struct ForwardTo(
+    /// The output port.
+    pub crate::meta::PortId,
+);
+
+impl PisaProgram for ForwardTo {
+    fn ingress(&mut self, _pkt: &mut Packet, _parsed: &ParsedPacket, meta: &mut StdMeta, _now: SimTime) {
+        meta.dest = crate::meta::Destination::Port(self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::Destination;
+    use edp_packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn forward_to_sets_dest() {
+        let frame = PacketBuilder::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+            &[],
+        )
+        .build();
+        let mut pkt = Packet::anonymous(frame);
+        let parsed = edp_packet::parse_packet(pkt.bytes()).expect("parse");
+        let mut meta = StdMeta::ingress(0, SimTime::ZERO, pkt.len());
+        ForwardTo(3).ingress(&mut pkt, &parsed, &mut meta, SimTime::ZERO);
+        assert_eq!(meta.dest, Destination::Port(3));
+    }
+}

@@ -1,0 +1,403 @@
+//! Match-action tables.
+//!
+//! [`MatchTable<A>`] models a P4 table: a key schema (one [`MatchKind`]
+//! per field), prioritized entries, and an action payload `A` chosen by
+//! the control plane. Key fields are `u64` (wide enough for every header
+//! field the apps match on). Lookup semantics follow P4 targets:
+//!
+//! * all-exact tables resolve via a hash map (O(1));
+//! * tables containing LPM/ternary/range fields scan entries in priority
+//!   order (highest numeric priority wins; for a single LPM field the
+//!   prefix length is folded into the priority, so longest prefix wins).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How one key field matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// Field must equal the entry value.
+    Exact,
+    /// Longest-prefix match on the low `width` bits.
+    Lpm {
+        /// Field width in bits (for prefix semantics).
+        width: u8,
+    },
+    /// Value/mask match.
+    Ternary,
+    /// Inclusive range match.
+    Range,
+}
+
+/// One field of an entry's match key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldMatch {
+    /// Matches exactly this value.
+    Exact(u64),
+    /// Matches when the top `prefix_len` bits (of the field's width) agree.
+    Lpm {
+        /// Prefix value (already masked).
+        value: u64,
+        /// Number of significant leading bits.
+        prefix_len: u8,
+    },
+    /// Matches when `key & mask == value & mask`.
+    Ternary {
+        /// Comparison value.
+        value: u64,
+        /// Significant-bit mask.
+        mask: u64,
+    },
+    /// Matches when `lo <= key <= hi`.
+    Range {
+        /// Low bound (inclusive).
+        lo: u64,
+        /// High bound (inclusive).
+        hi: u64,
+    },
+    /// Wildcard: matches anything (ternary with mask 0).
+    Any,
+}
+
+impl FieldMatch {
+    fn matches(&self, kind: MatchKind, key: u64) -> bool {
+        match (self, kind) {
+            (FieldMatch::Exact(v), _) => key == *v,
+            (FieldMatch::Lpm { value, prefix_len }, MatchKind::Lpm { width }) => {
+                let width = width as u32;
+                let plen = *prefix_len as u32;
+                debug_assert!(plen <= width);
+                if plen == 0 {
+                    return true;
+                }
+                let shift = width - plen;
+                (key >> shift) == (value >> shift)
+            }
+            (FieldMatch::Ternary { value, mask }, _) => key & mask == value & mask,
+            (FieldMatch::Range { lo, hi }, _) => (*lo..=*hi).contains(&key),
+            (FieldMatch::Any, _) => true,
+            // An LPM FieldMatch against a non-LPM column: treat the prefix
+            // length as exact when full-width, else reject loudly in debug.
+            (FieldMatch::Lpm { value, .. }, _) => key == *value,
+        }
+    }
+}
+
+/// A table entry: per-field matches, a priority, and an action payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableEntry<A> {
+    /// One match per key field, in schema order.
+    pub fields: Vec<FieldMatch>,
+    /// Higher wins among multiple matches.
+    pub priority: i64,
+    /// The action data returned on hit.
+    pub action: A,
+}
+
+/// A match-action table with key schema and entries.
+#[derive(Debug, Clone)]
+pub struct MatchTable<A> {
+    name: String,
+    schema: Vec<MatchKind>,
+    entries: Vec<TableEntry<A>>,
+    /// Fast path for all-exact tables: key fields → entry index.
+    exact_index: Option<HashMap<Vec<u64>, usize>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<A> MatchTable<A> {
+    /// Creates an empty table with the given key schema.
+    pub fn new(name: impl Into<String>, schema: Vec<MatchKind>) -> Self {
+        let all_exact = schema.iter().all(|k| matches!(k, MatchKind::Exact));
+        MatchTable {
+            name: name.into(),
+            schema,
+            entries: Vec::new(),
+            exact_index: if all_exact { Some(HashMap::new()) } else { None },
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Installs an entry. For a single-field LPM table, pass priority 0 and
+    /// longest-prefix ordering is handled internally (prefix length is the
+    /// effective priority). Replaces an identical-key exact entry.
+    ///
+    /// # Panics
+    /// Panics if the entry's field count doesn't match the schema.
+    pub fn insert(&mut self, entry: TableEntry<A>) {
+        assert_eq!(
+            entry.fields.len(),
+            self.schema.len(),
+            "entry arity != schema arity in table {}",
+            self.name
+        );
+        if let Some(idx) = &mut self.exact_index {
+            let key: Vec<u64> = entry
+                .fields
+                .iter()
+                .map(|f| match f {
+                    FieldMatch::Exact(v) => *v,
+                    other => panic!(
+                        "non-exact match {other:?} in all-exact table {}",
+                        self.name
+                    ),
+                })
+                .collect();
+            if let Some(&i) = idx.get(&key) {
+                self.entries[i] = entry;
+            } else {
+                idx.insert(key, self.entries.len());
+                self.entries.push(entry);
+            }
+            return;
+        }
+        self.entries.push(entry);
+    }
+
+    /// Convenience: installs an all-exact entry.
+    pub fn insert_exact(&mut self, key: &[u64], action: A) {
+        self.insert(TableEntry {
+            fields: key.iter().map(|&v| FieldMatch::Exact(v)).collect(),
+            priority: 0,
+            action,
+        });
+    }
+
+    /// Looks up `key`, returning the winning entry's action.
+    ///
+    /// # Panics
+    /// Panics if `key` arity doesn't match the schema.
+    pub fn lookup(&mut self, key: &[u64]) -> Option<&A> {
+        assert_eq!(key.len(), self.schema.len(), "key arity mismatch");
+        match self.lookup_index(key) {
+            Some(i) => {
+                self.hits += 1;
+                Some(&self.entries[i].action)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn lookup_index(&self, key: &[u64]) -> Option<usize> {
+        if let Some(idx) = &self.exact_index {
+            return idx.get(key).copied();
+        }
+        let mut best: Option<(i64, i64, usize)> = None; // (priority, lpm_bits, idx)
+        'entry: for (i, e) in self.entries.iter().enumerate() {
+            let mut lpm_bits = 0i64;
+            for ((fm, &kind), &k) in e.fields.iter().zip(&self.schema).zip(key) {
+                if !fm.matches(kind, k) {
+                    continue 'entry;
+                }
+                if let FieldMatch::Lpm { prefix_len, .. } = fm {
+                    lpm_bits += *prefix_len as i64;
+                }
+            }
+            let cand = (e.priority, lpm_bits, i);
+            let better = match best {
+                None => true,
+                // Higher priority wins; then longer prefix; then earlier
+                // install order (stable, deterministic).
+                Some((bp, bl, bi)) => {
+                    (cand.0, cand.1) > (bp, bl) || ((cand.0, cand.1) == (bp, bl) && i < bi)
+                }
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Removes entries whose action matches a predicate; returns how many
+    /// were removed. (Control-plane flow removal.)
+    pub fn remove_where(&mut self, pred: impl Fn(&TableEntry<A>) -> bool) -> usize {
+        let before = self.entries.len();
+        if self.exact_index.is_some() {
+            // Rebuild the index after filtering.
+            self.entries.retain(|e| !pred(e));
+            let mut idx = HashMap::new();
+            for (i, e) in self.entries.iter().enumerate() {
+                let key: Vec<u64> = e
+                    .fields
+                    .iter()
+                    .map(|f| match f {
+                        FieldMatch::Exact(v) => *v,
+                        _ => unreachable!("all-exact invariant"),
+                    })
+                    .collect();
+                idx.insert(key, i);
+            }
+            self.exact_index = Some(idx);
+        } else {
+            self.entries.retain(|e| !pred(e));
+        }
+        before - self.entries.len()
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        if let Some(idx) = &mut self.exact_index {
+            idx.clear();
+        }
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Builds an IPv4 LPM route table schema (single 32-bit LPM field).
+pub fn ipv4_lpm_schema() -> Vec<MatchKind> {
+    vec![MatchKind::Lpm { width: 32 }]
+}
+
+/// Helper to install an IPv4 prefix route into a single-LPM-field table.
+pub fn insert_ipv4_route<A>(table: &mut MatchTable<A>, addr: std::net::Ipv4Addr, prefix_len: u8, action: A) {
+    assert!(prefix_len <= 32);
+    let value = u32::from(addr) as u64;
+    table.insert(TableEntry {
+        fields: vec![FieldMatch::Lpm { value, prefix_len }],
+        priority: 0,
+        action,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn exact_table_hit_miss() {
+        let mut t: MatchTable<&str> = MatchTable::new("mac", vec![MatchKind::Exact]);
+        t.insert_exact(&[42], "port1");
+        assert_eq!(t.lookup(&[42]), Some(&"port1"));
+        assert_eq!(t.lookup(&[43]), None);
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn exact_replaces_duplicate_key() {
+        let mut t: MatchTable<u32> = MatchTable::new("x", vec![MatchKind::Exact]);
+        t.insert_exact(&[1], 10);
+        t.insert_exact(&[1], 20);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&[1]), Some(&20));
+    }
+
+    #[test]
+    fn lpm_longest_prefix_wins() {
+        let mut t: MatchTable<&str> = MatchTable::new("routes", ipv4_lpm_schema());
+        insert_ipv4_route(&mut t, Ipv4Addr::new(10, 0, 0, 0), 8, "coarse");
+        insert_ipv4_route(&mut t, Ipv4Addr::new(10, 1, 0, 0), 16, "fine");
+        insert_ipv4_route(&mut t, Ipv4Addr::new(0, 0, 0, 0), 0, "default");
+        let key = |a: Ipv4Addr| vec![u32::from(a) as u64];
+        assert_eq!(t.lookup(&key(Ipv4Addr::new(10, 1, 2, 3))), Some(&"fine"));
+        assert_eq!(t.lookup(&key(Ipv4Addr::new(10, 9, 2, 3))), Some(&"coarse"));
+        assert_eq!(t.lookup(&key(Ipv4Addr::new(192, 168, 0, 1))), Some(&"default"));
+    }
+
+    #[test]
+    fn ternary_priority() {
+        let mut t: MatchTable<&str> = MatchTable::new("acl", vec![MatchKind::Ternary]);
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Ternary { value: 0x80, mask: 0x80 }],
+            priority: 10,
+            action: "high-bit",
+        });
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Any],
+            priority: 1,
+            action: "any",
+        });
+        assert_eq!(t.lookup(&[0xFF]), Some(&"high-bit"));
+        assert_eq!(t.lookup(&[0x01]), Some(&"any"));
+    }
+
+    #[test]
+    fn range_match() {
+        let mut t: MatchTable<&str> =
+            MatchTable::new("ports", vec![MatchKind::Range]);
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Range { lo: 1000, hi: 2000 }],
+            priority: 0,
+            action: "mid",
+        });
+        assert_eq!(t.lookup(&[1000]), Some(&"mid"));
+        assert_eq!(t.lookup(&[2000]), Some(&"mid"));
+        assert_eq!(t.lookup(&[2001]), None);
+    }
+
+    #[test]
+    fn multi_field_key() {
+        // (exact dst, range port) — a small ACL.
+        let mut t: MatchTable<u8> = MatchTable::new(
+            "acl2",
+            vec![MatchKind::Exact, MatchKind::Range],
+        );
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Exact(7), FieldMatch::Range { lo: 0, hi: 1023 }],
+            priority: 5,
+            action: 1,
+        });
+        assert_eq!(t.lookup(&[7, 80]), Some(&1));
+        assert_eq!(t.lookup(&[7, 8080]), None);
+        assert_eq!(t.lookup(&[8, 80]), None);
+    }
+
+    #[test]
+    fn remove_where_rebuilds_exact_index() {
+        let mut t: MatchTable<u32> = MatchTable::new("x", vec![MatchKind::Exact]);
+        for i in 0..10u64 {
+            t.insert_exact(&[i], i as u32);
+        }
+        let removed = t.remove_where(|e| e.action % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(t.lookup(&[3]), Some(&3));
+        assert_eq!(t.lookup(&[4]), None);
+    }
+
+    #[test]
+    fn install_order_breaks_ties() {
+        let mut t: MatchTable<&str> = MatchTable::new("tie", vec![MatchKind::Ternary]);
+        t.insert(TableEntry { fields: vec![FieldMatch::Any], priority: 0, action: "first" });
+        t.insert(TableEntry { fields: vec![FieldMatch::Any], priority: 0, action: "second" });
+        assert_eq!(t.lookup(&[1]), Some(&"first"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t: MatchTable<u8> = MatchTable::new("a", vec![MatchKind::Exact]);
+        t.lookup(&[1, 2]);
+    }
+}

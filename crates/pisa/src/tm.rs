@@ -1,0 +1,448 @@
+//! The traffic manager: output queues between ingress and egress.
+//!
+//! Every state change in here — a packet enqueued, dequeued, or dropped on
+//! overflow — is exactly the kind of *architectural event* the paper wants
+//! to expose. The TM therefore returns a [`TmEvent`] record for each such
+//! change. A baseline PISA switch discards these records (its programming
+//! model has nowhere to deliver them); the event-driven switch in
+//! `edp-core` feeds them to the program's event handlers. One traffic
+//! manager, two architectures — the comparison stays apples-to-apples.
+
+use crate::meta::{PortId, StdMeta};
+use edp_evsim::SimTime;
+use edp_packet::Packet;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Queueing discipline for an output queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueDisc {
+    /// Single FIFO, drop-tail on byte overflow.
+    DropTailFifo,
+    /// Strict priority across `classes` FIFOs; `StdMeta::rank` (clamped)
+    /// selects the class, lower rank = higher priority.
+    StrictPriority {
+        /// Number of priority classes.
+        classes: u8,
+    },
+    /// Push-in-first-out on `StdMeta::rank` (lower pops first); overflow
+    /// rejects the worst-ranked packet.
+    Pifo,
+}
+
+/// Configuration for each output queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Byte capacity per output queue.
+    pub capacity_bytes: u64,
+    /// Discipline.
+    pub disc: QueueDisc,
+    /// Extra bytes admissible only to rank-0 packets: a reserved
+    /// high-priority buffer, as NDP reserves for trimmed headers. 0
+    /// disables the reserve.
+    pub rank0_headroom: u64,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            // 100 KB per port: about 66 MTU packets, small enough that the
+            // microburst workloads actually exercise overflow.
+            capacity_bytes: 100_000,
+            disc: QueueDisc::DropTailFifo,
+            rank0_headroom: 0,
+        }
+    }
+}
+
+/// An event record emitted by the traffic manager.
+///
+/// `meta` is the program-staged [`StdMeta::event_meta`] blob, surfaced so
+/// event handlers can recover flow ids etc. without re-parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TmEvent {
+    /// A packet was accepted into an output queue.
+    Enqueue {
+        /// Output port.
+        port: PortId,
+        /// Packet length in bytes.
+        pkt_len: u32,
+        /// Queue occupancy in bytes *after* the enqueue.
+        q_bytes: u64,
+        /// Queue depth in packets after the enqueue.
+        q_pkts: u32,
+        /// Program-staged event metadata.
+        meta: [u64; 4],
+    },
+    /// A packet left an output queue toward the egress pipeline.
+    Dequeue {
+        /// Output port.
+        port: PortId,
+        /// Packet length in bytes.
+        pkt_len: u32,
+        /// Queue occupancy in bytes *after* the dequeue.
+        q_bytes: u64,
+        /// Queue depth in packets after the dequeue.
+        q_pkts: u32,
+        /// Time the packet spent queued.
+        sojourn_ns: u64,
+        /// Program-staged event metadata.
+        meta: [u64; 4],
+    },
+    /// A packet was dropped because the queue was full (buffer overflow —
+    /// the paper's "Buffer Overflow" event).
+    Overflow {
+        /// Output port.
+        port: PortId,
+        /// Packet length in bytes.
+        pkt_len: u32,
+        /// Queue occupancy at the time of the drop.
+        q_bytes: u64,
+        /// Program-staged event metadata.
+        meta: [u64; 4],
+    },
+    /// A dequeue was attempted on an empty queue (buffer underflow).
+    Underflow {
+        /// Output port.
+        port: PortId,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Item {
+    pkt: Packet,
+    meta: StdMeta,
+    enq_time: SimTime,
+    rank: u64,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct OutQueue {
+    cfg: QueueConfig,
+    /// For FIFO: one deque. For StrictPriority: one per class. For PIFO:
+    /// a single deque kept sorted by (rank, seq).
+    lanes: Vec<VecDeque<Item>>,
+    bytes: u64,
+    next_seq: u64,
+    /// Cumulative statistics.
+    enqueued: u64,
+    dequeued: u64,
+    dropped: u64,
+    dropped_bytes: u64,
+}
+
+impl OutQueue {
+    fn new(cfg: QueueConfig) -> Self {
+        let lanes = match cfg.disc {
+            QueueDisc::DropTailFifo | QueueDisc::Pifo => 1,
+            QueueDisc::StrictPriority { classes } => classes.max(1) as usize,
+        };
+        OutQueue {
+            cfg,
+            lanes: (0..lanes).map(|_| VecDeque::new()).collect(),
+            bytes: 0,
+            next_seq: 0,
+            enqueued: 0,
+            dequeued: 0,
+            dropped: 0,
+            dropped_bytes: 0,
+        }
+    }
+
+    fn depth_pkts(&self) -> u32 {
+        self.lanes.iter().map(|l| l.len() as u32).sum()
+    }
+
+    fn push(&mut self, pkt: Packet, meta: StdMeta, now: SimTime) -> bool {
+        let len = pkt.len() as u64;
+        let cap = self.cfg.capacity_bytes
+            + if meta.rank == 0 { self.cfg.rank0_headroom } else { 0 };
+        if self.bytes + len > cap {
+            self.dropped += 1;
+            self.dropped_bytes += len;
+            return false;
+        }
+        let rank = meta.rank;
+        let item = Item {
+            pkt,
+            meta,
+            enq_time: now,
+            rank,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.bytes += len;
+        self.enqueued += 1;
+        match self.cfg.disc {
+            QueueDisc::DropTailFifo => self.lanes[0].push_back(item),
+            QueueDisc::StrictPriority { classes } => {
+                let class = (rank.min(classes.saturating_sub(1) as u64)) as usize;
+                self.lanes[class].push_back(item);
+            }
+            QueueDisc::Pifo => {
+                // Insert sorted by (rank, seq): a software PIFO. Linear
+                // from the back — bursts of equal rank append in O(1).
+                let lane = &mut self.lanes[0];
+                let pos = lane
+                    .iter()
+                    .rposition(|it| (it.rank, it.seq) <= (item.rank, item.seq))
+                    .map(|p| p + 1)
+                    .unwrap_or(0);
+                lane.insert(pos, item);
+            }
+        }
+        true
+    }
+
+    fn pop(&mut self) -> Option<Item> {
+        for lane in &mut self.lanes {
+            if let Some(item) = lane.pop_front() {
+                self.bytes -= item.pkt.len() as u64;
+                self.dequeued += 1;
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+/// Per-port queue statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Packets accepted.
+    pub enqueued: u64,
+    /// Packets handed to egress.
+    pub dequeued: u64,
+    /// Packets dropped on overflow.
+    pub dropped: u64,
+    /// Bytes dropped on overflow.
+    pub dropped_bytes: u64,
+    /// Current occupancy in bytes.
+    pub bytes: u64,
+    /// Current depth in packets.
+    pub pkts: u32,
+}
+
+/// The traffic manager: one output queue per port.
+#[derive(Debug, Clone)]
+pub struct TrafficManager {
+    queues: Vec<OutQueue>,
+}
+
+impl TrafficManager {
+    /// Creates a TM with `n_ports` queues sharing one configuration.
+    pub fn new(n_ports: usize, cfg: QueueConfig) -> Self {
+        assert!(n_ports > 0, "switch with no ports");
+        TrafficManager {
+            queues: (0..n_ports).map(|_| OutQueue::new(cfg)).collect(),
+        }
+    }
+
+    /// Number of output ports.
+    pub fn n_ports(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Dequeues the next packet from `port`, or an underflow record.
+    pub fn dequeue(&mut self, port: PortId, now: SimTime) -> Result<(Packet, StdMeta, TmEvent), TmEvent> {
+        let q = &mut self.queues[port as usize];
+        match q.pop() {
+            Some(item) => {
+                let ev = TmEvent::Dequeue {
+                    port,
+                    pkt_len: item.pkt.len() as u32,
+                    q_bytes: q.bytes,
+                    q_pkts: q.depth_pkts(),
+                    sojourn_ns: now.saturating_since(item.enq_time).as_nanos(),
+                    meta: item.meta.event_meta,
+                };
+                Ok((item.pkt, item.meta, ev))
+            }
+            None => Err(TmEvent::Underflow { port }),
+        }
+    }
+
+    /// Occupancy of `port`'s queue in bytes.
+    pub fn occupancy_bytes(&self, port: PortId) -> u64 {
+        self.queues[port as usize].bytes
+    }
+
+    /// Depth of `port`'s queue in packets.
+    pub fn depth_pkts(&self, port: PortId) -> u32 {
+        self.queues[port as usize].depth_pkts()
+    }
+
+    /// Total buffered bytes across all ports.
+    pub fn total_bytes(&self) -> u64 {
+        self.queues.iter().map(|q| q.bytes).sum()
+    }
+
+    /// Statistics snapshot for `port`.
+    pub fn stats(&self, port: PortId) -> QueueStats {
+        let q = &self.queues[port as usize];
+        QueueStats {
+            enqueued: q.enqueued,
+            dequeued: q.dequeued,
+            dropped: q.dropped,
+            dropped_bytes: q.dropped_bytes,
+            bytes: q.bytes,
+            pkts: q.depth_pkts(),
+        }
+    }
+}
+
+impl TrafficManager {
+    /// Offers a packet; on overflow the packet is returned together with
+    /// the [`TmEvent::Overflow`] record (callers may recycle it into a
+    /// drop-event handler or a mirror port).
+    pub fn offer(
+        &mut self,
+        port: PortId,
+        pkt: Packet,
+        meta: StdMeta,
+        now: SimTime,
+    ) -> (Option<Packet>, TmEvent) {
+        let q = &mut self.queues[port as usize];
+        let pkt_len = pkt.len() as u32;
+        let event_meta = meta.event_meta;
+        let cap = q.cfg.capacity_bytes
+            + if meta.rank == 0 { q.cfg.rank0_headroom } else { 0 };
+        if q.bytes + pkt_len as u64 > cap {
+            q.dropped += 1;
+            q.dropped_bytes += pkt_len as u64;
+            let ev = TmEvent::Overflow {
+                port,
+                pkt_len,
+                q_bytes: q.bytes,
+                meta: event_meta,
+            };
+            return (Some(pkt), ev);
+        }
+        let ok = q.push(pkt, meta, now);
+        debug_assert!(ok, "capacity pre-checked");
+        (
+            None,
+            TmEvent::Enqueue {
+                port,
+                pkt_len,
+                q_bytes: q.bytes,
+                q_pkts: q.depth_pkts(),
+                meta: event_meta,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(len: usize) -> Packet {
+        Packet::anonymous(vec![0; len])
+    }
+
+    fn meta(rank: u64) -> StdMeta {
+        let mut m = StdMeta::ingress(0, SimTime::ZERO, 0);
+        m.rank = rank;
+        m
+    }
+
+    #[test]
+    fn fifo_order_and_events() {
+        let mut tm = TrafficManager::new(2, QueueConfig::default());
+        let now = SimTime::from_nanos(10);
+        let (d, ev) = tm.offer(1, pkt(100), meta(0), now);
+        assert!(d.is_none());
+        assert!(matches!(ev, TmEvent::Enqueue { port: 1, pkt_len: 100, q_bytes: 100, q_pkts: 1, .. }));
+        tm.offer(1, pkt(200), meta(0), now);
+        assert_eq!(tm.occupancy_bytes(1), 300);
+
+        let later = SimTime::from_nanos(50);
+        let (p, _, ev) = tm.dequeue(1, later).expect("packet");
+        assert_eq!(p.len(), 100);
+        assert!(matches!(
+            ev,
+            TmEvent::Dequeue { sojourn_ns: 40, q_bytes: 200, q_pkts: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn overflow_emits_drop_event_and_returns_packet() {
+        let cfg = QueueConfig { capacity_bytes: 250, ..QueueConfig::default() };
+        let mut tm = TrafficManager::new(1, cfg);
+        tm.offer(0, pkt(200), meta(0), SimTime::ZERO);
+        let (returned, ev) = tm.offer(0, pkt(100), meta(0), SimTime::ZERO);
+        assert!(returned.is_some());
+        assert!(matches!(ev, TmEvent::Overflow { pkt_len: 100, q_bytes: 200, .. }));
+        assert_eq!(tm.stats(0).dropped, 1);
+        assert_eq!(tm.stats(0).dropped_bytes, 100);
+    }
+
+    #[test]
+    fn underflow_event() {
+        let mut tm = TrafficManager::new(1, QueueConfig::default());
+        assert!(matches!(
+            tm.dequeue(0, SimTime::ZERO),
+            Err(TmEvent::Underflow { port: 0 })
+        ));
+    }
+
+    #[test]
+    fn strict_priority_dequeues_low_rank_first() {
+        let cfg = QueueConfig {
+            capacity_bytes: 10_000,
+            disc: QueueDisc::StrictPriority { classes: 4 },
+            ..QueueConfig::default()
+        };
+        let mut tm = TrafficManager::new(1, cfg);
+        tm.offer(0, pkt(10), meta(3), SimTime::ZERO);
+        tm.offer(0, pkt(20), meta(0), SimTime::ZERO);
+        tm.offer(0, pkt(30), meta(9), SimTime::ZERO); // clamps to class 3
+        let (p, _, _) = tm.dequeue(0, SimTime::ZERO).expect("p");
+        assert_eq!(p.len(), 20, "class 0 first");
+        let (p, _, _) = tm.dequeue(0, SimTime::ZERO).expect("p");
+        assert_eq!(p.len(), 10, "then class 3 FIFO");
+        let (p, _, _) = tm.dequeue(0, SimTime::ZERO).expect("p");
+        assert_eq!(p.len(), 30);
+    }
+
+    #[test]
+    fn pifo_orders_by_rank_stable() {
+        let cfg = QueueConfig { capacity_bytes: 10_000, disc: QueueDisc::Pifo, rank0_headroom: 0 };
+        let mut tm = TrafficManager::new(1, cfg);
+        tm.offer(0, pkt(1), meta(50), SimTime::ZERO);
+        tm.offer(0, pkt(2), meta(10), SimTime::ZERO);
+        tm.offer(0, pkt(3), meta(50), SimTime::ZERO);
+        tm.offer(0, pkt(4), meta(30), SimTime::ZERO);
+        let lens: Vec<usize> = (0..4)
+            .map(|_| tm.dequeue(0, SimTime::ZERO).expect("p").0.len())
+            .collect();
+        assert_eq!(lens, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn event_meta_flows_through() {
+        let mut tm = TrafficManager::new(1, QueueConfig::default());
+        let mut m = meta(0);
+        m.event_meta = [7, 1500, 0, 0];
+        let (_, ev) = tm.offer(0, pkt(64), m, SimTime::ZERO);
+        assert!(matches!(ev, TmEvent::Enqueue { meta: [7, 1500, 0, 0], .. }));
+        let (_, _, ev) = tm.dequeue(0, SimTime::ZERO).expect("p");
+        assert!(matches!(ev, TmEvent::Dequeue { meta: [7, 1500, 0, 0], .. }));
+    }
+
+    #[test]
+    fn stats_track_counts() {
+        let mut tm = TrafficManager::new(1, QueueConfig::default());
+        for _ in 0..5 {
+            tm.offer(0, pkt(10), meta(0), SimTime::ZERO);
+        }
+        tm.dequeue(0, SimTime::ZERO).ok();
+        let s = tm.stats(0);
+        assert_eq!(s.enqueued, 5);
+        assert_eq!(s.dequeued, 1);
+        assert_eq!(s.pkts, 4);
+        assert_eq!(s.bytes, 40);
+    }
+}

@@ -1,0 +1,133 @@
+//! Bloom filter over `u64` keys.
+//!
+//! Used by the baseline (Snappy-style) microburst detector to approximate
+//! "have I already counted this flow in the current window" — one of the
+//! several stateful structures the event-driven version makes unnecessary.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-size Bloom filter with `k` hash functions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: usize,
+    k: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `n_bits` bits (rounded up to a multiple of 64)
+    /// and `k` hash functions.
+    pub fn new(n_bits: usize, k: u32) -> Self {
+        assert!(n_bits > 0 && k > 0, "degenerate bloom filter");
+        let words = n_bits.div_ceil(64);
+        BloomFilter {
+            bits: vec![0; words],
+            n_bits: words * 64,
+            k,
+            inserted: 0,
+        }
+    }
+
+    fn bit_for(&self, key: u64, i: u32) -> usize {
+        // Kirsch–Mitzenmacher double hashing: h1 + i*h2.
+        let mut z = key ^ 0xA076_1D64_78BD_642F;
+        z = (z ^ (z >> 32)).wrapping_mul(0xE995_3D0E_1E81_79A9);
+        let h1 = z ^ (z >> 29);
+        let mut y = key ^ 0xE703_7ED1_A0B4_28DB;
+        y = (y ^ (y >> 32)).wrapping_mul(0x8EBC_6AF0_9C88_C6E3);
+        let h2 = (y ^ (y >> 29)) | 1; // odd so it cycles the whole range
+        (h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.n_bits as u64) as usize
+    }
+
+    /// Inserts `key`; returns `true` if it was (probably) already present.
+    pub fn insert(&mut self, key: u64) -> bool {
+        let mut all_set = true;
+        for i in 0..self.k {
+            let b = self.bit_for(key, i);
+            let (word, mask) = (b / 64, 1u64 << (b % 64));
+            if self.bits[word] & mask == 0 {
+                all_set = false;
+                self.bits[word] |= mask;
+            }
+        }
+        if !all_set {
+            self.inserted += 1;
+        }
+        all_set
+    }
+
+    /// Membership test: `false` is definite, `true` is probabilistic.
+    pub fn contains(&self, key: u64) -> bool {
+        (0..self.k).all(|i| {
+            let b = self.bit_for(key, i);
+            self.bits[b / 64] & (1 << (b % 64)) != 0
+        })
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+
+    /// Distinct-ish keys inserted since the last clear.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Memory footprint in 64-bit words.
+    pub fn state_words(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(4096, 4);
+        for k in 0..200u64 {
+            bf.insert(k);
+        }
+        for k in 0..200u64 {
+            assert!(bf.contains(k), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn low_false_positive_rate_when_sized_right() {
+        let mut bf = BloomFilter::new(16 * 1024, 4);
+        for k in 0..1000u64 {
+            bf.insert(k);
+        }
+        let fps = (10_000..20_000u64).filter(|&k| bf.contains(k)).count();
+        // With m/n = 16 and k = 4, theoretical FPR ≈ 0.24%; allow slack.
+        assert!(fps < 120, "false positive rate too high: {fps}/10000");
+    }
+
+    #[test]
+    fn insert_reports_duplicates() {
+        let mut bf = BloomFilter::new(1024, 4);
+        assert!(!bf.insert(7));
+        assert!(bf.insert(7));
+        assert_eq!(bf.inserted(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bf = BloomFilter::new(256, 2);
+        bf.insert(1);
+        bf.clear();
+        assert!(!bf.contains(1));
+        assert_eq!(bf.inserted(), 0);
+    }
+
+    #[test]
+    fn rounds_bits_up() {
+        let bf = BloomFilter::new(65, 1);
+        assert_eq!(bf.state_words(), 2);
+    }
+}

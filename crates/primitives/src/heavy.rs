@@ -1,0 +1,178 @@
+//! Space-Saving heavy-hitter tracking (Metwally et al.).
+//!
+//! Network-monitoring apps report the top-k flows by bytes; Space-Saving
+//! gives a deterministic small-state approximation whose error is bounded
+//! by N/k, fitting the paper's "filters and watchlists" INT-reduction
+//! narrative.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Slot {
+    key: u64,
+    count: u64,
+    /// Overestimation bound: the count this slot had when its key was
+    /// evicted and replaced.
+    error: u64,
+}
+
+/// Space-Saving top-k tracker over `u64` keys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpaceSaving {
+    capacity: usize,
+    slots: Vec<Slot>,
+    index: HashMap<u64, usize>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a tracker with `capacity` monitored keys.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity tracker");
+        SpaceSaving {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            total: 0,
+        }
+    }
+
+    /// Adds `count` to `key`, possibly evicting the current minimum.
+    pub fn update(&mut self, key: u64, count: u64) {
+        self.total += count;
+        if let Some(&i) = self.index.get(&key) {
+            self.slots[i].count += count;
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.index.insert(key, self.slots.len());
+            self.slots.push(Slot { key, count, error: 0 });
+            return;
+        }
+        // Replace the slot with the minimum count.
+        let (mi, _) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.count)
+            .expect("non-empty");
+        let old = self.slots[mi].clone();
+        self.index.remove(&old.key);
+        self.index.insert(key, mi);
+        self.slots[mi] = Slot {
+            key,
+            count: old.count + count,
+            error: old.count,
+        };
+    }
+
+    /// Estimated count for `key` (0 when unmonitored). Estimates satisfy
+    /// `true ≤ estimate ≤ true + error`.
+    pub fn estimate(&self, key: u64) -> u64 {
+        self.index.get(&key).map(|&i| self.slots[i].count).unwrap_or(0)
+    }
+
+    /// Top-`n` `(key, estimate, error_bound)` triples, highest first;
+    /// ties broken by key for determinism.
+    pub fn top(&self, n: usize) -> Vec<(u64, u64, u64)> {
+        let mut v: Vec<_> = self
+            .slots
+            .iter()
+            .map(|s| (s.key, s.count, s.error))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Clears all state.
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.index.clear();
+        self.total = 0;
+    }
+
+    /// Total count across all updates since reset.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Guaranteed heavy hitters: keys whose count minus error bound still
+    /// exceeds `threshold`.
+    pub fn guaranteed_above(&self, threshold: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|s| s.count.saturating_sub(s.error) > threshold)
+            .map(|s| s.key)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut ss = SpaceSaving::new(8);
+        for k in 0..5u64 {
+            ss.update(k, (k + 1) * 10);
+        }
+        for k in 0..5u64 {
+            assert_eq!(ss.estimate(k), (k + 1) * 10);
+        }
+        assert_eq!(ss.top(1), vec![(4, 50, 0)]);
+    }
+
+    #[test]
+    fn heavy_keys_survive_churn() {
+        let mut ss = SpaceSaving::new(10);
+        // Two elephants among many mice.
+        for i in 0..1000u64 {
+            ss.update(1_000_000, 10);
+            ss.update(2_000_000, 8);
+            ss.update(i, 1); // a mouse per round
+        }
+        let top: Vec<u64> = ss.top(2).into_iter().map(|(k, _, _)| k).collect();
+        assert!(top.contains(&1_000_000), "elephant 1 missing: {top:?}");
+        assert!(top.contains(&2_000_000), "elephant 2 missing: {top:?}");
+    }
+
+    #[test]
+    fn never_underestimates_monitored() {
+        let mut ss = SpaceSaving::new(4);
+        for i in 0..100u64 {
+            ss.update(i % 8, 1);
+        }
+        // Monitored keys' estimates include the error bound upward only.
+        for (key, est, err) in ss.top(4) {
+            let truth = (0..100u64).filter(|i| i % 8 == key).count() as u64;
+            assert!(est >= truth, "under: key {key} est {est} true {truth}");
+            assert!(est - err <= truth, "bound broken for {key}");
+        }
+    }
+
+    #[test]
+    fn guaranteed_above_uses_error_bound() {
+        let mut ss = SpaceSaving::new(2);
+        ss.update(1, 100);
+        ss.update(2, 1); // fills capacity
+        ss.update(3, 1); // evicts key 2, inherits error 1
+        let g = ss.guaranteed_above(50);
+        assert_eq!(g, vec![1]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut ss = SpaceSaving::new(2);
+        ss.update(5, 9);
+        ss.reset();
+        assert_eq!(ss.estimate(5), 0);
+        assert_eq!(ss.total(), 0);
+        assert!(ss.top(5).is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests for the data-plane primitives' invariants.
+
+use edp_primitives::{
+    AqmVerdict, BloomFilter, Color, CountMinSketch, Pifo, Red, SpaceSaving, TimerTokenBucket,
+    TokenBucket, WindowRate,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// CMS point queries never underestimate, for any update sequence.
+    #[test]
+    fn cms_never_underestimates(
+        width in 8usize..256,
+        depth in 1usize..6,
+        ops in prop::collection::vec((0u64..64, 1u64..1000), 1..300),
+    ) {
+        let mut cms = CountMinSketch::new(width, depth);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(k, c) in &ops {
+            cms.update(k, c);
+            *truth.entry(k).or_insert(0) += c;
+        }
+        for (&k, &t) in &truth {
+            prop_assert!(cms.query(k) >= t, "key {} under truth {}", k, t);
+        }
+        prop_assert_eq!(cms.items(), ops.iter().map(|&(_, c)| c).sum::<u64>());
+    }
+
+    /// CMS reset makes everything exactly zero.
+    #[test]
+    fn cms_reset_total(ops in prop::collection::vec((0u64..100, 1u64..50), 1..100)) {
+        let mut cms = CountMinSketch::new(64, 3);
+        for &(k, c) in &ops {
+            cms.update(k, c);
+        }
+        cms.reset();
+        for &(k, _) in &ops {
+            prop_assert_eq!(cms.query(k), 0);
+        }
+    }
+
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn bloom_no_false_negatives(
+        bits in 64usize..8192,
+        k in 1u32..8,
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let mut bf = BloomFilter::new(bits, k);
+        for &key in &keys {
+            bf.insert(key);
+        }
+        for &key in &keys {
+            prop_assert!(bf.contains(key));
+        }
+    }
+
+    /// PIFO pops in (rank, arrival) order for any push sequence.
+    #[test]
+    fn pifo_pop_order(ranks in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut p = Pifo::new(ranks.len());
+        for (i, &r) in ranks.iter().enumerate() {
+            let (v, _) = p.push(r, (r, i));
+            prop_assert_eq!(v, edp_primitives::PifoPush::Ok);
+        }
+        let mut out = Vec::new();
+        while let Some(x) = p.pop() {
+            out.push(x);
+        }
+        let mut expect: Vec<(u64, usize)> = ranks.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+        expect.sort();
+        prop_assert_eq!(out, expect);
+    }
+
+    /// A bounded PIFO holds exactly the best `capacity` items (by rank,
+    /// ties favouring earlier arrivals).
+    #[test]
+    fn pifo_bounded_keeps_best(
+        capacity in 1usize..32,
+        ranks in prop::collection::vec(0u64..100, 1..100),
+    ) {
+        let mut p = Pifo::new(capacity);
+        for (i, &r) in ranks.iter().enumerate() {
+            p.push(r, (r, i));
+        }
+        let mut kept = Vec::new();
+        while let Some(x) = p.pop() {
+            kept.push(x);
+        }
+        let mut expect: Vec<(u64, usize)> = ranks.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+        expect.sort();
+        expect.truncate(capacity);
+        prop_assert_eq!(kept, expect);
+    }
+
+    /// Token bucket conformance never exceeds rate × time + burst.
+    #[test]
+    fn token_bucket_rate_bound(
+        rate in 1_000u64..10_000_000,
+        burst in 100u64..100_000,
+        arrivals in prop::collection::vec((1u64..10_000, 1u64..5_000), 1..300),
+    ) {
+        let mut tb = TokenBucket::new(rate, burst);
+        let mut now = 0u64;
+        let mut green_bytes = 0u64;
+        for &(gap_us, bytes) in &arrivals {
+            now += gap_us * 1000;
+            if tb.offer(now, bytes) == Color::Green {
+                green_bytes += bytes;
+            }
+        }
+        let elapsed_s = now as f64 / 1e9;
+        let bound = rate as f64 * elapsed_s + burst as f64 + 1.0;
+        prop_assert!(
+            (green_bytes as f64) <= bound,
+            "green {} exceeds bound {}",
+            green_bytes,
+            bound
+        );
+    }
+
+    /// The timer-refilled bucket obeys the same bound with its quantized
+    /// refill schedule.
+    #[test]
+    fn timer_bucket_rate_bound(
+        rate in 10_000u64..10_000_000,
+        period_us in 10u64..10_000,
+        burst in 1_000u64..100_000,
+        n_steps in 10u64..500,
+    ) {
+        let mut tb = TimerTokenBucket::new(rate, period_us * 1000, burst);
+        let mut green = 0u64;
+        for step in 0..n_steps {
+            if step > 0 {
+                tb.refill();
+            }
+            // Offer an MTU per refill period.
+            if tb.offer(1500) == Color::Green {
+                green += 1500;
+            }
+        }
+        let elapsed_s = (n_steps * period_us) as f64 / 1e6;
+        let bound = rate as f64 * elapsed_s + burst as f64 + tb.quantum() as f64;
+        prop_assert!((green as f64) <= bound, "green {} bound {}", green, bound);
+    }
+
+    /// Space-Saving estimates bracket the truth: true ≤ est ≤ true + err.
+    #[test]
+    fn space_saving_brackets_truth(
+        capacity in 1usize..32,
+        ops in prop::collection::vec((0u64..64, 1u64..100), 1..300),
+    ) {
+        let mut ss = SpaceSaving::new(capacity);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(k, c) in &ops {
+            ss.update(k, c);
+            *truth.entry(k).or_insert(0) += c;
+        }
+        for (k, est, err) in ss.top(capacity) {
+            let t = truth.get(&k).copied().unwrap_or(0);
+            prop_assert!(est >= t, "key {} est {} < truth {}", k, est, t);
+            prop_assert!(est - err <= t, "key {} lower bound broken", k);
+        }
+    }
+
+    /// WindowRate's window total equals the sum of the last N bucket adds.
+    #[test]
+    fn window_total_is_recent_sum(
+        buckets in 2usize..16,
+        adds in prop::collection::vec(prop::collection::vec(0u64..10_000, 0..5), 1..60),
+    ) {
+        let mut w = WindowRate::new(buckets, 1_000_000);
+        let mut per_tick: Vec<u64> = Vec::new();
+        for tick_adds in &adds {
+            let sum: u64 = tick_adds.iter().sum();
+            for &a in tick_adds {
+                w.add(a);
+            }
+            per_tick.push(sum);
+            w.tick();
+        }
+        // After the final tick the window holds the last (buckets-1)
+        // completed tick-sums (head bucket was just reset).
+        let expect: u64 = per_tick.iter().rev().take(buckets - 1).sum();
+        prop_assert_eq!(w.window_bytes(), expect);
+    }
+
+    /// RED with weight 1 never drops below min_thresh and always
+    /// drops/marks above max_thresh.
+    #[test]
+    fn red_threshold_contract(
+        min in 100u64..1000,
+        span in 1u64..10_000,
+        u in 0.0f64..1.0,
+        below in 0u64..100,
+        above in 0u64..10_000,
+    ) {
+        let max = min + span;
+        let mut red = Red::new(min, max, 0.5, 1.0, false);
+        prop_assert_eq!(red.offer(min.saturating_sub(below + 1), u), AqmVerdict::Accept);
+        let mut red = Red::new(min, max, 0.5, 1.0, false);
+        prop_assert_eq!(red.offer(max + above, u), AqmVerdict::Drop);
+    }
+}

@@ -1,0 +1,58 @@
+//! HULA-style congestion-aware load balancing vs. ECMP.
+//!
+//! A 2-leaf / 2-spine fabric where one spine's downlink is 10× slower.
+//! The event-driven leaves generate probes from timer events; the spines
+//! measure their own egress utilization from packet-transmitted events.
+//! ECMP hashes flows blindly and strands half of them on the slow path.
+//!
+//! ```sh
+//! cargo run --example hula_loadbalancer
+//! ```
+
+use edp_apps::hula::testbed::{drive, ecmp_leaf, event_leaf, fabric};
+use edp_apps::hula::HulaLeaf;
+use edp_core::EventSwitch;
+use edp_evsim::jain_fairness;
+
+fn mbps(x: f64) -> f64 {
+    x / 1e6
+}
+
+fn main() {
+    const FLOWS: u16 = 8;
+    println!("=== HULA (event-driven probes) vs ECMP (baseline) ===");
+    println!("fabric: 2 leaves x 2 spines; spine0->leaf1 link is 100 Mb/s, all others 1 Gb/s");
+    println!("workload: {FLOWS} flows h0->h1, ~400 Mb/s aggregate, 50 ms\n");
+
+    let (mut net, h0, h1) = fabric(&ecmp_leaf);
+    let ecmp = drive(&mut net, h0, h1, FLOWS);
+
+    let (mut net, h0, h1) = fabric(&event_leaf);
+    let hula = drive(&mut net, h0, h1, FLOWS);
+    let leaf0 = &net.switch_as::<EventSwitch<HulaLeaf>>(0).program;
+
+    println!("{:>6} {:>14} {:>14}", "flow", "ECMP (Mb/s)", "HULA (Mb/s)");
+    for f in 0..FLOWS as usize {
+        println!("{:>6} {:>14.1} {:>14.1}", f, mbps(ecmp[f]), mbps(hula[f]));
+    }
+    let ecmp_total: f64 = ecmp.iter().sum();
+    let hula_total: f64 = hula.iter().sum();
+    println!("{:>6} {:>14.1} {:>14.1}", "total", mbps(ecmp_total), mbps(hula_total));
+    println!(
+        "{:>6} {:>14.3} {:>14.3}",
+        "jain",
+        jain_fairness(&ecmp),
+        jain_fairness(&hula)
+    );
+    println!();
+    println!("HULA probes sent (leaf0)   : {}", leaf0.probes_sent);
+    println!("HULA path switches (leaf0) : {}", leaf0.path_switches);
+    println!(
+        "leaf0 best uplink to ToR1  : port {} (2 = fast spine)",
+        leaf0.best[1].port
+    );
+    println!(
+        "\nspeedup: {:.2}x aggregate goodput, zero control-plane or host involvement",
+        hula_total / ecmp_total
+    );
+}

@@ -1,0 +1,1 @@
+//! Workspace test/example host crate. See `../tests` and `../examples`.

@@ -1,0 +1,86 @@
+//! Reproducibility: a run is a pure function of (program, seed).
+//!
+//! The experiment harness depends on this — every table in
+//! EXPERIMENTS.md must regenerate bit-identically.
+
+use edp_apps::common::{addr, dumbbell, run_until, sink_addr};
+use edp_apps::fred::{FredAqm, TIMER_REPORT};
+use edp_core::{EventSwitch, EventSwitchConfig, TimerSpec};
+use edp_evsim::{Sim, SimDuration, SimTime};
+use edp_netsim::traffic::{start_cbr, start_poisson};
+use edp_netsim::Network;
+use edp_packet::PacketBuilder;
+use edp_pisa::QueueConfig;
+
+/// A moderately complex run: FRED switch, CBR + Poisson traffic, timers.
+/// Returns a fingerprint of everything observable.
+fn fingerprint(seed: u64) -> (u64, u64, u64, Vec<(u64, u64)>) {
+    let cfg = EventSwitchConfig {
+        n_ports: 3,
+        queue: QueueConfig { capacity_bytes: 40_000, ..QueueConfig::default() },
+        timers: vec![TimerSpec {
+            id: TIMER_REPORT,
+            period: SimDuration::from_millis(1),
+            start: SimDuration::from_millis(1),
+        }],
+        ..Default::default()
+    };
+    let sw = EventSwitch::new(FredAqm::new(32, 40_000, 1500, 2), cfg);
+    let (mut net, senders, sink, _) = dumbbell(Box::new(sw), 2, 200_000_000, seed);
+    let mut sim: Sim<Network> = Sim::new();
+    let src0 = addr(1);
+    start_cbr(&mut sim, senders[0], SimTime::ZERO, SimDuration::from_micros(40), u64::MAX, move |i| {
+        PacketBuilder::udp(src0, sink_addr(), 1, 2, &[]).ident(i as u16).pad_to(1200).build()
+    });
+    let src1 = addr(2);
+    start_poisson(
+        &mut sim,
+        senders[1],
+        SimTime::ZERO,
+        SimDuration::from_micros(60),
+        SimTime::from_millis(30),
+        move |i| {
+            PacketBuilder::udp(src1, sink_addr(), 3, 4, &[]).ident(i as u16).pad_to(800).build()
+        },
+    );
+    run_until(&mut net, &mut sim, SimTime::from_millis(30));
+    let prog = &net.switch_as::<EventSwitch<FredAqm>>(0).program;
+    let series: Vec<(u64, u64)> = prog
+        .occupancy_series
+        .points()
+        .iter()
+        .map(|&(t, v)| (t, v as u64))
+        .collect();
+    (
+        net.hosts[sink].stats.rx_pkts,
+        net.hosts[sink].stats.rx_bytes,
+        sim.events_fired(),
+        series,
+    )
+}
+
+#[test]
+fn identical_seeds_produce_identical_runs() {
+    let a = fingerprint(424242);
+    let b = fingerprint(424242);
+    assert_eq!(a, b, "same seed must be bit-identical");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = fingerprint(1);
+    let b = fingerprint(2);
+    // Poisson arrivals differ => some observable difference.
+    assert_ne!((a.0, a.1, a.2), (b.0, b.1, b.2), "seeds should matter");
+}
+
+#[test]
+fn staleness_experiment_is_deterministic() {
+    use edp_core::{run_staleness_experiment, AggregConfig};
+    let cfg = AggregConfig { entries: 8, folds_per_idle_cycle: 1 };
+    let a = run_staleness_experiment(cfg, 1.3, 10_000, |p| (p % 8) as usize);
+    let b = run_staleness_experiment(cfg, 1.3, 10_000, |p| (p % 8) as usize);
+    assert_eq!(a.max_staleness, b.max_staleness);
+    assert_eq!(a.mean_staleness, b.mean_staleness);
+    assert_eq!(a.stale_read_frac, b.stale_read_frac);
+}

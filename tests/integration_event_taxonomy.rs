@@ -1,0 +1,214 @@
+//! T1 (Table 1): every one of the thirteen data-plane events can fire and
+//! be handled in one SUME Event Switch run.
+
+use edp_core::event::*;
+use edp_core::{
+    EventActions, EventKind, EventProgram, EventSwitch, EventSwitchConfig, PacketGenConfig,
+    TimerSpec,
+};
+use edp_evsim::{SimDuration, SimTime};
+use edp_packet::{Packet, PacketBuilder, ParsedPacket};
+use edp_pisa::{Destination, QueueConfig, StdMeta};
+use std::net::Ipv4Addr;
+
+/// A program that touches every handler and records which ran.
+#[derive(Default)]
+struct FullCoverage {
+    handled: std::collections::BTreeSet<&'static str>,
+    recirculated_once: bool,
+}
+
+impl EventProgram for FullCoverage {
+    fn on_ingress(
+        &mut self,
+        _p: &mut Packet,
+        _h: &ParsedPacket,
+        meta: &mut StdMeta,
+        _n: SimTime,
+        a: &mut EventActions,
+    ) {
+        self.handled.insert("ingress");
+        // First packet recirculates once to produce the recirc event.
+        if !self.recirculated_once && meta.recirc_count == 0 {
+            meta.dest = Destination::Recirculate;
+        } else {
+            meta.dest = Destination::Port(1);
+        }
+        if !a.is_empty() {
+            unreachable!("fresh actions");
+        }
+    }
+    fn on_recirculated(
+        &mut self,
+        _p: &mut Packet,
+        _h: &ParsedPacket,
+        meta: &mut StdMeta,
+        _n: SimTime,
+        _a: &mut EventActions,
+    ) {
+        self.handled.insert("recirculated");
+        self.recirculated_once = true;
+        meta.dest = Destination::Port(1);
+    }
+    fn on_generated(
+        &mut self,
+        _p: &mut Packet,
+        _h: &ParsedPacket,
+        meta: &mut StdMeta,
+        _n: SimTime,
+        _a: &mut EventActions,
+    ) {
+        self.handled.insert("generated");
+        meta.dest = Destination::Port(1);
+    }
+    fn on_egress(
+        &mut self,
+        _p: &mut Packet,
+        _h: &ParsedPacket,
+        _m: &mut StdMeta,
+        _n: SimTime,
+        _a: &mut EventActions,
+    ) {
+        self.handled.insert("egress");
+    }
+    fn on_enqueue(&mut self, _e: &EnqueueEvent, _n: SimTime, a: &mut EventActions) {
+        self.handled.insert("enqueue");
+        // Raise a user event from a handler — the UserEvent path.
+        if !self.handled.contains("user-raised") {
+            self.handled.insert("user-raised");
+            a.raise_user_event(99, [1, 2, 3, 4]);
+        }
+    }
+    fn on_dequeue(&mut self, _e: &DequeueEvent, _n: SimTime, _a: &mut EventActions) {
+        self.handled.insert("dequeue");
+    }
+    fn on_overflow(&mut self, _e: &OverflowEvent, _n: SimTime, _a: &mut EventActions) {
+        self.handled.insert("overflow");
+    }
+    fn on_underflow(&mut self, _e: &UnderflowEvent, _n: SimTime, _a: &mut EventActions) {
+        self.handled.insert("underflow");
+    }
+    fn on_timer(&mut self, _e: &TimerEvent, _n: SimTime, _a: &mut EventActions) {
+        self.handled.insert("timer");
+    }
+    fn on_control_plane(&mut self, _e: &ControlPlaneEvent, _n: SimTime, _a: &mut EventActions) {
+        self.handled.insert("control-plane");
+    }
+    fn on_link_status(&mut self, _e: &LinkStatusEvent, _n: SimTime, _a: &mut EventActions) {
+        self.handled.insert("link-status");
+    }
+    fn on_user(&mut self, e: &UserEvent, _n: SimTime, _a: &mut EventActions) {
+        assert_eq!(e.code, 99);
+        assert_eq!(e.args, [1, 2, 3, 4]);
+        self.handled.insert("user");
+    }
+    fn on_transmit(&mut self, _e: &TransmitEvent, _n: SimTime, _a: &mut EventActions) {
+        self.handled.insert("transmit");
+    }
+}
+
+fn frame(len: usize) -> Packet {
+    Packet::anonymous(
+        PacketBuilder::udp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 5, 6, &[])
+            .pad_to(len)
+            .build(),
+    )
+}
+
+#[test]
+fn all_thirteen_events_fire_and_are_handled() {
+    let cfg = EventSwitchConfig {
+        n_ports: 2,
+        queue: QueueConfig { capacity_bytes: 400, ..QueueConfig::default() },
+        timers: vec![TimerSpec {
+            id: 0,
+            period: SimDuration::from_micros(10),
+            start: SimDuration::from_micros(10),
+        }],
+        generator: Some(PacketGenConfig {
+            period: SimDuration::from_micros(25),
+            template: PacketBuilder::udp(
+                Ipv4Addr::new(9, 9, 9, 9),
+                Ipv4Addr::new(8, 8, 8, 8),
+                7,
+                8,
+                &[],
+            )
+            .build(),
+        }),
+        switch_id: 0,
+    };
+    let mut sw = EventSwitch::new(FullCoverage::default(), cfg);
+
+    // Ingress + recirculation + enqueue (+ user raised from the handler).
+    sw.receive(SimTime::from_nanos(100), 0, frame(300));
+    // Overflow: the 400-byte queue is full.
+    sw.receive(SimTime::from_nanos(200), 0, frame(300));
+    // Dequeue + egress + transmit.
+    assert!(sw.transmit(SimTime::from_nanos(300), 1).is_some());
+    // Underflow: transmit from the now-empty queue... port 0 never had data.
+    assert!(sw.transmit(SimTime::from_nanos(400), 0).is_none());
+    // Timer + generated packets.
+    sw.fire_due_timers(SimTime::from_micros(30));
+    // Control plane + link status.
+    sw.control_plane(SimTime::from_micros(31), 1, [0; 4]);
+    sw.set_link_status(SimTime::from_micros(32), 0, false);
+
+    // Every kind fired at the architecture level…
+    let counters = sw.event_counters();
+    for kind in EventKind::ALL {
+        assert!(
+            counters.get(kind) > 0,
+            "event kind {:?} never fired (coverage: {:?})",
+            kind,
+            counters.covered()
+        );
+    }
+    // …and every handler actually ran.
+    for h in [
+        "ingress", "egress", "recirculated", "generated", "enqueue", "dequeue", "overflow",
+        "underflow", "timer", "control-plane", "link-status", "user", "transmit",
+    ] {
+        assert!(
+            sw.program.handled.contains(h),
+            "handler {h} never ran: {:?}",
+            sw.program.handled
+        );
+    }
+}
+
+#[test]
+fn baseline_supported_kinds_are_exactly_the_packet_events() {
+    let baseline: Vec<_> = EventKind::ALL
+        .into_iter()
+        .filter(|k| k.baseline_supported())
+        .collect();
+    assert_eq!(baseline.len(), 3);
+    assert_eq!(
+        EventKind::ALL.len() - baseline.len(),
+        10,
+        "ten kinds exist only in the event-driven model"
+    );
+}
+
+#[test]
+fn table1_names_match_paper() {
+    let names: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+    for expected in [
+        "Ingress Packet",
+        "Egress Packet",
+        "Recirculated Packet",
+        "Generated Packet",
+        "Packet Transmitted",
+        "Buffer Enqueue",
+        "Buffer Dequeue",
+        "Buffer Overflow",
+        "Buffer Underflow",
+        "Timer Expiration",
+        "Control-Plane Triggered",
+        "Link Status Change",
+        "User Event",
+    ] {
+        assert!(names.contains(&expected), "missing Table 1 row: {expected}");
+    }
+}
