@@ -1,0 +1,373 @@
+//! Performance snapshot harness: one binary that times the three fast
+//! paths (event queue, table lookups, switch datapath) with plain wall
+//! clocks and writes a `BENCH_<n>.json` so every PR leaves a perf
+//! trajectory to regress against.
+//!
+//! ```sh
+//! cargo run --release -p edp-bench --bin bench_snapshot            # full run
+//! cargo run --release -p edp-bench --bin bench_snapshot -- --smoke # CI-sized
+//! cargo run --release -p edp-bench --bin bench_snapshot -- --out BENCH_1.json
+//! ```
+//!
+//! Interpretation: every metric is an operations-per-second rate, larger
+//! is better. The JSON is flat (`{"metrics": {"name": rate, ...}}`) so a
+//! later PR can diff two snapshots with nothing fancier than `jq`.
+
+use edp_core::{BaselineAdapter, EventSwitch, EventSwitchConfig};
+use edp_evsim::{Periodic, Sim, SimDuration, SimTime};
+use edp_packet::{Packet, PacketBuilder};
+use edp_pisa::{
+    insert_ipv4_route, ipv4_lpm_schema, FieldMatch, ForwardTo, MatchKind, MatchTable, TableEntry,
+};
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+struct Scale {
+    events: u64,
+    cancels: u64,
+    periodic_ticks: u64,
+    lookups: u64,
+    pkts: u64,
+}
+
+const FULL: Scale = Scale {
+    events: 2_000_000,
+    cancels: 1_000_000,
+    periodic_ticks: 2_000_000,
+    lookups: 2_000_000,
+    pkts: 400_000,
+};
+
+const SMOKE: Scale = Scale {
+    events: 50_000,
+    cancels: 25_000,
+    periodic_ticks: 50_000,
+    lookups: 50_000,
+    pkts: 10_000,
+};
+
+fn rate(n: u64, elapsed: std::time::Duration) -> f64 {
+    n as f64 / elapsed.as_secs_f64()
+}
+
+/// events/s: schedule `n` one-shot events (staggered, with same-time
+/// ties) and drain them.
+fn bench_events_schedule_fire(n: u64) -> f64 {
+    let mut sim: Sim<u64> = Sim::new();
+    let t0 = Instant::now();
+    for i in 0..n {
+        // Four events per nominal instant: exercises FIFO tie-breaking.
+        sim.schedule_at(SimTime::from_nanos(i / 4), |w: &mut u64, _: &mut _| {
+            *w = w.wrapping_add(1);
+        });
+    }
+    let mut world = 0u64;
+    sim.run(&mut world);
+    assert_eq!(world, n);
+    rate(n, t0.elapsed())
+}
+
+/// events/s when half the scheduled events are cancelled before firing:
+/// measures the cancellation path (tombstones in the seed design).
+fn bench_events_cancel_heavy(n: u64) -> f64 {
+    let mut sim: Sim<u64> = Sim::new();
+    let t0 = Instant::now();
+    let mut ids = Vec::with_capacity(n as usize / 2);
+    for i in 0..n {
+        let id = sim.schedule_at(SimTime::from_nanos(i), |w: &mut u64, _: &mut _| {
+            *w = w.wrapping_add(1);
+        });
+        if i % 2 == 0 {
+            ids.push(id);
+        }
+    }
+    for id in ids {
+        sim.cancel(id);
+    }
+    let mut world = 0u64;
+    sim.run(&mut world);
+    assert_eq!(world, n - n / 2 - n % 2);
+    rate(n, t0.elapsed())
+}
+
+/// events/s for a self-re-arming periodic timer (the hot shape for
+/// traffic generators and polling loops).
+fn bench_events_periodic(ticks: u64) -> f64 {
+    let mut sim: Sim<u64> = Sim::new();
+    let mut left = ticks;
+    sim.schedule_periodic(
+        SimTime::from_nanos(1),
+        SimDuration::from_nanos(1),
+        move |w: &mut u64, _: &mut Sim<u64>| {
+            *w = w.wrapping_add(1);
+            left -= 1;
+            if left == 0 {
+                Periodic::Stop
+            } else {
+                Periodic::Continue
+            }
+        },
+    );
+    let t0 = Instant::now();
+    let mut world = 0u64;
+    sim.run(&mut world);
+    assert_eq!(world, ticks);
+    rate(ticks, t0.elapsed())
+}
+
+/// lookups/s on an all-exact table with 10k entries.
+fn bench_exact_lookup(n: u64) -> f64 {
+    let mut t: MatchTable<u32> = MatchTable::new("exact", vec![MatchKind::Exact]);
+    for i in 0..10_000u64 {
+        t.insert_exact(&[i], i as u32);
+    }
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..n {
+        let key = [(i * 7919) % 10_000];
+        if let Some(v) = t.lookup(&key) {
+            acc = acc.wrapping_add(*v as u64);
+        }
+    }
+    std::hint::black_box(acc);
+    rate(n, t0.elapsed())
+}
+
+/// lookups/s on a 1k-entry IPv4 LPM table (the acceptance-criteria
+/// workload: mixed /8 /16 /24 prefixes plus a default route).
+fn bench_lpm_lookup_1k(n: u64) -> f64 {
+    let mut t: MatchTable<u32> = MatchTable::new("lpm1k", ipv4_lpm_schema());
+    let mut id = 0u32;
+    for a in 0..4u32 {
+        insert_ipv4_route(&mut t, Ipv4Addr::new(10 + a as u8, 0, 0, 0), 8, id);
+        id += 1;
+    }
+    for b in 0..55u32 {
+        insert_ipv4_route(&mut t, Ipv4Addr::new(10, b as u8, 0, 0), 16, id);
+        id += 1;
+    }
+    for c in 0..940u32 {
+        insert_ipv4_route(
+            &mut t,
+            Ipv4Addr::new(10, (c / 256) as u8, (c % 256) as u8, 0),
+            24,
+            id,
+        );
+        id += 1;
+    }
+    insert_ipv4_route(&mut t, Ipv4Addr::new(0, 0, 0, 0), 0, id);
+    let entries = t.len() as u64;
+    assert!(entries >= 1000, "expected >=1000 LPM entries, got {entries}");
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..n {
+        // Mix of hits at /24, /16, /8 and default-route depth.
+        let addr = Ipv4Addr::new(10, (i % 7) as u8, (i % 251) as u8, (i % 253) as u8);
+        let key = [u32::from(addr) as u64];
+        if let Some(v) = t.lookup(&key) {
+            acc = acc.wrapping_add(*v as u64);
+        }
+    }
+    std::hint::black_box(acc);
+    rate(n, t0.elapsed())
+}
+
+/// lookups/s on a 128-entry ternary ACL with distinct priorities.
+fn bench_ternary_lookup(n: u64) -> f64 {
+    let mut t: MatchTable<u32> = MatchTable::new("acl", vec![MatchKind::Ternary]);
+    for i in 0..128u64 {
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Ternary {
+                value: i,
+                mask: 0x7F,
+            }],
+            priority: i as i64,
+            action: i as u32,
+        });
+    }
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..n {
+        if let Some(v) = t.lookup(&[i % 131]) {
+            acc = acc.wrapping_add(*v as u64);
+        }
+    }
+    std::hint::black_box(acc);
+    rate(n, t0.elapsed())
+}
+
+/// pkts/s through the EventSwitch: receive + transmit per packet, with
+/// full event delivery (enqueue/dequeue/transmit handler dispatches).
+fn bench_switch_pkts(n: u64) -> f64 {
+    let frame = PacketBuilder::udp(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        4000,
+        8080,
+        &[],
+    )
+    .pad_to(256)
+    .build();
+    let cfg = EventSwitchConfig {
+        n_ports: 4,
+        ..Default::default()
+    };
+    let mut sw = EventSwitch::new(BaselineAdapter(ForwardTo(1)), cfg);
+    let t0 = Instant::now();
+    let mut t = 0u64;
+    for _ in 0..n {
+        t += 100;
+        sw.receive(SimTime::from_nanos(t), 0, Packet::anonymous(frame.clone()));
+        std::hint::black_box(sw.transmit(SimTime::from_nanos(t + 50), 1));
+    }
+    assert_eq!(sw.counters().tx, n);
+    rate(n, t0.elapsed())
+}
+
+/// pkts/s through the EventSwitch running a routed program: a
+/// [`TableRouter`] with 1k LPM routes installed. The first packet of the
+/// flow runs the LPM lookup; every later packet replays the memoized
+/// decision from the per-flow cache — the shape the cache exists for.
+fn bench_switch_routed(n: u64) -> f64 {
+    let frame = PacketBuilder::udp(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 1, 2, 3),
+        4000,
+        8080,
+        &[],
+    )
+    .pad_to(256)
+    .build();
+    let cfg = EventSwitchConfig {
+        n_ports: 4,
+        ..Default::default()
+    };
+    let mut sw = EventSwitch::new(BaselineAdapter(edp_pisa::TableRouter::new()), cfg);
+    for i in 0..1024u32 {
+        let dst = Ipv4Addr::new(10, ((i >> 8) & 0xff) as u8, (i & 0xff) as u8, 0);
+        sw.control_plane(
+            SimTime::ZERO,
+            edp_pisa::TableRouter::OP_INSERT_ROUTE,
+            [u64::from(u32::from(dst)), 24, 2, 0],
+        );
+    }
+    let t0 = Instant::now();
+    let mut t = 0u64;
+    for _ in 0..n {
+        t += 100;
+        sw.receive(SimTime::from_nanos(t), 0, Packet::anonymous(frame.clone()));
+        std::hint::black_box(sw.transmit(SimTime::from_nanos(t + 50), 2));
+    }
+    assert_eq!(sw.counters().tx, n);
+    rate(n, t0.elapsed())
+}
+
+/// pkts/s for a 3-way flood fan-out (the multicast copy path).
+fn bench_switch_flood(n: u64) -> f64 {
+    use edp_core::EventActions;
+    use edp_packet::ParsedPacket;
+    use edp_pisa::{Destination, StdMeta};
+
+    struct Flooder;
+    impl edp_core::EventProgram for Flooder {
+        fn on_ingress(
+            &mut self,
+            _p: &mut Packet,
+            _h: &ParsedPacket,
+            m: &mut StdMeta,
+            _n: SimTime,
+            _a: &mut EventActions,
+        ) {
+            m.dest = Destination::Flood;
+        }
+    }
+    let frame = PacketBuilder::udp(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        4000,
+        8080,
+        &[],
+    )
+    .pad_to(1024)
+    .build();
+    let cfg = EventSwitchConfig {
+        n_ports: 4,
+        ..Default::default()
+    };
+    let mut sw = EventSwitch::new(Flooder, cfg);
+    let t0 = Instant::now();
+    let mut t = 0u64;
+    for _ in 0..n {
+        t += 100;
+        sw.receive(SimTime::from_nanos(t), 0, Packet::anonymous(frame.clone()));
+        for port in [1u8, 2, 3] {
+            std::hint::black_box(sw.transmit(SimTime::from_nanos(t + 50), port));
+        }
+    }
+    rate(n, t0.elapsed())
+}
+
+fn next_snapshot_path() -> String {
+    for n in 1..10_000u32 {
+        let p = format!("BENCH_{n}.json");
+        if !std::path::Path::new(&p).exists() {
+            return p;
+        }
+    }
+    "BENCH_overflow.json".to_string()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: bench_snapshot [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let s = if smoke { SMOKE } else { FULL };
+
+    let mut metrics: Vec<(&str, f64)> = Vec::new();
+    println!("bench_snapshot ({} run)", if smoke { "smoke" } else { "full" });
+
+    let mut record = |name: &'static str, v: f64| {
+        println!("  {name:<32} {v:>16.0} ops/s");
+        metrics.push((name, v));
+    };
+
+    record("events_schedule_fire_per_sec", bench_events_schedule_fire(s.events));
+    record("events_cancel_heavy_per_sec", bench_events_cancel_heavy(s.cancels));
+    record("events_periodic_per_sec", bench_events_periodic(s.periodic_ticks));
+    record("lookups_exact_10k_per_sec", bench_exact_lookup(s.lookups));
+    record("lookups_lpm_1k_per_sec", bench_lpm_lookup_1k(s.lookups / 10));
+    record("lookups_ternary_128_per_sec", bench_ternary_lookup(s.lookups));
+    record("switch_forward_pkts_per_sec", bench_switch_pkts(s.pkts));
+    record("switch_routed_1k_pkts_per_sec", bench_switch_routed(s.pkts));
+    record("switch_flood_pkts_per_sec", bench_switch_flood(s.pkts / 4));
+
+    let path = out.unwrap_or_else(next_snapshot_path);
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"metrics\": {\n");
+    for (i, (name, v)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {v:.1}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&path, json).expect("write snapshot");
+    println!("wrote {path}");
+}

@@ -165,6 +165,18 @@ pub trait EventProgram {
 
     /// Packet transmitted event.
     fn on_transmit(&mut self, ev: &TransmitEvent, now: SimTime, actions: &mut EventActions) {}
+
+    /// Opt-in to the switch's per-flow action cache (same contract as
+    /// [`edp_pisa::PisaProgram::flow_cacheable`]): `true` promises that
+    /// [`on_ingress`](Self::on_ingress) writes `meta` as a pure function
+    /// of the flow 5-tuple and control-plane-managed state, requests no
+    /// [`EventActions`], and does not rewrite the packet. Cached packets
+    /// skip `on_ingress` entirely; architectural events (enqueue, dequeue,
+    /// …) still fire for them. The cache is invalidated on every
+    /// control-plane event. Default: `false`.
+    fn flow_cacheable(&self) -> bool {
+        false
+    }
 }
 
 /// Adapts a baseline [`edp_pisa::PisaProgram`] into an [`EventProgram`]
@@ -197,6 +209,19 @@ impl<P: edp_pisa::PisaProgram> EventProgram for BaselineAdapter<P> {
         _actions: &mut EventActions,
     ) {
         self.0.egress(pkt, parsed, meta, now)
+    }
+
+    /// Bridges the event switch's control-plane trigger to the baseline
+    /// program's ordinary management channel. This is not an event the
+    /// baseline model lacks — `control_update` is the management path
+    /// every PISA target has — so forwarding it preserves the
+    /// strict-subset argument.
+    fn on_control_plane(&mut self, ev: &ControlPlaneEvent, now: SimTime, _actions: &mut EventActions) {
+        self.0.control_update(ev.opcode, ev.args, now)
+    }
+
+    fn flow_cacheable(&self) -> bool {
+        self.0.flow_cacheable()
     }
 }
 

@@ -22,7 +22,10 @@ use crate::event::{
 use crate::program::{EventActions, EventProgram};
 use edp_evsim::{SimDuration, SimTime};
 use edp_packet::{parse_packet, Packet, PacketUid};
-use edp_pisa::{Destination, PortId, QueueConfig, QueueStats, StdMeta, TrafficManager};
+use edp_pisa::{
+    Destination, FlowCache, FlowCacheStats, PortId, QueueConfig, QueueStats, StdMeta,
+    TrafficManager,
+};
 use serde::{Deserialize, Serialize};
 
 /// Upper bound on recirculations per packet.
@@ -132,11 +135,15 @@ pub struct EventSwitch<P> {
     tm: TrafficManager,
     timers: Vec<TimerState>,
     gen_next_due: Option<SimTime>,
+    /// The generator template, shared once: every injected packet clones
+    /// the `Arc`, not the bytes (handlers that rewrite it copy-on-write).
+    gen_template: Option<std::sync::Arc<Vec<u8>>>,
     gen_seq: u64,
     link_up: Vec<bool>,
     counters: EventSwitchCounters,
     events: EventCounters,
     cp_out: Vec<CpNotification>,
+    cache: FlowCache,
 }
 
 impl<P: EventProgram> EventSwitch<P> {
@@ -156,18 +163,30 @@ impl<P: EventProgram> EventSwitch<P> {
             .generator
             .as_ref()
             .map(|g| SimTime::ZERO + g.period);
+        let gen_template = cfg
+            .generator
+            .as_ref()
+            .map(|g| std::sync::Arc::new(g.template.clone()));
         EventSwitch {
             program,
             tm: TrafficManager::new(cfg.n_ports, cfg.queue),
             timers,
             gen_next_due,
+            gen_template,
             gen_seq: 0,
             link_up: vec![true; cfg.n_ports],
             counters: EventSwitchCounters::default(),
             events: EventCounters::new(),
             cp_out: Vec::new(),
+            cache: FlowCache::default(),
             cfg,
         }
+    }
+
+    /// Flow-cache counters (hits stay 0 unless the program opted in via
+    /// [`EventProgram::flow_cacheable`]).
+    pub fn flow_cache_stats(&self) -> FlowCacheStats {
+        self.cache.stats()
     }
 
     /// Number of ports.
@@ -298,7 +317,7 @@ impl<P: EventProgram> EventSwitch<P> {
             }
             let period = self.cfg.generator.as_ref().expect("gen configured").period;
             self.gen_next_due = Some(due + period);
-            let template = self.cfg.generator.as_ref().expect("gen").template.clone();
+            let template = std::sync::Arc::clone(self.gen_template.as_ref().expect("gen"));
             self.inject_generated(now, template, 0);
         }
         fired
@@ -314,13 +333,15 @@ impl<P: EventProgram> EventSwitch<P> {
     }
 
     /// The control plane triggers an event (Table 1 "Control-Plane
-    /// Triggered").
+    /// Triggered"). Program state may have changed, so every memoized
+    /// flow decision is invalidated.
     pub fn control_plane(&mut self, now: SimTime, opcode: u32, args: [u64; 4]) {
         self.dispatch_event(
             now,
             Event::ControlPlane(ControlPlaneEvent { opcode, args }),
             0,
         );
+        self.cache.invalidate_all();
     }
 
     /// A port's link status changed.
@@ -357,21 +378,39 @@ impl<P: EventProgram> EventSwitch<P> {
                 return;
             }
         };
-        let mut actions = EventActions::new();
-        match kind {
-            EventKind::RecirculatedPacket => {
-                self.program
-                    .on_recirculated(&mut pkt, &parsed, &mut meta, now, &mut actions)
+        // Fast path: first-pass ingress packets of a flow-cacheable
+        // program replay the memoized decision instead of invoking the
+        // handler. Architectural events (enqueue etc.) still fire below.
+        let flow_hash = if kind == EventKind::IngressPacket
+            && meta.recirc_count == 0
+            && self.program.flow_cacheable()
+        {
+            parsed.flow_key().map(|k| k.hash64())
+        } else {
+            None
+        };
+        if let Some(decision) = flow_hash.and_then(|h| self.cache.lookup(h)) {
+            decision.apply(&mut meta);
+        } else {
+            let mut actions = EventActions::new();
+            match kind {
+                EventKind::RecirculatedPacket => {
+                    self.program
+                        .on_recirculated(&mut pkt, &parsed, &mut meta, now, &mut actions)
+                }
+                EventKind::GeneratedPacket => {
+                    self.program
+                        .on_generated(&mut pkt, &parsed, &mut meta, now, &mut actions)
+                }
+                _ => self
+                    .program
+                    .on_ingress(&mut pkt, &parsed, &mut meta, now, &mut actions),
             }
-            EventKind::GeneratedPacket => {
-                self.program
-                    .on_generated(&mut pkt, &parsed, &mut meta, now, &mut actions)
+            if let Some(h) = flow_hash {
+                self.cache.admit(h, &meta);
             }
-            _ => self
-                .program
-                .on_ingress(&mut pkt, &parsed, &mut meta, now, &mut actions),
+            self.drain_actions(now, actions, depth);
         }
-        self.drain_actions(now, actions, depth);
         match meta.dest {
             Destination::Port(out) => {
                 if (out as usize) < self.cfg.n_ports {
@@ -432,14 +471,15 @@ impl<P: EventProgram> EventSwitch<P> {
                 let trim_rank = actions.trim_requeue.take();
                 self.drain_actions(now, actions, depth);
                 match (trim_rank, returned) {
-                    (Some(rank), Some(victim)) => {
-                        let mut frame = victim.bytes().to_vec();
-                        if edp_packet::Ipv4Header::trim_to_network_header(&mut frame) {
-                            let trimmed = Packet::new(victim.uid, frame);
+                    (Some(rank), Some(mut victim)) => {
+                        // In-place NDP-style cut payload: the victim just
+                        // came back from the TM uniquely owned, so no
+                        // full-frame copy is made.
+                        if victim.trim_to_network_header() {
                             let mut m = orig_meta;
                             m.rank = rank;
-                            m.pkt_len = trimmed.len() as u32;
-                            let (ret2, ev2) = self.tm.offer(out, trimmed, m, now);
+                            m.pkt_len = victim.len() as u32;
+                            let (ret2, ev2) = self.tm.offer(out, victim, m, now);
                             if ret2.is_none() {
                                 self.counters.trimmed += 1;
                                 if let edp_pisa::TmEvent::Enqueue {
@@ -468,7 +508,7 @@ impl<P: EventProgram> EventSwitch<P> {
         }
     }
 
-    fn inject_generated(&mut self, now: SimTime, frame: Vec<u8>, depth: u8) {
+    fn inject_generated(&mut self, now: SimTime, frame: std::sync::Arc<Vec<u8>>, depth: u8) {
         if depth >= MAX_CASCADE_DEPTH {
             self.counters.cascade_limit_drops += 1;
             return;
@@ -477,7 +517,7 @@ impl<P: EventProgram> EventSwitch<P> {
         self.counters.generated += 1;
         self.events.record(EventKind::GeneratedPacket);
         let uid = PacketUid(((self.cfg.switch_id as u64) << 48) | (1 << 47) | self.gen_seq);
-        let pkt = Packet::new(uid, frame);
+        let pkt = Packet::from_shared(uid, frame);
         // Generated packets enter "from" the highest port index + 1 so
         // programs can distinguish them; Flood excludes no real port.
         let meta = StdMeta::ingress(self.cfg.n_ports as PortId, now, pkt.len());
@@ -513,7 +553,7 @@ impl<P: EventProgram> EventSwitch<P> {
             self.dispatch_event(now, Event::User(ue), depth + 1);
         }
         for frame in actions.generated {
-            self.inject_generated(now, frame, depth + 1);
+            self.inject_generated(now, std::sync::Arc::new(frame), depth + 1);
         }
     }
 }
@@ -838,6 +878,51 @@ mod tests {
             sw.event_counters().get(EventKind::RecirculatedPacket),
             MAX_RECIRCULATIONS as u64
         );
+    }
+
+    #[test]
+    fn flow_cache_skips_handler_but_not_architecture_events() {
+        use crate::program::BaselineAdapter;
+        let mut sw = EventSwitch::new(BaselineAdapter(edp_pisa::ForwardTo(2)), cfg());
+        for _ in 0..5 {
+            sw.receive(SimTime::ZERO, 0, frame());
+        }
+        let stats = sw.flow_cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        // Cached packets still traverse the architecture: one enqueue
+        // event per packet, all on the same port.
+        assert_eq!(sw.event_counters().get(EventKind::BufferEnqueue), 5);
+        for _ in 0..5 {
+            assert!(sw.transmit(SimTime::ZERO, 2).is_some());
+        }
+    }
+
+    #[test]
+    fn control_plane_event_invalidates_flow_cache() {
+        use crate::program::BaselineAdapter;
+        use edp_pisa::TableRouter;
+        let dst = Ipv4Addr::new(1, 0, 0, 2);
+        let mut sw = EventSwitch::new(BaselineAdapter(TableRouter::new()), cfg());
+        sw.control_plane(
+            SimTime::ZERO,
+            TableRouter::OP_INSERT_ROUTE,
+            [u32::from(dst) as u64, 24, 1, 0],
+        );
+        sw.receive(SimTime::ZERO, 0, frame());
+        sw.receive(SimTime::ZERO, 0, frame());
+        assert!(sw.flow_cache_stats().hits >= 1);
+        assert!(sw.transmit(SimTime::ZERO, 1).is_some());
+        assert!(sw.transmit(SimTime::ZERO, 1).is_some());
+        // Mid-run route change: a stale cache would keep port 1.
+        sw.control_plane(
+            SimTime::ZERO,
+            TableRouter::OP_INSERT_ROUTE,
+            [u32::from(dst) as u64, 32, 3, 0],
+        );
+        sw.receive(SimTime::ZERO, 0, frame());
+        assert!(sw.has_pending(3));
+        assert!(!sw.has_pending(1));
     }
 
     #[test]

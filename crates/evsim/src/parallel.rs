@@ -3,10 +3,15 @@
 //! Individual simulations are single-threaded and deterministic; experiment
 //! harnesses, however, sweep parameters (pipeline speedup factors, load
 //! levels, probe periods). [`sweep`] fans the points out over a fixed-size
-//! thread pool with crossbeam's scoped threads and returns results in input
-//! order, so a parallel sweep is byte-identical to a sequential one.
+//! pool of scoped threads and returns results in input order, so a parallel
+//! sweep is byte-identical to a sequential one.
+//!
+//! Work distribution is a single shared atomic cursor over the input slice:
+//! each worker claims the next index with `fetch_add`, so there is no lock
+//! to contend on the hot path and no allocation per claim.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `f` once per input point across `threads` worker threads.
 ///
@@ -21,35 +26,54 @@ where
 {
     let threads = threads.max(1);
     let n = points.len();
-    let work: Mutex<std::vec::IntoIter<(usize, P)>> =
-        Mutex::new(points.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    if n == 0 {
+        return Vec::new();
+    }
+    // Points move into per-slot cells so workers can take ownership of a
+    // claimed point; each cell is touched exactly once, so the per-slot
+    // mutexes are uncontended by construction.
+    let work: Vec<Mutex<Option<P>>> = points.into_iter().map(|p| Mutex::new(Some(p))).collect();
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|_| loop {
-                let item = work.lock().next();
-                match item {
-                    Some((idx, p)) => {
-                        let r = f(p);
-                        *slots[idx].lock() = Some(r);
-                    }
-                    None => break,
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
                 }
+                let p = work[idx]
+                    .lock()
+                    .expect("sweep point poisoned")
+                    .take()
+                    .expect("sweep point claimed twice");
+                let r = f(p);
+                *slots[idx].lock().expect("sweep slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("sweep slot unfilled"))
+        .map(|s| {
+            s.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("sweep slot unfilled")
+        })
         .collect()
 }
 
 /// A sensible default worker count: available parallelism capped at 8
-/// (simulation sweeps are memory-bandwidth-bound beyond that).
+/// (simulation sweeps are memory-bandwidth-bound beyond that). The cap can
+/// be overridden with the `EDP_SWEEP_THREADS` environment variable, e.g.
+/// to pin CI boxes to a single worker or to use a bigger machine fully.
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("EDP_SWEEP_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -89,6 +113,18 @@ mod tests {
 
     #[test]
     fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn env_var_overrides_default_threads() {
+        // Serialized against other env readers by Rust's test harness only
+        // per-process; keep the touched variable unique to this test.
+        std::env::set_var("EDP_SWEEP_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("EDP_SWEEP_THREADS", "0");
+        assert_eq!(default_threads(), 1, "zero clamps to one worker");
+        std::env::remove_var("EDP_SWEEP_THREADS");
         assert!(default_threads() >= 1);
     }
 }

@@ -1,0 +1,255 @@
+//! Golden-order property test for the slab-backed event queue.
+//!
+//! The slab arena + key heap in `edp_evsim::Sim` is an acceleration
+//! structure; its observable firing semantics must be bit-for-bit those
+//! of the obvious reference implementation — a flat list scanned for the
+//! minimum `(time, seq)` — under arbitrary interleavings of one-shot
+//! schedules, periodic timers, pre-run and mid-run cancellations, and
+//! handlers that schedule more work. Times are drawn from a tiny range so
+//! same-instant ties (the FIFO-order guarantee) are exercised constantly.
+//!
+//! Both executors log every observable: fired tags in order, and the
+//! boolean result of every cancellation. The logs must match exactly.
+
+use edp_evsim::{EventId, Periodic, Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One build-phase command, applied identically to both executors.
+#[derive(Debug, Clone)]
+enum Cmd {
+    /// One-shot event at absolute time `t`.
+    Once { t: u64 },
+    /// Periodic event starting at `t`, firing every `period`, `ticks` times.
+    Periodic { t: u64, period: u64, ticks: u64 },
+    /// Immediate (pre-run) cancel of a previously issued id.
+    CancelNow { raw: u64 },
+    /// Event at `t` that cancels a previously issued id when it fires.
+    CancelAt { t: u64, raw: u64 },
+    /// Event at `t` whose handler schedules a child `child_dt` later.
+    Nested { t: u64, child_dt: u64 },
+}
+
+fn cmd_strategy() -> BoxedStrategy<Cmd> {
+    prop_oneof![
+        (0u64..16).prop_map(|t| Cmd::Once { t }),
+        ((0u64..16), (1u64..4), (1u64..4))
+            .prop_map(|(t, period, ticks)| Cmd::Periodic { t, period, ticks }),
+        any::<u64>().prop_map(|raw| Cmd::CancelNow { raw }),
+        ((0u64..16), any::<u64>()).prop_map(|(t, raw)| Cmd::CancelAt { t, raw }),
+        ((0u64..16), (0u64..4)).prop_map(|(t, child_dt)| Cmd::Nested { t, child_dt }),
+    ]
+    .boxed()
+}
+
+// ---------------------------------------------------------------------
+// Reference executor: flat list, linear scan for min (time, seq).
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum RefAction {
+    Once(i64),
+    Periodic { period: u64, left: u64, tag: i64 },
+    Cancel(u64),
+    Nested { child_dt: u64, parent_tag: i64, child_tag: i64 },
+}
+
+#[derive(Debug)]
+struct RefEv {
+    time: u64,
+    seq: u64,
+    action: RefAction,
+}
+
+#[derive(Debug, Default)]
+struct RefModel {
+    now: u64,
+    next_seq: u64,
+    pending: Vec<RefEv>,
+    log: Vec<i64>,
+}
+
+impl RefModel {
+    fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn schedule(&mut self, time: u64, action: RefAction) -> u64 {
+        let seq = self.alloc_seq();
+        self.pending.push(RefEv { time, seq, action });
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.pending.iter().position(|e| e.seq == seq) {
+            Some(pos) => {
+                self.pending.swap_remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            let Some(pos) = self
+                .pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.time, e.seq))
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            let ev = self.pending.swap_remove(pos);
+            assert!(ev.time >= self.now);
+            self.now = ev.time;
+            match ev.action {
+                RefAction::Once(tag) => self.log.push(tag),
+                RefAction::Periodic { period, left, tag } => {
+                    self.log.push(tag);
+                    if left > 1 {
+                        let time = self.now + period;
+                        self.schedule(time, RefAction::Periodic { period, left: left - 1, tag });
+                    }
+                }
+                RefAction::Cancel(target) => {
+                    let r = self.cancel(target);
+                    self.log.push(2000 + r as i64);
+                }
+                RefAction::Nested { child_dt, parent_tag, child_tag } => {
+                    self.log.push(parent_tag);
+                    let time = self.now + child_dt;
+                    self.schedule(time, RefAction::Once(child_tag));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The property
+// ---------------------------------------------------------------------
+
+fn run_script(cmds: &[Cmd]) -> (Vec<i64>, Vec<i64>, usize) {
+    let mut sim: Sim<Vec<i64>> = Sim::new();
+    let mut model = RefModel::default();
+    let mut ids: Vec<EventId> = Vec::new();
+    let mut mids: Vec<u64> = Vec::new();
+    let mut build_log_sim: Vec<i64> = Vec::new();
+    let mut build_log_model: Vec<i64> = Vec::new();
+    let mut next_tag: i64 = 0;
+    let mut tag = || {
+        next_tag += 1;
+        next_tag
+    };
+
+    for cmd in cmds {
+        match *cmd {
+            Cmd::Once { t } => {
+                let tg = tag();
+                ids.push(sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<i64>, _: &mut Sim<Vec<i64>>| {
+                    w.push(tg)
+                }));
+                mids.push(model.schedule(t, RefAction::Once(tg)));
+            }
+            Cmd::Periodic { t, period, ticks } => {
+                let tg = tag();
+                let mut left = ticks;
+                ids.push(sim.schedule_periodic(
+                    SimTime::from_nanos(t),
+                    SimDuration::from_nanos(period),
+                    move |w: &mut Vec<i64>, _: &mut Sim<Vec<i64>>| {
+                        w.push(tg);
+                        left -= 1;
+                        if left == 0 {
+                            Periodic::Stop
+                        } else {
+                            Periodic::Continue
+                        }
+                    },
+                ));
+                mids.push(model.schedule(t, RefAction::Periodic { period, left: ticks, tag: tg }));
+            }
+            Cmd::CancelNow { raw } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let k = (raw % ids.len() as u64) as usize;
+                build_log_sim.push(2000 + sim.cancel(ids[k]) as i64);
+                build_log_model.push(2000 + model.cancel(mids[k]) as i64);
+            }
+            Cmd::CancelAt { t, raw } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let k = (raw % ids.len() as u64) as usize;
+                let target = ids[k];
+                let mtarget = mids[k];
+                ids.push(sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<i64>, s: &mut Sim<Vec<i64>>| {
+                    let r = s.cancel(target);
+                    w.push(2000 + r as i64);
+                }));
+                mids.push(model.schedule(t, RefAction::Cancel(mtarget)));
+            }
+            Cmd::Nested { t, child_dt } => {
+                let parent_tag = tag();
+                let child_tag = tag();
+                ids.push(sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<i64>, s: &mut Sim<Vec<i64>>| {
+                    w.push(parent_tag);
+                    s.schedule_in(SimDuration::from_nanos(child_dt), move |w: &mut Vec<i64>, _: &mut Sim<Vec<i64>>| {
+                        w.push(child_tag)
+                    });
+                }));
+                mids.push(model.schedule(
+                    t,
+                    RefAction::Nested { child_dt, parent_tag, child_tag },
+                ));
+            }
+        }
+    }
+
+    let mut fired_sim = Vec::new();
+    sim.run(&mut fired_sim);
+    model.run();
+
+    let mut sim_log = build_log_sim;
+    sim_log.extend(fired_sim);
+    let mut model_log = build_log_model;
+    model_log.extend(model.log);
+    (sim_log, model_log, sim.pending())
+}
+
+proptest! {
+    #[test]
+    fn slab_queue_fires_in_reference_order(
+        cmds in prop::collection::vec(cmd_strategy(), 0..40)
+    ) {
+        let (sim_log, model_log, sim_pending) = run_script(&cmds);
+        prop_assert_eq!(&sim_log, &model_log);
+        prop_assert_eq!(sim_pending, 0, "queue fully drained");
+    }
+}
+
+/// A fixed deep interleaving as a plain test, so a regression shows up
+/// even with PROPTEST_CASES=1.
+#[test]
+fn golden_order_fixed_script() {
+    let cmds = vec![
+        Cmd::Once { t: 3 },
+        Cmd::Periodic { t: 0, period: 2, ticks: 3 },
+        Cmd::Once { t: 3 },
+        Cmd::CancelAt { t: 2, raw: 0 },
+        Cmd::Nested { t: 1, child_dt: 0 },
+        Cmd::CancelNow { raw: 1 },
+        Cmd::Once { t: 4 },
+        Cmd::CancelAt { t: 4, raw: 1 },
+        Cmd::Nested { t: 4, child_dt: 2 },
+        Cmd::Periodic { t: 5, period: 1, ticks: 2 },
+        Cmd::CancelNow { raw: 9 },
+    ];
+    let (sim_log, model_log, sim_pending) = run_script(&cmds);
+    assert_eq!(sim_log, model_log);
+    assert_eq!(sim_pending, 0);
+}

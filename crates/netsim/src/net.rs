@@ -173,6 +173,20 @@ impl Network {
         Packet::new(uid, frame)
     }
 
+    /// Like [`stamp_packet`](Self::stamp_packet) but wrapping an
+    /// already-shared payload without copying it — repeated sends of the
+    /// same template frame cost an `Arc` bump each, not a buffer each.
+    pub fn stamp_packet_shared(
+        &mut self,
+        now: SimTime,
+        payload: std::sync::Arc<Vec<u8>>,
+    ) -> Packet {
+        let uid = PacketUid(self.next_uid);
+        self.next_uid += 1;
+        self.send_times.insert(uid, now);
+        Packet::from_shared(uid, payload)
+    }
+
     // ------------------------------------------------------------------
     // Event-driven machinery
     // ------------------------------------------------------------------
@@ -180,6 +194,19 @@ impl Network {
     /// Sends `frame` from `host` (stamps uid and send time).
     pub fn host_send(&mut self, sim: &mut Sim<Network>, host: HostId, frame: Vec<u8>) {
         let pkt = self.stamp_packet(sim.now(), frame);
+        self.host_txq[host].push_back(pkt);
+        self.kick(sim, (NodeRef::Host(host), 0));
+    }
+
+    /// Sends a shared template payload from `host` zero-copy (fresh uid,
+    /// same bytes; see [`stamp_packet_shared`](Self::stamp_packet_shared)).
+    pub fn host_send_shared(
+        &mut self,
+        sim: &mut Sim<Network>,
+        host: HostId,
+        payload: std::sync::Arc<Vec<u8>>,
+    ) {
+        let pkt = self.stamp_packet_shared(sim.now(), payload);
         self.host_txq[host].push_back(pkt);
         self.kick(sim, (NodeRef::Host(host), 0));
     }

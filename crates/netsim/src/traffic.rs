@@ -39,6 +39,35 @@ pub fn start_cbr(
     });
 }
 
+/// Constant-bit-rate stream of one fixed frame: like [`start_cbr`] but
+/// the template is built once and every injection shares its payload
+/// zero-copy (an `Arc` bump per frame instead of a buffer allocation).
+/// Use when the stream does not vary per frame — the common case for
+/// load generation.
+pub fn start_cbr_template(
+    sim: &mut Sim<Network>,
+    host: HostId,
+    start: SimTime,
+    interval: SimDuration,
+    count: u64,
+    template: Vec<u8>,
+) {
+    if count == 0 {
+        return;
+    }
+    let payload = std::sync::Arc::new(template);
+    let mut sent = 0u64;
+    sim.schedule_periodic(start, interval, move |w: &mut Network, s: &mut Sim<Network>| {
+        w.host_send_shared(s, host, std::sync::Arc::clone(&payload));
+        sent += 1;
+        if sent >= count {
+            Periodic::Stop
+        } else {
+            Periodic::Continue
+        }
+    });
+}
+
 /// Poisson arrivals with the given mean interval, from `start` until
 /// `until` (exclusive).
 pub fn start_poisson(
@@ -172,6 +201,22 @@ mod tests {
             SimDuration::from_micros(1),
             25,
             mk_frame,
+        );
+        sim.run(&mut net);
+        assert_eq!(net.hosts[1].stats.rx_pkts, 25);
+    }
+
+    #[test]
+    fn cbr_template_delivers_shared_frames() {
+        let (mut net, h0, _h1) = two_hosts();
+        let mut sim: Sim<Network> = Sim::new();
+        start_cbr_template(
+            &mut sim,
+            h0,
+            SimTime::from_micros(1),
+            SimDuration::from_micros(1),
+            25,
+            mk_frame(0),
         );
         sim.run(&mut net);
         assert_eq!(net.hosts[1].stats.rx_pkts, 25);

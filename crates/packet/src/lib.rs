@@ -46,6 +46,7 @@ mod ipv4;
 mod l4;
 mod packet;
 mod parse;
+mod pool;
 pub mod wire;
 
 pub use addr::MacAddr;
@@ -64,3 +65,4 @@ pub use l4::{
 };
 pub use packet::{Packet, PacketUid};
 pub use parse::{parse_packet, summarize, AppHeader, ParsedPacket, L4};
+pub use pool::{BufferPool, PoolStats};

@@ -1,7 +1,7 @@
 //! The owned packet buffer that flows through every model.
 
-use bytes::{Bytes, BytesMut};
 use core::fmt;
+use std::sync::Arc;
 
 /// A unique per-simulation packet identifier.
 ///
@@ -19,14 +19,19 @@ impl fmt::Display for PacketUid {
 
 /// An owned, mutable packet: the frame bytes plus a simulation identity.
 ///
-/// Pipelines rewrite headers in place (`patch_*` codecs), so the buffer is
-/// a [`BytesMut`]. Cloning copies the bytes — models that fan a packet out
-/// (multicast, mirroring) clone explicitly and the cost is visible.
+/// The frame is reference-counted with copy-on-write semantics: cloning a
+/// packet shares the payload (an `Arc` bump, no byte copy), which makes
+/// fan-out — flooding, mirroring, replaying a generator template — free.
+/// The first mutation of a *shared* frame copies it; a uniquely-held
+/// frame is rewritten in place, so the common pipeline pattern
+/// (one owner, in-place `patch_*` header rewrites) never copies at all.
+/// Observable semantics are value semantics throughout: no clone ever
+/// sees another clone's writes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Simulation-unique identity for tracing and latency bookkeeping.
     pub uid: PacketUid,
-    data: BytesMut,
+    data: Arc<Vec<u8>>,
 }
 
 impl Packet {
@@ -34,13 +39,43 @@ impl Packet {
     pub fn new(uid: PacketUid, bytes: Vec<u8>) -> Self {
         Packet {
             uid,
-            data: BytesMut::from(&bytes[..]),
+            data: Arc::new(bytes),
         }
     }
 
     /// An anonymous packet (uid 0) — convenient in unit tests.
     pub fn anonymous(bytes: Vec<u8>) -> Self {
         Packet::new(PacketUid(0), bytes)
+    }
+
+    /// Wraps an already-shared payload without copying (zero-copy
+    /// injection of a template frame under a fresh identity).
+    pub fn from_shared(uid: PacketUid, bytes: Arc<Vec<u8>>) -> Self {
+        Packet { uid, data: bytes }
+    }
+
+    /// A handle to the shared payload (cheap; bumps the refcount).
+    pub fn share_payload(&self) -> Arc<Vec<u8>> {
+        Arc::clone(&self.data)
+    }
+
+    /// True while this packet is the payload's only owner, i.e. mutation
+    /// will happen in place rather than copy. Diagnostic/test hook.
+    pub fn payload_is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// Unwraps into the frame bytes, copying only if the payload is still
+    /// shared with another packet.
+    pub fn into_frame(self) -> Vec<u8> {
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Unwraps into the frame bytes only if uniquely owned (buffer
+    /// recycling); returns `None` — dropping nothing but the refcount —
+    /// when the payload is still shared.
+    pub fn try_into_unique_frame(self) -> Option<Vec<u8>> {
+        Arc::try_unwrap(self.data).ok()
     }
 
     /// Frame length in bytes.
@@ -60,24 +95,29 @@ impl Packet {
     }
 
     /// Mutable view of the frame, for in-place header rewrites.
+    /// Copy-on-write: copies the frame first if it is currently shared.
     pub fn bytes_mut(&mut self) -> &mut [u8] {
-        &mut self.data
-    }
-
-    /// Freezes into an immutable [`Bytes`] handle (zero-copy).
-    pub fn freeze(self) -> Bytes {
-        self.data.freeze()
+        let vec: &mut Vec<u8> = Arc::make_mut(&mut self.data);
+        vec
     }
 
     /// Extends the frame with `more` bytes (e.g. appending a telemetry
     /// record at the end of the payload).
     pub fn extend(&mut self, more: &[u8]) {
-        self.data.extend_from_slice(more);
+        Arc::make_mut(&mut self.data).extend_from_slice(more);
     }
 
     /// Truncates the frame to `len` bytes.
     pub fn truncate(&mut self, len: usize) {
-        self.data.truncate(len);
+        Arc::make_mut(&mut self.data).truncate(len);
+    }
+
+    /// Trims the frame to its network header in place (NDP-style "cut
+    /// payload" on buffer overflow). Returns `false`, leaving the frame
+    /// untouched, when it is not a parseable IPv4 packet. See
+    /// [`crate::Ipv4Header::trim_to_network_header`].
+    pub fn trim_to_network_header(&mut self) -> bool {
+        crate::Ipv4Header::trim_to_network_header(Arc::make_mut(&mut self.data))
     }
 }
 
@@ -107,15 +147,44 @@ mod tests {
 
     #[test]
     fn clone_is_deep() {
+        // Value semantics: a clone never observes the original's writes
+        // (physically copy-on-write, observably a deep copy).
         let mut a = Packet::anonymous(vec![1, 2]);
         let b = a.clone();
         a.bytes_mut()[0] = 5;
         assert_eq!(b.bytes(), &[1, 2]);
+        assert_eq!(a.bytes(), &[5, 2]);
     }
 
     #[test]
-    fn freeze_preserves_bytes() {
-        let p = Packet::anonymous(vec![4, 5, 6]);
-        assert_eq!(&p.freeze()[..], &[4, 5, 6]);
+    fn clone_shares_payload_until_written() {
+        let a = Packet::anonymous(vec![1, 2, 3]);
+        let b = a.clone();
+        assert!(!a.payload_is_unique());
+        assert!(std::ptr::eq(a.bytes().as_ptr(), b.bytes().as_ptr()));
+        drop(b);
+        assert!(a.payload_is_unique());
+    }
+
+    #[test]
+    fn from_shared_is_zero_copy() {
+        let template = Arc::new(vec![9u8; 64]);
+        let p = Packet::from_shared(PacketUid(1), Arc::clone(&template));
+        let q = Packet::from_shared(PacketUid(2), Arc::clone(&template));
+        assert!(std::ptr::eq(p.bytes().as_ptr(), q.bytes().as_ptr()));
+        assert_eq!(p.len(), 64);
+    }
+
+    #[test]
+    fn into_frame_avoids_copy_when_unique() {
+        let p = Packet::anonymous(vec![1, 2, 3]);
+        let ptr = p.bytes().as_ptr();
+        let frame = p.into_frame();
+        assert!(std::ptr::eq(ptr, frame.as_ptr()));
+
+        let p = Packet::anonymous(vec![4, 5]);
+        let q = p.clone();
+        assert!(p.try_into_unique_frame().is_none());
+        assert_eq!(q.try_into_unique_frame(), Some(vec![4, 5]));
     }
 }

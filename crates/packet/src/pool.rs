@@ -1,0 +1,147 @@
+//! Frame-buffer pooling.
+//!
+//! Traffic generators and injection paths produce millions of short-lived
+//! frames; allocating a fresh `Vec<u8>` per frame puts the allocator on
+//! the per-packet fast path. [`BufferPool`] keeps retired frame buffers
+//! and hands them back out: `take` a cleared buffer, build the frame into
+//! it, wrap it in a [`Packet`](crate::Packet), and once the packet dies
+//! `recycle` it — the buffer returns to the pool if (and only if) nothing
+//! else still shares the payload.
+//!
+//! The pool is a plain value (no globals, no locks): owners thread it
+//! through their injection loop, keeping recycling deterministic.
+
+use crate::Packet;
+
+/// Counters for pool effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out from the free list (allocation avoided).
+    pub reused: u64,
+    /// Buffers handed out by fresh allocation (pool was empty).
+    pub allocated: u64,
+    /// Buffers returned to the pool.
+    pub recycled: u64,
+    /// Recycle attempts refused because the payload was still shared or
+    /// the pool was full.
+    pub refused: u64,
+}
+
+/// A bounded free-list of frame buffers.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    max_buffers: usize,
+    stats: PoolStats,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new(1024)
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool retaining at most `max_buffers` free buffers.
+    pub fn new(max_buffers: usize) -> Self {
+        BufferPool {
+            free: Vec::new(),
+            max_buffers,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Hands out an empty buffer (capacity retained from its past life
+    /// when it came off the free list).
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.stats.reused += 1;
+                buf
+            }
+            None => {
+                self.stats.allocated += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool (cleared; dropped if the pool is full).
+    pub fn give(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() < self.max_buffers {
+            buf.clear();
+            self.stats.recycled += 1;
+            self.free.push(buf);
+        } else {
+            self.stats.refused += 1;
+        }
+    }
+
+    /// Reclaims a dead packet's buffer if this packet was the payload's
+    /// only owner; otherwise just drops the reference. Returns whether the
+    /// buffer was pooled.
+    pub fn recycle(&mut self, pkt: Packet) -> bool {
+        match pkt.try_into_unique_frame() {
+            Some(buf) if self.free.len() < self.max_buffers => {
+                self.give(buf);
+                true
+            }
+            _ => {
+                self.stats.refused += 1;
+                false
+            }
+        }
+    }
+
+    /// Free buffers currently pooled.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_reuses_storage() {
+        let mut pool = BufferPool::new(4);
+        let mut buf = pool.take();
+        assert_eq!(pool.stats().allocated, 1);
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        pool.give(buf);
+        let buf2 = pool.take();
+        assert_eq!(pool.stats().reused, 1);
+        assert!(buf2.is_empty(), "pooled buffers come back cleared");
+        assert_eq!(buf2.capacity(), cap);
+        assert!(std::ptr::eq(ptr, buf2.as_ptr()), "same storage reused");
+    }
+
+    #[test]
+    fn recycle_requires_unique_ownership() {
+        let mut pool = BufferPool::new(4);
+        let p = Packet::anonymous(vec![1, 2, 3]);
+        let q = p.clone();
+        assert!(!pool.recycle(p), "shared payload must not be pooled");
+        assert!(pool.recycle(q), "last owner recycles");
+        assert_eq!(pool.free_buffers(), 1);
+        assert_eq!(pool.stats().refused, 1);
+        assert_eq!(pool.stats().recycled, 1);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut pool = BufferPool::new(1);
+        pool.give(vec![1]);
+        pool.give(vec![2]);
+        assert_eq!(pool.free_buffers(), 1);
+        assert_eq!(pool.stats().refused, 1);
+    }
+}

@@ -24,6 +24,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod cache;
 mod meta;
 mod program;
 mod register;
@@ -31,8 +32,9 @@ mod switch;
 mod table;
 mod tm;
 
+pub use cache::{CachedDecision, FlowCache, FlowCacheStats, DEFAULT_FLOW_CACHE_CAPACITY};
 pub use meta::{Destination, PortId, StdMeta};
-pub use program::{ForwardTo, PisaProgram};
+pub use program::{ForwardTo, PisaProgram, TableRouter};
 pub use register::{PacketByteCounter, RegisterArray};
 pub use switch::{BaselineSwitch, SwitchCounters, MAX_RECIRCULATIONS};
 pub use table::{

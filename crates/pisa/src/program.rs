@@ -38,6 +38,19 @@ pub trait PisaProgram {
     fn control_update(&mut self, opcode: u32, args: [u64; 4], now: SimTime) {
         let _ = (opcode, args, now);
     }
+
+    /// Opt-in to the switch's per-flow action cache
+    /// ([`crate::FlowCache`]). Returning `true` promises that
+    /// [`ingress`](Self::ingress) is a pure function of the packet's flow
+    /// 5-tuple and state that only changes via
+    /// [`control_update`](Self::control_update): no per-packet counters
+    /// read back into the decision, no dependence on payload bytes or
+    /// arrival time, no packet rewrites. The switch then replays cached
+    /// decisions without invoking `ingress` and invalidates the cache on
+    /// every control-plane update. Default: `false` (never cached).
+    fn flow_cacheable(&self) -> bool {
+        false
+    }
 }
 
 /// A trivial program forwarding everything to a fixed port (useful as a
@@ -51,6 +64,78 @@ pub struct ForwardTo(
 impl PisaProgram for ForwardTo {
     fn ingress(&mut self, _pkt: &mut Packet, _parsed: &ParsedPacket, meta: &mut StdMeta, _now: SimTime) {
         meta.dest = crate::meta::Destination::Port(self.0);
+    }
+
+    fn flow_cacheable(&self) -> bool {
+        true
+    }
+}
+
+/// An L3 router over a single LPM table: the canonical flow-cacheable
+/// program. Ingress looks the destination address up in the route table;
+/// routes are installed exclusively through [`control_update`]
+/// (P4Runtime-style), so the cacheability contract holds by construction.
+#[derive(Debug, Clone)]
+pub struct TableRouter {
+    routes: crate::table::MatchTable<crate::meta::PortId>,
+}
+
+impl TableRouter {
+    /// `control_update` opcode: install a route. Args:
+    /// `[ipv4 as u32, prefix_len, out_port, _]`.
+    pub const OP_INSERT_ROUTE: u32 = 1;
+    /// `control_update` opcode: remove every route.
+    pub const OP_CLEAR_ROUTES: u32 = 2;
+
+    /// Creates a router with an empty route table.
+    pub fn new() -> Self {
+        TableRouter {
+            routes: crate::table::MatchTable::new("routes", crate::table::ipv4_lpm_schema()),
+        }
+    }
+
+    /// Read access to the route table (tests, inspection).
+    pub fn routes(&self) -> &crate::table::MatchTable<crate::meta::PortId> {
+        &self.routes
+    }
+}
+
+impl Default for TableRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PisaProgram for TableRouter {
+    fn ingress(&mut self, _pkt: &mut Packet, parsed: &ParsedPacket, meta: &mut StdMeta, _now: SimTime) {
+        let Some(ip) = parsed.ipv4 else {
+            meta.dest = crate::meta::Destination::Drop;
+            return;
+        };
+        let key = u32::from(ip.dst) as u64;
+        meta.dest = match self.routes.lookup(&[key]) {
+            Some(&port) => crate::meta::Destination::Port(port),
+            None => crate::meta::Destination::Drop,
+        };
+    }
+
+    fn control_update(&mut self, opcode: u32, args: [u64; 4], _now: SimTime) {
+        match opcode {
+            Self::OP_INSERT_ROUTE => {
+                crate::table::insert_ipv4_route(
+                    &mut self.routes,
+                    std::net::Ipv4Addr::from(args[0] as u32),
+                    args[1] as u8,
+                    args[2] as crate::meta::PortId,
+                );
+            }
+            Self::OP_CLEAR_ROUTES => self.routes.clear(),
+            _ => {}
+        }
+    }
+
+    fn flow_cacheable(&self) -> bool {
+        true
     }
 }
 

@@ -6,6 +6,7 @@
 //! slot to deliver them to. `edp-core::sume` builds the event-driven
 //! variant on the same parts and delivers them.
 
+use crate::cache::{FlowCache, FlowCacheStats};
 use crate::meta::{Destination, PortId, StdMeta};
 use crate::program::PisaProgram;
 use crate::tm::{QueueConfig, QueueStats, TrafficManager};
@@ -44,6 +45,7 @@ pub struct BaselineSwitch<P> {
     tm: TrafficManager,
     n_ports: usize,
     counters: SwitchCounters,
+    cache: FlowCache,
 }
 
 impl<P: PisaProgram> BaselineSwitch<P> {
@@ -54,7 +56,14 @@ impl<P: PisaProgram> BaselineSwitch<P> {
             tm: TrafficManager::new(n_ports, cfg),
             n_ports,
             counters: SwitchCounters::default(),
+            cache: FlowCache::default(),
         }
+    }
+
+    /// Flow-cache counters (hits stay 0 unless the program opted in via
+    /// [`PisaProgram::flow_cacheable`]).
+    pub fn flow_cache_stats(&self) -> FlowCacheStats {
+        self.cache.stats()
     }
 
     /// Number of ports.
@@ -94,7 +103,23 @@ impl<P: PisaProgram> BaselineSwitch<P> {
                 return;
             }
         };
-        self.program.ingress(&mut pkt, &parsed, &mut meta, now);
+        // Fast path: replay a memoized decision for a known flow instead
+        // of running the pipeline. Only first-pass packets of programs
+        // that declared themselves cacheable are eligible.
+        let flow_hash = if meta.recirc_count == 0 && self.program.flow_cacheable() {
+            parsed.flow_key().map(|k| k.hash64())
+        } else {
+            None
+        };
+        match flow_hash.and_then(|h| self.cache.lookup(h)) {
+            Some(decision) => decision.apply(&mut meta),
+            None => {
+                self.program.ingress(&mut pkt, &parsed, &mut meta, now);
+                if let Some(h) = flow_hash {
+                    self.cache.admit(h, &meta);
+                }
+            }
+        }
         match meta.dest {
             Destination::Port(out) => {
                 if (out as usize) < self.n_ports {
@@ -162,8 +187,11 @@ impl<P: PisaProgram> BaselineSwitch<P> {
     }
 
     /// Delivers a control-plane update to the program (P4Runtime-style).
+    /// Program state may have changed, so every memoized flow decision is
+    /// invalidated — the next packet of each flow re-runs the pipeline.
     pub fn control_plane(&mut self, now: SimTime, opcode: u32, args: [u64; 4]) {
         self.program.control_update(opcode, args, now);
+        self.cache.invalidate_all();
     }
 }
 
@@ -289,5 +317,66 @@ mod tests {
         let mut sw = BaselineSwitch::new(ForwardTo(9), 2, QueueConfig::default());
         sw.receive(SimTime::ZERO, 0, frame());
         assert_eq!(sw.counters().dropped_by_program, 1);
+    }
+
+    #[test]
+    fn flow_cache_hits_on_repeat_flow() {
+        let mut sw = BaselineSwitch::new(ForwardTo(2), 4, QueueConfig::default());
+        for _ in 0..5 {
+            sw.receive(SimTime::ZERO, 0, frame());
+        }
+        let stats = sw.flow_cache_stats();
+        assert_eq!(stats.misses, 1, "first packet of the flow misses");
+        assert_eq!(stats.hits, 4, "the rest replay the cached decision");
+        // Cached and uncached packets take the same forwarding decision.
+        for _ in 0..5 {
+            assert!(sw.transmit(SimTime::ZERO, 2).is_some());
+        }
+    }
+
+    #[test]
+    fn control_update_invalidates_flow_cache_mid_run() {
+        use crate::program::TableRouter;
+        let dst = Ipv4Addr::new(1, 0, 0, 2);
+        let mut sw = BaselineSwitch::new(TableRouter::new(), 4, QueueConfig::default());
+        sw.control_plane(
+            SimTime::ZERO,
+            TableRouter::OP_INSERT_ROUTE,
+            [u32::from(dst) as u64, 24, 1, 0],
+        );
+        // Warm the cache on port 1, with cached repeats.
+        sw.receive(SimTime::ZERO, 0, frame());
+        sw.receive(SimTime::ZERO, 0, frame());
+        assert!(sw.flow_cache_stats().hits >= 1);
+        assert!(sw.transmit(SimTime::ZERO, 1).is_some());
+        assert!(sw.transmit(SimTime::ZERO, 1).is_some());
+        // Mid-run route change: a more specific prefix to a new port. A
+        // stale cache would keep sending the flow to port 1.
+        sw.control_plane(
+            SimTime::ZERO,
+            TableRouter::OP_INSERT_ROUTE,
+            [u32::from(dst) as u64, 32, 3, 0],
+        );
+        sw.receive(SimTime::ZERO, 0, frame());
+        assert!(
+            sw.has_pending(3),
+            "post-update packets must see the new route, not the cached one"
+        );
+        assert!(!sw.has_pending(1));
+    }
+
+    #[test]
+    fn non_cacheable_program_never_consults_cache() {
+        struct Dropper;
+        impl PisaProgram for Dropper {
+            fn ingress(&mut self, _p: &mut Packet, _h: &ParsedPacket, m: &mut StdMeta, _n: SimTime) {
+                m.dest = Destination::Drop;
+            }
+        }
+        let mut sw = BaselineSwitch::new(Dropper, 2, QueueConfig::default());
+        sw.receive(SimTime::ZERO, 0, frame());
+        sw.receive(SimTime::ZERO, 0, frame());
+        let stats = sw.flow_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
     }
 }

@@ -6,9 +6,16 @@
 //! field the apps match on). Lookup semantics follow P4 targets:
 //!
 //! * all-exact tables resolve via a hash map (O(1));
-//! * tables containing LPM/ternary/range fields scan entries in priority
-//!   order (highest numeric priority wins; for a single LPM field the
-//!   prefix length is folded into the priority, so longest prefix wins).
+//! * single-field LPM tables with uniform priority resolve via
+//!   per-prefix-length hash buckets probed longest-first (O(#distinct
+//!   prefix lengths), independent of entry count);
+//! * everything else scans entries in descending-priority order with an
+//!   early exit once no remaining entry can beat the current winner
+//!   (highest numeric priority wins; ties resolve by total matched LPM
+//!   bits, then install order).
+//!
+//! All three paths return bit-for-bit the same winner as a naive full
+//! scan; the index is an acceleration structure, never a semantic change.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -94,14 +101,85 @@ pub struct TableEntry<A> {
     pub action: A,
 }
 
+/// Per-prefix-length hash buckets for a single-field LPM table.
+///
+/// Eligible while every installed entry is `FieldMatch::Lpm` at one shared
+/// priority (the common case: routes installed with priority 0 and
+/// longest-prefix ordering left to the table). The moment an entry breaks
+/// that shape the table silently demotes itself to the sorted scan path —
+/// correctness never depends on the index staying eligible.
+#[derive(Debug, Clone)]
+struct LpmIndex {
+    width: u8,
+    /// Priority shared by every indexed entry (None until the first insert).
+    uniform_priority: Option<i64>,
+    /// `(prefix_len, masked-prefix → entry index)`, sorted longest-first.
+    /// Only prefix lengths ≥ 1 live here; duplicates keep the first install.
+    buckets: Vec<(u8, HashMap<u64, usize>)>,
+    /// The /0 catch-all (first installed), probed last.
+    default: Option<usize>,
+}
+
+impl LpmIndex {
+    fn new(width: u8) -> Self {
+        LpmIndex {
+            width,
+            uniform_priority: None,
+            buckets: Vec::new(),
+            default: None,
+        }
+    }
+
+    fn add(&mut self, idx: usize, value: u64, prefix_len: u8, priority: i64) {
+        self.uniform_priority = Some(priority);
+        if prefix_len == 0 {
+            if self.default.is_none() {
+                self.default = Some(idx);
+            }
+            return;
+        }
+        let shift = self.width as u32 - prefix_len as u32;
+        let pos = self.buckets.partition_point(|(p, _)| *p > prefix_len);
+        if self.buckets.get(pos).map(|(p, _)| *p) != Some(prefix_len) {
+            self.buckets.insert(pos, (prefix_len, HashMap::new()));
+        }
+        // First install wins on duplicate prefixes, matching the scan
+        // path's earliest-index tie-break.
+        self.buckets[pos].1.entry(value >> shift).or_insert(idx);
+    }
+
+    fn lookup(&self, key: u64) -> Option<usize> {
+        for (plen, bucket) in &self.buckets {
+            let shift = self.width as u32 - *plen as u32;
+            if let Some(&i) = bucket.get(&(key >> shift)) {
+                return Some(i);
+            }
+        }
+        self.default
+    }
+}
+
+/// The acceleration structure backing [`MatchTable::lookup`].
+#[derive(Debug, Clone)]
+enum Index {
+    /// All-exact schema: key fields → entry index.
+    Exact(HashMap<Vec<u64>, usize>),
+    /// Single-field LPM schema with uniform priority.
+    Lpm(LpmIndex),
+    /// Entry indices sorted by (priority desc, install order asc).
+    Scan(Vec<usize>),
+}
+
 /// A match-action table with key schema and entries.
 #[derive(Debug, Clone)]
 pub struct MatchTable<A> {
     name: String,
     schema: Vec<MatchKind>,
     entries: Vec<TableEntry<A>>,
-    /// Fast path for all-exact tables: key fields → entry index.
-    exact_index: Option<HashMap<Vec<u64>, usize>>,
+    index: Index,
+    /// Bumped on every mutation; lets callers (e.g. flow caches) detect
+    /// control-plane churn without hooking each write path.
+    generation: u64,
     hits: u64,
     misses: u64,
 }
@@ -109,12 +187,19 @@ pub struct MatchTable<A> {
 impl<A> MatchTable<A> {
     /// Creates an empty table with the given key schema.
     pub fn new(name: impl Into<String>, schema: Vec<MatchKind>) -> Self {
-        let all_exact = schema.iter().all(|k| matches!(k, MatchKind::Exact));
+        let index = if schema.iter().all(|k| matches!(k, MatchKind::Exact)) {
+            Index::Exact(HashMap::new())
+        } else if let [MatchKind::Lpm { width }] = schema[..] {
+            Index::Lpm(LpmIndex::new(width))
+        } else {
+            Index::Scan(Vec::new())
+        };
         MatchTable {
             name: name.into(),
             schema,
             entries: Vec::new(),
-            exact_index: if all_exact { Some(HashMap::new()) } else { None },
+            index,
+            generation: 0,
             hits: 0,
             misses: 0,
         }
@@ -135,6 +220,14 @@ impl<A> MatchTable<A> {
         self.entries.is_empty()
     }
 
+    /// Mutation counter: bumped by [`insert`](Self::insert),
+    /// [`remove_where`](Self::remove_where) and [`clear`](Self::clear).
+    /// Anything derived from lookup results (flow caches, compiled
+    /// fast paths) is stale once this moves.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Installs an entry. For a single-field LPM table, pass priority 0 and
     /// longest-prefix ordering is handled internally (prefix length is the
     /// effective priority). Replaces an identical-key exact entry.
@@ -148,7 +241,8 @@ impl<A> MatchTable<A> {
             "entry arity != schema arity in table {}",
             self.name
         );
-        if let Some(idx) = &mut self.exact_index {
+        self.generation += 1;
+        if let Index::Exact(idx) = &mut self.index {
             let key: Vec<u64> = entry
                 .fields
                 .iter()
@@ -167,6 +261,28 @@ impl<A> MatchTable<A> {
                 self.entries.push(entry);
             }
             return;
+        }
+        if let Index::Lpm(lpm) = &self.index {
+            let eligible = matches!(entry.fields[0], FieldMatch::Lpm { .. })
+                && lpm.uniform_priority.is_none_or(|p| p == entry.priority);
+            if !eligible {
+                self.demote_to_scan();
+            }
+        }
+        let idx = self.entries.len();
+        match &mut self.index {
+            Index::Exact(_) => unreachable!("handled above"),
+            Index::Lpm(lpm) => {
+                let FieldMatch::Lpm { value, prefix_len } = entry.fields[0] else {
+                    unreachable!("eligibility checked above");
+                };
+                lpm.add(idx, value, prefix_len, entry.priority);
+            }
+            Index::Scan(order) => {
+                let entries = &self.entries;
+                let pos = order.partition_point(|&i| entries[i].priority >= entry.priority);
+                order.insert(pos, idx);
+            }
         }
         self.entries.push(entry);
     }
@@ -199,11 +315,28 @@ impl<A> MatchTable<A> {
     }
 
     fn lookup_index(&self, key: &[u64]) -> Option<usize> {
-        if let Some(idx) = &self.exact_index {
-            return idx.get(key).copied();
+        match &self.index {
+            Index::Exact(idx) => idx.get(key).copied(),
+            Index::Lpm(lpm) => lpm.lookup(key[0]),
+            Index::Scan(order) => self.scan_lookup(order, key),
         }
+    }
+
+    /// Priority-ordered scan. `order` holds entry indices sorted by
+    /// (priority desc, install order asc), so once a match exists no entry
+    /// at strictly lower priority can win and the loop exits early; the
+    /// remainder of the equal-priority run is still examined to maximize
+    /// matched LPM bits (then earliest install, which iteration order
+    /// gives for free).
+    fn scan_lookup(&self, order: &[usize], key: &[u64]) -> Option<usize> {
         let mut best: Option<(i64, i64, usize)> = None; // (priority, lpm_bits, idx)
-        'entry: for (i, e) in self.entries.iter().enumerate() {
+        'entry: for &i in order {
+            let e = &self.entries[i];
+            if let Some((bp, _, _)) = best {
+                if e.priority < bp {
+                    break;
+                }
+            }
             let mut lpm_bits = 0i64;
             for ((fm, &kind), &k) in e.fields.iter().zip(&self.schema).zip(key) {
                 if !fm.matches(kind, k) {
@@ -213,54 +346,69 @@ impl<A> MatchTable<A> {
                     lpm_bits += *prefix_len as i64;
                 }
             }
-            let cand = (e.priority, lpm_bits, i);
-            let better = match best {
-                None => true,
-                // Higher priority wins; then longer prefix; then earlier
-                // install order (stable, deterministic).
-                Some((bp, bl, bi)) => {
-                    (cand.0, cand.1) > (bp, bl) || ((cand.0, cand.1) == (bp, bl) && i < bi)
-                }
-            };
-            if better {
-                best = Some(cand);
+            match best {
+                None => best = Some((e.priority, lpm_bits, i)),
+                Some((_, bl, _)) if lpm_bits > bl => best = Some((e.priority, lpm_bits, i)),
+                Some(_) => {}
             }
         }
         best.map(|(_, _, i)| i)
+    }
+
+    /// Rebuilds the sorted scan order from scratch and switches to it.
+    fn demote_to_scan(&mut self) {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.entries[i].priority), i));
+        self.index = Index::Scan(order);
+    }
+
+    /// Rebuilds whichever index is active from the current entry list
+    /// (after bulk removal).
+    fn rebuild_index(&mut self) {
+        match &mut self.index {
+            Index::Exact(idx) => {
+                idx.clear();
+                for (i, e) in self.entries.iter().enumerate() {
+                    let key: Vec<u64> = e
+                        .fields
+                        .iter()
+                        .map(|f| match f {
+                            FieldMatch::Exact(v) => *v,
+                            _ => unreachable!("all-exact invariant"),
+                        })
+                        .collect();
+                    idx.insert(key, i);
+                }
+            }
+            Index::Lpm(lpm) => {
+                let mut fresh = LpmIndex::new(lpm.width);
+                for (i, e) in self.entries.iter().enumerate() {
+                    let FieldMatch::Lpm { value, prefix_len } = e.fields[0] else {
+                        unreachable!("lpm eligibility invariant");
+                    };
+                    fresh.add(i, value, prefix_len, e.priority);
+                }
+                *lpm = fresh;
+            }
+            Index::Scan(_) => self.demote_to_scan(),
+        }
     }
 
     /// Removes entries whose action matches a predicate; returns how many
     /// were removed. (Control-plane flow removal.)
     pub fn remove_where(&mut self, pred: impl Fn(&TableEntry<A>) -> bool) -> usize {
         let before = self.entries.len();
-        if self.exact_index.is_some() {
-            // Rebuild the index after filtering.
-            self.entries.retain(|e| !pred(e));
-            let mut idx = HashMap::new();
-            for (i, e) in self.entries.iter().enumerate() {
-                let key: Vec<u64> = e
-                    .fields
-                    .iter()
-                    .map(|f| match f {
-                        FieldMatch::Exact(v) => *v,
-                        _ => unreachable!("all-exact invariant"),
-                    })
-                    .collect();
-                idx.insert(key, i);
-            }
-            self.exact_index = Some(idx);
-        } else {
-            self.entries.retain(|e| !pred(e));
-        }
+        self.entries.retain(|e| !pred(e));
+        self.generation += 1;
+        self.rebuild_index();
         before - self.entries.len()
     }
 
     /// Clears all entries.
     pub fn clear(&mut self) {
         self.entries.clear();
-        if let Some(idx) = &mut self.exact_index {
-            idx.clear();
-        }
+        self.generation += 1;
+        self.rebuild_index();
     }
 
     /// Lookup hits so far.
@@ -327,6 +475,58 @@ mod tests {
     }
 
     #[test]
+    fn lpm_duplicate_prefix_first_install_wins() {
+        let mut t: MatchTable<&str> = MatchTable::new("routes", ipv4_lpm_schema());
+        insert_ipv4_route(&mut t, Ipv4Addr::new(10, 0, 0, 0), 8, "first");
+        insert_ipv4_route(&mut t, Ipv4Addr::new(10, 0, 0, 0), 8, "second");
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.lookup(&[u32::from(Ipv4Addr::new(10, 5, 5, 5)) as u64]),
+            Some(&"first")
+        );
+    }
+
+    #[test]
+    fn lpm_mixed_priority_demotes_to_scan() {
+        // Differing priorities break bucket eligibility; the table must
+        // fall back to the scan path and honour priority over prefix len.
+        let mut t: MatchTable<&str> = MatchTable::new("routes", ipv4_lpm_schema());
+        insert_ipv4_route(&mut t, Ipv4Addr::new(10, 1, 0, 0), 16, "fine");
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Lpm {
+                value: u32::from(Ipv4Addr::new(10, 0, 0, 0)) as u64,
+                prefix_len: 8,
+            }],
+            priority: 100,
+            action: "pinned",
+        });
+        assert_eq!(
+            t.lookup(&[u32::from(Ipv4Addr::new(10, 1, 2, 3)) as u64]),
+            Some(&"pinned")
+        );
+    }
+
+    #[test]
+    fn lpm_wildcard_field_demotes_to_scan() {
+        let mut t: MatchTable<&str> = MatchTable::new("routes", ipv4_lpm_schema());
+        insert_ipv4_route(&mut t, Ipv4Addr::new(10, 1, 0, 0), 16, "fine");
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Any],
+            priority: 0,
+            action: "wild",
+        });
+        // Longest prefix still beats the wildcard (more matched LPM bits).
+        assert_eq!(
+            t.lookup(&[u32::from(Ipv4Addr::new(10, 1, 2, 3)) as u64]),
+            Some(&"fine")
+        );
+        assert_eq!(
+            t.lookup(&[u32::from(Ipv4Addr::new(192, 168, 0, 1)) as u64]),
+            Some(&"wild")
+        );
+    }
+
+    #[test]
     fn ternary_priority() {
         let mut t: MatchTable<&str> = MatchTable::new("acl", vec![MatchKind::Ternary]);
         t.insert(TableEntry {
@@ -338,6 +538,25 @@ mod tests {
             fields: vec![FieldMatch::Any],
             priority: 1,
             action: "any",
+        });
+        assert_eq!(t.lookup(&[0xFF]), Some(&"high-bit"));
+        assert_eq!(t.lookup(&[0x01]), Some(&"any"));
+    }
+
+    #[test]
+    fn ternary_priority_order_independent_of_install_order() {
+        // Low priority installed first: the sorted scan must still pick
+        // the higher-priority entry, and early exit must not skip it.
+        let mut t: MatchTable<&str> = MatchTable::new("acl", vec![MatchKind::Ternary]);
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Any],
+            priority: 1,
+            action: "any",
+        });
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Ternary { value: 0x80, mask: 0x80 }],
+            priority: 10,
+            action: "high-bit",
         });
         assert_eq!(t.lookup(&[0xFF]), Some(&"high-bit"));
         assert_eq!(t.lookup(&[0x01]), Some(&"any"));
@@ -387,11 +606,40 @@ mod tests {
     }
 
     #[test]
+    fn remove_where_rebuilds_lpm_buckets() {
+        let mut t: MatchTable<&str> = MatchTable::new("routes", ipv4_lpm_schema());
+        insert_ipv4_route(&mut t, Ipv4Addr::new(10, 0, 0, 0), 8, "coarse");
+        insert_ipv4_route(&mut t, Ipv4Addr::new(10, 1, 0, 0), 16, "fine");
+        let removed = t.remove_where(|e| e.action == "fine");
+        assert_eq!(removed, 1);
+        assert_eq!(
+            t.lookup(&[u32::from(Ipv4Addr::new(10, 1, 2, 3)) as u64]),
+            Some(&"coarse")
+        );
+    }
+
+    #[test]
     fn install_order_breaks_ties() {
         let mut t: MatchTable<&str> = MatchTable::new("tie", vec![MatchKind::Ternary]);
         t.insert(TableEntry { fields: vec![FieldMatch::Any], priority: 0, action: "first" });
         t.insert(TableEntry { fields: vec![FieldMatch::Any], priority: 0, action: "second" });
         assert_eq!(t.lookup(&[1]), Some(&"first"));
+    }
+
+    #[test]
+    fn generation_tracks_mutations() {
+        let mut t: MatchTable<u8> = MatchTable::new("g", vec![MatchKind::Exact]);
+        let g0 = t.generation();
+        t.insert_exact(&[1], 1);
+        assert!(t.generation() > g0);
+        let g1 = t.generation();
+        t.lookup(&[1]);
+        assert_eq!(t.generation(), g1, "lookups must not bump the generation");
+        t.remove_where(|_| true);
+        assert!(t.generation() > g1);
+        let g2 = t.generation();
+        t.clear();
+        assert!(t.generation() > g2);
     }
 
     #[test]

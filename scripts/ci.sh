@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Offline-friendly CI gate: everything a PR must pass, with no network.
+#
+#   scripts/ci.sh           # build, test, lint, smoke-bench
+#   scripts/ci.sh --quick   # skip clippy and the smoke bench
+#
+# The workspace vendors all third-party crates (see vendor/), so the
+# whole gate runs with the cargo registry unreachable.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo build --release"
+cargo build --offline --release -q
+
+echo "==> cargo test"
+cargo test --offline -q
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo clippy (-D warnings)"
+    cargo clippy --offline --all-targets -q -- -D warnings
+
+    echo "==> bench_snapshot --smoke"
+    # Smoke scale: verifies the perf harness end-to-end in seconds.
+    # Writes nothing into the repo; full snapshots are taken manually
+    # with `cargo run --release --bin bench_snapshot`.
+    cargo run --offline --release -q --bin bench_snapshot -- --smoke --out /tmp/edp_ci_smoke.json
+fi
+
+echo "==> CI gate passed"

@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Keeps the authoring API (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box`,
+//! `Throughput`) so the workspace's benches compile and run unchanged,
+//! while the measurement core is a simple calibrated wall-clock loop:
+//! calibrate the iteration count to ~`target_time_ms` per batch, run a few
+//! batches, report the median ns/iter plus derived throughput. No
+//! statistics beyond that, no HTML reports, no comparison to saved
+//! baselines — `bench_snapshot` (crates/bench) is the trend-tracking tool
+//! in this workspace.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; turns ns/iter into elems/s or bytes/s output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _c: self,
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            ns_per_iter: Vec::new(),
+        };
+        f(&mut b);
+        let med = b.median_ns();
+        let extra = match (self.throughput, med) {
+            (Some(Throughput::Bytes(n)), m) if m > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / m * 1e9 / (1024.0 * 1024.0))
+            }
+            (Some(Throughput::Elements(n)), m) if m > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / m * 1e9)
+            }
+            _ => String::new(),
+        };
+        println!("  {id:<32} {med:>12.1} ns/iter{extra}");
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    ns_per_iter: Vec<f64>,
+}
+
+/// Per-batch time budget; raise via `CRITERION_TARGET_MS` for stabler
+/// numbers, lower it for smoke runs.
+fn target_ms() -> u64 {
+    std::env::var("CRITERION_TARGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120)
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the iteration count until one batch takes long
+        // enough to time reliably.
+        let target = std::time::Duration::from_millis(target_ms());
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= target / 4 || iters >= 1 << 40 {
+                break;
+            }
+            // Aim directly for the target with a safety factor.
+            let scale = (target.as_secs_f64() / dt.as_secs_f64().max(1e-9)).min(1000.0);
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+        }
+        // Measure: a few batches, keep per-iter times for the median.
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.ns_per_iter
+                .push(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.ns_per_iter.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.ns_per_iter.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        v[v.len() / 2]
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the two marker traits and re-exports the (empty) derive macros
+//! so `use serde::{Serialize, Deserialize}` and `#[derive(Serialize,
+//! Deserialize)]` compile unchanged. No runtime serialization exists in
+//! this workspace; if a future PR needs real serde it can re-introduce the
+//! registry dependency behind a feature gate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait DeserializeMarker {}
