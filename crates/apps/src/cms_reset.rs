@@ -11,8 +11,8 @@
 //! after the nominal window boundary the counters actually clear, which
 //! directly inflates over-counting at window edges.
 
-use edp_core::{EventActions, EventProgram};
 use edp_core::event::{ControlPlaneEvent, TimerEvent};
+use edp_core::{EventActions, EventProgram};
 use edp_evsim::SimTime;
 use edp_packet::{Packet, ParsedPacket};
 use edp_pisa::{Destination, PortId, StdMeta};
@@ -139,15 +139,29 @@ mod tests {
 
     fn drive(net: &mut Network, sim: &mut Sim<Network>, sender: edp_netsim::HostId) {
         let src = addr(1);
-        start_cbr(sim, sender, SimTime::ZERO, SimDuration::from_micros(20), 450, move |i| {
-            PacketBuilder::udp(src, sink_addr(), 1, 2, &[]).ident(i as u16).pad_to(500).build()
-        });
+        start_cbr(
+            sim,
+            sender,
+            SimTime::ZERO,
+            SimDuration::from_micros(20),
+            450,
+            move |i| {
+                PacketBuilder::udp(src, sink_addr(), 1, 2, &[])
+                    .ident(i as u16)
+                    .pad_to(500)
+                    .build()
+            },
+        );
         run_until(net, sim, SimTime::from_millis(10));
     }
 
     #[test]
     fn timer_reset_is_punctual_and_free() {
-        let (mut net, sender) = build(vec![TimerSpec { id: 0, period: PERIOD, start: PERIOD }]);
+        let (mut net, sender) = build(vec![TimerSpec {
+            id: 0,
+            period: PERIOD,
+            start: PERIOD,
+        }]);
         let mut sim: Sim<Network> = Sim::new();
         drive(&mut net, &mut sim, sender);
         let prog = &net.switch_as::<EventSwitch<CmsMonitor>>(0).program;
@@ -165,7 +179,7 @@ mod tests {
         let (mut net, sender) = build(vec![]);
         let mut sim: Sim<Network> = Sim::new();
         let rtt_half = SimDuration::from_micros(250); // controller→switch latency
-        // Controller issues a reset each period, arriving rtt/2 later.
+                                                      // Controller issues a reset each period, arriving rtt/2 later.
         sim.schedule_periodic(
             SimTime::ZERO + PERIOD,
             PERIOD,
@@ -187,7 +201,11 @@ mod tests {
 
     #[test]
     fn sketch_counts_between_resets() {
-        let (mut net, sender) = build(vec![TimerSpec { id: 0, period: PERIOD, start: PERIOD }]);
+        let (mut net, sender) = build(vec![TimerSpec {
+            id: 0,
+            period: PERIOD,
+            start: PERIOD,
+        }]);
         let mut sim: Sim<Network> = Sim::new();
         drive(&mut net, &mut sim, sender);
         let prog = &net.switch_as::<EventSwitch<CmsMonitor>>(0).program;

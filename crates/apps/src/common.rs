@@ -83,7 +83,11 @@ mod tests {
             SimTime::ZERO,
             SimDuration::from_micros(10),
             100,
-            move |i| PacketBuilder::udp(src, sink_addr(), 1, 2, &[]).ident(i as u16).build(),
+            move |i| {
+                PacketBuilder::udp(src, sink_addr(), 1, 2, &[])
+                    .ident(i as u16)
+                    .build()
+            },
         );
         run_until(&mut net, &mut sim, SimTime::from_millis(10));
         assert_eq!(net.hosts[sink].stats.rx_pkts, 100);

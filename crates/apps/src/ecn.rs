@@ -15,8 +15,8 @@
 //! The test quantifies the difference as reconstruction error of the
 //! bottleneck queue depth at the receiver.
 
-use edp_core::{EventActions, EventProgram};
 use edp_core::event::DequeueEvent;
+use edp_core::{EventActions, EventProgram};
 use edp_evsim::SimTime;
 use edp_packet::{AppHeader, Ecn, Ipv4Header, Packet, ParsedPacket, TelemetryHeader};
 use edp_pisa::{Destination, PisaProgram, PortId, StdMeta};
@@ -145,8 +145,8 @@ impl PisaProgram for OneBitEcn {
         self.seen += 1;
         let dt = now.as_nanos().saturating_sub(self.last_ns);
         self.last_ns = now.as_nanos();
-        self.vq_bytes = (self.vq_bytes - dt as f64 * self.drain_per_ns).max(0.0)
-            + meta.pkt_len as f64;
+        self.vq_bytes =
+            (self.vq_bytes - dt as f64 * self.drain_per_ns).max(0.0) + meta.pkt_len as f64;
         if self.vq_bytes > self.threshold as f64 && parsed.ipv4.is_some() {
             Ipv4Header::patch_ecn(pkt.bytes_mut(), parsed.ip_offset, Ecn::Ce);
             self.marked += 1;
@@ -169,7 +169,10 @@ mod tests {
     fn telemetry_reports_bottleneck_depth() {
         let cfg = EventSwitchConfig {
             n_ports: 2,
-            queue: QueueConfig { capacity_bytes: 500_000, ..QueueConfig::default() },
+            queue: QueueConfig {
+                capacity_bytes: 500_000,
+                ..QueueConfig::default()
+            },
             ..Default::default()
         };
         let sw = EventSwitch::new(TelemetryMarker::new(2, 1), cfg);
@@ -177,17 +180,32 @@ mod tests {
         let (mut net, senders, sink, _) = dumbbell(Box::new(sw), 1, 100_000_000, 91);
         let mut sim: Sim<Network> = Sim::new();
         let src = addr(1);
-        start_cbr(&mut sim, senders[0], SimTime::ZERO, SimDuration::from_micros(30), 500, move |_| {
-            let rec = TelemetryHeader { max_queue_bytes: 0, path_delay_ns: 0, hop_count: 0 };
-            PacketBuilder::telemetry(src, sink_addr(), &rec, &[0u8; 1000]).build()
-        });
+        start_cbr(
+            &mut sim,
+            senders[0],
+            SimTime::ZERO,
+            SimDuration::from_micros(30),
+            500,
+            move |_| {
+                let rec = TelemetryHeader {
+                    max_queue_bytes: 0,
+                    path_delay_ns: 0,
+                    hop_count: 0,
+                };
+                PacketBuilder::telemetry(src, sink_addr(), &rec, &[0u8; 1000]).build()
+            },
+        );
         run_until(&mut net, &mut sim, SimTime::from_millis(100));
         // Receiver side: per-packet quantitative depth.
         assert!(net.hosts[sink].stats.rx_pkts > 400);
         let prog = &net.switch_as::<EventSwitch<TelemetryMarker>>(0).program;
         assert!(prog.stamped > 400);
         // Queue built up: the stamped maximum is substantial and below cap.
-        assert!(prog.peak_q_bytes > 10_000, "peak occupancy {}", prog.peak_q_bytes);
+        assert!(
+            prog.peak_q_bytes > 10_000,
+            "peak occupancy {}",
+            prog.peak_q_bytes
+        );
         assert!(prog.peak_q_bytes <= 500_000);
     }
 
@@ -195,9 +213,16 @@ mod tests {
     fn receiver_sees_quantitative_signal() {
         // Single-switch loop without netsim: push packets in, hold the
         // egress, and verify the stamped record equals the real depth.
-        let cfg = EventSwitchConfig { n_ports: 2, ..Default::default() };
+        let cfg = EventSwitchConfig {
+            n_ports: 2,
+            ..Default::default()
+        };
         let mut sw = EventSwitch::new(TelemetryMarker::new(2, 1), cfg);
-        let rec = TelemetryHeader { max_queue_bytes: 0, path_delay_ns: 0, hop_count: 0 };
+        let rec = TelemetryHeader {
+            max_queue_bytes: 0,
+            path_delay_ns: 0,
+            hop_count: 0,
+        };
         let frame = PacketBuilder::telemetry(addr(1), addr(2), &rec, &[0u8; 100]).build();
         let n = 10;
         for _ in 0..n {

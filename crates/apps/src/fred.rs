@@ -13,8 +13,8 @@
 //! events a baseline program cannot know per-flow occupancy, so the hog
 //! flow that fills the queue keeps most of the bottleneck.
 
-use edp_core::{Accessor, EventActions, EventProgram, SharedRegister};
 use edp_core::event::{DequeueEvent, EnqueueEvent, TimerEvent};
+use edp_core::{Accessor, EventActions, EventProgram, SharedRegister};
 use edp_evsim::{SimTime, TimeSeries};
 use edp_packet::{Packet, ParsedPacket};
 use edp_pisa::{Destination, PortId, StdMeta};
@@ -111,10 +111,7 @@ impl EventProgram for FredAqm {
     fn on_timer(&mut self, ev: &TimerEvent, now: SimTime, a: &mut EventActions) {
         if ev.timer_id == TIMER_REPORT {
             self.occupancy_series.push(now, self.total_occ as f64);
-            a.notify_control_plane(
-                NOTIFY_OCCUPANCY,
-                [self.total_occ, self.active_flows, 0, 0],
-            );
+            a.notify_control_plane(NOTIFY_OCCUPANCY, [self.total_occ, self.active_flows, 0, 0]);
         }
     }
 }
@@ -134,7 +131,10 @@ mod tests {
     const BOTTLENECK: u64 = 100_000_000; // 100 Mb/s
 
     fn queue_cfg() -> QueueConfig {
-        QueueConfig { capacity_bytes: CAPACITY, ..QueueConfig::default() }
+        QueueConfig {
+            capacity_bytes: CAPACITY,
+            ..QueueConfig::default()
+        }
     }
 
     /// 3 polite senders at 40 Mb/s each + 1 hog at 400 Mb/s into a
@@ -186,7 +186,12 @@ mod tests {
                     1000 + i as u16,
                     9000,
                 );
-                net.hosts[sink].stats.flows.get(&key).map(|f| f.bytes as f64 * 8.0 / 0.1).unwrap_or(0.0)
+                net.hosts[sink]
+                    .stats
+                    .flows
+                    .get(&key)
+                    .map(|f| f.bytes as f64 * 8.0 / 0.1)
+                    .unwrap_or(0.0)
             })
             .collect();
         let series = fair.then(|| {
@@ -238,9 +243,19 @@ mod tests {
         let (mut net, senders, _, _) = dumbbell(Box::new(sw), 2, 10_000_000_000, 77);
         let mut sim: Sim<Network> = Sim::new();
         let src = addr(1);
-        start_cbr(&mut sim, senders[0], SimTime::ZERO, SimDuration::from_micros(50), 100, move |i| {
-            PacketBuilder::udp(src, sink_addr(), 1, 2, &[]).ident(i as u16).pad_to(1000).build()
-        });
+        start_cbr(
+            &mut sim,
+            senders[0],
+            SimTime::ZERO,
+            SimDuration::from_micros(50),
+            100,
+            move |i| {
+                PacketBuilder::udp(src, sink_addr(), 1, 2, &[])
+                    .ident(i as u16)
+                    .pad_to(1000)
+                    .build()
+            },
+        );
         run_until(&mut net, &mut sim, SimTime::from_millis(50));
         let p = &net.switch_as::<EventSwitch<FredAqm>>(0).program;
         assert_eq!(p.active_flows, 0);

@@ -14,9 +14,9 @@
 //! The metric, as in the paper's Blink/FRR motivation: packets lost
 //! during failover as a function of control-plane latency.
 
-use edp_core::{EventActions, EventProgram};
 use edp_core::event::LinkStatusEvent;
-use edp_evsim::SimTime;
+use edp_core::{EventActions, EventProgram};
+use edp_evsim::{SimDuration, SimTime};
 use edp_packet::{Packet, ParsedPacket};
 use edp_pisa::{Destination, PisaProgram, PortId, StdMeta};
 use serde::{Deserialize, Serialize};
@@ -32,6 +32,15 @@ pub struct FrrStats {
     /// Packets forwarded while the active port's link was actually dead
     /// (blackholed) — counted by the experiment, not the program.
     pub reroutes: u64,
+}
+
+impl FrrStats {
+    /// Reconvergence time: how long after a failure at `fail_at` the
+    /// program switched routes. `None` if it never failed over; zero for
+    /// the event-driven variant (data-plane failover is immediate).
+    pub fn reconvergence(&self, fail_at: SimTime) -> Option<SimDuration> {
+        self.failover_at.map(|t| t.saturating_since(fail_at))
+    }
 }
 
 /// Event-driven fast re-route.
@@ -136,7 +145,7 @@ mod tests {
     use edp_core::{EventSwitch, EventSwitchConfig};
     use edp_evsim::{Sim, SimDuration};
     use edp_netsim::traffic::start_cbr;
-    use edp_netsim::{Host, HostApp, LinkSpec, Network, NodeRef, SwitchHarness};
+    use edp_netsim::{FaultPlan, Host, HostApp, LinkSpec, Network, NodeRef, SwitchHarness};
     use edp_packet::PacketBuilder;
     use edp_pisa::{BaselineSwitch, ForwardTo, QueueConfig};
 
@@ -170,14 +179,20 @@ mod tests {
         net.schedule_link_failure(sim, primary, FAIL_AT, None);
         let src = addr(1);
         start_cbr(sim, sender, SimTime::ZERO, INTERVAL, PKTS, move |i| {
-            PacketBuilder::udp(src, addr(9), 1, 2, &[]).ident(i as u16).pad_to(500).build()
+            PacketBuilder::udp(src, addr(9), 1, 2, &[])
+                .ident(i as u16)
+                .pad_to(500)
+                .build()
         });
         run_until(net, sim, SimTime::from_millis(30));
     }
 
     #[test]
     fn event_frr_loses_almost_nothing() {
-        let cfg = EventSwitchConfig { n_ports: 3, ..Default::default() };
+        let cfg = EventSwitchConfig {
+            n_ports: 3,
+            ..Default::default()
+        };
         let sw = EventSwitch::new(FrrEvent::new(1, 2), cfg);
         let (mut net, sender, sink, primary) = diamond(Box::new(sw));
         let mut sim: Sim<Network> = Sim::new();
@@ -214,20 +229,57 @@ mod tests {
     }
 
     #[test]
-    fn event_frr_reverts_on_recovery() {
-        let cfg = EventSwitchConfig { n_ports: 3, ..Default::default() };
+    fn event_frr_rides_out_a_flapping_primary() {
+        let cfg = EventSwitchConfig {
+            n_ports: 3,
+            ..Default::default()
+        };
         let sw = EventSwitch::new(FrrEvent::new(1, 2), cfg);
         let (mut net, sender, sink, primary) = diamond(Box::new(sw));
         let mut sim: Sim<Network> = Sim::new();
-        net.schedule_link_failure(
-            &mut sim,
-            primary,
-            FAIL_AT,
-            Some(SimTime::from_millis(8)),
-        );
+        // Three down/up cycles: down at 5/8/11 ms, 1 ms down each.
+        let period = SimDuration::from_millis(3);
+        let plan =
+            FaultPlan::new(5).link_flap(primary, FAIL_AT, SimDuration::from_millis(1), period, 3);
+        plan.apply(&mut net, &mut sim);
         let src = addr(1);
         start_cbr(&mut sim, sender, SimTime::ZERO, INTERVAL, PKTS, move |i| {
-            PacketBuilder::udp(src, addr(9), 1, 2, &[]).ident(i as u16).pad_to(500).build()
+            PacketBuilder::udp(src, addr(9), 1, 2, &[])
+                .ident(i as u16)
+                .pad_to(500)
+                .build()
+        });
+        run_until(&mut net, &mut sim, SimTime::from_millis(30));
+        let sw = net.switch_as::<EventSwitch<FrrEvent>>(0);
+        assert_eq!(sw.counters().link_transitions, plan.transitions() as u64);
+        assert_eq!(sw.program.stats.reroutes, 6, "failover + revert per cycle");
+        assert_eq!(sw.program.active, 1, "back on primary after the last flap");
+        // The last failover happened at the third down, instantly.
+        let last_down = FAIL_AT + period * 2;
+        assert_eq!(
+            sw.program.stats.reconvergence(last_down),
+            Some(SimDuration::ZERO)
+        );
+        let lost = PKTS - net.hosts[sink].stats.rx_pkts;
+        assert!(lost <= 6, "lost {lost} across three flaps");
+    }
+
+    #[test]
+    fn event_frr_reverts_on_recovery() {
+        let cfg = EventSwitchConfig {
+            n_ports: 3,
+            ..Default::default()
+        };
+        let sw = EventSwitch::new(FrrEvent::new(1, 2), cfg);
+        let (mut net, sender, sink, primary) = diamond(Box::new(sw));
+        let mut sim: Sim<Network> = Sim::new();
+        net.schedule_link_failure(&mut sim, primary, FAIL_AT, Some(SimTime::from_millis(8)));
+        let src = addr(1);
+        start_cbr(&mut sim, sender, SimTime::ZERO, INTERVAL, PKTS, move |i| {
+            PacketBuilder::udp(src, addr(9), 1, 2, &[])
+                .ident(i as u16)
+                .pad_to(500)
+                .build()
         });
         run_until(&mut net, &mut sim, SimTime::from_millis(30));
         let prog = &net.switch_as::<EventSwitch<FrrEvent>>(0).program;

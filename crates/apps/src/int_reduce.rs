@@ -17,8 +17,8 @@
 //!   for anomalies (queue above a threshold) gated by a per-window
 //!   watchlist so each anomalous source reports once per window.
 
-use edp_core::{Accessor, EventActions, EventProgram, SharedRegister};
 use edp_core::event::{DequeueEvent, EnqueueEvent, OverflowEvent, TimerEvent};
+use edp_core::{Accessor, EventActions, EventProgram, SharedRegister};
 use edp_evsim::SimTime;
 use edp_packet::{Packet, ParsedPacket};
 use edp_pisa::{Destination, PortId, StdMeta};
@@ -56,7 +56,10 @@ pub struct IntPerPacket {
 impl IntPerPacket {
     /// Creates the per-packet reporter.
     pub fn new(out_port: PortId) -> Self {
-        IntPerPacket { out_port, reports: 0 }
+        IntPerPacket {
+            out_port,
+            reports: 0,
+        }
     }
 }
 
@@ -140,7 +143,9 @@ impl EventProgram for IntReduced {
     }
 
     fn on_enqueue(&mut self, ev: &EnqueueEvent, _now: SimTime, a: &mut EventActions) {
-        let before = self.flow_occ.add(Accessor::Enqueue, ev.meta[0] as usize, ev.meta[1])
+        let before = self
+            .flow_occ
+            .add(Accessor::Enqueue, ev.meta[0] as usize, ev.meta[1])
             - ev.meta[1];
         if before == 0 {
             self.active_flows += 1;
@@ -157,7 +162,9 @@ impl EventProgram for IntReduced {
     }
 
     fn on_dequeue(&mut self, ev: &DequeueEvent, _now: SimTime, _a: &mut EventActions) {
-        let after = self.flow_occ.sub(Accessor::Dequeue, ev.meta[0] as usize, ev.meta[1]);
+        let after = self
+            .flow_occ
+            .sub(Accessor::Dequeue, ev.meta[0] as usize, ev.meta[1]);
         if after == 0 && self.active_flows > 0 {
             self.active_flows -= 1;
         }
@@ -210,39 +217,70 @@ mod tests {
         // Two steady flows + one mid-run burst to trip the anomaly filter.
         for (i, &h) in senders.iter().take(2).enumerate() {
             let src = addr(i as u8 + 1);
-            start_cbr(sim, h, SimTime::ZERO, SimDuration::from_micros(120), 300, move |s| {
-                PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
-                    .ident(s as u16)
-                    .pad_to(1000)
-                    .build()
-            });
+            start_cbr(
+                sim,
+                h,
+                SimTime::ZERO,
+                SimDuration::from_micros(120),
+                300,
+                move |s| {
+                    PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
+                        .ident(s as u16)
+                        .pad_to(1000)
+                        .build()
+                },
+            );
         }
         let src = addr(3);
-        start_burst(sim, senders[2], SimTime::from_millis(20), 60, SimDuration::ZERO, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 30, 40, &[]).ident(s as u16).pad_to(1500).build()
-        });
+        start_burst(
+            sim,
+            senders[2],
+            SimTime::from_millis(20),
+            60,
+            SimDuration::ZERO,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
+                    .ident(s as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
         run_until(net, sim, HORIZON);
     }
 
     fn qc() -> QueueConfig {
-        QueueConfig { capacity_bytes: 150_000, ..QueueConfig::default() }
+        QueueConfig {
+            capacity_bytes: 150_000,
+            ..QueueConfig::default()
+        }
     }
 
     #[test]
     fn reduction_factor_is_large_and_anomaly_is_caught() {
         // Per-packet baseline.
-        let cfg = EventSwitchConfig { n_ports: 4, queue: qc(), ..Default::default() };
+        let cfg = EventSwitchConfig {
+            n_ports: 4,
+            queue: qc(),
+            ..Default::default()
+        };
         let sw = EventSwitch::new(IntPerPacket::new(3), cfg);
         let (mut net, senders, _, _) = dumbbell(Box::new(sw), 3, 200_000_000, 111);
         let mut sim: Sim<Network> = Sim::new();
         drive(&mut net, &mut sim, &senders);
-        let raw_reports = net.switch_as::<EventSwitch<IntPerPacket>>(0).program.reports;
+        let raw_reports = net
+            .switch_as::<EventSwitch<IntPerPacket>>(0)
+            .program
+            .reports;
 
         // Event-driven reducer, identical workload.
         let cfg = EventSwitchConfig {
             n_ports: 4,
             queue: qc(),
-            timers: vec![TimerSpec { id: TIMER_WINDOW, period: WINDOW, start: WINDOW }],
+            timers: vec![TimerSpec {
+                id: TIMER_WINDOW,
+                period: WINDOW,
+                start: WINDOW,
+            }],
             ..Default::default()
         };
         let sw = EventSwitch::new(IntReduced::new(3, 4, 64, THRESH), cfg);
@@ -268,7 +306,11 @@ mod tests {
         let cfg = EventSwitchConfig {
             n_ports: 4,
             queue: qc(),
-            timers: vec![TimerSpec { id: TIMER_WINDOW, period: WINDOW, start: WINDOW }],
+            timers: vec![TimerSpec {
+                id: TIMER_WINDOW,
+                period: WINDOW,
+                start: WINDOW,
+            }],
             ..Default::default()
         };
         let sw = EventSwitch::new(IntReduced::new(3, 4, 64, THRESH), cfg);
@@ -295,20 +337,34 @@ mod tests {
         let cfg = EventSwitchConfig {
             n_ports: 2,
             queue: qc(),
-            timers: vec![TimerSpec { id: TIMER_WINDOW, period: WINDOW, start: WINDOW }],
+            timers: vec![TimerSpec {
+                id: TIMER_WINDOW,
+                period: WINDOW,
+                start: WINDOW,
+            }],
             ..Default::default()
         };
         let mut sw = EventSwitch::new(IntReduced::new(1, 2, 16, 1_000), cfg);
-        let frame = PacketBuilder::udp(addr(1), addr(9), 1, 2, &[]).pad_to(1500).build();
+        let frame = PacketBuilder::udp(addr(1), addr(9), 1, 2, &[])
+            .pad_to(1500)
+            .build();
         // Many enqueues above threshold within one window: one report.
         for i in 0..20u64 {
-            sw.receive(SimTime::from_micros(i), 0, edp_packet::Packet::anonymous(frame.clone()));
+            sw.receive(
+                SimTime::from_micros(i),
+                0,
+                edp_packet::Packet::anonymous(frame.clone()),
+            );
         }
         assert_eq!(sw.program.anomaly_reports, 1);
         // Next window: latch clears, a new anomaly reports again.
         sw.fire_due_timers(SimTime::from_millis(2));
         for i in 0..5u64 {
-            sw.receive(SimTime::from_millis(3) + SimDuration::from_micros(i), 0, edp_packet::Packet::anonymous(frame.clone()));
+            sw.receive(
+                SimTime::from_millis(3) + SimDuration::from_micros(i),
+                0,
+                edp_packet::Packet::anonymous(frame.clone()),
+            );
         }
         assert_eq!(sw.program.anomaly_reports, 2);
     }

@@ -15,12 +15,10 @@
 //!   produces **no** link-status signal — exactly the case where probing
 //!   is needed at all.
 
-use edp_core::{EventActions, EventProgram};
 use edp_core::event::{ControlPlaneEvent, TimerEvent};
+use edp_core::{EventActions, EventProgram};
 use edp_evsim::SimTime;
-use edp_packet::{
-    AppHeader, LivenessHeader, LivenessKind, Packet, PacketBuilder, ParsedPacket,
-};
+use edp_packet::{AppHeader, LivenessHeader, LivenessKind, Packet, PacketBuilder, ParsedPacket};
 use edp_pisa::{Destination, PisaProgram, PortId, StdMeta};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
@@ -158,9 +156,7 @@ impl EventProgram for LivenessMonitor {
                         seq: self.seq,
                         ts_ns: now.as_nanos(),
                     };
-                    a.generate_packet(
-                        PacketBuilder::liveness(self.addr, n.addr, &probe).build(),
-                    );
+                    a.generate_packet(PacketBuilder::liveness(self.addr, n.addr, &probe).build());
                 }
             }
             TIMER_CHECK => {
@@ -169,10 +165,7 @@ impl EventProgram for LivenessMonitor {
                     let silent = now.as_nanos().saturating_sub(st.last_heard.as_nanos());
                     if st.declared_dead.is_none() && silent > self.timeout_ns {
                         st.declared_dead = Some(now);
-                        a.notify_control_plane(
-                            NOTIFY_NEIGHBOR_DEAD,
-                            [i as u64, silent, 0, 0],
-                        );
+                        a.notify_control_plane(NOTIFY_NEIGHBOR_DEAD, [i as u64, silent, 0, 0]);
                     }
                 }
             }
@@ -285,20 +278,38 @@ mod tests {
         let mon_cfg = EventSwitchConfig {
             n_ports: 2,
             timers: vec![
-                TimerSpec { id: TIMER_PROBE, period: probe_period, start: probe_period },
-                TimerSpec { id: TIMER_CHECK, period: check_period, start: check_period },
+                TimerSpec {
+                    id: TIMER_PROBE,
+                    period: probe_period,
+                    start: probe_period,
+                },
+                TimerSpec {
+                    id: TIMER_CHECK,
+                    period: check_period,
+                    start: check_period,
+                },
             ],
             switch_id: 1,
             ..Default::default()
         };
         let monitor = LivenessMonitor::new(
             addr(1),
-            vec![Neighbor { port: 1, addr: addr(2) }],
+            vec![Neighbor {
+                port: 1,
+                addr: addr(2),
+            }],
             timeout_ms * 1_000_000,
         );
         let m = net.add_switch(Box::new(EventSwitch::new(monitor, mon_cfg)));
-        let refl_cfg = EventSwitchConfig { n_ports: 2, switch_id: 2, ..Default::default() };
-        let r = net.add_switch(Box::new(EventSwitch::new(LivenessReflector::new(), refl_cfg)));
+        let refl_cfg = EventSwitchConfig {
+            n_ports: 2,
+            switch_id: 2,
+            ..Default::default()
+        };
+        let r = net.add_switch(Box::new(EventSwitch::new(
+            LivenessReflector::new(),
+            refl_cfg,
+        )));
         net.connect(
             (NodeRef::Switch(m), 1),
             (NodeRef::Switch(r), 0),
@@ -361,14 +372,20 @@ mod tests {
         // Kill, then resurrect by swapping the flag back via downcast.
         let mut net = build(2);
         let mut sim: Sim<Network> = Sim::new();
-        sim.schedule_at(SimTime::from_millis(10), |w: &mut Network, s: &mut Sim<Network>| {
-            w.control_plane_send(s, SimDuration::ZERO, 1, CP_OP_KILL, [0; 4]);
-        });
-        sim.schedule_at(SimTime::from_millis(25), |w: &mut Network, _s: &mut Sim<Network>| {
-            w.switch_as_mut::<EventSwitch<LivenessReflector>>(1)
-                .program
-                .dead = false;
-        });
+        sim.schedule_at(
+            SimTime::from_millis(10),
+            |w: &mut Network, s: &mut Sim<Network>| {
+                w.control_plane_send(s, SimDuration::ZERO, 1, CP_OP_KILL, [0; 4]);
+            },
+        );
+        sim.schedule_at(
+            SimTime::from_millis(25),
+            |w: &mut Network, _s: &mut Sim<Network>| {
+                w.switch_as_mut::<EventSwitch<LivenessReflector>>(1)
+                    .program
+                    .dead = false;
+            },
+        );
         run_until(&mut net, &mut sim, SimTime::from_millis(50));
         let mon = &net.switch_as::<EventSwitch<LivenessMonitor>>(0).program;
         assert_eq!(

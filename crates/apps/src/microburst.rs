@@ -19,8 +19,8 @@
 //! "at least four-fold" and detects before enqueue. `exp_microburst`
 //! measures state words, detections, and detection latency for both.
 
-use edp_core::{Accessor, EventActions, EventProgram, SharedRegister};
 use edp_core::event::{DequeueEvent, EnqueueEvent};
+use edp_core::{Accessor, EventActions, EventProgram, SharedRegister};
 use edp_evsim::SimTime;
 use edp_packet::{Packet, ParsedPacket};
 use edp_pisa::{Destination, PisaProgram, PortId, RegisterArray, StdMeta};
@@ -97,11 +97,13 @@ impl EventProgram for MicroburstEvent {
     }
 
     fn on_enqueue(&mut self, ev: &EnqueueEvent, _now: SimTime, _a: &mut EventActions) {
-        self.buf_size.add(Accessor::Enqueue, ev.meta[0] as usize, ev.meta[1]);
+        self.buf_size
+            .add(Accessor::Enqueue, ev.meta[0] as usize, ev.meta[1]);
     }
 
     fn on_dequeue(&mut self, ev: &DequeueEvent, _now: SimTime, _a: &mut EventActions) {
-        self.buf_size.sub(Accessor::Dequeue, ev.meta[0] as usize, ev.meta[1]);
+        self.buf_size
+            .sub(Accessor::Dequeue, ev.meta[0] as usize, ev.meta[1]);
     }
 }
 
@@ -247,7 +249,9 @@ impl MicroburstCms {
     }
 
     fn occupancy(&self, flow_hash: u64) -> u64 {
-        self.enq.query(flow_hash).saturating_sub(self.deq.query(flow_hash))
+        self.enq
+            .query(flow_hash)
+            .saturating_sub(self.deq.query(flow_hash))
     }
 }
 
@@ -268,7 +272,11 @@ impl EventProgram for MicroburstCms {
         meta.event_meta = [h, meta.pkt_len as u64, 0, 0];
         let occ = self.occupancy(h);
         if occ > self.threshold {
-            self.detections.push(Detection { at: now, flow_index: h, occupancy: occ });
+            self.detections.push(Detection {
+                at: now,
+                flow_index: h,
+                occupancy: occ,
+            });
         }
     }
 
@@ -321,30 +329,46 @@ mod tests {
 
         // Sender 0: polite 1500 B packet every 100 us (well under thresh).
         let polite_src = addr(1);
-        start_cbr(&mut sim, senders[0], SimTime::ZERO, SimDuration::from_micros(100), 200, move |i| {
-            PacketBuilder::udp(polite_src, sink_addr(), 10, 20, &[]).ident(i as u16).pad_to(1500).build()
-        });
+        start_cbr(
+            &mut sim,
+            senders[0],
+            SimTime::ZERO,
+            SimDuration::from_micros(100),
+            200,
+            move |i| {
+                PacketBuilder::udp(polite_src, sink_addr(), 10, 20, &[])
+                    .ident(i as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
         // Sender 1: a 100-packet microburst at t = 5 ms.
         let burst_src = addr(2);
-        start_burst(&mut sim, senders[1], SimTime::from_millis(5), 100, SimDuration::ZERO, move |i| {
-            PacketBuilder::udp(burst_src, sink_addr(), 30, 40, &[]).ident(i as u16).pad_to(1500).build()
-        });
+        start_burst(
+            &mut sim,
+            senders[1],
+            SimTime::from_millis(5),
+            100,
+            SimDuration::ZERO,
+            move |i| {
+                PacketBuilder::udp(burst_src, sink_addr(), 30, 40, &[])
+                    .ident(i as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
 
         run_until(&mut net, &mut sim, SimTime::from_millis(30));
-        let prog = &net
-            .switch_as::<EventSwitch<MicroburstEvent>>(0)
-            .program;
+        let prog = &net.switch_as::<EventSwitch<MicroburstEvent>>(0).program;
         assert!(!prog.detections.is_empty(), "burst must be detected");
-        let burst_flow = edp_packet::FlowKey::new(
-            burst_src,
-            sink_addr(),
-            edp_packet::IpProto::Udp,
-            30,
-            40,
-        )
-        .ip_pair_index(256) as u64;
+        let burst_flow =
+            edp_packet::FlowKey::new(burst_src, sink_addr(), edp_packet::IpProto::Udp, 30, 40)
+                .ip_pair_index(256) as u64;
         for d in &prog.detections {
-            assert_eq!(d.flow_index, burst_flow, "only the bursting flow is flagged");
+            assert_eq!(
+                d.flow_index, burst_flow,
+                "only the bursting flow is flagged"
+            );
             assert!(d.occupancy > THRESH);
         }
         // Detections start shortly after the burst begins.
@@ -363,9 +387,19 @@ mod tests {
         let (mut net, senders, _, _) = dumbbell(Box::new(sw), 2, 1_000_000_000, 6);
         let mut sim: Sim<Network> = Sim::new();
         let src = addr(1);
-        start_burst(&mut sim, senders[0], SimTime::ZERO, 20, SimDuration::ZERO, move |i| {
-            PacketBuilder::udp(src, sink_addr(), 1, 2, &[]).ident(i as u16).pad_to(1500).build()
-        });
+        start_burst(
+            &mut sim,
+            senders[0],
+            SimTime::ZERO,
+            20,
+            SimDuration::ZERO,
+            move |i| {
+                PacketBuilder::udp(src, sink_addr(), 1, 2, &[])
+                    .ident(i as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
         run_until(&mut net, &mut sim, SimTime::from_millis(50));
         let prog = &net.switch_as::<EventSwitch<MicroburstEvent>>(0).program;
         assert_eq!(
@@ -388,9 +422,19 @@ mod tests {
         let (mut net, senders, _, _) = dumbbell(Box::new(sw), 2, 1_000_000_000, 5);
         let mut sim: Sim<Network> = Sim::new();
         let burst_src = addr(2);
-        start_burst(&mut sim, senders[1], SimTime::from_millis(5), 100, SimDuration::ZERO, move |i| {
-            PacketBuilder::udp(burst_src, sink_addr(), 30, 40, &[]).ident(i as u16).pad_to(1500).build()
-        });
+        start_burst(
+            &mut sim,
+            senders[1],
+            SimTime::from_millis(5),
+            100,
+            SimDuration::ZERO,
+            move |i| {
+                PacketBuilder::udp(burst_src, sink_addr(), 30, 40, &[])
+                    .ident(i as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
         run_until(&mut net, &mut sim, SimTime::from_millis(30));
         let prog = &net.switch_as::<EventSwitch<MicroburstCms>>(0).program;
         assert!(!prog.detections.is_empty(), "CMS variant must detect");
@@ -406,18 +450,37 @@ mod tests {
         // Same workload into both architectures; compare first-detection time.
         let run = |event: bool| -> (Option<SimTime>, usize) {
             let (mut net, senders, _sink, _) = if event {
-                let cfg = EventSwitchConfig { n_ports: 3, queue: queue_cfg(), ..Default::default() };
+                let cfg = EventSwitchConfig {
+                    n_ports: 3,
+                    queue: queue_cfg(),
+                    ..Default::default()
+                };
                 let sw = EventSwitch::new(MicroburstEvent::new(256, THRESH, 2), cfg);
                 dumbbell(Box::new(sw), 2, 1_000_000_000, 9)
             } else {
                 let prog = MicroburstBaseline::new(256, THRESH, 240_000, 2);
-                dumbbell(Box::new(BaselineSwitch::new(prog, 3, queue_cfg())), 2, 1_000_000_000, 9)
+                dumbbell(
+                    Box::new(BaselineSwitch::new(prog, 3, queue_cfg())),
+                    2,
+                    1_000_000_000,
+                    9,
+                )
             };
             let mut sim: Sim<Network> = Sim::new();
             let burst_src = addr(2);
-            start_burst(&mut sim, senders[1], SimTime::from_millis(1), 120, SimDuration::ZERO, move |i| {
-                PacketBuilder::udp(burst_src, sink_addr(), 30, 40, &[]).ident(i as u16).pad_to(1500).build()
-            });
+            start_burst(
+                &mut sim,
+                senders[1],
+                SimTime::from_millis(1),
+                120,
+                SimDuration::ZERO,
+                move |i| {
+                    PacketBuilder::udp(burst_src, sink_addr(), 30, 40, &[])
+                        .ident(i as u16)
+                        .pad_to(1500)
+                        .build()
+                },
+            );
             run_until(&mut net, &mut sim, SimTime::from_millis(20));
             if event {
                 let p = &net.switch_as::<EventSwitch<MicroburstEvent>>(0).program;

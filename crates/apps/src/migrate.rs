@@ -20,12 +20,10 @@
 //! link through D. C installs them, so the per-flow state continues
 //! exactly where it left off — no controller, no state reset.
 
-use edp_core::{EventActions, EventProgram};
 use edp_core::event::LinkStatusEvent;
+use edp_core::{EventActions, EventProgram};
 use edp_evsim::SimTime;
-use edp_packet::{
-    AppHeader, KvHeader, KvOp, Packet, PacketBuilder, ParsedPacket,
-};
+use edp_packet::{AppHeader, KvHeader, KvOp, Packet, PacketBuilder, ParsedPacket};
 use edp_pisa::{Destination, PortId, RegisterArray, StdMeta};
 use std::net::Ipv4Addr;
 
@@ -131,7 +129,11 @@ impl EventProgram for StatefulCounter {
             if v == 0 {
                 continue;
             }
-            let put = KvHeader { op: KvOp::Put, key: slot as u64, value: v };
+            let put = KvHeader {
+                op: KvOp::Put,
+                key: slot as u64,
+                value: v,
+            };
             a.generate_packet(PacketBuilder::kv(self.addr, self.peer, &put).build());
             self.migrated_out += 1;
         }
@@ -238,9 +240,19 @@ mod tests {
         let fail_at = SimTime::from_millis(10);
         net.schedule_link_failure(&mut sim, ab_link, fail_at, None);
         let src = addr(1);
-        start_cbr(&mut sim, h, SimTime::ZERO, SimDuration::from_micros(20), 1000, move |i| {
-            PacketBuilder::udp(src, addr(9), 40, 50, &[]).ident(i as u16).pad_to(500).build()
-        });
+        start_cbr(
+            &mut sim,
+            h,
+            SimTime::ZERO,
+            SimDuration::from_micros(20),
+            1000,
+            move |i| {
+                PacketBuilder::udp(src, addr(9), 40, 50, &[])
+                    .ident(i as u16)
+                    .pad_to(500)
+                    .build()
+            },
+        );
         run_until(&mut net, &mut sim, SimTime::from_millis(60));
 
         let slot = FlowKey::new(addr(1), addr(9), IpProto::Udp, 40, 50).index(N_FLOWS);
@@ -266,9 +278,19 @@ mod tests {
         let (mut net, h, _ab, [_a, b_sw, c_sw, _d], _sink) = build();
         let mut sim: Sim<Network> = Sim::new();
         let src = addr(1);
-        start_cbr(&mut sim, h, SimTime::ZERO, SimDuration::from_micros(20), 200, move |i| {
-            PacketBuilder::udp(src, addr(9), 40, 50, &[]).ident(i as u16).pad_to(500).build()
-        });
+        start_cbr(
+            &mut sim,
+            h,
+            SimTime::ZERO,
+            SimDuration::from_micros(20),
+            200,
+            move |i| {
+                PacketBuilder::udp(src, addr(9), 40, 50, &[])
+                    .ident(i as u16)
+                    .pad_to(500)
+                    .build()
+            },
+        );
         run_until(&mut net, &mut sim, SimTime::from_millis(30));
         let b = &net.switch_as::<EventSwitch<StatefulCounter>>(b_sw).program;
         let c = &net.switch_as::<EventSwitch<StatefulCounter>>(c_sw).program;
@@ -282,7 +304,12 @@ mod tests {
         let (mut net, _h, ab_link, [_a, b_sw, _c, _d], _sink) = build();
         let mut sim: Sim<Network> = Sim::new();
         // Flap the link twice with no state in between.
-        net.schedule_link_failure(&mut sim, ab_link, SimTime::from_millis(1), Some(SimTime::from_millis(2)));
+        net.schedule_link_failure(
+            &mut sim,
+            ab_link,
+            SimTime::from_millis(1),
+            Some(SimTime::from_millis(2)),
+        );
         net.schedule_link_failure(&mut sim, ab_link, SimTime::from_millis(3), None);
         run_until(&mut net, &mut sim, SimTime::from_millis(10));
         let b = &net.switch_as::<EventSwitch<StatefulCounter>>(b_sw).program;

@@ -17,8 +17,8 @@
 //! The comparator is plain drop-tail, where the same overflow is a
 //! silent loss the receiver can only infer from a timeout.
 
-use edp_core::{EventActions, EventProgram};
 use edp_core::event::OverflowEvent;
+use edp_core::{EventActions, EventProgram};
 use edp_evsim::SimTime;
 use edp_packet::{Packet, ParsedPacket};
 use edp_pisa::{Destination, PortId, StdMeta};
@@ -121,7 +121,10 @@ mod tests {
     fn blast(net: &mut Network, sim: &mut Sim<Network>, sender: usize, n: u64) {
         let src = addr(1);
         start_burst(sim, sender, SimTime::ZERO, n, SimDuration::ZERO, move |i| {
-            PacketBuilder::udp(src, sink_addr(), 40, 50, &[]).ident(i as u16).pad_to(1500).build()
+            PacketBuilder::udp(src, sink_addr(), 40, 50, &[])
+                .ident(i as u16)
+                .pad_to(1500)
+                .build()
         });
         run_until(net, sim, SimTime::from_millis(50));
     }
@@ -178,11 +181,13 @@ mod tests {
             ..Default::default()
         };
         let mut sw = EventSwitch::new(NdpTrim::new(1), cfg);
-        let frame = PacketBuilder::udp(addr(1), addr(9), 1, 2, &[]).pad_to(1500).build();
+        let frame = PacketBuilder::udp(addr(1), addr(9), 1, 2, &[])
+            .pad_to(1500)
+            .build();
         sw.receive(SimTime::ZERO, 0, Packet::anonymous(frame.clone()));
         sw.receive(SimTime::ZERO, 0, Packet::anonymous(frame)); // overflows → trimmed
-        // Trimmed header has rank 0: it comes out FIRST despite arriving
-        // second (strict priority).
+                                                                // Trimmed header has rank 0: it comes out FIRST despite arriving
+                                                                // second (strict priority).
         let out1 = sw.transmit(SimTime::ZERO, 1).expect("first out");
         assert_eq!(out1.len(), 42, "headers only (eth+ip+udp)");
         let parsed = edp_packet::parse_packet(out1.bytes()).expect("parses");

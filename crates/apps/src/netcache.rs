@@ -15,8 +15,8 @@
 //! `reset_stats` flag ablates exactly the timer-reset feature the paper
 //! highlights.
 
-use edp_core::{EventActions, EventProgram};
 use edp_core::event::TimerEvent;
+use edp_core::{EventActions, EventProgram};
 use edp_evsim::SimTime;
 use edp_packet::{AppHeader, KvHeader, KvOp, Packet, PacketBuilder, ParsedPacket};
 use edp_pisa::{Destination, PortId, StdMeta};
@@ -131,7 +131,11 @@ impl EventProgram for NetCacheSwitch {
                     // Serve from the switch: generate the reply ourselves.
                     e.hits_this_window += 1;
                     self.cache_hits += 1;
-                    let reply = KvHeader { op: KvOp::Reply, key: kv.key, value: e.value };
+                    let reply = KvHeader {
+                        op: KvOp::Reply,
+                        key: kv.key,
+                        value: e.value,
+                    };
                     self.pending_replies.push((ip.dst, ip.src));
                     a.generate_packet(PacketBuilder::kv(ip.dst, ip.src, &reply).build());
                     meta.dest = Destination::Drop; // absorbed by the cache
@@ -165,7 +169,10 @@ impl EventProgram for NetCacheSwitch {
                     }
                     self.cache.insert(
                         kv.key,
-                        CacheEntry { value: kv.value, hits_this_window: 0 },
+                        CacheEntry {
+                            value: kv.value,
+                            hits_this_window: 0,
+                        },
                     );
                 }
                 meta.dest = Destination::Port(self.client_port);
@@ -233,7 +240,10 @@ mod tests {
         let client = net.add_host(Host::new(client_addr(), HostApp::Sink));
         let server = net.add_host(Host::new(
             server_addr(),
-            HostApp::KvServer { store: (0..1000u64).map(|k| (k, k * 11)).collect(), served: 0 },
+            HostApp::KvServer {
+                store: (0..1000u64).map(|k| (k, k * 11)).collect(),
+                served: 0,
+            },
         ));
         let spec = LinkSpec::ten_gig(SimDuration::from_micros(2));
         net.connect((NodeRef::Host(client), 0), (NodeRef::Switch(sw), 0), spec);
@@ -261,7 +271,11 @@ mod tests {
             n,
             move |_| {
                 let key = zipf.sample(&mut rng) as u64 + hot_offset;
-                let get = KvHeader { op: KvOp::Get, key, value: 0 };
+                let get = KvHeader {
+                    op: KvOp::Get,
+                    key,
+                    value: 0,
+                };
                 PacketBuilder::kv(client_addr(), server_addr(), &get).build()
             },
         );
@@ -306,14 +320,29 @@ mod tests {
             SimDuration::from_micros(50),
             20,
             move |_| {
-                let get = KvHeader { op: KvOp::Get, key: 0, value: 0 };
+                let get = KvHeader {
+                    op: KvOp::Get,
+                    key: 0,
+                    value: 0,
+                };
                 PacketBuilder::kv(client_addr(), server_addr(), &get).build()
             },
         );
-        sim.schedule_at(SimTime::from_millis(5), move |w: &mut Network, s: &mut Sim<Network>| {
-            let put = KvHeader { op: KvOp::Put, key: 0, value: 777 };
-            w.host_send(s, 0, PacketBuilder::kv(client_addr(), server_addr(), &put).build());
-        });
+        sim.schedule_at(
+            SimTime::from_millis(5),
+            move |w: &mut Network, s: &mut Sim<Network>| {
+                let put = KvHeader {
+                    op: KvOp::Put,
+                    key: 0,
+                    value: 777,
+                };
+                w.host_send(
+                    s,
+                    0,
+                    PacketBuilder::kv(client_addr(), server_addr(), &put).build(),
+                );
+            },
+        );
         run_until(&mut net, &mut sim, SimTime::from_millis(10));
         let prog = &net.switch_as::<EventSwitch<NetCacheSwitch>>(0).program;
         assert!(prog.contains(0));

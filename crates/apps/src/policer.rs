@@ -11,8 +11,8 @@
 //! `exp_policer` shows the accuracy cost of refill quantization — the
 //! customizability/fidelity trade-off the paper highlights.
 
-use edp_core::{EventActions, EventProgram};
 use edp_core::event::TimerEvent;
+use edp_core::{EventActions, EventProgram};
 use edp_evsim::SimTime;
 use edp_packet::{Packet, ParsedPacket};
 use edp_pisa::{Destination, PisaProgram, PortId, StdMeta};
@@ -37,7 +37,12 @@ pub struct TimerPolicer {
 impl TimerPolicer {
     /// Creates a policer for `rate_bytes_per_sec` refilled every
     /// `period_ns` with burst `burst_bytes`.
-    pub fn new(rate_bytes_per_sec: u64, period_ns: u64, burst_bytes: u64, out_port: PortId) -> Self {
+    pub fn new(
+        rate_bytes_per_sec: u64,
+        period_ns: u64,
+        burst_bytes: u64,
+        out_port: PortId,
+    ) -> Self {
         TimerPolicer {
             bucket: TimerTokenBucket::new(rate_bytes_per_sec, period_ns, burst_bytes),
             out_port,
@@ -151,14 +156,25 @@ pub fn compare_policers(timer_period_ns: u64, seed: u64) -> (f64, f64) {
             let sw = EventSwitch::new(TimerPolicer::new(RATE, timer_period_ns, BURST, 1), cfg);
             dumbbell(Box::new(sw), 1, 10_000_000_000, seed)
         } else {
-            let sw = BaselineSwitch::new(MeterPolicer::new(RATE, BURST, 1), 2, QueueConfig::default());
+            let sw =
+                BaselineSwitch::new(MeterPolicer::new(RATE, BURST, 1), 2, QueueConfig::default());
             dumbbell(Box::new(sw), 1, 10_000_000_000, seed)
         };
         let mut sim: Sim<Network> = Sim::new();
         let src = addr(1);
-        start_cbr(&mut sim, senders[0], SimTime::ZERO, SimDuration::from_micros(60), u64::MAX, move |i| {
-            PacketBuilder::udp(src, sink_addr(), 7, 8, &[]).ident(i as u16).pad_to(1500).build()
-        });
+        start_cbr(
+            &mut sim,
+            senders[0],
+            SimTime::ZERO,
+            SimDuration::from_micros(60),
+            u64::MAX,
+            move |i| {
+                PacketBuilder::udp(src, sink_addr(), 7, 8, &[])
+                    .ident(i as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
         run_until(&mut net, &mut sim, horizon);
         let got = net.hosts[sink].stats.rx_bytes as f64 / horizon.as_secs_f64();
         (got - RATE as f64).abs() / RATE as f64
@@ -217,7 +233,14 @@ mod tests {
         assert_eq!(p.red, 1);
         // Refills restore service.
         for _ in 0..2000 {
-            p.on_timer(&TimerEvent { timer_id: TIMER_REFILL, firing: 1 }, SimTime::ZERO, &mut EventActions::new());
+            p.on_timer(
+                &TimerEvent {
+                    timer_id: TIMER_REFILL,
+                    firing: 1,
+                },
+                SimTime::ZERO,
+                &mut EventActions::new(),
+            );
         }
         assert!(p.bucket.tokens() > 0);
     }

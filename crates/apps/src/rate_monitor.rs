@@ -7,8 +7,8 @@
 //! a timer event; a second timer samples the estimate into a time series
 //! so experiments can compare it against ground truth.
 
-use edp_core::{EventActions, EventProgram};
 use edp_core::event::TimerEvent;
+use edp_core::{EventActions, EventProgram};
 use edp_evsim::{SimTime, TimeSeries};
 use edp_packet::{Packet, ParsedPacket};
 use edp_pisa::{Destination, PortId, StdMeta};
@@ -35,7 +35,9 @@ impl RateMonitor {
     /// `n_buckets` × `bucket_ns`.
     pub fn new(n_flows: usize, n_buckets: usize, bucket_ns: u64, out_port: PortId) -> Self {
         RateMonitor {
-            windows: (0..n_flows).map(|_| WindowRate::new(n_buckets, bucket_ns)).collect(),
+            windows: (0..n_flows)
+                .map(|_| WindowRate::new(n_buckets, bucket_ns))
+                .collect(),
             samples: (0..n_flows).map(|_| TimeSeries::new()).collect(),
             out_port,
         }
@@ -97,7 +99,11 @@ mod tests {
         let cfg = EventSwitchConfig {
             n_ports: 3,
             timers: vec![
-                TimerSpec { id: TIMER_SHIFT, period: BUCKET, start: BUCKET },
+                TimerSpec {
+                    id: TIMER_SHIFT,
+                    period: BUCKET,
+                    start: BUCKET,
+                },
                 TimerSpec {
                     id: TIMER_SAMPLE,
                     period: SimDuration::from_millis(5),
@@ -106,10 +112,7 @@ mod tests {
             ],
             ..Default::default()
         };
-        let sw = EventSwitch::new(
-            RateMonitor::new(N_FLOWS, 8, BUCKET.as_nanos(), 2),
-            cfg,
-        );
+        let sw = EventSwitch::new(RateMonitor::new(N_FLOWS, 8, BUCKET.as_nanos(), 2), cfg);
         let (net, senders, _, _) = dumbbell(Box::new(sw), 2, 10_000_000_000, 41);
         (net, senders)
     }
@@ -124,20 +127,33 @@ mod tests {
         let mut sim: Sim<Network> = Sim::new();
         // 1000 B every 100 us = 80 Mb/s.
         let src = addr(1);
-        start_cbr(&mut sim, senders[0], SimTime::ZERO, SimDuration::from_micros(100), 1000, move |i| {
-            PacketBuilder::udp(src, sink_addr(), 10, 20, &[]).ident(i as u16).pad_to(1000).build()
-        });
+        start_cbr(
+            &mut sim,
+            senders[0],
+            SimTime::ZERO,
+            SimDuration::from_micros(100),
+            1000,
+            move |i| {
+                PacketBuilder::udp(src, sink_addr(), 10, 20, &[])
+                    .ident(i as u16)
+                    .pad_to(1000)
+                    .build()
+            },
+        );
         run_until(&mut net, &mut sim, SimTime::from_millis(90));
         let prog = &net.switch_as::<EventSwitch<RateMonitor>>(0).program;
         let s = &prog.samples[flow_slot(1, 10, 20)];
         assert!(!s.is_empty());
         // Steady-state samples (drop the first two while the window fills).
-        let steady: Vec<f64> = s.points().iter().skip(2).take(14).map(|&(_, v)| v).collect();
+        let steady: Vec<f64> = s
+            .points()
+            .iter()
+            .skip(2)
+            .take(14)
+            .map(|&(_, v)| v)
+            .collect();
         for (i, v) in steady.iter().enumerate() {
-            assert!(
-                (v - 80e6).abs() / 80e6 < 0.15,
-                "sample {i}: {v} vs 80 Mb/s"
-            );
+            assert!((v - 80e6).abs() / 80e6 < 0.15, "sample {i}: {v} vs 80 Mb/s");
         }
     }
 
@@ -158,7 +174,10 @@ mod tests {
             SimDuration::ZERO,
             SimTime::from_millis(100),
             move |i| {
-                PacketBuilder::udp(src, sink_addr(), 30, 40, &[]).ident(i as u16).pad_to(1000).build()
+                PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
+                    .ident(i as u16)
+                    .pad_to(1000)
+                    .build()
             },
         );
         run_until(&mut net, &mut sim, SimTime::from_millis(100));

@@ -18,8 +18,8 @@
 //! one flow delays every other flow by the whole burst; under STFQ the
 //! flows interleave by virtual time.
 
-use edp_core::{EventActions, EventProgram};
 use edp_core::event::DequeueEvent;
+use edp_core::{EventActions, EventProgram};
 use edp_evsim::SimTime;
 use edp_packet::{Packet, ParsedPacket};
 use edp_pisa::{Destination, PortId, RegisterArray, StdMeta};
@@ -93,10 +93,18 @@ mod tests {
     const HORIZON: SimTime = SimTime::from_millis(60);
 
     fn run(pifo: bool) -> Vec<f64> {
-        let disc = if pifo { QueueDisc::Pifo } else { QueueDisc::DropTailFifo };
+        let disc = if pifo {
+            QueueDisc::Pifo
+        } else {
+            QueueDisc::DropTailFifo
+        };
         let cfg = EventSwitchConfig {
             n_ports: 4,
-            queue: QueueConfig { capacity_bytes: 1_000_000, disc, ..QueueConfig::default() },
+            queue: QueueConfig {
+                capacity_bytes: 1_000_000,
+                disc,
+                ..QueueConfig::default()
+            },
             ..Default::default()
         };
         let sw = EventSwitch::new(StfqScheduler::new(64, 3), cfg);
@@ -106,20 +114,34 @@ mod tests {
         // t = 0 as a burst.
         for (i, &h) in senders.iter().take(2).enumerate() {
             let src = addr(i as u8 + 1);
-            start_cbr(&mut sim, h, SimTime::ZERO, SimDuration::from_micros(400), 120, move |s| {
-                PacketBuilder::udp(src, sink_addr(), 100 + i as u16, 9000, &[])
+            start_cbr(
+                &mut sim,
+                h,
+                SimTime::ZERO,
+                SimDuration::from_micros(400),
+                120,
+                move |s| {
+                    PacketBuilder::udp(src, sink_addr(), 100 + i as u16, 9000, &[])
+                        .ident(s as u16)
+                        .pad_to(1500)
+                        .build()
+                },
+            );
+        }
+        let src = addr(3);
+        start_burst(
+            &mut sim,
+            senders[2],
+            SimTime::ZERO,
+            120,
+            SimDuration::ZERO,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 300, 9000, &[])
                     .ident(s as u16)
                     .pad_to(1500)
                     .build()
-            });
-        }
-        let src = addr(3);
-        start_burst(&mut sim, senders[2], SimTime::ZERO, 120, SimDuration::ZERO, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 300, 9000, &[])
-                .ident(s as u16)
-                .pad_to(1500)
-                .build()
-        });
+            },
+        );
         run_until(&mut net, &mut sim, HORIZON);
         // Mean delivery latency per flow is the schedule-quality signal.
         (0..3)
@@ -161,13 +183,19 @@ mod tests {
     fn virtual_time_is_monotone_and_advances() {
         let cfg = EventSwitchConfig {
             n_ports: 2,
-            queue: QueueConfig { capacity_bytes: 1_000_000, disc: QueueDisc::Pifo, ..QueueConfig::default() },
+            queue: QueueConfig {
+                capacity_bytes: 1_000_000,
+                disc: QueueDisc::Pifo,
+                ..QueueConfig::default()
+            },
             ..Default::default()
         };
         let mut sw = EventSwitch::new(StfqScheduler::new(16, 1), cfg);
         let frame = |sp: u16| {
             Packet::anonymous(
-                PacketBuilder::udp(addr(1), addr(2), sp, 9, &[]).pad_to(500).build(),
+                PacketBuilder::udp(addr(1), addr(2), sp, 9, &[])
+                    .pad_to(500)
+                    .build(),
             )
         };
         for i in 0..20u16 {
@@ -190,7 +218,11 @@ mod tests {
         // is even (Jain ≈ 1).
         let cfg = EventSwitchConfig {
             n_ports: 4,
-            queue: QueueConfig { capacity_bytes: 40_000, disc: QueueDisc::Pifo, ..QueueConfig::default() },
+            queue: QueueConfig {
+                capacity_bytes: 40_000,
+                disc: QueueDisc::Pifo,
+                ..QueueConfig::default()
+            },
             ..Default::default()
         };
         let sw = EventSwitch::new(StfqScheduler::new(64, 3), cfg);

@@ -86,8 +86,7 @@ fn bench_tables(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i = (i + 1) & 1023;
-            let key =
-                [u32::from(Ipv4Addr::new(10, (i >> 8) as u8, (i & 0xff) as u8, 7)) as u64];
+            let key = [u32::from(Ipv4Addr::new(10, (i >> 8) as u8, (i & 0xff) as u8, 7)) as u64];
             lpm1k.lookup(black_box(&key)).copied()
         })
     });
@@ -250,12 +249,21 @@ fn bench_event_machinery(c: &mut Criterion) {
         let mut cycle = 0u64;
         b.iter(|| {
             cycle += 1;
-            m.push_event(cycle, Event::User(UserEvent { code: 1, args: [cycle, 0, 0, 0] }));
+            m.push_event(
+                cycle,
+                Event::User(UserEvent {
+                    code: 1,
+                    args: [cycle, 0, 0, 0],
+                }),
+            );
             m.packet_slot(cycle)
         })
     });
     g.bench_function("aggreg_op_and_fold", |b| {
-        let mut st = AggregatedState::new(AggregConfig { entries: 256, folds_per_idle_cycle: 1 });
+        let mut st = AggregatedState::new(AggregConfig {
+            entries: 256,
+            folds_per_idle_cycle: 1,
+        });
         let mut i = 0usize;
         b.iter(|| {
             i = (i + 13) % 256;

@@ -41,7 +41,10 @@ fn bench_switches(c: &mut Criterion) {
 
     g.bench_function("event_forward_noop_handlers", |b| {
         // Same program via the adapter: measures pure event-delivery cost.
-        let cfg = EventSwitchConfig { n_ports: 4, ..Default::default() };
+        let cfg = EventSwitchConfig {
+            n_ports: 4,
+            ..Default::default()
+        };
         let mut sw = EventSwitch::new(BaselineAdapter(ForwardTo(1)), cfg);
         let mut t = 0u64;
         b.iter(|| {
@@ -53,7 +56,10 @@ fn bench_switches(c: &mut Criterion) {
 
     g.bench_function("event_forward_microburst_program", |b| {
         // A real stateful program on every packet + enqueue + dequeue.
-        let cfg = EventSwitchConfig { n_ports: 4, ..Default::default() };
+        let cfg = EventSwitchConfig {
+            n_ports: 4,
+            ..Default::default()
+        };
         let mut sw = EventSwitch::new(MicroburstEvent::new(1024, 20_000, 1), cfg);
         let mut t = 0u64;
         b.iter(|| {

@@ -20,12 +20,19 @@ use edp_pisa::QueueConfig;
 const THRESH: u64 = 20_000;
 
 fn qc() -> QueueConfig {
-    QueueConfig { capacity_bytes: 400_000, ..QueueConfig::default() }
+    QueueConfig {
+        capacity_bytes: 400_000,
+        ..QueueConfig::default()
+    }
 }
 
 /// Runs many polite flows (+ optional burst); returns detection count.
 fn run_cms(width: usize, depth: usize, with_burst: bool) -> (usize, usize) {
-    let cfg = EventSwitchConfig { n_ports: 5, queue: qc(), ..Default::default() };
+    let cfg = EventSwitchConfig {
+        n_ports: 5,
+        queue: qc(),
+        ..Default::default()
+    };
     let sw = EventSwitch::new(MicroburstCms::new(width, depth, THRESH, 4), cfg);
     let (mut net, senders, _, _) = dumbbell(Box::new(sw), 4, 1_000_000_000, 9);
     let mut sim: Sim<Network> = Sim::new();
@@ -33,19 +40,36 @@ fn run_cms(width: usize, depth: usize, with_burst: bool) -> (usize, usize) {
     for (i, &h) in senders.iter().take(3).enumerate() {
         let src = addr(i as u8 + 1);
         for port in 0..8u16 {
-            start_cbr(&mut sim, h, SimTime::from_micros(port as u64 * 11), SimDuration::from_micros(400), 100, move |s| {
-                PacketBuilder::udp(src, sink_addr(), 1000 + port, 20, &[])
-                    .ident(s as u16)
-                    .pad_to(1500)
-                    .build()
-            });
+            start_cbr(
+                &mut sim,
+                h,
+                SimTime::from_micros(port as u64 * 11),
+                SimDuration::from_micros(400),
+                100,
+                move |s| {
+                    PacketBuilder::udp(src, sink_addr(), 1000 + port, 20, &[])
+                        .ident(s as u16)
+                        .pad_to(1500)
+                        .build()
+                },
+            );
         }
     }
     if with_burst {
         let src = addr(4);
-        start_burst(&mut sim, senders[3], SimTime::from_millis(5), 120, SimDuration::ZERO, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 30, 40, &[]).ident(s as u16).pad_to(1500).build()
-        });
+        start_burst(
+            &mut sim,
+            senders[3],
+            SimTime::from_millis(5),
+            120,
+            SimDuration::ZERO,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
+                    .ident(s as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
     }
     run_until(&mut net, &mut sim, SimTime::from_millis(40));
     let prog = &net.switch_as::<EventSwitch<MicroburstCms>>(0).program;
@@ -53,26 +77,47 @@ fn run_cms(width: usize, depth: usize, with_burst: bool) -> (usize, usize) {
 }
 
 fn run_exact(with_burst: bool) -> (usize, usize) {
-    let cfg = EventSwitchConfig { n_ports: 5, queue: qc(), ..Default::default() };
+    let cfg = EventSwitchConfig {
+        n_ports: 5,
+        queue: qc(),
+        ..Default::default()
+    };
     let sw = EventSwitch::new(MicroburstEvent::new(256, THRESH, 4), cfg);
     let (mut net, senders, _, _) = dumbbell(Box::new(sw), 4, 1_000_000_000, 9);
     let mut sim: Sim<Network> = Sim::new();
     for (i, &h) in senders.iter().take(3).enumerate() {
         let src = addr(i as u8 + 1);
         for port in 0..8u16 {
-            start_cbr(&mut sim, h, SimTime::from_micros(port as u64 * 11), SimDuration::from_micros(400), 100, move |s| {
-                PacketBuilder::udp(src, sink_addr(), 1000 + port, 20, &[])
-                    .ident(s as u16)
-                    .pad_to(1500)
-                    .build()
-            });
+            start_cbr(
+                &mut sim,
+                h,
+                SimTime::from_micros(port as u64 * 11),
+                SimDuration::from_micros(400),
+                100,
+                move |s| {
+                    PacketBuilder::udp(src, sink_addr(), 1000 + port, 20, &[])
+                        .ident(s as u16)
+                        .pad_to(1500)
+                        .build()
+                },
+            );
         }
     }
     if with_burst {
         let src = addr(4);
-        start_burst(&mut sim, senders[3], SimTime::from_millis(5), 120, SimDuration::ZERO, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 30, 40, &[]).ident(s as u16).pad_to(1500).build()
-        });
+        start_burst(
+            &mut sim,
+            senders[3],
+            SimTime::from_millis(5),
+            120,
+            SimDuration::ZERO,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
+                    .ident(s as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
     }
     run_until(&mut net, &mut sim, SimTime::from_millis(40));
     let prog = &net.switch_as::<EventSwitch<MicroburstEvent>>(0).program;
@@ -92,7 +137,10 @@ fn main() {
     );
     let (d_burst, words) = run_exact(true);
     let (d_clean, _) = run_exact(false);
-    println!("{:>16} {:>12} {:>16} {:>16}", "exact 256-entry", words, d_burst, d_clean);
+    println!(
+        "{:>16} {:>12} {:>16} {:>16}",
+        "exact 256-entry", words, d_burst, d_clean
+    );
     for &(w, d) in &[(256usize, 4usize), (64, 4), (32, 2), (8, 2), (4, 1)] {
         let (det_b, words) = run_cms(w, d, true);
         let (det_c, _) = run_cms(w, d, false);

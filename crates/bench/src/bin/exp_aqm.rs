@@ -21,7 +21,10 @@ const N: usize = 4;
 const HORIZON: SimTime = SimTime::from_millis(100);
 
 fn qc() -> QueueConfig {
-    QueueConfig { capacity_bytes: CAPACITY, ..QueueConfig::default() }
+    QueueConfig {
+        capacity_bytes: CAPACITY,
+        ..QueueConfig::default()
+    }
 }
 
 /// Returns (per-flow goodputs, mean occupancy from data-plane reports).
@@ -40,7 +43,12 @@ fn run(fair: bool, hog_interval_us: u64) -> (Vec<f64>, f64) {
         let sw = EventSwitch::new(FredAqm::new(64, CAPACITY, 2000, 4), cfg);
         dumbbell(Box::new(sw), N, BOTTLENECK, 31)
     } else {
-        dumbbell(Box::new(BaselineSwitch::new(ForwardTo(4), 5, qc())), N, BOTTLENECK, 31)
+        dumbbell(
+            Box::new(BaselineSwitch::new(ForwardTo(4), 5, qc())),
+            N,
+            BOTTLENECK,
+            31,
+        )
     };
     let mut sim: Sim<Network> = Sim::new();
     for (i, &h) in senders.iter().enumerate() {
@@ -52,7 +60,10 @@ fn run(fair: bool, hog_interval_us: u64) -> (Vec<f64>, f64) {
             SimDuration::from_micros(300)
         };
         start_cbr(&mut sim, h, SimTime::ZERO, interval, u64::MAX, move |s| {
-            PacketBuilder::udp(src, sink_addr(), port, 9000, &[]).ident(s as u16).pad_to(1500).build()
+            PacketBuilder::udp(src, sink_addr(), port, 9000, &[])
+                .ident(s as u16)
+                .pad_to(1500)
+                .build()
         });
     }
     run_until(&mut net, &mut sim, HORIZON);

@@ -27,24 +27,46 @@ struct Outcome {
 
 fn run(period: SimDuration, via_timer: bool) -> Outcome {
     let timers = if via_timer {
-        vec![TimerSpec { id: 0, period, start: period }]
+        vec![TimerSpec {
+            id: 0,
+            period,
+            start: period,
+        }]
     } else {
         vec![]
     };
-    let cfg = EventSwitchConfig { n_ports: 2, timers, ..Default::default() };
+    let cfg = EventSwitchConfig {
+        n_ports: 2,
+        timers,
+        ..Default::default()
+    };
     let sw = EventSwitch::new(CmsMonitor::new(512, 4, 1), cfg);
     let (mut net, senders, _, _) = dumbbell(Box::new(sw), 1, 10_000_000_000, 13);
     let mut sim: Sim<Network> = Sim::new();
     if !via_timer {
-        sim.schedule_periodic(SimTime::ZERO + period, period, move |w: &mut Network, s: &mut Sim<Network>| {
-            w.control_plane_send(s, CP_LATENCY, 0, CP_OP_RESET, [0; 4]);
-            Periodic::Continue
-        });
+        sim.schedule_periodic(
+            SimTime::ZERO + period,
+            period,
+            move |w: &mut Network, s: &mut Sim<Network>| {
+                w.control_plane_send(s, CP_LATENCY, 0, CP_OP_RESET, [0; 4]);
+                Periodic::Continue
+            },
+        );
     }
     let src = addr(1);
-    start_cbr(&mut sim, senders[0], SimTime::ZERO, SimDuration::from_micros(10), u64::MAX, move |i| {
-        PacketBuilder::udp(src, sink_addr(), 1, 2, &[]).ident(i as u16).pad_to(600).build()
-    });
+    start_cbr(
+        &mut sim,
+        senders[0],
+        SimTime::ZERO,
+        SimDuration::from_micros(10),
+        u64::MAX,
+        move |i| {
+            PacketBuilder::udp(src, sink_addr(), 1, 2, &[])
+                .ident(i as u16)
+                .pad_to(600)
+                .build()
+        },
+    );
     run_until(&mut net, &mut sim, HORIZON);
     let prog = &net.switch_as::<EventSwitch<CmsMonitor>>(0).program;
     Outcome {

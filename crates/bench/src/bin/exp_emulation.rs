@@ -72,7 +72,13 @@ fn run_native(load: f64, events_per_100: u32, cycles: u64, seed: u64) -> (u64, u
         ev_budget += events_per_100;
         while ev_budget >= 100 {
             ev_budget -= 100;
-            m.push_event(c, Event::User(UserEvent { code: 0, args: [0; 4] }));
+            m.push_event(
+                c,
+                Event::User(UserEvent {
+                    code: 0,
+                    args: [0; 4],
+                }),
+            );
         }
     }
     (fwd, delivered, 0)
@@ -101,7 +107,10 @@ fn main() {
             e_fwd,
             e_def,
             n_fwd,
-            format!("{}%", f2(100.0 * (n_fwd as f64 - e_fwd as f64) / n_fwd as f64)),
+            format!(
+                "{}%",
+                f2(100.0 * (n_fwd as f64 - e_fwd as f64) / n_fwd as f64)
+            ),
         );
     }
     footnote(

@@ -40,13 +40,19 @@ fn diamond(sw_a: Box<dyn SwitchHarness>) -> (Network, usize, usize, usize) {
 fn send(sim: &mut Sim<Network>, sender: usize) {
     let src = addr(1);
     start_cbr(sim, sender, SimTime::ZERO, INTERVAL, PKTS, move |i| {
-        PacketBuilder::udp(src, addr(9), 1, 2, &[]).ident(i as u16).pad_to(500).build()
+        PacketBuilder::udp(src, addr(9), 1, 2, &[])
+            .ident(i as u16)
+            .pad_to(500)
+            .build()
     });
 }
 
 fn run(event: bool, cp_latency: SimDuration) -> (u64, Option<SimTime>) {
     let (mut net, sender, sink, primary) = if event {
-        let cfg = EventSwitchConfig { n_ports: 3, ..Default::default() };
+        let cfg = EventSwitchConfig {
+            n_ports: 3,
+            ..Default::default()
+        };
         diamond(Box::new(EventSwitch::new(FrrEvent::new(1, 2), cfg)))
     } else {
         diamond(Box::new(BaselineSwitch::new(
@@ -65,7 +71,10 @@ fn run(event: bool, cp_latency: SimDuration) -> (u64, Option<SimTime>) {
     send(&mut sim, sender);
     run_until(&mut net, &mut sim, SimTime::from_millis(60));
     let failover = if event {
-        net.switch_as::<EventSwitch<FrrEvent>>(0).program.stats.failover_at
+        net.switch_as::<EventSwitch<FrrEvent>>(0)
+            .program
+            .stats
+            .failover_at
     } else {
         net.switch_as::<BaselineSwitch<FrrBaseline>>(0)
             .program
@@ -79,7 +88,12 @@ fn main() {
     println!("primary link fails at {FAIL_AT}; one 500 B packet per {INTERVAL} ({PKTS} total)");
     table_header(
         "fast re-route: packets lost during failover",
-        &[("variant", 26), ("CP latency", 11), ("lost", 6), ("failover at", 12)],
+        &[
+            ("variant", 26),
+            ("CP latency", 11),
+            ("lost", 6),
+            ("failover at", 12),
+        ],
     );
     let (lost, at) = run(true, SimDuration::ZERO);
     println!(

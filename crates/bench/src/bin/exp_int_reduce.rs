@@ -18,34 +18,61 @@ const HORIZON: SimTime = SimTime::from_millis(100);
 const THRESH: u64 = 30_000;
 
 fn qc() -> QueueConfig {
-    QueueConfig { capacity_bytes: 150_000, ..QueueConfig::default() }
+    QueueConfig {
+        capacity_bytes: 150_000,
+        ..QueueConfig::default()
+    }
 }
 
 fn drive(net: &mut Network, sim: &mut Sim<Network>, senders: &[usize]) {
     for (i, &h) in senders.iter().take(2).enumerate() {
         let src = addr(i as u8 + 1);
-        start_cbr(sim, h, SimTime::ZERO, SimDuration::from_micros(50), 1800, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
-                .ident(s as u16)
-                .pad_to(1000)
-                .build()
-        });
+        start_cbr(
+            sim,
+            h,
+            SimTime::ZERO,
+            SimDuration::from_micros(50),
+            1800,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
+                    .ident(s as u16)
+                    .pad_to(1000)
+                    .build()
+            },
+        );
     }
     let src = addr(3);
-    start_burst(sim, senders[2], SimTime::from_millis(50), 80, SimDuration::ZERO, move |s| {
-        PacketBuilder::udp(src, sink_addr(), 30, 40, &[]).ident(s as u16).pad_to(1500).build()
-    });
+    start_burst(
+        sim,
+        senders[2],
+        SimTime::from_millis(50),
+        80,
+        SimDuration::ZERO,
+        move |s| {
+            PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
+                .ident(s as u16)
+                .pad_to(1500)
+                .build()
+        },
+    );
     run_until(net, sim, HORIZON);
 }
 
 fn main() {
     // Baseline firehose.
-    let cfg = EventSwitchConfig { n_ports: 4, queue: qc(), ..Default::default() };
+    let cfg = EventSwitchConfig {
+        n_ports: 4,
+        queue: qc(),
+        ..Default::default()
+    };
     let sw = EventSwitch::new(IntPerPacket::new(3), cfg);
     let (mut net, senders, _, _) = dumbbell(Box::new(sw), 3, 400_000_000, 121);
     let mut sim: Sim<Network> = Sim::new();
     drive(&mut net, &mut sim, &senders);
-    let raw = net.switch_as::<EventSwitch<IntPerPacket>>(0).program.reports;
+    let raw = net
+        .switch_as::<EventSwitch<IntPerPacket>>(0)
+        .program
+        .reports;
     println!("per-packet INT reports over {HORIZON}: {raw}");
 
     table_header(
@@ -63,7 +90,11 @@ fn main() {
         let cfg = EventSwitchConfig {
             n_ports: 4,
             queue: qc(),
-            timers: vec![TimerSpec { id: TIMER_WINDOW, period: window, start: window }],
+            timers: vec![TimerSpec {
+                id: TIMER_WINDOW,
+                period: window,
+                start: window,
+            }],
             ..Default::default()
         };
         let sw = EventSwitch::new(IntReduced::new(3, 4, 64, THRESH), cfg);

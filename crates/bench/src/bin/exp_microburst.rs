@@ -19,26 +19,43 @@ const N_FLOWS: usize = 256;
 const BURST_AT: SimTime = SimTime::from_millis(2);
 
 fn qc() -> QueueConfig {
-    QueueConfig { capacity_bytes: 400_000, ..QueueConfig::default() }
+    QueueConfig {
+        capacity_bytes: 400_000,
+        ..QueueConfig::default()
+    }
 }
 
 fn workload(sim: &mut Sim<Network>, senders: &[usize], burst_pkts: u64) {
     for (i, &h) in senders.iter().take(2).enumerate() {
         let src = addr(i as u8 + 1);
-        start_cbr(sim, h, SimTime::ZERO, SimDuration::from_micros(150), 250, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
+        start_cbr(
+            sim,
+            h,
+            SimTime::ZERO,
+            SimDuration::from_micros(150),
+            250,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
+                    .ident(s as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
+    }
+    let src = addr(3);
+    start_burst(
+        sim,
+        senders[2],
+        BURST_AT,
+        burst_pkts,
+        SimDuration::ZERO,
+        move |s| {
+            PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
                 .ident(s as u16)
                 .pad_to(1500)
                 .build()
-        });
-    }
-    let src = addr(3);
-    start_burst(sim, senders[2], BURST_AT, burst_pkts, SimDuration::ZERO, move |s| {
-        PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
-            .ident(s as u16)
-            .pad_to(1500)
-            .build()
-    });
+        },
+    );
 }
 
 struct Outcome {
@@ -49,7 +66,11 @@ struct Outcome {
 
 fn run(event: bool, burst_pkts: u64) -> Outcome {
     if event {
-        let cfg = EventSwitchConfig { n_ports: 4, queue: qc(), ..Default::default() };
+        let cfg = EventSwitchConfig {
+            n_ports: 4,
+            queue: qc(),
+            ..Default::default()
+        };
         let sw = EventSwitch::new(MicroburstEvent::new(N_FLOWS, THRESH, 3), cfg);
         let (mut net, senders, _, _) = dumbbell(Box::new(sw), 3, 1_000_000_000, 2);
         let mut sim: Sim<Network> = Sim::new();
@@ -82,9 +103,12 @@ fn run(event: bool, burst_pkts: u64) -> Outcome {
 fn main() {
     let ev0 = run(true, 0);
     let base0 = run(false, 0);
-    println!("state: event-driven {} words, baseline {} words ({}x reduction)",
-        ev0.state_words, base0.state_words,
-        base0.state_words / ev0.state_words);
+    println!(
+        "state: event-driven {} words, baseline {} words ({}x reduction)",
+        ev0.state_words,
+        base0.state_words,
+        base0.state_words / ev0.state_words
+    );
     println!("threshold {THRESH} B, burst at {BURST_AT}, detection measured from burst start");
 
     table_header(
@@ -102,12 +126,18 @@ fn main() {
         let ev = run(true, burst);
         let base = run(false, burst);
         let fmt = |d: &Option<Detection>| match d {
-            Some(d) => format!("{:.1}", d.at.saturating_since(BURST_AT).as_nanos() as f64 / 1000.0),
+            Some(d) => format!(
+                "{:.1}",
+                d.at.saturating_since(BURST_AT).as_nanos() as f64 / 1000.0
+            ),
             None => "-".into(),
         };
         let lead = match (&ev.first, &base.first) {
             (Some(e), Some(b)) => {
-                format!("{:.1}", b.at.saturating_since(e.at).as_nanos() as f64 / 1000.0)
+                format!(
+                    "{:.1}",
+                    b.at.saturating_since(e.at).as_nanos() as f64 / 1000.0
+                )
             }
             _ => "-".into(),
         };

@@ -46,15 +46,35 @@ fn run(trim: bool, burst: u64) -> (u64, u64, u64) {
         ..Default::default()
     };
     let (mut net, senders, sink, _) = if trim {
-        dumbbell(Box::new(EventSwitch::new(NdpTrim::new(1), cfg)), 1, 100_000_000, 95)
+        dumbbell(
+            Box::new(EventSwitch::new(NdpTrim::new(1), cfg)),
+            1,
+            100_000_000,
+            95,
+        )
     } else {
-        dumbbell(Box::new(EventSwitch::new(NoTrim(NdpTrim::new(1)), cfg)), 1, 100_000_000, 95)
+        dumbbell(
+            Box::new(EventSwitch::new(NoTrim(NdpTrim::new(1)), cfg)),
+            1,
+            100_000_000,
+            95,
+        )
     };
     let mut sim: Sim<Network> = Sim::new();
     let src = addr(1);
-    start_burst(&mut sim, senders[0], SimTime::ZERO, burst, SimDuration::ZERO, move |i| {
-        PacketBuilder::udp(src, sink_addr(), 40, 50, &[]).ident(i as u16).pad_to(1500).build()
-    });
+    start_burst(
+        &mut sim,
+        senders[0],
+        SimTime::ZERO,
+        burst,
+        SimDuration::ZERO,
+        move |i| {
+            PacketBuilder::udp(src, sink_addr(), 40, 50, &[])
+                .ident(i as u16)
+                .pad_to(1500)
+                .build()
+        },
+    );
     run_until(&mut net, &mut sim, SimTime::from_millis(100));
     let delivered = net.hosts[sink].stats.rx_pkts;
     let (trimmed, lost) = if trim {

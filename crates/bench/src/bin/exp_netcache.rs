@@ -39,7 +39,10 @@ fn build(reset_stats: bool, capacity: usize) -> (Network, usize, usize) {
     let client = net.add_host(Host::new(client_addr(), HostApp::Sink));
     let server = net.add_host(Host::new(
         server_addr(),
-        HostApp::KvServer { store: (0..2000u64).map(|k| (k, k * 3)).collect(), served: 0 },
+        HostApp::KvServer {
+            store: (0..2000u64).map(|k| (k, k * 3)).collect(),
+            served: 0,
+        },
     ));
     let spec = LinkSpec::ten_gig(SimDuration::from_micros(2));
     net.connect((NodeRef::Host(client), 0), (NodeRef::Switch(sw), 0), spec);
@@ -47,14 +50,37 @@ fn build(reset_stats: bool, capacity: usize) -> (Network, usize, usize) {
     (net, client, server)
 }
 
-fn gets(sim: &mut Sim<Network>, client: usize, start: SimTime, n: u64, s: f64, offset: u64, seed: u64) {
+fn gets(
+    sim: &mut Sim<Network>,
+    client: usize,
+    start: SimTime,
+    n: u64,
+    s: f64,
+    offset: u64,
+    seed: u64,
+) {
     let zipf = Zipf::new(200, s);
     let mut rng = SimRng::seed_from_u64(seed);
-    edp_netsim::traffic::start_cbr(sim, client, start, SimDuration::from_micros(20), n, move |_| {
-        let key = zipf.sample(&mut rng) as u64 + offset;
-        PacketBuilder::kv(client_addr(), server_addr(), &KvHeader { op: KvOp::Get, key, value: 0 })
+    edp_netsim::traffic::start_cbr(
+        sim,
+        client,
+        start,
+        SimDuration::from_micros(20),
+        n,
+        move |_| {
+            let key = zipf.sample(&mut rng) as u64 + offset;
+            PacketBuilder::kv(
+                client_addr(),
+                server_addr(),
+                &KvHeader {
+                    op: KvOp::Get,
+                    key,
+                    value: 0,
+                },
+            )
             .build()
-    });
+        },
+    );
 }
 
 fn server_load(net: &Network, server: usize) -> u64 {
@@ -67,7 +93,12 @@ fn server_load(net: &Network, server: usize) -> u64 {
 fn main() {
     table_header(
         "server load shed vs workload skew (5000 GETs, 8-entry cache)",
-        &[("zipf s", 7), ("hit rate", 9), ("server GETs", 12), ("load shed %", 12)],
+        &[
+            ("zipf s", 7),
+            ("hit rate", 9),
+            ("server GETs", 12),
+            ("load shed %", 12),
+        ],
     );
     for &s in &[0.0, 0.5, 0.9, 1.2] {
         let (mut net, client, server) = build(true, 8);
@@ -86,15 +117,31 @@ fn main() {
 
     table_header(
         "adaptation to a hot-set shift (phase 2 hits; paper's timer-reset claim)",
-        &[("stats reset", 12), ("phase1 hits", 12), ("phase2 hits", 12), ("phase2 rate", 12)],
+        &[
+            ("stats reset", 12),
+            ("phase1 hits", 12),
+            ("phase2 hits", 12),
+            ("phase2 rate", 12),
+        ],
     );
     for &reset in &[true, false] {
         let (mut net, client, _server) = build(reset, 8);
         let mut sim: Sim<Network> = Sim::new();
         gets(&mut sim, client, SimTime::ZERO, 3000, 0.9, 0, 7);
-        gets(&mut sim, client, SimTime::from_millis(70), 3000, 0.9, 1000, 8);
+        gets(
+            &mut sim,
+            client,
+            SimTime::from_millis(70),
+            3000,
+            0.9,
+            1000,
+            8,
+        );
         run_until(&mut net, &mut sim, SimTime::from_millis(70));
-        let p1 = net.switch_as::<EventSwitch<NetCacheSwitch>>(0).program.cache_hits;
+        let p1 = net
+            .switch_as::<EventSwitch<NetCacheSwitch>>(0)
+            .program
+            .cache_hits;
         run_until(&mut net, &mut sim, SimTime::from_millis(200));
         let prog = &net.switch_as::<EventSwitch<NetCacheSwitch>>(0).program;
         let p2 = prog.cache_hits - p1;

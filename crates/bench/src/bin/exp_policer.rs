@@ -31,7 +31,11 @@ fn main() {
             f2(timer_err * 100.0),
             f2(meter_err * 100.0),
             quantum,
-            if quantum > 15_000 { "YES (cliff)" } else { "no" },
+            if quantum > 15_000 {
+                "YES (cliff)"
+            } else {
+                "no"
+            },
         );
     }
     footnote(

@@ -19,10 +19,18 @@ const HORIZON: SimTime = SimTime::from_millis(60);
 
 /// Returns per-flow mean latency (µs): [steady0, steady1, burst].
 fn run(pifo: bool, burst_pkts: u64) -> Vec<f64> {
-    let disc = if pifo { QueueDisc::Pifo } else { QueueDisc::DropTailFifo };
+    let disc = if pifo {
+        QueueDisc::Pifo
+    } else {
+        QueueDisc::DropTailFifo
+    };
     let cfg = EventSwitchConfig {
         n_ports: 4,
-        queue: QueueConfig { capacity_bytes: 1_000_000, disc, ..QueueConfig::default() },
+        queue: QueueConfig {
+            capacity_bytes: 1_000_000,
+            disc,
+            ..QueueConfig::default()
+        },
         ..Default::default()
     };
     let sw = EventSwitch::new(StfqScheduler::new(64, 3), cfg);
@@ -30,17 +38,34 @@ fn run(pifo: bool, burst_pkts: u64) -> Vec<f64> {
     let mut sim: Sim<Network> = Sim::new();
     for (i, &h) in senders.iter().take(2).enumerate() {
         let src = addr(i as u8 + 1);
-        start_cbr(&mut sim, h, SimTime::ZERO, SimDuration::from_micros(400), 120, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 100 + i as u16, 9000, &[])
+        start_cbr(
+            &mut sim,
+            h,
+            SimTime::ZERO,
+            SimDuration::from_micros(400),
+            120,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 100 + i as u16, 9000, &[])
+                    .ident(s as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
+    }
+    let src = addr(3);
+    start_burst(
+        &mut sim,
+        senders[2],
+        SimTime::ZERO,
+        burst_pkts,
+        SimDuration::ZERO,
+        move |s| {
+            PacketBuilder::udp(src, sink_addr(), 300, 9000, &[])
                 .ident(s as u16)
                 .pad_to(1500)
                 .build()
-        });
-    }
-    let src = addr(3);
-    start_burst(&mut sim, senders[2], SimTime::ZERO, burst_pkts, SimDuration::ZERO, move |s| {
-        PacketBuilder::udp(src, sink_addr(), 300, 9000, &[]).ident(s as u16).pad_to(1500).build()
-    });
+        },
+    );
     run_until(&mut net, &mut sim, HORIZON);
     (0..3)
         .map(|i| {
@@ -62,7 +87,9 @@ fn run(pifo: bool, burst_pkts: u64) -> Vec<f64> {
 }
 
 fn main() {
-    println!("2 steady flows (30 Mb/s each) + 1 burst flow into 100 Mb/s; PIFO rank = STFQ start tag");
+    println!(
+        "2 steady flows (30 Mb/s each) + 1 burst flow into 100 Mb/s; PIFO rank = STFQ start tag"
+    );
     table_header(
         "steady-flow mean latency (us) vs burst size: FIFO vs STFQ/PIFO",
         &[

@@ -22,7 +22,11 @@ fn build() -> (Network, Vec<usize>) {
     let cfg = EventSwitchConfig {
         n_ports: 3,
         timers: vec![
-            TimerSpec { id: TIMER_SHIFT, period: BUCKET, start: BUCKET },
+            TimerSpec {
+                id: TIMER_SHIFT,
+                period: BUCKET,
+                start: BUCKET,
+            },
             TimerSpec {
                 id: TIMER_SAMPLE,
                 period: SimDuration::from_millis(5),
@@ -50,9 +54,19 @@ fn main() {
         let (mut net, senders) = build();
         let mut sim: Sim<Network> = Sim::new();
         let src = addr(1);
-        start_cbr(&mut sim, senders[0], SimTime::ZERO, SimDuration::from_micros(interval_us), u64::MAX, move |i| {
-            PacketBuilder::udp(src, sink_addr(), 10, 20, &[]).ident(i as u16).pad_to(pkt_len).build()
-        });
+        start_cbr(
+            &mut sim,
+            senders[0],
+            SimTime::ZERO,
+            SimDuration::from_micros(interval_us),
+            u64::MAX,
+            move |i| {
+                PacketBuilder::udp(src, sink_addr(), 10, 20, &[])
+                    .ident(i as u16)
+                    .pad_to(pkt_len)
+                    .build()
+            },
+        );
         run_until(&mut net, &mut sim, SimTime::from_millis(100));
         let truth = pkt_len as f64 * 8.0 * 1e6 / interval_us as f64;
         let slot = FlowKey::new(addr(1), sink_addr(), IpProto::Udp, 10, 20).index(N_FLOWS);
@@ -75,7 +89,12 @@ fn main() {
 
     table_header(
         "bursty flow (20 pkts per burst, 1000 B): average rate",
-        &[("burst period", 13), ("true Mb/s", 10), ("measured Mb/s", 14), ("error %", 8)],
+        &[
+            ("burst period", 13),
+            ("true Mb/s", 10),
+            ("measured Mb/s", 14),
+            ("error %", 8),
+        ],
     );
     for &period_ms in &[3u64, 7, 13] {
         let (mut net, senders) = build();
@@ -90,7 +109,10 @@ fn main() {
             SimDuration::ZERO,
             SimTime::from_millis(100),
             move |i| {
-                PacketBuilder::udp(src, sink_addr(), 30, 40, &[]).ident(i as u16).pad_to(1000).build()
+                PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
+                    .ident(i as u16)
+                    .pad_to(1000)
+                    .build()
             },
         );
         run_until(&mut net, &mut sim, SimTime::from_millis(100));

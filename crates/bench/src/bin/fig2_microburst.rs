@@ -20,7 +20,10 @@ use edp_pisa::QueueConfig;
 fn main() {
     let cfg = EventSwitchConfig {
         n_ports: 4,
-        queue: QueueConfig { capacity_bytes: 300_000, ..QueueConfig::default() },
+        queue: QueueConfig {
+            capacity_bytes: 300_000,
+            ..QueueConfig::default()
+        },
         ..Default::default()
     };
     let sw = EventSwitch::new(MicroburstEvent::new(256, 20_000, 3), cfg);
@@ -28,17 +31,34 @@ fn main() {
     let mut sim: Sim<Network> = Sim::new();
     for (i, &h) in senders.iter().take(2).enumerate() {
         let src = addr(i as u8 + 1);
-        start_cbr(&mut sim, h, SimTime::ZERO, SimDuration::from_micros(120), 400, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
+        start_cbr(
+            &mut sim,
+            h,
+            SimTime::ZERO,
+            SimDuration::from_micros(120),
+            400,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
+                    .ident(s as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
+    }
+    let src = addr(3);
+    start_burst(
+        &mut sim,
+        senders[2],
+        SimTime::from_millis(3),
+        100,
+        SimDuration::ZERO,
+        move |s| {
+            PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
                 .ident(s as u16)
                 .pad_to(1500)
                 .build()
-        });
-    }
-    let src = addr(3);
-    start_burst(&mut sim, senders[2], SimTime::from_millis(3), 100, SimDuration::ZERO, move |s| {
-        PacketBuilder::udp(src, sink_addr(), 30, 40, &[]).ident(s as u16).pad_to(1500).build()
-    });
+        },
+    );
     run_until(&mut net, &mut sim, SimTime::from_millis(60));
 
     let sw = net.switch_as::<EventSwitch<MicroburstEvent>>(0);
@@ -47,12 +67,28 @@ fn main() {
 
     table_header(
         "Figure 2: logical pipelines of microburst.p4 (one run)",
-        &[("logical pipeline", 18), ("invocations", 12), ("shared-reg ops", 15)],
+        &[
+            ("logical pipeline", 18),
+            ("invocations", 12),
+            ("shared-reg ops", 15),
+        ],
     );
     let rows = [
-        ("ingress packet", counters.get(EventKind::IngressPacket), prog.buf_size.accesses_by(Accessor::Packet)),
-        ("enqueue", counters.get(EventKind::BufferEnqueue), prog.buf_size.accesses_by(Accessor::Enqueue)),
-        ("dequeue", counters.get(EventKind::BufferDequeue), prog.buf_size.accesses_by(Accessor::Dequeue)),
+        (
+            "ingress packet",
+            counters.get(EventKind::IngressPacket),
+            prog.buf_size.accesses_by(Accessor::Packet),
+        ),
+        (
+            "enqueue",
+            counters.get(EventKind::BufferEnqueue),
+            prog.buf_size.accesses_by(Accessor::Enqueue),
+        ),
+        (
+            "dequeue",
+            counters.get(EventKind::BufferDequeue),
+            prog.buf_size.accesses_by(Accessor::Dequeue),
+        ),
     ];
     for (name, inv, ops) in rows {
         println!("{name:>18} {inv:>12} {ops:>15}");

@@ -33,7 +33,10 @@ fn main() {
     // sequential run).
     let speedups = vec![1.0, 1.02, 1.05, 1.1, 1.25, 1.5, 2.0];
     let reports: Vec<StalenessReport> = sweep(speedups.clone(), default_threads(), |speedup| {
-        let cfg = AggregConfig { entries: ENTRIES, folds_per_idle_cycle: 1 };
+        let cfg = AggregConfig {
+            entries: ENTRIES,
+            folds_per_idle_cycle: 1,
+        };
         run_staleness_experiment(cfg, speedup, PACKETS, |p| (p % ENTRIES as u64) as usize)
     });
     for (speedup, r) in speedups.iter().zip(&reports) {
@@ -49,10 +52,17 @@ fn main() {
 
     table_header(
         "ablation: idle-cycle fold budget at speedup 1.1",
-        &[("folds/idle", 11), ("max stale (B)", 14), ("mean stale (B)", 15)],
+        &[
+            ("folds/idle", 11),
+            ("max stale (B)", 14),
+            ("mean stale (B)", 15),
+        ],
     );
     for &folds in &[1usize, 2, 4, 8, 16] {
-        let cfg = AggregConfig { entries: ENTRIES, folds_per_idle_cycle: folds };
+        let cfg = AggregConfig {
+            entries: ENTRIES,
+            folds_per_idle_cycle: folds,
+        };
         let r = run_staleness_experiment(cfg, 1.1, PACKETS, |p| (p % ENTRIES as u64) as usize);
         println!(
             "{:>11} {:>14} {:>15}",
@@ -64,10 +74,17 @@ fn main() {
 
     table_header(
         "skewed workload (all ops hit one entry) at folds = 1",
-        &[("speedup", 8), ("max stale (B)", 14), ("mean stale (B)", 15)],
+        &[
+            ("speedup", 8),
+            ("max stale (B)", 14),
+            ("mean stale (B)", 15),
+        ],
     );
     for &speedup in &[1.0, 1.1, 1.5] {
-        let cfg = AggregConfig { entries: ENTRIES, folds_per_idle_cycle: 1 };
+        let cfg = AggregConfig {
+            entries: ENTRIES,
+            folds_per_idle_cycle: 1,
+        };
         let r = run_staleness_experiment(cfg, speedup, PACKETS, |_| 0);
         println!(
             "{:>8} {:>14} {:>15}",

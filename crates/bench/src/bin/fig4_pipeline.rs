@@ -31,9 +31,15 @@ fn run(load: f64, events_per_100: u32, cycles: u64, seed: u64) -> (f64, f64, u64
             m.push_event(
                 c,
                 if c % 2 == 0 {
-                    Event::Timer(TimerEvent { timer_id: 0, firing: c })
+                    Event::Timer(TimerEvent {
+                        timer_id: 0,
+                        firing: c,
+                    })
                 } else {
-                    Event::User(UserEvent { code: 1, args: [c, 0, 0, 0] })
+                    Event::User(UserEvent {
+                        code: 1,
+                        args: [c, 0, 0, 0],
+                    })
                 },
             );
         }

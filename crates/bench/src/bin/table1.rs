@@ -59,7 +59,10 @@ impl EventProgram for Exerciser {
 fn main() {
     let cfg = EventSwitchConfig {
         n_ports: 2,
-        queue: QueueConfig { capacity_bytes: 600, ..QueueConfig::default() },
+        queue: QueueConfig {
+            capacity_bytes: 600,
+            ..QueueConfig::default()
+        },
         timers: vec![TimerSpec {
             id: 0,
             period: SimDuration::from_micros(10),
@@ -78,12 +81,23 @@ fn main() {
         }),
         switch_id: 0,
     };
-    let mut sw = EventSwitch::new(Exerciser { recirculated: false }, cfg);
+    let mut sw = EventSwitch::new(
+        Exerciser {
+            recirculated: false,
+        },
+        cfg,
+    );
     let frame = || {
         Packet::anonymous(
-            PacketBuilder::udp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 5, 6, &[])
-                .pad_to(400)
-                .build(),
+            PacketBuilder::udp(
+                Ipv4Addr::new(1, 1, 1, 1),
+                Ipv4Addr::new(2, 2, 2, 2),
+                5,
+                6,
+                &[],
+            )
+            .pad_to(400)
+            .build(),
         )
     };
     sw.receive(SimTime::from_nanos(100), 0, frame());
@@ -103,7 +117,11 @@ fn main() {
         println!(
             "{:>24} {:>14} {:>9}",
             kind.name(),
-            if kind.baseline_supported() { "yes" } else { "no" },
+            if kind.baseline_supported() {
+                "yes"
+            } else {
+                "no"
+            },
             counters.get(kind)
         );
     }

@@ -51,7 +51,10 @@ fn run_hula() -> String {
 fn run_frr() -> String {
     use edp_apps::frr::FrrEvent;
     let mut net = Network::new(3);
-    let cfg = EventSwitchConfig { n_ports: 3, ..Default::default() };
+    let cfg = EventSwitchConfig {
+        n_ports: 3,
+        ..Default::default()
+    };
     let a_sw = net.add_switch(Box::new(EventSwitch::new(FrrEvent::new(1, 2), cfg)));
     let h = net.add_host(Host::new(addr(1), HostApp::Sink));
     let h2 = net.add_host(Host::new(addr(9), HostApp::Sink));
@@ -61,9 +64,18 @@ fn run_frr() -> String {
     let mut sim: Sim<Network> = Sim::new();
     net.schedule_link_failure(&mut sim, l, SimTime::from_millis(1), None);
     let src = addr(1);
-    start_cbr(&mut sim, h, SimTime::ZERO, SimDuration::from_micros(50), 100, move |i| {
-        PacketBuilder::udp(src, addr(9), 1, 2, &[]).ident(i as u16).build()
-    });
+    start_cbr(
+        &mut sim,
+        h,
+        SimTime::ZERO,
+        SimDuration::from_micros(50),
+        100,
+        move |i| {
+            PacketBuilder::udp(src, addr(9), 1, 2, &[])
+                .ident(i as u16)
+                .build()
+        },
+    );
     run_until(&mut net, &mut sim, SimTime::from_millis(10));
     interesting_events(
         net.switch_as::<EventSwitch<edp_apps::frr::FrrEvent>>(0)
@@ -77,18 +89,37 @@ fn run_liveness() -> String {
     let cfg = EventSwitchConfig {
         n_ports: 2,
         timers: vec![
-            TimerSpec { id: 0, period: p, start: p },
-            TimerSpec { id: 1, period: p, start: p },
+            TimerSpec {
+                id: 0,
+                period: p,
+                start: p,
+            },
+            TimerSpec {
+                id: 1,
+                period: p,
+                start: p,
+            },
         ],
         ..Default::default()
     };
     let m = net.add_switch(Box::new(EventSwitch::new(
-        LivenessMonitor::new(addr(1), vec![Neighbor { port: 1, addr: addr(2) }], 3_000_000),
+        LivenessMonitor::new(
+            addr(1),
+            vec![Neighbor {
+                port: 1,
+                addr: addr(2),
+            }],
+            3_000_000,
+        ),
         cfg,
     )));
     let r = net.add_switch(Box::new(EventSwitch::new(
         LivenessReflector::new(),
-        EventSwitchConfig { n_ports: 2, switch_id: 2, ..Default::default() },
+        EventSwitchConfig {
+            n_ports: 2,
+            switch_id: 2,
+            ..Default::default()
+        },
     )));
     net.connect(
         (NodeRef::Switch(m), 1),
@@ -112,16 +143,29 @@ fn run_liveness() -> String {
 fn run_microburst() -> String {
     let cfg = EventSwitchConfig {
         n_ports: 3,
-        queue: QueueConfig { capacity_bytes: 200_000, ..QueueConfig::default() },
+        queue: QueueConfig {
+            capacity_bytes: 200_000,
+            ..QueueConfig::default()
+        },
         ..Default::default()
     };
     let sw = EventSwitch::new(MicroburstEvent::new(64, 20_000, 2), cfg);
     let (mut net, senders, _, _) = dumbbell(Box::new(sw), 2, 1_000_000_000, 6);
     let mut sim: Sim<Network> = Sim::new();
     let src = addr(2);
-    start_burst(&mut sim, senders[1], SimTime::from_millis(1), 60, SimDuration::ZERO, move |i| {
-        PacketBuilder::udp(src, sink_addr(), 3, 4, &[]).ident(i as u16).pad_to(1500).build()
-    });
+    start_burst(
+        &mut sim,
+        senders[1],
+        SimTime::from_millis(1),
+        60,
+        SimDuration::ZERO,
+        move |i| {
+            PacketBuilder::udp(src, sink_addr(), 3, 4, &[])
+                .ident(i as u16)
+                .pad_to(1500)
+                .build()
+        },
+    );
     run_until(&mut net, &mut sim, SimTime::from_millis(10));
     interesting_events(
         net.switch_as::<EventSwitch<MicroburstEvent>>(0)
@@ -132,7 +176,10 @@ fn run_microburst() -> String {
 fn run_fred() -> String {
     let cfg = EventSwitchConfig {
         n_ports: 3,
-        queue: QueueConfig { capacity_bytes: 20_000, ..QueueConfig::default() },
+        queue: QueueConfig {
+            capacity_bytes: 20_000,
+            ..QueueConfig::default()
+        },
         timers: vec![TimerSpec {
             id: edp_apps::fred::TIMER_REPORT,
             period: SimDuration::from_millis(1),
@@ -145,12 +192,19 @@ fn run_fred() -> String {
     let mut sim: Sim<Network> = Sim::new();
     for (i, &h) in senders.iter().enumerate() {
         let src = addr(i as u8 + 1);
-        start_cbr(&mut sim, h, SimTime::ZERO, SimDuration::from_micros(50), 500, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 2, &[])
-                .ident(s as u16)
-                .pad_to(1500)
-                .build()
-        });
+        start_cbr(
+            &mut sim,
+            h,
+            SimTime::ZERO,
+            SimDuration::from_micros(50),
+            500,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 2, &[])
+                    .ident(s as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
     }
     run_until(&mut net, &mut sim, SimTime::from_millis(30));
     interesting_events(net.switch_as::<EventSwitch<FredAqm>>(0).event_counters())
@@ -176,15 +230,34 @@ fn run_netcache() -> String {
     let client = net.add_host(Host::new(ca, HostApp::Sink));
     let server = net.add_host(Host::new(
         sa,
-        HostApp::KvServer { store: (0..10u64).map(|k| (k, k)).collect(), served: 0 },
+        HostApp::KvServer {
+            store: (0..10u64).map(|k| (k, k)).collect(),
+            served: 0,
+        },
     ));
     let spec = LinkSpec::ten_gig(SimDuration::from_micros(2));
     net.connect((NodeRef::Host(client), 0), (NodeRef::Switch(sw), 0), spec);
     net.connect((NodeRef::Switch(sw), 1), (NodeRef::Host(server), 0), spec);
     let mut sim: Sim<Network> = Sim::new();
-    start_cbr(&mut sim, client, SimTime::ZERO, SimDuration::from_micros(50), 400, move |_| {
-        PacketBuilder::kv(ca, sa, &KvHeader { op: KvOp::Get, key: 1, value: 0 }).build()
-    });
+    start_cbr(
+        &mut sim,
+        client,
+        SimTime::ZERO,
+        SimDuration::from_micros(50),
+        400,
+        move |_| {
+            PacketBuilder::kv(
+                ca,
+                sa,
+                &KvHeader {
+                    op: KvOp::Get,
+                    key: 1,
+                    value: 0,
+                },
+            )
+            .build()
+        },
+    );
     run_until(&mut net, &mut sim, SimTime::from_millis(30));
     interesting_events(
         net.switch_as::<EventSwitch<NetCacheSwitch>>(0)
@@ -198,12 +271,24 @@ fn main() {
         &[("class", 28), ("example", 22), ("events used", 42)],
     );
     let rows: Vec<(&str, &str, String)> = vec![
-        ("Congestion Aware Forwarding", "HULA load balancing", run_hula()),
+        (
+            "Congestion Aware Forwarding",
+            "HULA load balancing",
+            run_hula(),
+        ),
         ("Network Management", "Fast re-route", run_frr()),
         ("Network Management", "Liveness monitoring", run_liveness()),
-        ("Network Monitoring", "Microburst detection", run_microburst()),
+        (
+            "Network Monitoring",
+            "Microburst detection",
+            run_microburst(),
+        ),
         ("Traffic Management", "FRED-like fair AQM", run_fred()),
-        ("In-Network Computing", "NetCache-style cache", run_netcache()),
+        (
+            "In-Network Computing",
+            "NetCache-style cache",
+            run_netcache(),
+        ),
     ];
     for (class, example, events) in rows {
         println!("{class:>28} {example:>22} {events:>42}");

@@ -180,7 +180,10 @@ impl AggregatedState {
 
     /// Worst staleness across all entries.
     pub fn max_staleness(&self) -> u64 {
-        (0..self.cfg.entries).map(|i| self.staleness(i)).max().unwrap_or(0)
+        (0..self.cfg.entries)
+            .map(|i| self.staleness(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Pending aggregated operations not yet folded.
@@ -298,7 +301,10 @@ mod tests {
     fn figure3_worked_example() {
         // The exact scenario in Figure 3: enqueue ADD 200 to q0, ADD 100
         // to q3; dequeue SUB 100 from q0 and q2; main holds 300/0/200/0.
-        let mut st = AggregatedState::new(AggregConfig { entries: 4, folds_per_idle_cycle: 1 });
+        let mut st = AggregatedState::new(AggregConfig {
+            entries: 4,
+            folds_per_idle_cycle: 1,
+        });
         // Seed main by folding initial enqueues.
         st.enqueue(0, 300);
         st.enqueue(2, 200);
@@ -333,7 +339,10 @@ mod tests {
 
     #[test]
     fn repeated_updates_aggregate_in_place() {
-        let mut st = AggregatedState::new(AggregConfig { entries: 2, folds_per_idle_cycle: 1 });
+        let mut st = AggregatedState::new(AggregConfig {
+            entries: 2,
+            folds_per_idle_cycle: 1,
+        });
         for _ in 0..10 {
             st.enqueue(1, 5);
         }
@@ -345,14 +354,21 @@ mod tests {
     #[test]
     fn staleness_bounded_when_faster_than_line_rate() {
         let r = run_staleness_experiment(
-            AggregConfig { entries: 8, folds_per_idle_cycle: 1 },
+            AggregConfig {
+                entries: 8,
+                folds_per_idle_cycle: 1,
+            },
             1.5,
             20_000,
             |p| (p % 8) as usize,
         );
         // 0.5 folds per packet over 16 coalescing slots: each slot is
         // served once per ~32 packets, so parked magnitude stays bounded.
-        assert!(r.max_staleness < 8 * 100 * 10, "staleness {}", r.max_staleness);
+        assert!(
+            r.max_staleness < 8 * 100 * 10,
+            "staleness {}",
+            r.max_staleness
+        );
         // And some staleness exists (it's not free).
         assert!(r.mean_staleness > 0.0);
     }
@@ -361,26 +377,39 @@ mod tests {
     fn staleness_grows_at_line_rate() {
         // speedup = 1.0: no idle cycles ever; aggregation never folds.
         let r = run_staleness_experiment(
-            AggregConfig { entries: 4, folds_per_idle_cycle: 1 },
+            AggregConfig {
+                entries: 4,
+                folds_per_idle_cycle: 1,
+            },
             1.0,
             5_000,
             |p| (p % 4) as usize,
         );
         assert!(!r.drained);
-        assert!(r.max_staleness >= 100 * 1000, "staleness {}", r.max_staleness);
+        assert!(
+            r.max_staleness >= 100 * 1000,
+            "staleness {}",
+            r.max_staleness
+        );
         assert!(r.stale_read_frac > 0.9);
     }
 
     #[test]
     fn wider_fold_budget_reduces_staleness() {
         let narrow = run_staleness_experiment(
-            AggregConfig { entries: 16, folds_per_idle_cycle: 1 },
+            AggregConfig {
+                entries: 16,
+                folds_per_idle_cycle: 1,
+            },
             1.1,
             20_000,
             |p| (p % 16) as usize,
         );
         let wide = run_staleness_experiment(
-            AggregConfig { entries: 16, folds_per_idle_cycle: 4 },
+            AggregConfig {
+                entries: 16,
+                folds_per_idle_cycle: 4,
+            },
             1.1,
             20_000,
             |p| (p % 16) as usize,
@@ -395,7 +424,10 @@ mod tests {
 
     #[test]
     fn state_words_triple() {
-        let st = AggregatedState::new(AggregConfig { entries: 10, folds_per_idle_cycle: 1 });
+        let st = AggregatedState::new(AggregConfig {
+            entries: 10,
+            folds_per_idle_cycle: 1,
+        });
         assert_eq!(st.state_words(), 30);
     }
 

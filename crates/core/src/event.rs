@@ -266,8 +266,7 @@ mod tests {
     #[test]
     fn thirteen_kinds_unique_names() {
         assert_eq!(EventKind::ALL.len(), 13);
-        let names: std::collections::HashSet<_> =
-            EventKind::ALL.iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), 13);
     }
 
@@ -289,9 +288,17 @@ mod tests {
 
     #[test]
     fn event_kind_mapping() {
-        let e = Event::Timer(TimerEvent { timer_id: 1, firing: 1 });
+        let e = Event::Timer(TimerEvent {
+            timer_id: 1,
+            firing: 1,
+        });
         assert_eq!(e.kind(), EventKind::TimerExpiration);
-        let e = Event::Overflow(OverflowEvent { port: 0, pkt_len: 0, q_bytes: 0, meta: [0; 4] });
+        let e = Event::Overflow(OverflowEvent {
+            port: 0,
+            pkt_len: 0,
+            q_bytes: 0,
+            meta: [0; 4],
+        });
         assert_eq!(e.kind(), EventKind::BufferOverflow);
     }
 

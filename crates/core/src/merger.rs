@@ -115,7 +115,9 @@ impl EventMerger {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let p = self.pending.pop_front().expect("counted");
-            self.stats.wait_cycles.record(cycle.saturating_sub(p.arrived));
+            self.stats
+                .wait_cycles
+                .record(cycle.saturating_sub(p.arrived));
             out.push(p.ev);
         }
         out
@@ -150,7 +152,10 @@ mod tests {
     use crate::event::{TimerEvent, UserEvent};
 
     fn ev(n: u32) -> Event {
-        Event::User(UserEvent { code: n, args: [0; 4] })
+        Event::User(UserEvent {
+            code: n,
+            args: [0; 4],
+        })
     }
 
     #[test]
@@ -168,7 +173,13 @@ mod tests {
     #[test]
     fn injects_carrier_when_idle() {
         let mut m = EventMerger::new(MergerConfig::default());
-        m.push_event(5, Event::Timer(TimerEvent { timer_id: 0, firing: 1 }));
+        m.push_event(
+            5,
+            Event::Timer(TimerEvent {
+                timer_id: 0,
+                firing: 1,
+            }),
+        );
         let batch = m.idle_slot(6).expect("carrier");
         assert_eq!(batch.len(), 1);
         assert_eq!(m.stats().carriers_injected, 1);
@@ -184,7 +195,10 @@ mod tests {
 
     #[test]
     fn batches_respect_capacity_and_order() {
-        let cfg = MergerConfig { max_events_per_slot: 2, carrier_len_bytes: 64 };
+        let cfg = MergerConfig {
+            max_events_per_slot: 2,
+            carrier_len_bytes: 64,
+        };
         let mut m = EventMerger::new(cfg);
         for i in 0..5 {
             m.push_event(0, ev(i));
@@ -200,7 +214,10 @@ mod tests {
     #[test]
     fn wait_latency_accumulates_under_load() {
         // No idle slots and heavy event rate: waits grow.
-        let cfg = MergerConfig { max_events_per_slot: 1, carrier_len_bytes: 64 };
+        let cfg = MergerConfig {
+            max_events_per_slot: 1,
+            carrier_len_bytes: 64,
+        };
         let mut m = EventMerger::new(cfg);
         for c in 0..10 {
             m.push_event(c, ev(c as u32));

@@ -216,7 +216,12 @@ impl<P: edp_pisa::PisaProgram> EventProgram for BaselineAdapter<P> {
     /// baseline model lacks — `control_update` is the management path
     /// every PISA target has — so forwarding it preserves the
     /// strict-subset argument.
-    fn on_control_plane(&mut self, ev: &ControlPlaneEvent, now: SimTime, _actions: &mut EventActions) {
+    fn on_control_plane(
+        &mut self,
+        ev: &ControlPlaneEvent,
+        now: SimTime,
+        _actions: &mut EventActions,
+    ) {
         self.0.control_update(ev.opcode, ev.args, now)
     }
 
@@ -281,8 +286,22 @@ mod tests {
         impl EventProgram for Nop {}
         let mut n = Nop;
         let mut a = EventActions::new();
-        n.on_timer(&TimerEvent { timer_id: 0, firing: 1 }, SimTime::ZERO, &mut a);
-        n.on_user(&UserEvent { code: 0, args: [0; 4] }, SimTime::ZERO, &mut a);
+        n.on_timer(
+            &TimerEvent {
+                timer_id: 0,
+                firing: 1,
+            },
+            SimTime::ZERO,
+            &mut a,
+        );
+        n.on_user(
+            &UserEvent {
+                code: 0,
+                args: [0; 4],
+            },
+            SimTime::ZERO,
+            &mut a,
+        );
         assert!(a.is_empty());
     }
 }

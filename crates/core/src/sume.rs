@@ -16,7 +16,7 @@
 //! is exactly the split the paper makes between §2/§5 and §4.
 
 use crate::event::{
-    ControlPlaneEvent, EnqueueEvent, DequeueEvent, Event, EventCounters, EventKind,
+    ControlPlaneEvent, DequeueEvent, EnqueueEvent, Event, EventCounters, EventKind,
     LinkStatusEvent, OverflowEvent, TimerEvent, TransmitEvent, UnderflowEvent, UserEvent,
 };
 use crate::program::{EventActions, EventProgram};
@@ -106,6 +106,10 @@ pub struct EventSwitchCounters {
     pub trimmed: u64,
     /// Cascade-depth guard trips (generated work discarded).
     pub cascade_limit_drops: u64,
+    /// Link status transitions observed (each dispatches a
+    /// [`LinkStatusEvent`]; repeats of the same status are deduplicated
+    /// and not counted).
+    pub link_transitions: u64,
 }
 
 /// A control-plane notification emitted by a handler.
@@ -159,10 +163,7 @@ impl<P: EventProgram> EventSwitch<P> {
                 firings: 0,
             })
             .collect();
-        let gen_next_due = cfg
-            .generator
-            .as_ref()
-            .map(|g| SimTime::ZERO + g.period);
+        let gen_next_due = cfg.generator.as_ref().map(|g| SimTime::ZERO + g.period);
         let gen_template = cfg
             .generator
             .as_ref()
@@ -258,10 +259,25 @@ impl<P: EventProgram> EventSwitch<P> {
             }
         };
         // Dequeue event fires as the packet leaves the buffer.
-        if let edp_pisa::TmEvent::Dequeue { port, pkt_len, q_bytes, q_pkts, sojourn_ns, meta: m } = ev {
+        if let edp_pisa::TmEvent::Dequeue {
+            port,
+            pkt_len,
+            q_bytes,
+            q_pkts,
+            sojourn_ns,
+            meta: m,
+        } = ev
+        {
             self.dispatch_event(
                 now,
-                Event::Dequeue(DequeueEvent { port, pkt_len, q_bytes, q_pkts, sojourn_ns, meta: m }),
+                Event::Dequeue(DequeueEvent {
+                    port,
+                    pkt_len,
+                    q_bytes,
+                    q_pkts,
+                    sojourn_ns,
+                    meta: m,
+                }),
                 0,
             );
         }
@@ -278,7 +294,8 @@ impl<P: EventProgram> EventSwitch<P> {
             }
         };
         let mut actions = EventActions::new();
-        self.program.on_egress(&mut pkt, &parsed, &mut meta, now, &mut actions);
+        self.program
+            .on_egress(&mut pkt, &parsed, &mut meta, now, &mut actions);
         self.drain_actions(now, actions, 0);
         if meta.egress_drop {
             self.counters.dropped_by_program += 1;
@@ -350,6 +367,7 @@ impl<P: EventProgram> EventSwitch<P> {
             return;
         }
         self.link_up[port as usize] = up;
+        self.counters.link_transitions += 1;
         self.dispatch_event(now, Event::LinkStatus(LinkStatusEvent { port, up }), 0);
     }
 
@@ -448,14 +466,31 @@ impl<P: EventProgram> EventSwitch<P> {
         let orig_meta = meta;
         let (returned, tm_event) = self.tm.offer(out, pkt, meta, now);
         match tm_event {
-            edp_pisa::TmEvent::Enqueue { port, pkt_len, q_bytes, q_pkts, meta } => {
+            edp_pisa::TmEvent::Enqueue {
+                port,
+                pkt_len,
+                q_bytes,
+                q_pkts,
+                meta,
+            } => {
                 self.dispatch_event(
                     now,
-                    Event::Enqueue(EnqueueEvent { port, pkt_len, q_bytes, q_pkts, meta }),
+                    Event::Enqueue(EnqueueEvent {
+                        port,
+                        pkt_len,
+                        q_bytes,
+                        q_pkts,
+                        meta,
+                    }),
                     depth,
                 );
             }
-            edp_pisa::TmEvent::Overflow { port, pkt_len, q_bytes, meta } => {
+            edp_pisa::TmEvent::Overflow {
+                port,
+                pkt_len,
+                q_bytes,
+                meta,
+            } => {
                 // The overflow handler may rescue the victim by trimming
                 // it to its network header (NDP-style), so dispatch it
                 // inline and inspect the requested actions.
@@ -465,7 +500,12 @@ impl<P: EventProgram> EventSwitch<P> {
                     return;
                 }
                 self.events.record(EventKind::BufferOverflow);
-                let ev = OverflowEvent { port, pkt_len, q_bytes, meta };
+                let ev = OverflowEvent {
+                    port,
+                    pkt_len,
+                    q_bytes,
+                    meta,
+                };
                 let mut actions = EventActions::new();
                 self.program.on_overflow(&ev, now, &mut actions);
                 let trim_rank = actions.trim_requeue.take();
@@ -483,13 +523,21 @@ impl<P: EventProgram> EventSwitch<P> {
                             if ret2.is_none() {
                                 self.counters.trimmed += 1;
                                 if let edp_pisa::TmEvent::Enqueue {
-                                    port, pkt_len, q_bytes, q_pkts, meta,
+                                    port,
+                                    pkt_len,
+                                    q_bytes,
+                                    q_pkts,
+                                    meta,
                                 } = ev2
                                 {
                                     self.dispatch_event(
                                         now,
                                         Event::Enqueue(EnqueueEvent {
-                                            port, pkt_len, q_bytes, q_pkts, meta,
+                                            port,
+                                            pkt_len,
+                                            q_bytes,
+                                            q_pkts,
+                                            meta,
                                         }),
                                         depth + 1,
                                     );
@@ -547,7 +595,11 @@ impl<P: EventProgram> EventSwitch<P> {
 
     fn drain_actions(&mut self, now: SimTime, actions: EventActions, depth: u8) {
         for (code, args) in actions.notify_cp {
-            self.cp_out.push(CpNotification { at: now, code, args });
+            self.cp_out.push(CpNotification {
+                at: now,
+                code,
+                args,
+            });
         }
         for ue in actions.user_events {
             self.dispatch_event(now, Event::User(ue), depth + 1);
@@ -567,9 +619,15 @@ mod tests {
 
     fn frame() -> Packet {
         Packet::anonymous(
-            PacketBuilder::udp(Ipv4Addr::new(1, 0, 0, 1), Ipv4Addr::new(1, 0, 0, 2), 1, 2, b"x")
-                .pad_to(100)
-                .build(),
+            PacketBuilder::udp(
+                Ipv4Addr::new(1, 0, 0, 1),
+                Ipv4Addr::new(1, 0, 0, 2),
+                1,
+                2,
+                b"x",
+            )
+            .pad_to(100)
+            .build(),
         )
     }
 
@@ -654,7 +712,10 @@ mod tests {
     #[test]
     fn overflow_fires_event() {
         let mut c = cfg();
-        c.queue = QueueConfig { capacity_bytes: 150, ..QueueConfig::default() };
+        c.queue = QueueConfig {
+            capacity_bytes: 150,
+            ..QueueConfig::default()
+        };
         let mut sw = EventSwitch::new(Recorder::default(), c);
         sw.receive(SimTime::ZERO, 0, frame()); // 100 bytes, fits
         sw.receive(SimTime::ZERO, 0, frame()); // would exceed 150
@@ -713,6 +774,7 @@ mod tests {
         sw.set_link_status(SimTime::ZERO, 2, false); // no change, no event
         sw.set_link_status(SimTime::ZERO, 2, true);
         assert_eq!(sw.program.link, 2);
+        assert_eq!(sw.counters().link_transitions, 2, "dedup counts once");
         sw.control_plane(SimTime::ZERO, 7, [1, 2, 3, 4]);
         assert_eq!(sw.program.cp, 1);
     }

@@ -1,9 +1,7 @@
 //! Property-based tests for the event-driven architecture's invariants.
 
 use edp_core::event::UserEvent;
-use edp_core::{
-    AggregConfig, AggregatedState, Event, EventMerger, MergerConfig,
-};
+use edp_core::{AggregConfig, AggregatedState, Event, EventMerger, MergerConfig};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]

@@ -44,8 +44,7 @@ impl ClockDomain {
     /// Exact duration of `cycles` clock cycles (rounded to nearest ns,
     /// computed in one shot so errors do not accumulate per-cycle).
     pub fn cycles_to_duration(self, cycles: Cycles) -> SimDuration {
-        let ns = (cycles as u128 * 1_000_000_000 + self.freq_hz as u128 / 2)
-            / self.freq_hz as u128;
+        let ns = (cycles as u128 * 1_000_000_000 + self.freq_hz as u128 / 2) / self.freq_hz as u128;
         SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64)
     }
 

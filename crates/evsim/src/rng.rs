@@ -31,6 +31,28 @@ impl SimRng {
         SimRng::seed_from_u64(s)
     }
 
+    /// Derives a *stateless* named stream: a pure function of the master
+    /// seed and a label path, independent of any RNG's current state.
+    ///
+    /// Unlike [`SimRng::fork`], which consumes parent output (so the child
+    /// depends on how much the parent has been used), `stream` gives every
+    /// consumer the same generator for the same `(master, path)` no matter
+    /// when — or on which thread — it is constructed. This is the seeding
+    /// scheme the fault-injection layer uses: each fault model draws from
+    /// `stream(seed, &[FAULT_DOMAIN, link_id, dir])`, so adding a fault to
+    /// one link can never perturb another link's impairments or the
+    /// workload RNG, and parallel sweeps stay byte-identical.
+    ///
+    /// The path is folded through SplitMix64, whose output is equidistributed
+    /// over `u64` — distinct paths give statistically independent seeds.
+    pub fn stream(master: u64, path: &[u64]) -> SimRng {
+        let mut s = splitmix64(master);
+        for &p in path {
+            s = splitmix64(s ^ splitmix64(p));
+        }
+        SimRng::seed_from_u64(s)
+    }
+
     /// Uniform `u64` in `[lo, hi)`. Panics if the range is empty.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
@@ -98,6 +120,15 @@ impl SimRng {
             Some(&items[self.index(items.len())])
         }
     }
+}
+
+/// SplitMix64: one multiply-xorshift round; full-period over `u64`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A Zipf(*n*, *s*) sampler over ranks `0..n` with precomputed CDF.
@@ -177,13 +208,37 @@ mod tests {
     }
 
     #[test]
+    fn streams_are_pure_functions_of_seed_and_path() {
+        let mut a = SimRng::stream(7, &[1, 2, 3]);
+        let mut b = SimRng::stream(7, &[1, 2, 3]);
+        let va: Vec<u64> = (0..16).map(|_| a.uniform_u64(0, u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.uniform_u64(0, u64::MAX - 1)).collect();
+        assert_eq!(va, vb, "same (master, path) must be the same stream");
+    }
+
+    #[test]
+    fn streams_differ_across_paths_and_masters() {
+        let draw = |mut r: SimRng| -> Vec<u64> {
+            (0..8).map(|_| r.uniform_u64(0, u64::MAX - 1)).collect()
+        };
+        let base = draw(SimRng::stream(7, &[1, 2]));
+        assert_ne!(base, draw(SimRng::stream(7, &[2, 1])), "path order matters");
+        assert_ne!(base, draw(SimRng::stream(7, &[1, 2, 0])), "length matters");
+        assert_ne!(base, draw(SimRng::stream(8, &[1, 2])), "master matters");
+        assert_ne!(base, draw(SimRng::stream(7, &[])), "empty path differs");
+    }
+
+    #[test]
     fn exp_mean_is_close() {
         let mut rng = SimRng::seed_from_u64(42);
         let n = 20_000;
         let mean = 5.0;
         let sum: f64 = (0..n).map(|_| rng.exp(mean)).sum();
         let got = sum / n as f64;
-        assert!((got - mean).abs() < 0.2, "exp mean {got} too far from {mean}");
+        assert!(
+            (got - mean).abs() < 0.2,
+            "exp mean {got} too far from {mean}"
+        );
     }
 
     #[test]

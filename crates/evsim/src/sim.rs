@@ -544,9 +544,10 @@ mod tests {
         let mut sim: Sim<Vec<u64>> = Sim::new();
         let mut out = Vec::new();
         for &t in &[30u64, 10, 20] {
-            sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<u64>, _: &mut _| {
-                w.push(t)
-            });
+            sim.schedule_at(
+                SimTime::from_nanos(t),
+                move |w: &mut Vec<u64>, _: &mut _| w.push(t),
+            );
         }
         sim.run(&mut out);
         assert_eq!(out, vec![10, 20, 30]);
@@ -558,9 +559,10 @@ mod tests {
         let mut sim: Sim<Vec<u64>> = Sim::new();
         let mut out = Vec::new();
         for i in 0..100u64 {
-            sim.schedule_at(SimTime::from_nanos(5), move |w: &mut Vec<u64>, _: &mut _| {
-                w.push(i)
-            });
+            sim.schedule_at(
+                SimTime::from_nanos(5),
+                move |w: &mut Vec<u64>, _: &mut _| w.push(i),
+            );
         }
         sim.run(&mut out);
         assert_eq!(out, (0..100).collect::<Vec<_>>());

@@ -34,7 +34,7 @@ impl Counter {
 }
 
 /// Streaming mean and variance (Welford's online algorithm).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Welford {
     n: u64,
     mean: f64,
@@ -109,6 +109,14 @@ impl Welford {
         } else {
             self.max
         }
+    }
+}
+
+/// `Default` must match [`Welford::new`] — a derived default would zero
+/// the min/max sentinels and silently report `min() == 0` forever.
+impl Default for Welford {
+    fn default() -> Self {
+        Welford::new()
     }
 }
 
@@ -335,6 +343,15 @@ mod tests {
         assert_eq!(w.min(), 2.0);
         assert_eq!(w.max(), 9.0);
         assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn welford_default_tracks_min_like_new() {
+        let mut w = Welford::default();
+        w.add(2200.0);
+        w.add(81100.0);
+        assert_eq!(w.min(), 2200.0, "default must not zero the min sentinel");
+        assert_eq!(w.max(), 81100.0);
     }
 
     #[test]

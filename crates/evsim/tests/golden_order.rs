@@ -32,8 +32,11 @@ enum Cmd {
 fn cmd_strategy() -> BoxedStrategy<Cmd> {
     prop_oneof![
         (0u64..16).prop_map(|t| Cmd::Once { t }),
-        ((0u64..16), (1u64..4), (1u64..4))
-            .prop_map(|(t, period, ticks)| Cmd::Periodic { t, period, ticks }),
+        ((0u64..16), (1u64..4), (1u64..4)).prop_map(|(t, period, ticks)| Cmd::Periodic {
+            t,
+            period,
+            ticks
+        }),
         any::<u64>().prop_map(|raw| Cmd::CancelNow { raw }),
         ((0u64..16), any::<u64>()).prop_map(|(t, raw)| Cmd::CancelAt { t, raw }),
         ((0u64..16), (0u64..4)).prop_map(|(t, child_dt)| Cmd::Nested { t, child_dt }),
@@ -48,9 +51,17 @@ fn cmd_strategy() -> BoxedStrategy<Cmd> {
 #[derive(Debug)]
 enum RefAction {
     Once(i64),
-    Periodic { period: u64, left: u64, tag: i64 },
+    Periodic {
+        period: u64,
+        left: u64,
+        tag: i64,
+    },
     Cancel(u64),
-    Nested { child_dt: u64, parent_tag: i64, child_tag: i64 },
+    Nested {
+        child_dt: u64,
+        parent_tag: i64,
+        child_tag: i64,
+    },
 }
 
 #[derive(Debug)]
@@ -111,14 +122,25 @@ impl RefModel {
                     self.log.push(tag);
                     if left > 1 {
                         let time = self.now + period;
-                        self.schedule(time, RefAction::Periodic { period, left: left - 1, tag });
+                        self.schedule(
+                            time,
+                            RefAction::Periodic {
+                                period,
+                                left: left - 1,
+                                tag,
+                            },
+                        );
                     }
                 }
                 RefAction::Cancel(target) => {
                     let r = self.cancel(target);
                     self.log.push(2000 + r as i64);
                 }
-                RefAction::Nested { child_dt, parent_tag, child_tag } => {
+                RefAction::Nested {
+                    child_dt,
+                    parent_tag,
+                    child_tag,
+                } => {
                     self.log.push(parent_tag);
                     let time = self.now + child_dt;
                     self.schedule(time, RefAction::Once(child_tag));
@@ -149,9 +171,10 @@ fn run_script(cmds: &[Cmd]) -> (Vec<i64>, Vec<i64>, usize) {
         match *cmd {
             Cmd::Once { t } => {
                 let tg = tag();
-                ids.push(sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<i64>, _: &mut Sim<Vec<i64>>| {
-                    w.push(tg)
-                }));
+                ids.push(sim.schedule_at(
+                    SimTime::from_nanos(t),
+                    move |w: &mut Vec<i64>, _: &mut Sim<Vec<i64>>| w.push(tg),
+                ));
                 mids.push(model.schedule(t, RefAction::Once(tg)));
             }
             Cmd::Periodic { t, period, ticks } => {
@@ -170,7 +193,14 @@ fn run_script(cmds: &[Cmd]) -> (Vec<i64>, Vec<i64>, usize) {
                         }
                     },
                 ));
-                mids.push(model.schedule(t, RefAction::Periodic { period, left: ticks, tag: tg }));
+                mids.push(model.schedule(
+                    t,
+                    RefAction::Periodic {
+                        period,
+                        left: ticks,
+                        tag: tg,
+                    },
+                ));
             }
             Cmd::CancelNow { raw } => {
                 if ids.is_empty() {
@@ -187,24 +217,35 @@ fn run_script(cmds: &[Cmd]) -> (Vec<i64>, Vec<i64>, usize) {
                 let k = (raw % ids.len() as u64) as usize;
                 let target = ids[k];
                 let mtarget = mids[k];
-                ids.push(sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<i64>, s: &mut Sim<Vec<i64>>| {
-                    let r = s.cancel(target);
-                    w.push(2000 + r as i64);
-                }));
+                ids.push(sim.schedule_at(
+                    SimTime::from_nanos(t),
+                    move |w: &mut Vec<i64>, s: &mut Sim<Vec<i64>>| {
+                        let r = s.cancel(target);
+                        w.push(2000 + r as i64);
+                    },
+                ));
                 mids.push(model.schedule(t, RefAction::Cancel(mtarget)));
             }
             Cmd::Nested { t, child_dt } => {
                 let parent_tag = tag();
                 let child_tag = tag();
-                ids.push(sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<i64>, s: &mut Sim<Vec<i64>>| {
-                    w.push(parent_tag);
-                    s.schedule_in(SimDuration::from_nanos(child_dt), move |w: &mut Vec<i64>, _: &mut Sim<Vec<i64>>| {
-                        w.push(child_tag)
-                    });
-                }));
+                ids.push(sim.schedule_at(
+                    SimTime::from_nanos(t),
+                    move |w: &mut Vec<i64>, s: &mut Sim<Vec<i64>>| {
+                        w.push(parent_tag);
+                        s.schedule_in(
+                            SimDuration::from_nanos(child_dt),
+                            move |w: &mut Vec<i64>, _: &mut Sim<Vec<i64>>| w.push(child_tag),
+                        );
+                    },
+                ));
                 mids.push(model.schedule(
                     t,
-                    RefAction::Nested { child_dt, parent_tag, child_tag },
+                    RefAction::Nested {
+                        child_dt,
+                        parent_tag,
+                        child_tag,
+                    },
                 ));
             }
         }
@@ -238,7 +279,11 @@ proptest! {
 fn golden_order_fixed_script() {
     let cmds = vec![
         Cmd::Once { t: 3 },
-        Cmd::Periodic { t: 0, period: 2, ticks: 3 },
+        Cmd::Periodic {
+            t: 0,
+            period: 2,
+            ticks: 3,
+        },
         Cmd::Once { t: 3 },
         Cmd::CancelAt { t: 2, raw: 0 },
         Cmd::Nested { t: 1, child_dt: 0 },
@@ -246,7 +291,11 @@ fn golden_order_fixed_script() {
         Cmd::Once { t: 4 },
         Cmd::CancelAt { t: 4, raw: 1 },
         Cmd::Nested { t: 4, child_dt: 2 },
-        Cmd::Periodic { t: 5, period: 1, ticks: 2 },
+        Cmd::Periodic {
+            t: 5,
+            period: 1,
+            ticks: 2,
+        },
         Cmd::CancelNow { raw: 9 },
     ];
     let (sim_log, model_log, sim_pending) = run_script(&cmds);

@@ -2,9 +2,7 @@
 //! programmable responders (echo, key-value server).
 
 use edp_evsim::{SimTime, Welford};
-use edp_packet::{
-    parse_packet, AppHeader, FlowKey, KvHeader, KvOp, Packet, PacketBuilder,
-};
+use edp_packet::{parse_packet, AppHeader, FlowKey, KvHeader, KvOp, Packet, PacketBuilder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -93,7 +91,12 @@ impl Host {
     ///
     /// `latency_ns` is the precomputed one-way latency when the network
     /// tracked the packet's send time.
-    pub fn on_receive(&mut self, _now: SimTime, pkt: &Packet, latency_ns: Option<u64>) -> Vec<Vec<u8>> {
+    pub fn on_receive(
+        &mut self,
+        _now: SimTime,
+        pkt: &Packet,
+        latency_ns: Option<u64>,
+    ) -> Vec<Vec<u8>> {
         self.stats.rx_pkts += 1;
         self.stats.rx_bytes += pkt.len() as u64;
         let parsed = match parse_packet(pkt.bytes()) {
@@ -116,8 +119,9 @@ impl Host {
             HostApp::UdpEcho => {
                 if let (Some(ip), Some(edp_packet::L4::Udp(udp))) = (parsed.ipv4, parsed.l4) {
                     let payload = &pkt.bytes()[parsed.payload_offset..];
-                    let resp = PacketBuilder::udp(ip.dst, ip.src, udp.dst_port, udp.src_port, payload)
-                        .build();
+                    let resp =
+                        PacketBuilder::udp(ip.dst, ip.src, udp.dst_port, udp.src_port, payload)
+                            .build();
                     vec![resp]
                 } else {
                     Vec::new()
@@ -131,7 +135,11 @@ impl Host {
                     KvOp::Get => {
                         *served += 1;
                         let value = store.get(&kv.key).copied().unwrap_or(0);
-                        let reply = KvHeader { op: KvOp::Reply, key: kv.key, value };
+                        let reply = KvHeader {
+                            op: KvOp::Reply,
+                            key: kv.key,
+                            value,
+                        };
                         vec![PacketBuilder::kv(ip.dst, ip.src, &reply).build()]
                     }
                     KvOp::Put => {
@@ -192,15 +200,36 @@ mod tests {
     fn kv_server_get_put() {
         let mut h = Host::new(
             a(5),
-            HostApp::KvServer { store: HashMap::new(), served: 0 },
+            HostApp::KvServer {
+                store: HashMap::new(),
+                served: 0,
+            },
         );
         // Put 99 => 1234.
-        let put = PacketBuilder::kv(a(1), a(5), &KvHeader { op: KvOp::Put, key: 99, value: 1234 })
-            .build();
-        assert!(h.on_receive(SimTime::ZERO, &Packet::anonymous(put), None).is_empty());
+        let put = PacketBuilder::kv(
+            a(1),
+            a(5),
+            &KvHeader {
+                op: KvOp::Put,
+                key: 99,
+                value: 1234,
+            },
+        )
+        .build();
+        assert!(h
+            .on_receive(SimTime::ZERO, &Packet::anonymous(put), None)
+            .is_empty());
         // Get 99 -> reply 1234.
-        let get = PacketBuilder::kv(a(1), a(5), &KvHeader { op: KvOp::Get, key: 99, value: 0 })
-            .build();
+        let get = PacketBuilder::kv(
+            a(1),
+            a(5),
+            &KvHeader {
+                op: KvOp::Get,
+                key: 99,
+                value: 0,
+            },
+        )
+        .build();
         let out = h.on_receive(SimTime::ZERO, &Packet::anonymous(get), None);
         assert_eq!(out.len(), 1);
         let parsed = parse_packet(&out[0]).expect("parse");

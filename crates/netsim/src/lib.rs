@@ -22,6 +22,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod faults;
 mod harness;
 mod host;
 mod link;
@@ -29,8 +30,12 @@ mod net;
 pub mod trace;
 pub mod traffic;
 
+pub use faults::{FaultPlan, FAULT_DOMAIN};
 pub use harness::SwitchHarness;
 pub use host::{FlowStats, Host, HostApp, HostId, HostStats};
-pub use link::{Dir, LinkDirState, LinkId, LinkSpec, LinkState};
+pub use link::{
+    Deliveries, Delivery, Dir, LinkDirState, LinkFaultModel, LinkFaults, LinkId, LinkSpec,
+    LinkState,
+};
 pub use net::{Endpoint, Network, NodeRef};
-pub use trace::{TraceEntry, Tracer};
+pub use trace::{TraceEntry, TraceKind, Tracer};

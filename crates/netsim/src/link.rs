@@ -34,6 +34,87 @@ impl LinkSpec {
     }
 }
 
+/// A per-link packet impairment model (fault injection).
+///
+/// All probabilities are independent Bernoulli draws per offered frame,
+/// evaluated in a fixed order (drop, corrupt, duplicate, reorder) from the
+/// model's own deterministic RNG stream — never from the shared workload
+/// RNG — so installing a model on one link cannot perturb any other
+/// randomness in the run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LinkFaultModel {
+    /// Probability of silently dropping a frame.
+    pub drop_prob: f64,
+    /// Probability of flipping one payload byte in transit.
+    pub corrupt_prob: f64,
+    /// Probability of delivering a frame twice (the duplicate re-occupies
+    /// the wire for a second serialization slot).
+    pub duplicate_prob: f64,
+    /// Probability of delaying a frame by [`reorder_delay`]
+    /// (`LinkFaultModel::reorder_delay`), letting later frames overtake it.
+    pub reorder_prob: f64,
+    /// Extra latency applied to reordered frames.
+    pub reorder_delay: SimDuration,
+}
+
+impl LinkFaultModel {
+    /// A pure loss model.
+    pub fn loss(p: f64) -> Self {
+        LinkFaultModel {
+            drop_prob: p,
+            ..Default::default()
+        }
+    }
+
+    /// True when every probability is zero (the model is a no-op).
+    pub fn is_noop(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.corrupt_prob <= 0.0
+            && self.duplicate_prob <= 0.0
+            && self.reorder_prob <= 0.0
+    }
+}
+
+/// An installed fault model plus its per-direction RNG streams.
+#[derive(Debug, Clone)]
+pub struct LinkFaults {
+    /// The impairment probabilities.
+    pub model: LinkFaultModel,
+    /// Independent streams, indexed by [`Dir`].
+    rng: [SimRng; 2],
+}
+
+impl LinkFaults {
+    /// Pairs a model with its two direction streams (see
+    /// [`SimRng::stream`] for the derivation scheme).
+    pub fn new(model: LinkFaultModel, rng_ab: SimRng, rng_ba: SimRng) -> Self {
+        LinkFaults {
+            model,
+            rng: [rng_ab, rng_ba],
+        }
+    }
+}
+
+/// What the wire did with one offered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Arrival instant at the far end.
+    pub at: SimTime,
+    /// When set, the byte at this frame offset arrives bit-flipped.
+    pub corrupt_at: Option<usize>,
+}
+
+/// Outcome of offering a frame to a faulty wire: zero, one, or two
+/// deliveries (two when the duplication model fired). Fixed-size so the
+/// fault path allocates nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deliveries {
+    /// The original frame's delivery, if it survived.
+    pub first: Option<Delivery>,
+    /// The duplicate's delivery, if one was made.
+    pub second: Option<Delivery>,
+}
+
 /// One direction of a full-duplex link.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct LinkDirState {
@@ -47,6 +128,12 @@ pub struct LinkDirState {
     pub fault_drops: u64,
     /// Frames dropped because the link was down.
     pub down_drops: u64,
+    /// Frames delivered with a flipped byte.
+    pub corrupted: u64,
+    /// Extra copies delivered by the duplication model.
+    pub duplicated: u64,
+    /// Frames delayed by the reordering model.
+    pub reordered: u64,
 }
 
 /// Runtime state of a full-duplex link.
@@ -58,6 +145,8 @@ pub struct LinkState {
     pub up: bool,
     /// Per-direction state, indexed by [`Dir`].
     pub dirs: [LinkDirState; 2],
+    /// Installed impairment model, if any.
+    pub faults: Option<LinkFaults>,
 }
 
 /// Link direction: A→B or B→A.
@@ -76,6 +165,7 @@ impl LinkState {
             spec,
             up: true,
             dirs: [LinkDirState::default(), LinkDirState::default()],
+            faults: None,
         }
     }
 
@@ -105,6 +195,71 @@ impl LinkState {
         d.tx_frames += 1;
         d.tx_bytes += bytes as u64;
         Some(d.busy_until + self.spec.latency)
+    }
+
+    /// Like [`offer`](Self::offer), but additionally runs the installed
+    /// [`LinkFaultModel`], which can drop, corrupt, duplicate, or delay the
+    /// frame. Model randomness comes from the model's own per-direction
+    /// stream; `rng` is only consulted for the legacy `spec.drop_prob`.
+    pub fn offer_faulty(
+        &mut self,
+        dir: Dir,
+        now: SimTime,
+        bytes: usize,
+        rng: &mut SimRng,
+    ) -> Deliveries {
+        let Some(at) = self.offer(dir, now, bytes, rng) else {
+            return Deliveries::default();
+        };
+        let Some(faults) = self.faults.as_mut() else {
+            return Deliveries {
+                first: Some(Delivery {
+                    at,
+                    corrupt_at: None,
+                }),
+                second: None,
+            };
+        };
+        let m = faults.model;
+        let frng = &mut faults.rng[dir as usize];
+        let d = &mut self.dirs[dir as usize];
+        if m.drop_prob > 0.0 && frng.chance(m.drop_prob) {
+            // The frame burned its wire slot (busy_until stands) but never
+            // arrives; undo the carried-traffic accounting `offer` did.
+            d.fault_drops += 1;
+            d.tx_frames -= 1;
+            d.tx_bytes -= bytes as u64;
+            return Deliveries::default();
+        }
+        let corrupt_at = if m.corrupt_prob > 0.0 && bytes > 0 && frng.chance(m.corrupt_prob) {
+            d.corrupted += 1;
+            Some(frng.index(bytes))
+        } else {
+            None
+        };
+        let mut out = Deliveries {
+            first: Some(Delivery { at, corrupt_at }),
+            second: None,
+        };
+        if m.duplicate_prob > 0.0 && frng.chance(m.duplicate_prob) {
+            // The copy serializes right behind the original.
+            let ser = self.spec.ser_delay(bytes);
+            d.busy_until += ser;
+            d.duplicated += 1;
+            d.tx_frames += 1;
+            d.tx_bytes += bytes as u64;
+            out.second = Some(Delivery {
+                at: d.busy_until + self.spec.latency,
+                corrupt_at: None,
+            });
+        }
+        if m.reorder_prob > 0.0 && frng.chance(m.reorder_prob) {
+            d.reordered += 1;
+            if let Some(first) = out.first.as_mut() {
+                first.at += m.reorder_delay;
+            }
+        }
+        out
     }
 
     /// Utilization of direction `dir` over `[0, now]`: busy time fraction.
@@ -176,12 +331,98 @@ mod tests {
         let mut r = rng();
         let mut dropped = 0;
         for i in 0..1000 {
-            if l.offer(Dir::AtoB, SimTime::from_micros(i * 10), 100, &mut r).is_none() {
+            if l.offer(Dir::AtoB, SimTime::from_micros(i * 10), 100, &mut r)
+                .is_none()
+            {
                 dropped += 1;
             }
         }
-        assert!((380..620).contains(&dropped), "drop_prob 0.5 gave {dropped}/1000");
+        assert!(
+            (380..620).contains(&dropped),
+            "drop_prob 0.5 gave {dropped}/1000"
+        );
         assert_eq!(l.dirs[0].fault_drops, dropped);
+    }
+
+    fn faulty(model: LinkFaultModel) -> LinkState {
+        let mut l = LinkState::new(LinkSpec::ten_gig(SimDuration::ZERO));
+        l.faults = Some(LinkFaults::new(
+            model,
+            SimRng::stream(1, &[0]),
+            SimRng::stream(1, &[1]),
+        ));
+        l
+    }
+
+    #[test]
+    fn model_loss_drops_from_its_own_stream() {
+        let mut l = faulty(LinkFaultModel::loss(0.5));
+        let mut workload = rng();
+        let before = workload.clone();
+        let mut dropped = 0;
+        for i in 0..1000 {
+            let out = l.offer_faulty(Dir::AtoB, SimTime::from_micros(i * 10), 100, &mut workload);
+            if out.first.is_none() {
+                dropped += 1;
+            }
+        }
+        assert!((380..620).contains(&dropped), "p=0.5 gave {dropped}/1000");
+        assert_eq!(l.dirs[0].fault_drops, dropped);
+        assert_eq!(l.dirs[0].tx_frames, 1000 - dropped);
+        // spec.drop_prob is zero, so the shared workload RNG was untouched.
+        let mut a = before;
+        let mut b = workload;
+        assert_eq!(a.uniform_u64(0, 1 << 40), b.uniform_u64(0, 1 << 40));
+    }
+
+    #[test]
+    fn model_duplicate_delivers_twice_and_corrupt_flags_offset() {
+        let mut l = faulty(LinkFaultModel {
+            duplicate_prob: 1.0,
+            corrupt_prob: 1.0,
+            ..Default::default()
+        });
+        let out = l.offer_faulty(Dir::AtoB, SimTime::ZERO, 1250, &mut rng());
+        let first = out.first.expect("original delivered");
+        let second = out.second.expect("duplicate delivered");
+        assert!(first.corrupt_at.is_some_and(|o| o < 1250));
+        assert_eq!(second.corrupt_at, None, "copy is taken before the flip");
+        // 1250 B = 1 us per serialization: original at 1 us, copy at 2 us.
+        assert_eq!(first.at, SimTime::from_micros(1));
+        assert_eq!(second.at, SimTime::from_micros(2));
+        assert_eq!(l.dirs[0].duplicated, 1);
+        assert_eq!(l.dirs[0].corrupted, 1);
+        assert_eq!(l.dirs[0].tx_frames, 2);
+    }
+
+    #[test]
+    fn model_reorder_delays_delivery() {
+        let mut l = faulty(LinkFaultModel {
+            reorder_prob: 1.0,
+            reorder_delay: SimDuration::from_micros(50),
+            ..Default::default()
+        });
+        let out = l.offer_faulty(Dir::AtoB, SimTime::ZERO, 1250, &mut rng());
+        assert_eq!(out.first.expect("delivered").at, SimTime::from_micros(51));
+        assert_eq!(l.dirs[0].reordered, 1);
+    }
+
+    #[test]
+    fn no_model_offer_faulty_matches_offer() {
+        let mut a = LinkState::new(LinkSpec::ten_gig(SimDuration::from_micros(1)));
+        let mut b = LinkState::new(LinkSpec::ten_gig(SimDuration::from_micros(1)));
+        let t1 = a
+            .offer(Dir::AtoB, SimTime::ZERO, 1250, &mut rng())
+            .expect("a");
+        let out = b.offer_faulty(Dir::AtoB, SimTime::ZERO, 1250, &mut rng());
+        assert_eq!(
+            out.first,
+            Some(Delivery {
+                at: t1,
+                corrupt_at: None
+            })
+        );
+        assert!(out.second.is_none());
     }
 
     #[test]

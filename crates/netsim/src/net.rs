@@ -7,7 +7,7 @@
 
 use crate::harness::SwitchHarness;
 use crate::host::{Host, HostId};
-use crate::link::{Dir, LinkId, LinkSpec, LinkState};
+use crate::link::{Dir, LinkDirState, LinkFaults, LinkId, LinkSpec, LinkState};
 use crate::trace::Tracer;
 use edp_core::CpNotification;
 use edp_evsim::{Sim, SimDuration, SimRng, SimTime};
@@ -39,6 +39,9 @@ pub struct Network {
     /// End hosts.
     pub hosts: Vec<Host>,
     links: Vec<NetLink>,
+    /// Per-switch stall deadline: a switch with `stalled_until > now`
+    /// neither receives, transmits, nor cranks timers until the deadline.
+    stalled_until: Vec<SimTime>,
     port_links: HashMap<Endpoint, (LinkId, Dir)>,
     tx_armed: HashSet<Endpoint>,
     host_txq: Vec<VecDeque<Packet>>,
@@ -64,6 +67,7 @@ impl Network {
             switches: Vec::new(),
             hosts: Vec::new(),
             links: Vec::new(),
+            stalled_until: Vec::new(),
             port_links: HashMap::new(),
             tx_armed: HashSet::new(),
             host_txq: Vec::new(),
@@ -80,6 +84,7 @@ impl Network {
     /// Adds a switch; returns its index.
     pub fn add_switch(&mut self, sw: Box<dyn SwitchHarness>) -> usize {
         self.switches.push(sw);
+        self.stalled_until.push(SimTime::ZERO);
         self.switches.len() - 1
     }
 
@@ -165,6 +170,19 @@ impl Network {
         )
     }
 
+    /// Installs (or clears) a packet impairment model on a link. See
+    /// [`LinkFaults::new`] and [`edp_evsim::SimRng::stream`] for where the
+    /// per-direction RNG streams come from.
+    pub fn set_link_faults(&mut self, link: LinkId, faults: Option<LinkFaults>) {
+        self.links[link].state.faults = faults;
+    }
+
+    /// Read-only view of one direction's wire counters (frames, bytes,
+    /// fault drops, corruptions, duplicates, reorders).
+    pub fn link_dir_state(&self, link: LinkId, dir: Dir) -> &LinkDirState {
+        &self.links[link].state.dirs[dir as usize]
+    }
+
     /// Allocates a fresh packet uid and records its send time.
     pub fn stamp_packet(&mut self, now: SimTime, frame: Vec<u8>) -> Packet {
         let uid = PacketUid(self.next_uid);
@@ -217,9 +235,10 @@ impl Network {
             return;
         }
         self.tx_armed.insert(ep);
-        sim.schedule_in(SimDuration::ZERO, move |w: &mut Network, s: &mut Sim<Network>| {
-            w.try_transmit(s, ep)
-        });
+        sim.schedule_in(
+            SimDuration::ZERO,
+            move |w: &mut Network, s: &mut Sim<Network>| w.try_transmit(s, ep),
+        );
     }
 
     /// Arms transmit attempts on every switch port with pending frames.
@@ -236,6 +255,18 @@ impl Network {
         let now = sim.now();
         let (node, port) = ep;
         let link = self.port_links.get(&ep).copied();
+        // A stalled switch's egress pipeline is frozen too: defer the
+        // whole attempt until the stall lifts.
+        if let NodeRef::Switch(i) = node {
+            let until = self.stalled_until[i];
+            if until > now {
+                self.tx_armed.insert(ep);
+                sim.schedule_at(until, move |w: &mut Network, s: &mut Sim<Network>| {
+                    w.try_transmit(s, ep)
+                });
+                return;
+            }
+        }
         // If the wire is still busy, wait until it frees.
         if let Some((lid, dir)) = link {
             let busy = self.links[lid].state.dirs[dir as usize].busy_until;
@@ -268,14 +299,28 @@ impl Network {
             self.maybe_rekick(sim, ep, now);
             return;
         };
-        let delivery = self.links[lid].state.offer(dir, now, pkt.len(), &mut self.rng);
+        let out = self.links[lid]
+            .state
+            .offer_faulty(dir, now, pkt.len(), &mut self.rng);
         let dest = self.links[lid].ends[match dir {
             Dir::AtoB => 1,
             Dir::BtoA => 0,
         }];
-        if let Some(at) = delivery {
-            sim.schedule_at(at, move |w: &mut Network, s: &mut Sim<Network>| {
+        // The duplicate (if any) is cloned before the corruption flip:
+        // the model corrupts the original in flight, not the copy.
+        let dup = out.second.map(|d| (d, pkt.clone()));
+        if let Some(d) = out.first {
+            let mut pkt = pkt;
+            if let Some(off) = d.corrupt_at {
+                pkt.bytes_mut()[off] ^= 0xFF;
+            }
+            sim.schedule_at(d.at, move |w: &mut Network, s: &mut Sim<Network>| {
                 w.deliver(s, dest, pkt)
+            });
+        }
+        if let Some((d, copy)) = dup {
+            sim.schedule_at(d.at, move |w: &mut Network, s: &mut Sim<Network>| {
+                w.deliver(s, dest, copy)
             });
         }
         self.maybe_rekick(sim, ep, now);
@@ -294,6 +339,19 @@ impl Network {
 
     fn deliver(&mut self, sim: &mut Sim<Network>, ep: Endpoint, pkt: Packet) {
         let now = sim.now();
+        if let NodeRef::Switch(i) = ep.0 {
+            let until = self.stalled_until[i];
+            if until > now {
+                // A stalled switch processes nothing: the frame waits at
+                // the ingress and is re-delivered when the stall lifts
+                // (same-time events keep FIFO order, so arrival order is
+                // preserved).
+                sim.schedule_at(until, move |w: &mut Network, s: &mut Sim<Network>| {
+                    w.deliver(s, ep, pkt)
+                });
+                return;
+            }
+        }
         self.tracer.record(now, ep, pkt.bytes());
         let (node, port) = ep;
         match node {
@@ -327,12 +385,46 @@ impl Network {
         let Some(due) = self.switches[i].next_timer_due() else {
             return;
         };
-        let due = due.max(sim.now());
+        let due = due.max(sim.now()).max(self.stalled_until[i]);
         sim.schedule_at(due, move |w: &mut Network, s: &mut Sim<Network>| {
-            w.switches[i].fire_due_timers(s.now());
-            w.collect_cp(i);
+            w.crank_timers(s, i)
+        });
+    }
+
+    fn crank_timers(&mut self, sim: &mut Sim<Network>, i: usize) {
+        let until = self.stalled_until[i];
+        if until > sim.now() {
+            // The switch is stalled mid-chain: wait out the stall, then
+            // crank (there is exactly one crank chain per switch).
+            sim.schedule_at(until, move |w: &mut Network, s: &mut Sim<Network>| {
+                w.crank_timers(s, i)
+            });
+            return;
+        }
+        self.switches[i].fire_due_timers(sim.now());
+        self.collect_cp(i);
+        self.kick_switch_ports(sim, i);
+        self.arm_switch_timers(sim, i);
+    }
+
+    /// Freezes switch `i` until `until`: a stalled switch neither
+    /// receives, transmits, nor cranks timers — frames arriving meanwhile
+    /// wait at the ingress in arrival order. Extends (never shortens) an
+    /// active stall.
+    pub fn stall_switch(&mut self, sim: &mut Sim<Network>, i: usize, until: SimTime) {
+        let now = sim.now();
+        if until <= now {
+            return;
+        }
+        if until > self.stalled_until[i] {
+            self.stalled_until[i] = until;
+        }
+        self.tracer
+            .note(now, format!("sw{i} stalled until {until}"));
+        // Restart egress once the stall lifts (deliveries and timer
+        // cranks re-schedule themselves; queued frames need a kick).
+        sim.schedule_at(until, move |w: &mut Network, s: &mut Sim<Network>| {
             w.kick_switch_ports(s, i);
-            w.arm_switch_timers(s, i);
         });
     }
 
@@ -351,6 +443,10 @@ impl Network {
         }
         self.links[link].state.up = up;
         let now = sim.now();
+        self.tracer.note(
+            now,
+            format!("link{link} {}", if up { "up" } else { "down" }),
+        );
         for &(node, port) in &self.links[link].ends.clone() {
             if let NodeRef::Switch(i) = node {
                 self.switches[i].set_link_status(now, port, up);
@@ -430,10 +526,15 @@ mod tests {
     fn packet_crosses_switch() {
         let (mut net, h0, h1) = line_topology();
         let mut sim: Sim<Network> = Sim::new();
-        let frame = PacketBuilder::udp(a(1), a(2), 5, 6, b"hello").pad_to(125).build();
-        sim.schedule_at(SimTime::ZERO, move |w: &mut Network, s: &mut Sim<Network>| {
-            w.host_send(s, h0, frame.clone());
-        });
+        let frame = PacketBuilder::udp(a(1), a(2), 5, 6, b"hello")
+            .pad_to(125)
+            .build();
+        sim.schedule_at(
+            SimTime::ZERO,
+            move |w: &mut Network, s: &mut Sim<Network>| {
+                w.host_send(s, h0, frame.clone());
+            },
+        );
         sim.run(&mut net);
         assert_eq!(net.hosts[h1].stats.rx_pkts, 1);
         assert_eq!(net.hosts[h0].stats.rx_pkts, 0);
@@ -446,20 +547,27 @@ mod tests {
     fn serialization_paces_back_to_back_packets() {
         let (mut net, h0, h1) = line_topology();
         let mut sim: Sim<Network> = Sim::new();
-        sim.schedule_at(SimTime::ZERO, move |w: &mut Network, s: &mut Sim<Network>| {
-            for i in 0..10u16 {
-                let f = PacketBuilder::udp(a(1), a(2), 5, 6, &[])
-                    .ident(i)
-                    .pad_to(1250)
-                    .build();
-                w.host_send(s, h0, f);
-            }
-        });
+        sim.schedule_at(
+            SimTime::ZERO,
+            move |w: &mut Network, s: &mut Sim<Network>| {
+                for i in 0..10u16 {
+                    let f = PacketBuilder::udp(a(1), a(2), 5, 6, &[])
+                        .ident(i)
+                        .pad_to(1250)
+                        .build();
+                    w.host_send(s, h0, f);
+                }
+            },
+        );
         sim.run(&mut net);
         assert_eq!(net.hosts[h1].stats.rx_pkts, 10);
         // 10 × 1250 B at 10 Gb/s = 10 us of wire time + 2 us prop + 1 us
         // last-hop ser; the run can't finish faster than ~12 us.
-        assert!(sim.now() >= SimTime::from_micros(12), "finished at {}", sim.now());
+        assert!(
+            sim.now() >= SimTime::from_micros(12),
+            "finished at {}",
+            sim.now()
+        );
     }
 
     #[test]
@@ -490,9 +598,12 @@ mod tests {
         net.connect((NodeRef::Switch(sw), 1), (NodeRef::Host(h1), 0), spec);
         let mut sim: Sim<Network> = Sim::new();
         let f = PacketBuilder::udp(a(1), a(2), 5, 6, b"ping").build();
-        sim.schedule_at(SimTime::ZERO, move |w: &mut Network, s: &mut Sim<Network>| {
-            w.host_send(s, h0, f.clone());
-        });
+        sim.schedule_at(
+            SimTime::ZERO,
+            move |w: &mut Network, s: &mut Sim<Network>| {
+                w.host_send(s, h0, f.clone());
+            },
+        );
         sim.run(&mut net);
         assert_eq!(net.hosts[h1].stats.rx_pkts, 1, "echo host got the ping");
         assert_eq!(net.hosts[h0].stats.rx_pkts, 1, "sender got the echo");
@@ -513,7 +624,9 @@ mod tests {
             sim.schedule_at(
                 SimTime::from_micros(t),
                 move |w: &mut Network, s: &mut Sim<Network>| {
-                    let f = PacketBuilder::udp(a(1), a(2), 5, 6, &[]).ident(ident).build();
+                    let f = PacketBuilder::udp(a(1), a(2), 5, 6, &[])
+                        .ident(ident)
+                        .build();
                     w.host_send(s, h0, f);
                 },
             );
@@ -540,9 +653,12 @@ mod tests {
         );
         let mut sim: Sim<Network> = Sim::new();
         let f = PacketBuilder::udp(a(1), a(2), 5, 6, &[]).build();
-        sim.schedule_at(SimTime::ZERO, move |w: &mut Network, s: &mut Sim<Network>| {
-            w.host_send(s, h0, f.clone());
-        });
+        sim.schedule_at(
+            SimTime::ZERO,
+            move |w: &mut Network, s: &mut Sim<Network>| {
+                w.host_send(s, h0, f.clone());
+            },
+        );
         sim.run(&mut net);
         assert_eq!(net.dropped_unconnected, 1);
     }

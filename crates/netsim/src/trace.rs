@@ -9,27 +9,46 @@ use crate::net::{Endpoint, NodeRef};
 use edp_evsim::SimTime;
 use std::collections::VecDeque;
 
+/// What a trace entry records.
+#[derive(Debug, Clone)]
+pub enum TraceKind {
+    /// A frame delivery.
+    Rx {
+        /// Receiving endpoint.
+        to: Endpoint,
+        /// Frame length in bytes.
+        len: usize,
+        /// Parsed one-line summary.
+        summary: String,
+    },
+    /// An out-of-band annotation (link status flips, injected faults).
+    Note(String),
+}
+
 /// One trace record.
 #[derive(Debug, Clone)]
 pub struct TraceEntry {
-    /// When the frame was delivered.
+    /// When it happened.
     pub at: SimTime,
-    /// Receiving endpoint.
-    pub to: Endpoint,
-    /// Frame length in bytes.
-    pub len: usize,
-    /// Parsed one-line summary.
-    pub summary: String,
+    /// What happened.
+    pub kind: TraceKind,
 }
 
 impl TraceEntry {
     /// Renders the entry tcpdump-style.
     pub fn render(&self) -> String {
-        let who = match self.to.0 {
-            NodeRef::Switch(i) => format!("sw{}:p{}", i, self.to.1),
-            NodeRef::Host(h) => format!("host{h}"),
-        };
-        format!("{:>12} {:>10} rx {}", self.at.to_string(), who, self.summary)
+        match &self.kind {
+            TraceKind::Rx { to, summary, .. } => {
+                let who = match to.0 {
+                    NodeRef::Switch(i) => format!("sw{}:p{}", i, to.1),
+                    NodeRef::Host(h) => format!("host{h}"),
+                };
+                format!("{:>12} {:>10} rx {}", self.at.to_string(), who, summary)
+            }
+            TraceKind::Note(text) => {
+                format!("{:>12} {:>10} -- {}", self.at.to_string(), "", text)
+            }
+        }
     }
 }
 
@@ -59,16 +78,35 @@ impl Tracer {
         if !self.enabled {
             return;
         }
+        self.push(TraceEntry {
+            at,
+            kind: TraceKind::Rx {
+                to,
+                len: frame.len(),
+                summary: edp_packet::summarize(frame),
+            },
+        });
+    }
+
+    /// Records an out-of-band annotation (no-op when disabled). The
+    /// network uses this for link status flips and injected faults so a
+    /// rendered trace shows *why* deliveries stopped.
+    pub fn note(&mut self, at: SimTime, text: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEntry {
+            at,
+            kind: TraceKind::Note(text.into()),
+        });
+    }
+
+    fn push(&mut self, entry: TraceEntry) {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
         }
-        self.entries.push_back(TraceEntry {
-            at,
-            to,
-            len: frame.len(),
-            summary: edp_packet::summarize(frame),
-        });
+        self.entries.push_back(entry);
     }
 
     /// Recorded entries, oldest first.
@@ -156,5 +194,44 @@ mod tests {
         t.enabled = true;
         t.record(SimTime::ZERO, (NodeRef::Host(0), 0), &[1, 2, 3]);
         assert!(t.render().contains("malformed"));
+    }
+
+    #[test]
+    fn notes_render_and_share_the_capacity_bound() {
+        let mut t = Tracer::new(2);
+        t.enabled = true;
+        t.note(SimTime::from_micros(1), "link0 down");
+        t.record(SimTime::from_micros(2), (NodeRef::Host(0), 0), &frame());
+        t.note(SimTime::from_micros(3), "link0 up");
+        // Capacity 2: the note at t=1 was evicted and counted.
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let s = t.render();
+        assert!(!s.contains("link0 down"), "{s}");
+        assert!(s.contains("link0 up"), "{s}");
+        assert!(s.contains("-- link0 up"), "note marker: {s}");
+    }
+
+    #[test]
+    fn disabled_tracer_ignores_notes() {
+        let mut t = Tracer::new(4);
+        t.note(SimTime::ZERO, "invisible");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_counting_past_multiple_wraps() {
+        let mut t = Tracer::new(2);
+        t.enabled = true;
+        for i in 0..9u64 {
+            t.record(SimTime::from_nanos(i), (NodeRef::Host(0), 0), &frame());
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 7, "every eviction counts exactly once");
+        assert_eq!(
+            t.entries().next().expect("entry").at,
+            SimTime::from_nanos(7)
+        );
     }
 }

@@ -28,15 +28,19 @@ pub fn start_cbr(
         return;
     }
     let mut sent = 0u64;
-    sim.schedule_periodic(start, interval, move |w: &mut Network, s: &mut Sim<Network>| {
-        w.host_send(s, host, frame(sent));
-        sent += 1;
-        if sent >= count {
-            Periodic::Stop
-        } else {
-            Periodic::Continue
-        }
-    });
+    sim.schedule_periodic(
+        start,
+        interval,
+        move |w: &mut Network, s: &mut Sim<Network>| {
+            w.host_send(s, host, frame(sent));
+            sent += 1;
+            if sent >= count {
+                Periodic::Stop
+            } else {
+                Periodic::Continue
+            }
+        },
+    );
 }
 
 /// Constant-bit-rate stream of one fixed frame: like [`start_cbr`] but
@@ -57,15 +61,19 @@ pub fn start_cbr_template(
     }
     let payload = std::sync::Arc::new(template);
     let mut sent = 0u64;
-    sim.schedule_periodic(start, interval, move |w: &mut Network, s: &mut Sim<Network>| {
-        w.host_send_shared(s, host, std::sync::Arc::clone(&payload));
-        sent += 1;
-        if sent >= count {
-            Periodic::Stop
-        } else {
-            Periodic::Continue
-        }
-    });
+    sim.schedule_periodic(
+        start,
+        interval,
+        move |w: &mut Network, s: &mut Sim<Network>| {
+            w.host_send_shared(s, host, std::sync::Arc::clone(&payload));
+            sent += 1;
+            if sent >= count {
+                Periodic::Stop
+            } else {
+                Periodic::Continue
+            }
+        },
+    );
 }
 
 /// Poisson arrivals with the given mean interval, from `start` until
@@ -142,23 +150,27 @@ pub fn start_on_off(
     mut frame: impl FrameFn,
 ) {
     let mut seq = 0u64;
-    sim.schedule_periodic(start, period, move |w: &mut Network, s: &mut Sim<Network>| {
-        if s.now() >= until {
-            return Periodic::Stop;
-        }
-        for i in 0..burst_len {
-            let f = frame(seq);
-            seq += 1;
-            if spacing.is_zero() {
-                w.host_send(s, host, f);
-            } else {
-                s.schedule_in(spacing * i, move |w: &mut Network, s: &mut Sim<Network>| {
-                    w.host_send(s, host, f.clone());
-                });
+    sim.schedule_periodic(
+        start,
+        period,
+        move |w: &mut Network, s: &mut Sim<Network>| {
+            if s.now() >= until {
+                return Periodic::Stop;
             }
-        }
-        Periodic::Continue
-    });
+            for i in 0..burst_len {
+                let f = frame(seq);
+                seq += 1;
+                if spacing.is_zero() {
+                    w.host_send(s, host, f);
+                } else {
+                    s.schedule_in(spacing * i, move |w: &mut Network, s: &mut Sim<Network>| {
+                        w.host_send(s, host, f.clone());
+                    });
+                }
+            }
+            Periodic::Continue
+        },
+    );
 }
 
 #[cfg(test)]
@@ -187,7 +199,9 @@ mod tests {
     }
 
     fn mk_frame(i: u64) -> Vec<u8> {
-        PacketBuilder::udp(a(1), a(2), 5, 6, &[]).ident(i as u16).build()
+        PacketBuilder::udp(a(1), a(2), 5, 6, &[])
+            .ident(i as u16)
+            .build()
     }
 
     #[test]

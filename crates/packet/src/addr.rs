@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(MacAddr([0, 1, 2, 0xaa, 0xbb, 0xff]).to_string(), "00:01:02:aa:bb:ff");
+        assert_eq!(
+            MacAddr([0, 1, 2, 0xaa, 0xbb, 0xff]).to_string(),
+            "00:01:02:aa:bb:ff"
+        );
     }
 
     #[test]

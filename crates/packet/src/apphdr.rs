@@ -280,7 +280,11 @@ mod tests {
 
     #[test]
     fn hula_round_trip() {
-        let p = HulaProbe { tor_id: 3, max_util: 200, seq: 99 };
+        let p = HulaProbe {
+            tor_id: 3,
+            max_util: 200,
+            seq: 99,
+        };
         let mut out = Vec::new();
         p.emit(&mut out);
         assert_eq!(out.len(), HulaProbe::WIRE_LEN);
@@ -290,7 +294,12 @@ mod tests {
     #[test]
     fn hula_wrong_magic() {
         let mut out = Vec::new();
-        HulaProbe { tor_id: 1, max_util: 0, seq: 0 }.emit(&mut out);
+        HulaProbe {
+            tor_id: 1,
+            max_util: 0,
+            seq: 0,
+        }
+        .emit(&mut out);
         out[0] = 0x00;
         assert!(HulaProbe::parse(&out).is_err());
     }
@@ -320,7 +329,11 @@ mod tests {
     #[test]
     fn kv_round_trip_all_ops() {
         for op in [KvOp::Get, KvOp::Put, KvOp::Reply] {
-            let k = KvHeader { op, key: 0xDEAD, value: 0xBEEF };
+            let k = KvHeader {
+                op,
+                key: 0xDEAD,
+                value: 0xBEEF,
+            };
             let mut out = Vec::new();
             k.emit(&mut out);
             assert_eq!(KvHeader::parse(&out).expect("parse").0, k);
@@ -330,7 +343,12 @@ mod tests {
     #[test]
     fn kv_bad_op_rejected() {
         let mut out = Vec::new();
-        KvHeader { op: KvOp::Get, key: 0, value: 0 }.emit(&mut out);
+        KvHeader {
+            op: KvOp::Get,
+            key: 0,
+            value: 0,
+        }
+        .emit(&mut out);
         out[1] = 77;
         assert!(KvHeader::parse(&out).is_err());
     }

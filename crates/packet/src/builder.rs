@@ -16,9 +16,23 @@ use std::net::Ipv4Addr;
 
 #[derive(Debug, Clone)]
 enum L4Spec {
-    Udp { src_port: u16, dst_port: u16 },
-    Tcp { src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags, window: u16 },
-    Icmp { kind: IcmpEchoKind, ident: u16, seq: u16 },
+    Udp {
+        src_port: u16,
+        dst_port: u16,
+    },
+    Tcp {
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        window: u16,
+    },
+    Icmp {
+        kind: IcmpEchoKind,
+        ident: u16,
+        seq: u16,
+    },
     None,
 }
 
@@ -91,7 +105,11 @@ impl PacketBuilder {
     pub fn icmp_echo(src: Ipv4Addr, dst: Ipv4Addr, request: bool, ident: u16, seq: u16) -> Self {
         let mut b = Self::base(src, dst);
         b.l4 = L4Spec::Icmp {
-            kind: if request { IcmpEchoKind::Request } else { IcmpEchoKind::Reply },
+            kind: if request {
+                IcmpEchoKind::Request
+            } else {
+                IcmpEchoKind::Reply
+            },
             ident,
             seq,
         };
@@ -193,7 +211,8 @@ impl PacketBuilder {
         };
         let base_len = ETH_HEADER_LEN + IPV4_HEADER_LEN + l4_hdr_len + self.payload.len();
         if self.pad_to > base_len {
-            self.payload.resize(self.payload.len() + self.pad_to - base_len, 0);
+            self.payload
+                .resize(self.payload.len() + self.pad_to - base_len, 0);
         }
 
         let l4_len = l4_hdr_len + self.payload.len();
@@ -231,9 +250,23 @@ impl PacketBuilder {
                 }
                 .emit(&mut out, Some(&ip), &self.payload);
             }
-            L4Spec::Tcp { src_port, dst_port, seq, ack, flags, window } => {
-                TcpHeader { src_port, dst_port, seq, ack, flags, window }
-                    .emit(&mut out, Some(&ip), &self.payload);
+            L4Spec::Tcp {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                window,
+            } => {
+                TcpHeader {
+                    src_port,
+                    dst_port,
+                    seq,
+                    ack,
+                    flags,
+                    window,
+                }
+                .emit(&mut out, Some(&ip), &self.payload);
             }
             L4Spec::Icmp { kind, ident, seq } => {
                 IcmpEcho { kind, ident, seq }.emit(&mut out, &self.payload);
@@ -259,13 +292,25 @@ mod tests {
             PacketBuilder::udp(a(1), a(2), 10, 20, b"xyz").build(),
             PacketBuilder::tcp(a(1), a(2), 10, 20, 5, 6, b"abc").build(),
             PacketBuilder::icmp_echo(a(1), a(2), true, 1, 2).build(),
-            PacketBuilder::hula_probe(a(1), a(2), &HulaProbe { tor_id: 1, max_util: 2, seq: 3 })
-                .build(),
-            PacketBuilder::kv(a(1), a(2), &KvHeader {
-                op: crate::apphdr::KvOp::Get,
-                key: 1,
-                value: 0,
-            })
+            PacketBuilder::hula_probe(
+                a(1),
+                a(2),
+                &HulaProbe {
+                    tor_id: 1,
+                    max_util: 2,
+                    seq: 3,
+                },
+            )
+            .build(),
+            PacketBuilder::kv(
+                a(1),
+                a(2),
+                &KvHeader {
+                    op: crate::apphdr::KvOp::Get,
+                    key: 1,
+                    value: 0,
+                },
+            )
             .build(),
         ] {
             parse_packet(&frame).expect("round trip");
@@ -274,11 +319,15 @@ mod tests {
 
     #[test]
     fn pad_to_controls_frame_size() {
-        let frame = PacketBuilder::udp(a(1), a(2), 1, 2, &[]).pad_to(500).build();
+        let frame = PacketBuilder::udp(a(1), a(2), 1, 2, &[])
+            .pad_to(500)
+            .build();
         assert_eq!(frame.len(), 500);
         parse_packet(&frame).expect("padded frame parses");
         // Smaller than natural size: no-op.
-        let frame = PacketBuilder::udp(a(1), a(2), 1, 2, b"1234").pad_to(10).build();
+        let frame = PacketBuilder::udp(a(1), a(2), 1, 2, b"1234")
+            .pad_to(10)
+            .build();
         assert_eq!(frame.len(), 14 + 20 + 8 + 4);
     }
 
@@ -306,7 +355,11 @@ mod tests {
 
     #[test]
     fn telemetry_record_is_at_fixed_offset() {
-        let rec = TelemetryHeader { max_queue_bytes: 1, path_delay_ns: 2, hop_count: 0 };
+        let rec = TelemetryHeader {
+            max_queue_bytes: 1,
+            path_delay_ns: 2,
+            hop_count: 0,
+        };
         let frame = PacketBuilder::telemetry(a(1), a(2), &rec, b"app").build();
         let pp = parse_packet(&frame).expect("parse");
         // The record sits right after the UDP header.

@@ -38,10 +38,18 @@ pub enum ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseError::Truncated { layer, needed, have } => {
+            ParseError::Truncated {
+                layer,
+                needed,
+                have,
+            } => {
                 write!(f, "{layer}: truncated, needed {needed} bytes, have {have}")
             }
-            ParseError::Unsupported { layer, field, value } => {
+            ParseError::Unsupported {
+                layer,
+                field,
+                value,
+            } => {
                 write!(f, "{layer}: unsupported {field} = {value:#x}")
             }
             ParseError::BadChecksum { layer } => write!(f, "{layer}: bad checksum"),
@@ -58,7 +66,11 @@ pub type ParseResult<T> = Result<T, ParseError>;
 /// Bounds-checks a read of `needed` bytes from a `have`-byte buffer.
 pub(crate) fn check_len(layer: &'static str, have: usize, needed: usize) -> ParseResult<()> {
     if have < needed {
-        Err(ParseError::Truncated { layer, needed, have })
+        Err(ParseError::Truncated {
+            layer,
+            needed,
+            have,
+        })
     } else {
         Ok(())
     }
@@ -70,11 +82,21 @@ mod tests {
 
     #[test]
     fn display_strings() {
-        let e = ParseError::Truncated { layer: "ipv4", needed: 20, have: 3 };
+        let e = ParseError::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            have: 3,
+        };
         assert_eq!(e.to_string(), "ipv4: truncated, needed 20 bytes, have 3");
-        let e = ParseError::Unsupported { layer: "eth", field: "ethertype", value: 0x1234 };
+        let e = ParseError::Unsupported {
+            layer: "eth",
+            field: "ethertype",
+            value: 0x1234,
+        };
         assert!(e.to_string().contains("0x1234"));
-        assert!(ParseError::BadChecksum { layer: "udp" }.to_string().contains("udp"));
+        assert!(ParseError::BadChecksum { layer: "udp" }
+            .to_string()
+            .contains("udp"));
     }
 
     #[test]

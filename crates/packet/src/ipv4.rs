@@ -306,7 +306,10 @@ mod tests {
         out[0] = 0x65; // version 6
         assert!(matches!(
             Ipv4Header::parse(&out),
-            Err(ParseError::Unsupported { field: "version", .. })
+            Err(ParseError::Unsupported {
+                field: "version",
+                ..
+            })
         ));
     }
 

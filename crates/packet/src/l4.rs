@@ -317,7 +317,11 @@ mod tests {
 
     #[test]
     fn udp_zero_checksum_skips_verify() {
-        let h = UdpHeader { src_port: 1, dst_port: 2, len: 8 };
+        let h = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            len: 8,
+        };
         let mut out = Vec::new();
         h.emit(&mut out, None, &[]);
         let iph = ip(IpProto::Udp, 8);
@@ -326,7 +330,11 @@ mod tests {
 
     #[test]
     fn udp_bad_len_rejected() {
-        let h = UdpHeader { src_port: 1, dst_port: 2, len: 200 };
+        let h = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            len: 200,
+        };
         let mut out = Vec::new();
         h.emit(&mut out, None, &[]);
         assert!(matches!(

@@ -155,13 +155,23 @@ pub fn summarize(buf: &[u8]) -> String {
         return format!("event-carrier {}B", buf.len());
     }
     let Some(ip) = pp.ipv4 else {
-        return format!("eth {} > {} type {:#06x} {}B",
-            pp.eth.src, pp.eth.dst, pp.eth.ethertype.to_u16(), buf.len());
+        return format!(
+            "eth {} > {} type {:#06x} {}B",
+            pp.eth.src,
+            pp.eth.dst,
+            pp.eth.ethertype.to_u16(),
+            buf.len()
+        );
     };
     let app = match pp.app {
-        Some(AppHeader::Hula(h)) => format!(" hula[tor={} util={} seq={}]", h.tor_id, h.max_util, h.seq),
+        Some(AppHeader::Hula(h)) => {
+            format!(" hula[tor={} util={} seq={}]", h.tor_id, h.max_util, h.seq)
+        }
         Some(AppHeader::Telemetry(t)) => {
-            format!(" int[maxq={} delay={} hops={}]", t.max_queue_bytes, t.path_delay_ns, t.hop_count)
+            format!(
+                " int[maxq={} delay={} hops={}]",
+                t.max_queue_bytes, t.path_delay_ns, t.hop_count
+            )
         }
         Some(AppHeader::Kv(k)) => format!(" kv[{:?} key={}]", k.op, k.key),
         Some(AppHeader::Liveness(l)) => format!(" live[{:?} seq={}]", l.kind, l.seq),
@@ -170,17 +180,37 @@ pub fn summarize(buf: &[u8]) -> String {
     match pp.l4 {
         Some(L4::Udp(u)) => format!(
             "IPv4 {}:{} > {}:{} UDP {}B{}",
-            ip.src, u.src_port, ip.dst, u.dst_port, buf.len(), app
+            ip.src,
+            u.src_port,
+            ip.dst,
+            u.dst_port,
+            buf.len(),
+            app
         ),
         Some(L4::Tcp(t)) => format!(
             "IPv4 {}:{} > {}:{} TCP seq={} {}B",
-            ip.src, t.src_port, ip.dst, t.dst_port, t.seq, buf.len()
+            ip.src,
+            t.src_port,
+            ip.dst,
+            t.dst_port,
+            t.seq,
+            buf.len()
         ),
         Some(L4::IcmpEcho(i)) => format!(
             "IPv4 {} > {} ICMP {:?} seq={} {}B",
-            ip.src, ip.dst, i.kind, i.seq, buf.len()
+            ip.src,
+            ip.dst,
+            i.kind,
+            i.seq,
+            buf.len()
         ),
-        None => format!("IPv4 {} > {} proto={} {}B", ip.src, ip.dst, ip.proto.to_u8(), buf.len()),
+        None => format!(
+            "IPv4 {} > {} proto={} {}B",
+            ip.src,
+            ip.dst,
+            ip.proto.to_u8(),
+            buf.len()
+        ),
     }
 }
 
@@ -229,7 +259,11 @@ mod tests {
 
     #[test]
     fn hula_probe_parses_as_app() {
-        let probe = HulaProbe { tor_id: 2, max_util: 9, seq: 77 };
+        let probe = HulaProbe {
+            tor_id: 2,
+            max_util: 9,
+            seq: 77,
+        };
         let frame = PacketBuilder::hula_probe(a(1), a(2), &probe).build();
         let pp = parse_packet(&frame).expect("parse");
         assert_eq!(pp.app, Some(AppHeader::Hula(probe)));

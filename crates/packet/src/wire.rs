@@ -91,7 +91,9 @@ mod tests {
     #[test]
     fn checksum_validates_to_zero() {
         // Inserting the checksum into the data makes the folded sum 0xffff.
-        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
         let ck = internet_checksum(&data);
         put_u16(&mut data, 10, ck);
         assert_eq!(fold(sum_words(&data, 0)), 0xffff);

@@ -16,7 +16,13 @@ pub trait PisaProgram {
     /// Handles an ingress packet event. Set `meta.dest` to forward; the
     /// parsed view reflects the packet *before* any rewrites this call
     /// makes.
-    fn ingress(&mut self, pkt: &mut Packet, parsed: &ParsedPacket, meta: &mut StdMeta, now: SimTime);
+    fn ingress(
+        &mut self,
+        pkt: &mut Packet,
+        parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        now: SimTime,
+    );
 
     /// Handles an egress packet event (after the traffic manager). The
     /// packet was re-parsed, PSA-style. Default: pass through.
@@ -62,7 +68,13 @@ pub struct ForwardTo(
 );
 
 impl PisaProgram for ForwardTo {
-    fn ingress(&mut self, _pkt: &mut Packet, _parsed: &ParsedPacket, meta: &mut StdMeta, _now: SimTime) {
+    fn ingress(
+        &mut self,
+        _pkt: &mut Packet,
+        _parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        _now: SimTime,
+    ) {
         meta.dest = crate::meta::Destination::Port(self.0);
     }
 
@@ -107,7 +119,13 @@ impl Default for TableRouter {
 }
 
 impl PisaProgram for TableRouter {
-    fn ingress(&mut self, _pkt: &mut Packet, parsed: &ParsedPacket, meta: &mut StdMeta, _now: SimTime) {
+    fn ingress(
+        &mut self,
+        _pkt: &mut Packet,
+        parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        _now: SimTime,
+    ) {
         let Some(ip) = parsed.ipv4 else {
             meta.dest = crate::meta::Destination::Drop;
             return;

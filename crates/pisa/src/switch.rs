@@ -205,8 +205,14 @@ mod tests {
 
     fn frame() -> Packet {
         Packet::anonymous(
-            PacketBuilder::udp(Ipv4Addr::new(1, 0, 0, 1), Ipv4Addr::new(1, 0, 0, 2), 1, 2, b"x")
-                .build(),
+            PacketBuilder::udp(
+                Ipv4Addr::new(1, 0, 0, 1),
+                Ipv4Addr::new(1, 0, 0, 2),
+                1,
+                2,
+                b"x",
+            )
+            .build(),
         )
     }
 
@@ -235,7 +241,13 @@ mod tests {
     fn flood_replicates_to_all_but_ingress() {
         struct Flooder;
         impl PisaProgram for Flooder {
-            fn ingress(&mut self, _p: &mut Packet, _h: &ParsedPacket, m: &mut StdMeta, _n: SimTime) {
+            fn ingress(
+                &mut self,
+                _p: &mut Packet,
+                _h: &ParsedPacket,
+                m: &mut StdMeta,
+                _n: SimTime,
+            ) {
                 m.dest = Destination::Flood;
             }
         }
@@ -251,7 +263,13 @@ mod tests {
     fn drop_decision_counted() {
         struct Dropper;
         impl PisaProgram for Dropper {
-            fn ingress(&mut self, _p: &mut Packet, _h: &ParsedPacket, m: &mut StdMeta, _n: SimTime) {
+            fn ingress(
+                &mut self,
+                _p: &mut Packet,
+                _h: &ParsedPacket,
+                m: &mut StdMeta,
+                _n: SimTime,
+            ) {
                 m.dest = Destination::Drop;
             }
         }
@@ -264,7 +282,13 @@ mod tests {
     fn recirculation_bounded() {
         struct Recirc;
         impl PisaProgram for Recirc {
-            fn ingress(&mut self, _p: &mut Packet, _h: &ParsedPacket, m: &mut StdMeta, _n: SimTime) {
+            fn ingress(
+                &mut self,
+                _p: &mut Packet,
+                _h: &ParsedPacket,
+                m: &mut StdMeta,
+                _n: SimTime,
+            ) {
                 m.dest = Destination::Recirculate;
             }
         }
@@ -280,7 +304,13 @@ mod tests {
         // Recirculate once, then forward; program sees the count.
         struct OneLoop;
         impl PisaProgram for OneLoop {
-            fn ingress(&mut self, _p: &mut Packet, _h: &ParsedPacket, m: &mut StdMeta, _n: SimTime) {
+            fn ingress(
+                &mut self,
+                _p: &mut Packet,
+                _h: &ParsedPacket,
+                m: &mut StdMeta,
+                _n: SimTime,
+            ) {
                 m.dest = if m.recirc_count == 0 {
                     Destination::Recirculate
                 } else {
@@ -298,7 +328,13 @@ mod tests {
     fn egress_drop_respected() {
         struct EgressDropper;
         impl PisaProgram for EgressDropper {
-            fn ingress(&mut self, _p: &mut Packet, _h: &ParsedPacket, m: &mut StdMeta, _n: SimTime) {
+            fn ingress(
+                &mut self,
+                _p: &mut Packet,
+                _h: &ParsedPacket,
+                m: &mut StdMeta,
+                _n: SimTime,
+            ) {
                 m.dest = Destination::Port(1);
             }
             fn egress(&mut self, _p: &mut Packet, _h: &ParsedPacket, m: &mut StdMeta, _n: SimTime) {
@@ -369,7 +405,13 @@ mod tests {
     fn non_cacheable_program_never_consults_cache() {
         struct Dropper;
         impl PisaProgram for Dropper {
-            fn ingress(&mut self, _p: &mut Packet, _h: &ParsedPacket, m: &mut StdMeta, _n: SimTime) {
+            fn ingress(
+                &mut self,
+                _p: &mut Packet,
+                _h: &ParsedPacket,
+                m: &mut StdMeta,
+                _n: SimTime,
+            ) {
                 m.dest = Destination::Drop;
             }
         }

@@ -248,10 +248,7 @@ impl<A> MatchTable<A> {
                 .iter()
                 .map(|f| match f {
                     FieldMatch::Exact(v) => *v,
-                    other => panic!(
-                        "non-exact match {other:?} in all-exact table {}",
-                        self.name
-                    ),
+                    other => panic!("non-exact match {other:?} in all-exact table {}", self.name),
                 })
                 .collect();
             if let Some(&i) = idx.get(&key) {
@@ -428,7 +425,12 @@ pub fn ipv4_lpm_schema() -> Vec<MatchKind> {
 }
 
 /// Helper to install an IPv4 prefix route into a single-LPM-field table.
-pub fn insert_ipv4_route<A>(table: &mut MatchTable<A>, addr: std::net::Ipv4Addr, prefix_len: u8, action: A) {
+pub fn insert_ipv4_route<A>(
+    table: &mut MatchTable<A>,
+    addr: std::net::Ipv4Addr,
+    prefix_len: u8,
+    action: A,
+) {
     assert!(prefix_len <= 32);
     let value = u32::from(addr) as u64;
     table.insert(TableEntry {
@@ -471,7 +473,10 @@ mod tests {
         let key = |a: Ipv4Addr| vec![u32::from(a) as u64];
         assert_eq!(t.lookup(&key(Ipv4Addr::new(10, 1, 2, 3))), Some(&"fine"));
         assert_eq!(t.lookup(&key(Ipv4Addr::new(10, 9, 2, 3))), Some(&"coarse"));
-        assert_eq!(t.lookup(&key(Ipv4Addr::new(192, 168, 0, 1))), Some(&"default"));
+        assert_eq!(
+            t.lookup(&key(Ipv4Addr::new(192, 168, 0, 1))),
+            Some(&"default")
+        );
     }
 
     #[test]
@@ -530,7 +535,10 @@ mod tests {
     fn ternary_priority() {
         let mut t: MatchTable<&str> = MatchTable::new("acl", vec![MatchKind::Ternary]);
         t.insert(TableEntry {
-            fields: vec![FieldMatch::Ternary { value: 0x80, mask: 0x80 }],
+            fields: vec![FieldMatch::Ternary {
+                value: 0x80,
+                mask: 0x80,
+            }],
             priority: 10,
             action: "high-bit",
         });
@@ -554,7 +562,10 @@ mod tests {
             action: "any",
         });
         t.insert(TableEntry {
-            fields: vec![FieldMatch::Ternary { value: 0x80, mask: 0x80 }],
+            fields: vec![FieldMatch::Ternary {
+                value: 0x80,
+                mask: 0x80,
+            }],
             priority: 10,
             action: "high-bit",
         });
@@ -564,8 +575,7 @@ mod tests {
 
     #[test]
     fn range_match() {
-        let mut t: MatchTable<&str> =
-            MatchTable::new("ports", vec![MatchKind::Range]);
+        let mut t: MatchTable<&str> = MatchTable::new("ports", vec![MatchKind::Range]);
         t.insert(TableEntry {
             fields: vec![FieldMatch::Range { lo: 1000, hi: 2000 }],
             priority: 0,
@@ -579,10 +589,8 @@ mod tests {
     #[test]
     fn multi_field_key() {
         // (exact dst, range port) — a small ACL.
-        let mut t: MatchTable<u8> = MatchTable::new(
-            "acl2",
-            vec![MatchKind::Exact, MatchKind::Range],
-        );
+        let mut t: MatchTable<u8> =
+            MatchTable::new("acl2", vec![MatchKind::Exact, MatchKind::Range]);
         t.insert(TableEntry {
             fields: vec![FieldMatch::Exact(7), FieldMatch::Range { lo: 0, hi: 1023 }],
             priority: 5,
@@ -621,8 +629,16 @@ mod tests {
     #[test]
     fn install_order_breaks_ties() {
         let mut t: MatchTable<&str> = MatchTable::new("tie", vec![MatchKind::Ternary]);
-        t.insert(TableEntry { fields: vec![FieldMatch::Any], priority: 0, action: "first" });
-        t.insert(TableEntry { fields: vec![FieldMatch::Any], priority: 0, action: "second" });
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Any],
+            priority: 0,
+            action: "first",
+        });
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Any],
+            priority: 0,
+            action: "second",
+        });
         assert_eq!(t.lookup(&[1]), Some(&"first"));
     }
 

@@ -157,7 +157,11 @@ impl OutQueue {
     fn push(&mut self, pkt: Packet, meta: StdMeta, now: SimTime) -> bool {
         let len = pkt.len() as u64;
         let cap = self.cfg.capacity_bytes
-            + if meta.rank == 0 { self.cfg.rank0_headroom } else { 0 };
+            + if meta.rank == 0 {
+                self.cfg.rank0_headroom
+            } else {
+                0
+            };
         if self.bytes + len > cap {
             self.dropped += 1;
             self.dropped_bytes += len;
@@ -245,7 +249,11 @@ impl TrafficManager {
     }
 
     /// Dequeues the next packet from `port`, or an underflow record.
-    pub fn dequeue(&mut self, port: PortId, now: SimTime) -> Result<(Packet, StdMeta, TmEvent), TmEvent> {
+    pub fn dequeue(
+        &mut self,
+        port: PortId,
+        now: SimTime,
+    ) -> Result<(Packet, StdMeta, TmEvent), TmEvent> {
         let q = &mut self.queues[port as usize];
         match q.pop() {
             Some(item) => {
@@ -307,7 +315,11 @@ impl TrafficManager {
         let pkt_len = pkt.len() as u32;
         let event_meta = meta.event_meta;
         let cap = q.cfg.capacity_bytes
-            + if meta.rank == 0 { q.cfg.rank0_headroom } else { 0 };
+            + if meta.rank == 0 {
+                q.cfg.rank0_headroom
+            } else {
+                0
+            };
         if q.bytes + pkt_len as u64 > cap {
             q.dropped += 1;
             q.dropped_bytes += pkt_len as u64;
@@ -354,7 +366,16 @@ mod tests {
         let now = SimTime::from_nanos(10);
         let (d, ev) = tm.offer(1, pkt(100), meta(0), now);
         assert!(d.is_none());
-        assert!(matches!(ev, TmEvent::Enqueue { port: 1, pkt_len: 100, q_bytes: 100, q_pkts: 1, .. }));
+        assert!(matches!(
+            ev,
+            TmEvent::Enqueue {
+                port: 1,
+                pkt_len: 100,
+                q_bytes: 100,
+                q_pkts: 1,
+                ..
+            }
+        ));
         tm.offer(1, pkt(200), meta(0), now);
         assert_eq!(tm.occupancy_bytes(1), 300);
 
@@ -363,18 +384,33 @@ mod tests {
         assert_eq!(p.len(), 100);
         assert!(matches!(
             ev,
-            TmEvent::Dequeue { sojourn_ns: 40, q_bytes: 200, q_pkts: 1, .. }
+            TmEvent::Dequeue {
+                sojourn_ns: 40,
+                q_bytes: 200,
+                q_pkts: 1,
+                ..
+            }
         ));
     }
 
     #[test]
     fn overflow_emits_drop_event_and_returns_packet() {
-        let cfg = QueueConfig { capacity_bytes: 250, ..QueueConfig::default() };
+        let cfg = QueueConfig {
+            capacity_bytes: 250,
+            ..QueueConfig::default()
+        };
         let mut tm = TrafficManager::new(1, cfg);
         tm.offer(0, pkt(200), meta(0), SimTime::ZERO);
         let (returned, ev) = tm.offer(0, pkt(100), meta(0), SimTime::ZERO);
         assert!(returned.is_some());
-        assert!(matches!(ev, TmEvent::Overflow { pkt_len: 100, q_bytes: 200, .. }));
+        assert!(matches!(
+            ev,
+            TmEvent::Overflow {
+                pkt_len: 100,
+                q_bytes: 200,
+                ..
+            }
+        ));
         assert_eq!(tm.stats(0).dropped, 1);
         assert_eq!(tm.stats(0).dropped_bytes, 100);
     }
@@ -409,7 +445,11 @@ mod tests {
 
     #[test]
     fn pifo_orders_by_rank_stable() {
-        let cfg = QueueConfig { capacity_bytes: 10_000, disc: QueueDisc::Pifo, rank0_headroom: 0 };
+        let cfg = QueueConfig {
+            capacity_bytes: 10_000,
+            disc: QueueDisc::Pifo,
+            rank0_headroom: 0,
+        };
         let mut tm = TrafficManager::new(1, cfg);
         tm.offer(0, pkt(1), meta(50), SimTime::ZERO);
         tm.offer(0, pkt(2), meta(10), SimTime::ZERO);
@@ -427,9 +467,21 @@ mod tests {
         let mut m = meta(0);
         m.event_meta = [7, 1500, 0, 0];
         let (_, ev) = tm.offer(0, pkt(64), m, SimTime::ZERO);
-        assert!(matches!(ev, TmEvent::Enqueue { meta: [7, 1500, 0, 0], .. }));
+        assert!(matches!(
+            ev,
+            TmEvent::Enqueue {
+                meta: [7, 1500, 0, 0],
+                ..
+            }
+        ));
         let (_, _, ev) = tm.dequeue(0, SimTime::ZERO).expect("p");
-        assert!(matches!(ev, TmEvent::Dequeue { meta: [7, 1500, 0, 0], .. }));
+        assert!(matches!(
+            ev,
+            TmEvent::Dequeue {
+                meta: [7, 1500, 0, 0],
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -141,9 +141,7 @@ mod tests {
         }
         let n_total = 10 * n_keys;
         let bound = 2 * n_total / 256;
-        let violations = (0..n_keys)
-            .filter(|&k| cms.query(k) > 10 + bound)
-            .count();
+        let violations = (0..n_keys).filter(|&k| cms.query(k) > 10 + bound).count();
         assert!(
             violations < (n_keys as usize) / 16,
             "{violations} of {n_keys} exceed the CMS error bound"

@@ -47,7 +47,11 @@ impl SpaceSaving {
         }
         if self.slots.len() < self.capacity {
             self.index.insert(key, self.slots.len());
-            self.slots.push(Slot { key, count, error: 0 });
+            self.slots.push(Slot {
+                key,
+                count,
+                error: 0,
+            });
             return;
         }
         // Replace the slot with the minimum count.
@@ -70,7 +74,10 @@ impl SpaceSaving {
     /// Estimated count for `key` (0 when unmonitored). Estimates satisfy
     /// `true ≤ estimate ≤ true + error`.
     pub fn estimate(&self, key: u64) -> u64 {
-        self.index.get(&key).map(|&i| self.slots[i].count).unwrap_or(0)
+        self.index
+            .get(&key)
+            .map(|&i| self.slots[i].count)
+            .unwrap_or(0)
     }
 
     /// Top-`n` `(key, estimate, error_bound)` triples, highest first;

@@ -115,20 +115,76 @@ impl Block {
     /// The price of one instance.
     pub fn cost(self) -> ResourceVec {
         match self {
-            Block::TenGigPort => ResourceVec { luts: 9_000, ffs: 14_000, brams: 12 },
-            Block::DmaEngine => ResourceVec { luts: 20_000, ffs: 30_000, brams: 32 },
-            Block::InputArbiter => ResourceVec { luts: 4_000, ffs: 6_000, brams: 8 },
-            Block::Parser => ResourceVec { luts: 12_000, ffs: 20_000, brams: 12 },
-            Block::MatchActionStage => ResourceVec { luts: 14_000, ffs: 24_000, brams: 48 },
-            Block::Deparser => ResourceVec { luts: 10_000, ffs: 16_000, brams: 10 },
-            Block::OutputQueue => ResourceVec { luts: 2_500, ffs: 5_000, brams: 24 },
-            Block::EventMerger => ResourceVec { luts: 550, ffs: 700, brams: 2 },
-            Block::QueueEventTaps => ResourceVec { luts: 70, ffs: 135, brams: 0 },
-            Block::TimerBlock => ResourceVec { luts: 150, ffs: 250, brams: 0 },
-            Block::PacketGenerator => ResourceVec { luts: 260, ffs: 330, brams: 2 },
-            Block::LinkStatusMonitor => ResourceVec { luts: 40, ffs: 60, brams: 0 },
-            Block::EventMetadataBus => ResourceVec { luts: 50, ffs: 70, brams: 0 },
-            Block::EventStateMemory => ResourceVec { luts: 90, ffs: 155, brams: 5 },
+            Block::TenGigPort => ResourceVec {
+                luts: 9_000,
+                ffs: 14_000,
+                brams: 12,
+            },
+            Block::DmaEngine => ResourceVec {
+                luts: 20_000,
+                ffs: 30_000,
+                brams: 32,
+            },
+            Block::InputArbiter => ResourceVec {
+                luts: 4_000,
+                ffs: 6_000,
+                brams: 8,
+            },
+            Block::Parser => ResourceVec {
+                luts: 12_000,
+                ffs: 20_000,
+                brams: 12,
+            },
+            Block::MatchActionStage => ResourceVec {
+                luts: 14_000,
+                ffs: 24_000,
+                brams: 48,
+            },
+            Block::Deparser => ResourceVec {
+                luts: 10_000,
+                ffs: 16_000,
+                brams: 10,
+            },
+            Block::OutputQueue => ResourceVec {
+                luts: 2_500,
+                ffs: 5_000,
+                brams: 24,
+            },
+            Block::EventMerger => ResourceVec {
+                luts: 550,
+                ffs: 700,
+                brams: 2,
+            },
+            Block::QueueEventTaps => ResourceVec {
+                luts: 70,
+                ffs: 135,
+                brams: 0,
+            },
+            Block::TimerBlock => ResourceVec {
+                luts: 150,
+                ffs: 250,
+                brams: 0,
+            },
+            Block::PacketGenerator => ResourceVec {
+                luts: 260,
+                ffs: 330,
+                brams: 2,
+            },
+            Block::LinkStatusMonitor => ResourceVec {
+                luts: 40,
+                ffs: 60,
+                brams: 0,
+            },
+            Block::EventMetadataBus => ResourceVec {
+                luts: 50,
+                ffs: 70,
+                brams: 0,
+            },
+            Block::EventStateMemory => ResourceVec {
+                luts: 90,
+                ffs: 155,
+                brams: 5,
+            },
         }
     }
 }
@@ -176,7 +232,9 @@ impl Design {
         let mut acc = self
             .blocks
             .iter()
-            .fold(ResourceVec::default(), |acc, &(b, n)| acc.plus(b.cost().times(n)));
+            .fold(ResourceVec::default(), |acc, &(b, n)| {
+                acc.plus(b.cost().times(n))
+            });
         if self.state_words > 0 {
             acc.brams += Self::brams_for_words(self.state_words);
         }
@@ -272,10 +330,32 @@ mod tests {
 
     #[test]
     fn resource_vec_algebra() {
-        let a = ResourceVec { luts: 1, ffs: 2, brams: 3 };
-        let b = ResourceVec { luts: 10, ffs: 20, brams: 30 };
-        assert_eq!(a.plus(b), ResourceVec { luts: 11, ffs: 22, brams: 33 });
-        assert_eq!(a.times(4), ResourceVec { luts: 4, ffs: 8, brams: 12 });
+        let a = ResourceVec {
+            luts: 1,
+            ffs: 2,
+            brams: 3,
+        };
+        let b = ResourceVec {
+            luts: 10,
+            ffs: 20,
+            brams: 30,
+        };
+        assert_eq!(
+            a.plus(b),
+            ResourceVec {
+                luts: 11,
+                ffs: 22,
+                brams: 33
+            }
+        );
+        assert_eq!(
+            a.times(4),
+            ResourceVec {
+                luts: 4,
+                ffs: 8,
+                brams: 12
+            }
+        );
     }
 
     #[test]

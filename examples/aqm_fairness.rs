@@ -24,7 +24,10 @@ const N: usize = 4; // 3 polite + 1 hog
 const HORIZON: SimTime = SimTime::from_millis(200);
 
 fn queue_cfg() -> QueueConfig {
-    QueueConfig { capacity_bytes: CAPACITY, ..QueueConfig::default() }
+    QueueConfig {
+        capacity_bytes: CAPACITY,
+        ..QueueConfig::default()
+    }
 }
 
 fn run(fair: bool) -> (Vec<f64>, Option<f64>) {
@@ -97,7 +100,10 @@ fn main() {
     println!("3 polite flows @40 Mb/s + 1 hog @400 Mb/s into 100 Mb/s\n");
     let (droptail, _) = run(false);
     let (fred, occ) = run(true);
-    println!("{:<10} {:>16} {:>16}", "flow", "droptail (Mb/s)", "FRED (Mb/s)");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "flow", "droptail (Mb/s)", "FRED (Mb/s)"
+    );
     for i in 0..N {
         let label = if i == N - 1 { "hog" } else { "polite" };
         println!(

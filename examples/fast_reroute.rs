@@ -44,12 +44,18 @@ fn diamond(sw_a: Box<dyn SwitchHarness>) -> (Network, usize, usize, usize) {
 fn send(sim: &mut Sim<Network>, sender: usize) {
     let src = addr(1);
     start_cbr(sim, sender, SimTime::ZERO, INTERVAL, PKTS, move |i| {
-        PacketBuilder::udp(src, addr(9), 1, 2, &[]).ident(i as u16).pad_to(500).build()
+        PacketBuilder::udp(src, addr(9), 1, 2, &[])
+            .ident(i as u16)
+            .pad_to(500)
+            .build()
     });
 }
 
 fn run_event() -> u64 {
-    let cfg = EventSwitchConfig { n_ports: 3, ..Default::default() };
+    let cfg = EventSwitchConfig {
+        n_ports: 3,
+        ..Default::default()
+    };
     let sw = EventSwitch::new(FrrEvent::new(1, 2), cfg);
     let (mut net, sender, sink, primary) = diamond(Box::new(sw));
     let mut sim: Sim<Network> = Sim::new();
@@ -76,10 +82,18 @@ fn main() {
     println!("=== fast re-route: link-status events vs control loop ===");
     println!("failure at {FAIL_AT}, one 500 B packet per {INTERVAL}\n");
     println!("{:<32} {:>14}", "variant", "packets lost");
-    println!("{:<32} {:>14}", "event-driven (on_link_status)", run_event());
+    println!(
+        "{:<32} {:>14}",
+        "event-driven (on_link_status)",
+        run_event()
+    );
     for ms in [1u64, 2, 5, 10] {
         let lost = run_baseline(SimDuration::from_millis(ms));
-        println!("{:<32} {:>14}", format!("baseline, {ms} ms control loop"), lost);
+        println!(
+            "{:<32} {:>14}",
+            format!("baseline, {ms} ms control loop"),
+            lost
+        );
     }
     println!("\nthe control loop converts directly into blackholed packets;");
     println!("the event-driven switch loses only what was in flight.");

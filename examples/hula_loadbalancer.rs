@@ -37,7 +37,12 @@ fn main() {
     }
     let ecmp_total: f64 = ecmp.iter().sum();
     let hula_total: f64 = hula.iter().sum();
-    println!("{:>6} {:>14.1} {:>14.1}", "total", mbps(ecmp_total), mbps(hula_total));
+    println!(
+        "{:>6} {:>14.1} {:>14.1}",
+        "total",
+        mbps(ecmp_total),
+        mbps(hula_total)
+    );
     println!(
         "{:>6} {:>14.3} {:>14.3}",
         "jain",

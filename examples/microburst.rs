@@ -34,21 +34,35 @@ fn workload(sim: &mut Sim<Network>, senders: &[usize]) {
     // Two polite flows.
     for (i, &h) in senders.iter().take(2).enumerate() {
         let src = addr(i as u8 + 1);
-        start_cbr(sim, h, SimTime::ZERO, SimDuration::from_micros(100), 300, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
-                .ident(s as u16)
-                .pad_to(1500)
-                .build()
-        });
+        start_cbr(
+            sim,
+            h,
+            SimTime::ZERO,
+            SimDuration::from_micros(100),
+            300,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
+                    .ident(s as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
     }
     // One 150-packet microburst.
     let src = addr(3);
-    start_burst(sim, senders[2], BURST_AT, 150, SimDuration::ZERO, move |s| {
-        PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
-            .ident(s as u16)
-            .pad_to(1500)
-            .build()
-    });
+    start_burst(
+        sim,
+        senders[2],
+        BURST_AT,
+        150,
+        SimDuration::ZERO,
+        move |s| {
+            PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
+                .ident(s as u16)
+                .pad_to(1500)
+                .build()
+        },
+    );
 }
 
 fn main() {
@@ -71,7 +85,11 @@ fn main() {
     println!("  state words          : {}", ev.state_words());
     println!("  detections           : {}", ev.detections.len());
     if let Some(d) = ev.detections.first() {
-        println!("  first detection      : {} ({} after burst start)", d.at, d.at - BURST_AT);
+        println!(
+            "  first detection      : {} ({} after burst start)",
+            d.at,
+            d.at - BURST_AT
+        );
         println!("  flagged flow index   : {}", d.flow_index);
         println!("  occupancy at flag    : {} bytes", d.occupancy);
     }
@@ -91,7 +109,11 @@ fn main() {
     println!("  state words          : {}", base.state_words());
     println!("  detections           : {}", base.detections.len());
     if let Some(d) = base.detections.first() {
-        println!("  first detection      : {} ({} after burst start)", d.at, d.at - BURST_AT);
+        println!(
+            "  first detection      : {} ({} after burst start)",
+            d.at,
+            d.at - BURST_AT
+        );
     }
 
     println!("\ncomparison:");

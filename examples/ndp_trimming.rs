@@ -52,9 +52,19 @@ fn cfg() -> EventSwitchConfig {
 
 fn blast(net: &mut Network, sim: &mut Sim<Network>, sender: usize) {
     let src = addr(1);
-    start_burst(sim, sender, SimTime::ZERO, 100, SimDuration::ZERO, move |i| {
-        PacketBuilder::udp(src, sink_addr(), 40, 50, &[]).ident(i as u16).pad_to(1500).build()
-    });
+    start_burst(
+        sim,
+        sender,
+        SimTime::ZERO,
+        100,
+        SimDuration::ZERO,
+        move |i| {
+            PacketBuilder::udp(src, sink_addr(), 40, 50, &[])
+                .ident(i as u16)
+                .pad_to(1500)
+                .build()
+        },
+    );
     run_until(net, sim, SimTime::from_millis(50));
 }
 
@@ -62,15 +72,26 @@ fn main() {
     println!("=== NDP packet trimming (buffer overflow events) ===");
     println!("burst: 100 x 1500 B into a 20 KB buffer, 100 Mb/s drain\n");
 
-    let (mut net, senders, sink, _) =
-        dumbbell(Box::new(EventSwitch::new(NoTrim(NdpTrim::new(1)), cfg())), 1, 100_000_000, 7);
+    let (mut net, senders, sink, _) = dumbbell(
+        Box::new(EventSwitch::new(NoTrim(NdpTrim::new(1)), cfg())),
+        1,
+        100_000_000,
+        7,
+    );
     let mut sim: Sim<Network> = Sim::new();
     blast(&mut net, &mut sim, senders[0]);
     let d_rx = net.hosts[sink].stats.rx_pkts;
-    println!("drop-tail  : {d_rx}/100 arrive, {} silent losses", 100 - d_rx);
+    println!(
+        "drop-tail  : {d_rx}/100 arrive, {} silent losses",
+        100 - d_rx
+    );
 
-    let (mut net, senders, sink, _) =
-        dumbbell(Box::new(EventSwitch::new(NdpTrim::new(1), cfg())), 1, 100_000_000, 7);
+    let (mut net, senders, sink, _) = dumbbell(
+        Box::new(EventSwitch::new(NdpTrim::new(1), cfg())),
+        1,
+        100_000_000,
+        7,
+    );
     let mut sim: Sim<Network> = Sim::new();
     net.tracer.enabled = true;
     blast(&mut net, &mut sim, senders[0]);
@@ -84,7 +105,7 @@ fn main() {
     );
     println!("\nfirst trimmed frame on the wire (DSCP {TRIMMED_DSCP} = trim marker):");
     for e in net.tracer.entries() {
-        if e.len == 42 {
+        if matches!(e.kind, edp_netsim::TraceKind::Rx { len: 42, .. }) {
             println!("  {}", e.render());
             break;
         }

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Offline-friendly CI gate: everything a PR must pass, with no network.
 #
-#   scripts/ci.sh           # build, test, lint, smoke-bench
-#   scripts/ci.sh --quick   # skip clippy and the smoke bench
+#   scripts/ci.sh           # fmt, build, test, lint, smoke-bench + regression gate
+#   scripts/ci.sh --quick   # fmt, build, test only
 #
 # The workspace vendors all third-party crates (see vendor/), so the
 # whole gate runs with the cargo registry unreachable.
+#
+# The bench-regression gate compares the smoke snapshot against the
+# committed baseline (BENCH_1.json by default; override with
+# EDP_BENCH_BASELINE) and fails on a >25% throughput drop in the gated
+# event-queue / LPM metrics (override with EDP_BENCH_MAX_REGRESS).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,6 +19,12 @@ export CARGO_NET_OFFLINE=true
 
 quick=0
 [[ "${1:-}" == "--quick" ]] && quick=1
+
+baseline="${EDP_BENCH_BASELINE:-BENCH_1.json}"
+max_regress="${EDP_BENCH_MAX_REGRESS:-0.25}"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --release"
 cargo build --offline --release -q
@@ -25,11 +36,14 @@ if [[ $quick -eq 0 ]]; then
     echo "==> cargo clippy (-D warnings)"
     cargo clippy --offline --all-targets -q -- -D warnings
 
-    echo "==> bench_snapshot --smoke"
-    # Smoke scale: verifies the perf harness end-to-end in seconds.
+    echo "==> bench_snapshot --smoke (regression gate vs ${baseline})"
+    # Smoke scale: verifies the perf harness end-to-end in seconds and
+    # fails (exit 1) if a gated metric regressed more than the limit.
     # Writes nothing into the repo; full snapshots are taken manually
     # with `cargo run --release --bin bench_snapshot`.
-    cargo run --offline --release -q --bin bench_snapshot -- --smoke --out /tmp/edp_ci_smoke.json
+    cargo run --offline --release -q --bin bench_snapshot -- \
+        --smoke --out /tmp/edp_ci_smoke.json \
+        --baseline "${baseline}" --max-regress "${max_regress}"
 fi
 
 echo "==> CI gate passed"

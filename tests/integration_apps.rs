@@ -34,18 +34,37 @@ fn network_management_liveness_detects_soft_failure() {
     let mon_cfg = EventSwitchConfig {
         n_ports: 2,
         timers: vec![
-            TimerSpec { id: 0, period, start: period },
-            TimerSpec { id: 1, period, start: period },
+            TimerSpec {
+                id: 0,
+                period,
+                start: period,
+            },
+            TimerSpec {
+                id: 1,
+                period,
+                start: period,
+            },
         ],
         ..Default::default()
     };
     let m = net.add_switch(Box::new(EventSwitch::new(
-        LivenessMonitor::new(addr(1), vec![Neighbor { port: 1, addr: addr(2) }], 3_000_000),
+        LivenessMonitor::new(
+            addr(1),
+            vec![Neighbor {
+                port: 1,
+                addr: addr(2),
+            }],
+            3_000_000,
+        ),
         mon_cfg,
     )));
     let r = net.add_switch(Box::new(EventSwitch::new(
         LivenessReflector::new(),
-        EventSwitchConfig { n_ports: 2, switch_id: 2, ..Default::default() },
+        EventSwitchConfig {
+            n_ports: 2,
+            switch_id: 2,
+            ..Default::default()
+        },
     )));
     net.connect(
         (NodeRef::Switch(m), 1),
@@ -67,7 +86,10 @@ fn network_management_liveness_detects_soft_failure() {
     let mon = &net.switch_as::<EventSwitch<LivenessMonitor>>(0).program;
     let dead = mon.declared_dead_at(0).expect("detected");
     assert!(dead - kill_at <= SimDuration::from_millis(6));
-    assert!(net.cp_log.iter().any(|(sw, _)| *sw == 0), "monitor notified");
+    assert!(
+        net.cp_log.iter().any(|(sw, _)| *sw == 0),
+        "monitor notified"
+    );
 }
 
 #[test]
@@ -102,7 +124,10 @@ fn in_network_computing_cache_serves_hot_keys() {
     let client = net.add_host(Host::new(client_addr, HostApp::Sink));
     let server = net.add_host(Host::new(
         server_addr,
-        HostApp::KvServer { store: (0..100u64).map(|k| (k, k)).collect(), served: 0 },
+        HostApp::KvServer {
+            store: (0..100u64).map(|k| (k, k)).collect(),
+            served: 0,
+        },
     ));
     let spec = LinkSpec::ten_gig(SimDuration::from_micros(2));
     net.connect((NodeRef::Host(client), 0), (NodeRef::Switch(sw), 0), spec);
@@ -116,13 +141,21 @@ fn in_network_computing_cache_serves_hot_keys() {
         SimDuration::from_micros(30),
         1000,
         move |_| {
-            let get = KvHeader { op: KvOp::Get, key: 7, value: 0 };
+            let get = KvHeader {
+                op: KvOp::Get,
+                key: 7,
+                value: 0,
+            };
             PacketBuilder::kv(client_addr, server_addr, &get).build()
         },
     );
     run_until(&mut net, &mut sim, SimTime::from_millis(60));
     let prog = &net.switch_as::<EventSwitch<NetCacheSwitch>>(0).program;
-    assert!(prog.hit_rate() > 0.9, "hot-key hit rate {}", prog.hit_rate());
+    assert!(
+        prog.hit_rate() > 0.9,
+        "hot-key hit rate {}",
+        prog.hit_rate()
+    );
     let served = match &net.hosts[server].app {
         HostApp::KvServer { served, .. } => *served,
         _ => unreachable!(),
@@ -139,7 +172,11 @@ fn monitoring_cms_window_counts_are_clean() {
     let period = SimDuration::from_millis(1);
     let cfg = EventSwitchConfig {
         n_ports: 2,
-        timers: vec![TimerSpec { id: 0, period, start: period }],
+        timers: vec![TimerSpec {
+            id: 0,
+            period,
+            start: period,
+        }],
         ..Default::default()
     };
     let sw = EventSwitch::new(CmsMonitor::new(256, 4, 1), cfg);
@@ -152,7 +189,12 @@ fn monitoring_cms_window_counts_are_clean() {
         SimTime::ZERO,
         SimDuration::from_micros(100),
         100,
-        move |i| PacketBuilder::udp(src, sink_addr(), 1, 2, &[]).ident(i as u16).pad_to(1000).build(),
+        move |i| {
+            PacketBuilder::udp(src, sink_addr(), 1, 2, &[])
+                .ident(i as u16)
+                .pad_to(1000)
+                .build()
+        },
     );
     run_until(&mut net, &mut sim, SimTime::from_millis(20));
     let prog = &net.switch_as::<EventSwitch<CmsMonitor>>(0).program;

@@ -17,7 +17,10 @@ use edp_pisa::QueueConfig;
 fn fingerprint(seed: u64) -> (u64, u64, u64, Vec<(u64, u64)>) {
     let cfg = EventSwitchConfig {
         n_ports: 3,
-        queue: QueueConfig { capacity_bytes: 40_000, ..QueueConfig::default() },
+        queue: QueueConfig {
+            capacity_bytes: 40_000,
+            ..QueueConfig::default()
+        },
         timers: vec![TimerSpec {
             id: TIMER_REPORT,
             period: SimDuration::from_millis(1),
@@ -29,9 +32,19 @@ fn fingerprint(seed: u64) -> (u64, u64, u64, Vec<(u64, u64)>) {
     let (mut net, senders, sink, _) = dumbbell(Box::new(sw), 2, 200_000_000, seed);
     let mut sim: Sim<Network> = Sim::new();
     let src0 = addr(1);
-    start_cbr(&mut sim, senders[0], SimTime::ZERO, SimDuration::from_micros(40), u64::MAX, move |i| {
-        PacketBuilder::udp(src0, sink_addr(), 1, 2, &[]).ident(i as u16).pad_to(1200).build()
-    });
+    start_cbr(
+        &mut sim,
+        senders[0],
+        SimTime::ZERO,
+        SimDuration::from_micros(40),
+        u64::MAX,
+        move |i| {
+            PacketBuilder::udp(src0, sink_addr(), 1, 2, &[])
+                .ident(i as u16)
+                .pad_to(1200)
+                .build()
+        },
+    );
     let src1 = addr(2);
     start_poisson(
         &mut sim,
@@ -40,7 +53,10 @@ fn fingerprint(seed: u64) -> (u64, u64, u64, Vec<(u64, u64)>) {
         SimDuration::from_micros(60),
         SimTime::from_millis(30),
         move |i| {
-            PacketBuilder::udp(src1, sink_addr(), 3, 4, &[]).ident(i as u16).pad_to(800).build()
+            PacketBuilder::udp(src1, sink_addr(), 3, 4, &[])
+                .ident(i as u16)
+                .pad_to(800)
+                .build()
         },
     );
     run_until(&mut net, &mut sim, SimTime::from_millis(30));
@@ -77,7 +93,10 @@ fn different_seeds_differ() {
 #[test]
 fn staleness_experiment_is_deterministic() {
     use edp_core::{run_staleness_experiment, AggregConfig};
-    let cfg = AggregConfig { entries: 8, folds_per_idle_cycle: 1 };
+    let cfg = AggregConfig {
+        entries: 8,
+        folds_per_idle_cycle: 1,
+    };
     let a = run_staleness_experiment(cfg, 1.3, 10_000, |p| (p % 8) as usize);
     let b = run_staleness_experiment(cfg, 1.3, 10_000, |p| (p % 8) as usize);
     assert_eq!(a.max_staleness, b.max_staleness);

@@ -109,9 +109,15 @@ impl EventProgram for FullCoverage {
 
 fn frame(len: usize) -> Packet {
     Packet::anonymous(
-        PacketBuilder::udp(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 5, 6, &[])
-            .pad_to(len)
-            .build(),
+        PacketBuilder::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            5,
+            6,
+            &[],
+        )
+        .pad_to(len)
+        .build(),
     )
 }
 
@@ -119,7 +125,10 @@ fn frame(len: usize) -> Packet {
 fn all_thirteen_events_fire_and_are_handled() {
     let cfg = EventSwitchConfig {
         n_ports: 2,
-        queue: QueueConfig { capacity_bytes: 400, ..QueueConfig::default() },
+        queue: QueueConfig {
+            capacity_bytes: 400,
+            ..QueueConfig::default()
+        },
         timers: vec![TimerSpec {
             id: 0,
             period: SimDuration::from_micros(10),
@@ -166,8 +175,19 @@ fn all_thirteen_events_fire_and_are_handled() {
     }
     // …and every handler actually ran.
     for h in [
-        "ingress", "egress", "recirculated", "generated", "enqueue", "dequeue", "overflow",
-        "underflow", "timer", "control-plane", "link-status", "user", "transmit",
+        "ingress",
+        "egress",
+        "recirculated",
+        "generated",
+        "enqueue",
+        "dequeue",
+        "overflow",
+        "underflow",
+        "timer",
+        "control-plane",
+        "link-status",
+        "user",
+        "transmit",
     ] {
         assert!(
             sw.program.handled.contains(h),

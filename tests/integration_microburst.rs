@@ -20,32 +20,53 @@ const N_FLOWS: usize = 256;
 const BURST_AT: SimTime = SimTime::from_millis(2);
 
 fn qc() -> QueueConfig {
-    QueueConfig { capacity_bytes: 300_000, ..QueueConfig::default() }
+    QueueConfig {
+        capacity_bytes: 300_000,
+        ..QueueConfig::default()
+    }
 }
 
 fn workload(sim: &mut Sim<Network>, senders: &[usize]) {
     for (i, &h) in senders.iter().take(2).enumerate() {
         let src = addr(i as u8 + 1);
-        start_cbr(sim, h, SimTime::ZERO, SimDuration::from_micros(150), 200, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
+        start_cbr(
+            sim,
+            h,
+            SimTime::ZERO,
+            SimDuration::from_micros(150),
+            200,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
+                    .ident(s as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
+    }
+    let src = addr(3);
+    start_burst(
+        sim,
+        senders[2],
+        BURST_AT,
+        120,
+        SimDuration::ZERO,
+        move |s| {
+            PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
                 .ident(s as u16)
                 .pad_to(1500)
                 .build()
-        });
-    }
-    let src = addr(3);
-    start_burst(sim, senders[2], BURST_AT, 120, SimDuration::ZERO, move |s| {
-        PacketBuilder::udp(src, sink_addr(), 30, 40, &[])
-            .ident(s as u16)
-            .pad_to(1500)
-            .build()
-    });
+        },
+    );
 }
 
 #[test]
 fn state_reduction_detection_lead_and_exactness() {
     // Event-driven run.
-    let cfg = EventSwitchConfig { n_ports: 4, queue: qc(), ..Default::default() };
+    let cfg = EventSwitchConfig {
+        n_ports: 4,
+        queue: qc(),
+        ..Default::default()
+    };
     let sw = EventSwitch::new(MicroburstEvent::new(N_FLOWS, THRESH, 3), cfg);
     let (mut net, senders, _, _) = dumbbell(Box::new(sw), 3, 1_000_000_000, 3);
     let mut sim: Sim<Network> = Sim::new();
@@ -62,9 +83,15 @@ fn state_reduction_detection_lead_and_exactness() {
     let mut sim: Sim<Network> = Sim::new();
     workload(&mut sim, &senders);
     run_until(&mut net, &mut sim, SimTime::from_millis(40));
-    let base = &net.switch_as::<BaselineSwitch<MicroburstBaseline>>(0).program;
+    let base = &net
+        .switch_as::<BaselineSwitch<MicroburstBaseline>>(0)
+        .program;
     let base_words = base.state_words();
-    let base_first = base.detections.first().map(|d| d.at).expect("baseline detects");
+    let base_first = base
+        .detections
+        .first()
+        .map(|d| d.at)
+        .expect("baseline detects");
 
     // Claim 1: ≥4× state reduction.
     assert!(
@@ -82,7 +109,11 @@ fn state_reduction_detection_lead_and_exactness() {
 
 #[test]
 fn event_occupancy_is_exact_and_self_cleaning() {
-    let cfg = EventSwitchConfig { n_ports: 4, queue: qc(), ..Default::default() };
+    let cfg = EventSwitchConfig {
+        n_ports: 4,
+        queue: qc(),
+        ..Default::default()
+    };
     let sw = EventSwitch::new(MicroburstEvent::new(N_FLOWS, THRESH, 3), cfg);
     let (mut net, senders, sink, _) = dumbbell(Box::new(sw), 3, 1_000_000_000, 4);
     let mut sim: Sim<Network> = Sim::new();
@@ -102,19 +133,30 @@ fn event_occupancy_is_exact_and_self_cleaning() {
 
 #[test]
 fn no_false_positives_without_bursts() {
-    let cfg = EventSwitchConfig { n_ports: 4, queue: qc(), ..Default::default() };
+    let cfg = EventSwitchConfig {
+        n_ports: 4,
+        queue: qc(),
+        ..Default::default()
+    };
     let sw = EventSwitch::new(MicroburstEvent::new(N_FLOWS, THRESH, 3), cfg);
     let (mut net, senders, _, _) = dumbbell(Box::new(sw), 3, 1_000_000_000, 5);
     let mut sim: Sim<Network> = Sim::new();
     // Only the polite flows.
     for (i, &h) in senders.iter().take(2).enumerate() {
         let src = addr(i as u8 + 1);
-        start_cbr(&mut sim, h, SimTime::ZERO, SimDuration::from_micros(150), 300, move |s| {
-            PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
-                .ident(s as u16)
-                .pad_to(1500)
-                .build()
-        });
+        start_cbr(
+            &mut sim,
+            h,
+            SimTime::ZERO,
+            SimDuration::from_micros(150),
+            300,
+            move |s| {
+                PacketBuilder::udp(src, sink_addr(), 10 + i as u16, 20, &[])
+                    .ident(s as u16)
+                    .pad_to(1500)
+                    .build()
+            },
+        );
     }
     run_until(&mut net, &mut sim, SimTime::from_millis(60));
     let ev = &net.switch_as::<EventSwitch<MicroburstEvent>>(0).program;

@@ -48,12 +48,23 @@ impl EventProgram for UpDownEvent {
 /// h1 — baseline — event — baseline — h2 (a 3-switch line, mixed).
 fn line() -> (Network, usize, usize) {
     let mut net = Network::new(8);
-    let s0 = net.add_switch(Box::new(BaselineSwitch::new(UpDown, 2, QueueConfig::default())));
+    let s0 = net.add_switch(Box::new(BaselineSwitch::new(
+        UpDown,
+        2,
+        QueueConfig::default(),
+    )));
     let s1 = net.add_switch(Box::new(EventSwitch::new(
         UpDownEvent,
-        EventSwitchConfig { n_ports: 2, ..Default::default() },
+        EventSwitchConfig {
+            n_ports: 2,
+            ..Default::default()
+        },
     )));
-    let s2 = net.add_switch(Box::new(BaselineSwitch::new(UpDown, 2, QueueConfig::default())));
+    let s2 = net.add_switch(Box::new(BaselineSwitch::new(
+        UpDown,
+        2,
+        QueueConfig::default(),
+    )));
     let h1 = net.add_host(Host::new(a(1), HostApp::Sink));
     let h2 = net.add_host(Host::new(a(2), HostApp::Sink));
     let spec = LinkSpec::ten_gig(SimDuration::from_micros(1));
@@ -68,12 +79,32 @@ fn line() -> (Network, usize, usize) {
 fn multi_hop_mixed_architectures_forward_both_ways() {
     let (mut net, h1, h2) = line();
     let mut sim: Sim<Network> = Sim::new();
-    start_cbr(&mut sim, h1, SimTime::ZERO, SimDuration::from_micros(10), 50, move |i| {
-        PacketBuilder::udp(a(1), a(2), 100, 200, &[]).ident(i as u16).pad_to(500).build()
-    });
-    start_cbr(&mut sim, h2, SimTime::ZERO, SimDuration::from_micros(10), 50, move |i| {
-        PacketBuilder::udp(a(2), a(1), 300, 400, &[]).ident(i as u16).pad_to(500).build()
-    });
+    start_cbr(
+        &mut sim,
+        h1,
+        SimTime::ZERO,
+        SimDuration::from_micros(10),
+        50,
+        move |i| {
+            PacketBuilder::udp(a(1), a(2), 100, 200, &[])
+                .ident(i as u16)
+                .pad_to(500)
+                .build()
+        },
+    );
+    start_cbr(
+        &mut sim,
+        h2,
+        SimTime::ZERO,
+        SimDuration::from_micros(10),
+        50,
+        move |i| {
+            PacketBuilder::udp(a(2), a(1), 300, 400, &[])
+                .ident(i as u16)
+                .pad_to(500)
+                .build()
+        },
+    );
     sim.run(&mut net);
     assert_eq!(net.hosts[h2].stats.rx_pkts, 50);
     assert_eq!(net.hosts[h1].stats.rx_pkts, 50);
@@ -87,10 +118,15 @@ fn multi_hop_mixed_architectures_forward_both_ways() {
 fn latency_is_sum_of_hops() {
     let (mut net, h1, h2) = line();
     let mut sim: Sim<Network> = Sim::new();
-    let f = PacketBuilder::udp(a(1), a(2), 1, 2, &[]).pad_to(1250).build();
-    sim.schedule_at(SimTime::ZERO, move |w: &mut Network, s: &mut Sim<Network>| {
-        w.host_send(s, h1, f.clone());
-    });
+    let f = PacketBuilder::udp(a(1), a(2), 1, 2, &[])
+        .pad_to(1250)
+        .build();
+    sim.schedule_at(
+        SimTime::ZERO,
+        move |w: &mut Network, s: &mut Sim<Network>| {
+            w.host_send(s, h1, f.clone());
+        },
+    );
     sim.run(&mut net);
     let fs = net.hosts[h2].stats.flows.values().next().expect("flow");
     // 4 links × (1 us ser for 1250 B at 10G + 1 us prop) = 8 us exactly.
@@ -112,9 +148,18 @@ fn fault_injection_loses_roughly_the_configured_fraction() {
         },
     );
     let mut sim: Sim<Network> = Sim::new();
-    start_cbr(&mut sim, h1, SimTime::ZERO, SimDuration::from_micros(5), 2000, move |i| {
-        PacketBuilder::udp(a(1), a(2), 1, 2, &[]).ident(i as u16).build()
-    });
+    start_cbr(
+        &mut sim,
+        h1,
+        SimTime::ZERO,
+        SimDuration::from_micros(5),
+        2000,
+        move |i| {
+            PacketBuilder::udp(a(1), a(2), 1, 2, &[])
+                .ident(i as u16)
+                .build()
+        },
+    );
     sim.run(&mut net);
     let got = net.hosts[h2].stats.rx_pkts;
     assert!(
@@ -130,14 +175,27 @@ fn tracer_captures_deliveries() {
     let (mut net, h1, _h2) = line();
     net.tracer.enabled = true;
     let mut sim: Sim<Network> = Sim::new();
-    start_cbr(&mut sim, h1, SimTime::ZERO, SimDuration::from_micros(10), 3, move |i| {
-        PacketBuilder::udp(a(1), a(2), 100, 200, &[]).ident(i as u16).pad_to(500).build()
-    });
+    start_cbr(
+        &mut sim,
+        h1,
+        SimTime::ZERO,
+        SimDuration::from_micros(10),
+        3,
+        move |i| {
+            PacketBuilder::udp(a(1), a(2), 100, 200, &[])
+                .ident(i as u16)
+                .pad_to(500)
+                .build()
+        },
+    );
     sim.run(&mut net);
     // 3 packets × 4 hops (sw0, sw1, sw2, host) = 12 deliveries.
     assert_eq!(net.tracer.len(), 12);
     let rendered = net.tracer.render();
-    assert!(rendered.contains("10.0.0.1:100 > 10.0.0.2:200 UDP 500B"), "{rendered}");
+    assert!(
+        rendered.contains("10.0.0.1:100 > 10.0.0.2:200 UDP 500B"),
+        "{rendered}"
+    );
     assert!(rendered.contains("host1"), "{rendered}");
     assert!(rendered.contains("sw1:p0"), "{rendered}");
 }
@@ -149,7 +207,10 @@ fn queue_overflow_under_severe_congestion() {
     let s0 = net.add_switch(Box::new(BaselineSwitch::new(
         UpDown,
         2,
-        QueueConfig { capacity_bytes: 10_000, ..QueueConfig::default() },
+        QueueConfig {
+            capacity_bytes: 10_000,
+            ..QueueConfig::default()
+        },
     )));
     let h1 = net.add_host(Host::new(a(1), HostApp::Sink));
     let h2 = net.add_host(Host::new(a(2), HostApp::Sink));
@@ -168,13 +229,27 @@ fn queue_overflow_under_severe_congestion() {
         },
     );
     let mut sim: Sim<Network> = Sim::new();
-    start_cbr(&mut sim, h1, SimTime::ZERO, SimDuration::from_micros(2), 500, move |i| {
-        PacketBuilder::udp(a(1), a(2), 1, 2, &[]).ident(i as u16).pad_to(1000).build()
-    });
+    start_cbr(
+        &mut sim,
+        h1,
+        SimTime::ZERO,
+        SimDuration::from_micros(2),
+        500,
+        move |i| {
+            PacketBuilder::udp(a(1), a(2), 1, 2, &[])
+                .ident(i as u16)
+                .pad_to(1000)
+                .build()
+        },
+    );
     sim.run_until(&mut net, SimTime::from_millis(500));
     let sw = net.switch_as::<BaselineSwitch<UpDown>>(0);
     let c = sw.counters();
-    assert!(c.dropped_overflow > 100, "overflow drops {}", c.dropped_overflow);
+    assert!(
+        c.dropped_overflow > 100,
+        "overflow drops {}",
+        c.dropped_overflow
+    );
     assert_eq!(
         c.rx,
         c.tx + c.dropped_overflow,

@@ -8,7 +8,10 @@ use edp_core::{run_staleness_experiment, AggregConfig, AggregatedState};
 
 #[test]
 fn staleness_bounded_iff_faster_than_line_rate() {
-    let cfg = AggregConfig { entries: 16, folds_per_idle_cycle: 1 };
+    let cfg = AggregConfig {
+        entries: 16,
+        folds_per_idle_cycle: 1,
+    };
     let at_line_rate = run_staleness_experiment(cfg, 1.0, 30_000, |p| (p % 16) as usize);
     let slightly_faster = run_staleness_experiment(cfg, 1.25, 30_000, |p| (p % 16) as usize);
     let much_faster = run_staleness_experiment(cfg, 2.0, 30_000, |p| (p % 16) as usize);
@@ -28,7 +31,10 @@ fn staleness_bounded_iff_faster_than_line_rate() {
 fn staleness_scales_down_with_headroom_sweep() {
     // The figure's x-axis: pipeline speedup; y-axis: staleness. Must be
     // monotonically non-increasing (modulo small plateaus).
-    let cfg = AggregConfig { entries: 8, folds_per_idle_cycle: 1 };
+    let cfg = AggregConfig {
+        entries: 8,
+        folds_per_idle_cycle: 1,
+    };
     let sweep: Vec<f64> = [1.05, 1.1, 1.25, 1.5, 2.0, 3.0]
         .iter()
         .map(|&s| run_staleness_experiment(cfg, s, 20_000, |p| (p % 8) as usize).mean_staleness)
@@ -45,7 +51,10 @@ fn staleness_scales_down_with_headroom_sweep() {
 fn reads_see_consistent_state_after_drain() {
     // After the workload ends and idle cycles drain the aggregation
     // arrays, the main register equals ground truth exactly.
-    let mut st = AggregatedState::new(AggregConfig { entries: 4, folds_per_idle_cycle: 2 });
+    let mut st = AggregatedState::new(AggregConfig {
+        entries: 4,
+        folds_per_idle_cycle: 2,
+    });
     let mut truth = [0i64; 4];
     for p in 0..1000u64 {
         let q = (p % 4) as usize;
@@ -76,7 +85,10 @@ fn bandwidth_accuracy_tradeoff() {
     let errs: Vec<f64> = [1usize, 2, 4, 8]
         .iter()
         .map(|&folds| {
-            let cfg = AggregConfig { entries: 32, folds_per_idle_cycle: folds };
+            let cfg = AggregConfig {
+                entries: 32,
+                folds_per_idle_cycle: folds,
+            };
             run_staleness_experiment(cfg, speedup, 30_000, |p| (p % 32) as usize).mean_staleness
         })
         .collect();
