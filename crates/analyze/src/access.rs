@@ -1,0 +1,379 @@
+//! Access-matrix extraction: the recording probe pass.
+//!
+//! The extractor exercises each handler the manifest declares — once per
+//! [`EventKind`], with synthetic packets/events and no simulated traffic —
+//! while `edp_pisa::probe` recording is armed. Every register access the
+//! handlers perform lands in the probe log tagged with the handler
+//! context it ran in; folding the log produces the handler × register
+//! read/write matrix the hazard detector consumes.
+//!
+//! Packet handlers are probed first so the `event_meta` they stage (the
+//! paper's `enq_meta`/`deq_meta`) rides along on the synthetic
+//! enqueue/dequeue/overflow events, exactly as the architecture would
+//! deliver it. A handler that panics under probing is recorded (the
+//! matrix is then incomplete) and surfaces as `EDP-E005`.
+
+use edp_core::event::{
+    ControlPlaneEvent, DequeueEvent, EnqueueEvent, LinkStatusEvent, OverflowEvent, TimerEvent,
+    TransmitEvent, UnderflowEvent, UserEvent,
+};
+use edp_core::{AppManifest, EventActions, EventKind, EventProgram};
+use edp_evsim::SimTime;
+use edp_packet::{parse_packet, Packet, PacketBuilder};
+use edp_pisa::{probe, ProbeAccess, ProbeClass, StdMeta};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Read/write/RMW counts for one (register, context) cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCell {
+    /// Plain reads.
+    pub reads: u64,
+    /// Plain writes.
+    pub writes: u64,
+    /// Atomic read-modify-writes.
+    pub rmws: u64,
+}
+
+impl AccessCell {
+    /// True when this cell mutates the register (write or RMW).
+    pub fn writes_any(&self) -> bool {
+        self.writes > 0 || self.rmws > 0
+    }
+}
+
+/// The handler × register access matrix for one program, plus everything
+/// else probing observed.
+#[derive(Debug, Clone, Default)]
+pub struct AccessMatrix {
+    /// `register name → handler context → access counts`.
+    pub rows: BTreeMap<String, BTreeMap<&'static str, AccessCell>>,
+    /// Registers whose writes went through an aggregation complex
+    /// ([`ProbeClass::Aggregated`]): multi-context writes are their
+    /// design, not a hazard.
+    pub aggregated: BTreeSet<String>,
+    /// `(register, claimed accessor, actual context group)` triples where
+    /// the `Accessor` claim disagrees with the context the access ran in.
+    pub claim_mismatches: Vec<(String, &'static str, &'static str)>,
+    /// User-event codes raised by any probed handler.
+    pub raised_user_codes: BTreeSet<u32>,
+    /// True when any probed handler generated a packet.
+    pub generated_packets: bool,
+    /// `(context, panic message)` for handlers that panicked under probe.
+    pub panics: Vec<(&'static str, String)>,
+}
+
+impl AccessMatrix {
+    /// Handler contexts that mutate `register`, in context name order.
+    pub fn writer_contexts(&self, register: &str) -> Vec<&'static str> {
+        self.rows
+            .get(register)
+            .map(|cols| {
+                cols.iter()
+                    .filter(|(_, c)| c.writes_any())
+                    .map(|(ctx, _)| *ctx)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Stable lowercase context name for each event kind.
+pub fn context_name(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::IngressPacket => "ingress",
+        EventKind::EgressPacket => "egress",
+        EventKind::RecirculatedPacket => "recirculated",
+        EventKind::GeneratedPacket => "generated",
+        EventKind::PacketTransmitted => "transmit",
+        EventKind::BufferEnqueue => "enqueue",
+        EventKind::BufferDequeue => "dequeue",
+        EventKind::BufferOverflow => "overflow",
+        EventKind::BufferUnderflow => "underflow",
+        EventKind::TimerExpiration => "timer",
+        EventKind::ControlPlaneTriggered => "control-plane",
+        EventKind::LinkStatusChange => "link-status",
+        EventKind::UserEvent => "user",
+    }
+}
+
+/// The §4 port class a context belongs to: ingress, egress,
+/// recirculated, and generated packets all traverse the packet pipeline
+/// and share its register port, enqueue and dequeue own one each, and
+/// background contexts (timer, control plane, link status, user events,
+/// transmit bookkeeping) share the "other" port. Hazard detection and
+/// `Accessor`-claim cross-checking both count at this granularity.
+pub fn port_class(ctx: &str) -> &'static str {
+    match ctx {
+        "ingress" | "egress" | "recirculated" | "generated" => "packet",
+        "enqueue" => "enqueue",
+        "dequeue" => "dequeue",
+        _ => "other",
+    }
+}
+
+/// Probe order: packet handlers first (they stage `event_meta`), then
+/// buffer events carrying it, then the rest.
+const PROBE_ORDER: [EventKind; 13] = [
+    EventKind::IngressPacket,
+    EventKind::RecirculatedPacket,
+    EventKind::GeneratedPacket,
+    EventKind::EgressPacket,
+    EventKind::BufferEnqueue,
+    EventKind::BufferDequeue,
+    EventKind::BufferOverflow,
+    EventKind::BufferUnderflow,
+    EventKind::PacketTransmitted,
+    EventKind::TimerExpiration,
+    EventKind::LinkStatusChange,
+    EventKind::ControlPlaneTriggered,
+    EventKind::UserEvent,
+];
+
+/// The two synthetic probe flows (distinct 5-tuples on host addresses
+/// `10.0.0.x`, which every app's address scheme places on ToR/prefix 0).
+fn probe_frames() -> Vec<Vec<u8>> {
+    vec![
+        PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 200),
+            1000,
+            2000,
+            &[0xAB; 26],
+        )
+        .build(),
+        PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 201),
+            1001,
+            2001,
+            &[0xCD; 58],
+        )
+        .build(),
+    ]
+}
+
+struct Prober<'p> {
+    program: &'p mut dyn EventProgram,
+    now: SimTime,
+    staged_meta: [u64; 4],
+    raised: BTreeSet<u32>,
+    generated: bool,
+    panics: Vec<(&'static str, String)>,
+}
+
+impl Prober<'_> {
+    /// Runs `f` under context `ctx`, absorbing panics and collecting the
+    /// actions the handler requested.
+    fn in_context(
+        &mut self,
+        ctx: &'static str,
+        f: impl FnOnce(&mut dyn EventProgram, &mut EventActions),
+    ) {
+        probe::set_context(ctx);
+        let mut actions = EventActions::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(self.program, &mut actions)));
+        probe::set_context("");
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            self.panics.push((ctx, msg));
+            return;
+        }
+        for ev in actions.raised_user_events() {
+            self.raised.insert(ev.code);
+        }
+        self.generated |= !actions.generated_frames().is_empty();
+    }
+
+    fn probe_packet_handler(&mut self, kind: EventKind) {
+        let ctx = context_name(kind);
+        for frame in probe_frames() {
+            let mut pkt = Packet::anonymous(frame);
+            let Ok(parsed) = parse_packet(pkt.bytes()) else {
+                continue;
+            };
+            let mut meta = StdMeta::ingress(0, self.now, pkt.len());
+            let now = self.now;
+            self.in_context(ctx, |p, a| match kind {
+                EventKind::IngressPacket => p.on_ingress(&mut pkt, &parsed, &mut meta, now, a),
+                EventKind::EgressPacket => p.on_egress(&mut pkt, &parsed, &mut meta, now, a),
+                EventKind::RecirculatedPacket => {
+                    p.on_recirculated(&mut pkt, &parsed, &mut meta, now, a)
+                }
+                EventKind::GeneratedPacket => p.on_generated(&mut pkt, &parsed, &mut meta, now, a),
+                _ => unreachable!("not a packet event"),
+            });
+            if kind == EventKind::IngressPacket && meta.event_meta != [0; 4] {
+                self.staged_meta = meta.event_meta;
+            }
+        }
+    }
+
+    fn probe_event_handler(&mut self, kind: EventKind, manifest: &AppManifest) {
+        let ctx = context_name(kind);
+        let now = self.now;
+        let meta = self.staged_meta;
+        match kind {
+            EventKind::BufferEnqueue => {
+                let ev = EnqueueEvent {
+                    port: 0,
+                    pkt_len: 100,
+                    q_bytes: 1500,
+                    q_pkts: 3,
+                    meta,
+                };
+                self.in_context(ctx, |p, a| p.on_enqueue(&ev, now, a));
+                self.in_context(ctx, |p, a| p.on_enqueue(&ev, now, a));
+            }
+            EventKind::BufferDequeue => {
+                let ev = DequeueEvent {
+                    port: 0,
+                    pkt_len: 100,
+                    q_bytes: 1400,
+                    q_pkts: 2,
+                    sojourn_ns: 5_000,
+                    meta,
+                };
+                self.in_context(ctx, |p, a| p.on_dequeue(&ev, now, a));
+                self.in_context(ctx, |p, a| p.on_dequeue(&ev, now, a));
+            }
+            EventKind::BufferOverflow => {
+                let ev = OverflowEvent {
+                    port: 0,
+                    pkt_len: 100,
+                    q_bytes: 9000,
+                    meta,
+                };
+                self.in_context(ctx, |p, a| p.on_overflow(&ev, now, a));
+            }
+            EventKind::BufferUnderflow => {
+                let ev = UnderflowEvent { port: 0 };
+                self.in_context(ctx, |p, a| p.on_underflow(&ev, now, a));
+            }
+            EventKind::PacketTransmitted => {
+                let ev = TransmitEvent {
+                    port: 0,
+                    pkt_len: 100,
+                };
+                self.in_context(ctx, |p, a| p.on_transmit(&ev, now, a));
+            }
+            EventKind::TimerExpiration => {
+                let ids: Vec<u16> = if manifest.timer_ids.is_empty() {
+                    vec![0]
+                } else {
+                    manifest.timer_ids.clone()
+                };
+                for id in ids {
+                    for firing in 1..=2 {
+                        let ev = TimerEvent {
+                            timer_id: id,
+                            firing,
+                        };
+                        self.in_context(ctx, |p, a| p.on_timer(&ev, now, a));
+                    }
+                }
+            }
+            EventKind::LinkStatusChange => {
+                for port in 0..4u8 {
+                    for up in [false, true] {
+                        let ev = LinkStatusEvent { port, up };
+                        self.in_context(ctx, |p, a| p.on_link_status(&ev, now, a));
+                    }
+                }
+            }
+            EventKind::ControlPlaneTriggered => {
+                for &opcode in &manifest.cp_opcodes {
+                    let ev = ControlPlaneEvent {
+                        opcode,
+                        args: [0; 4],
+                    };
+                    self.in_context(ctx, |p, a| p.on_control_plane(&ev, now, a));
+                }
+            }
+            EventKind::UserEvent => {
+                let mut codes: BTreeSet<u32> =
+                    manifest.handles_user_codes.iter().copied().collect();
+                codes.extend(self.raised.iter().copied());
+                for code in codes {
+                    let ev = UserEvent { code, args: [0; 4] };
+                    self.in_context(ctx, |p, a| p.on_user(&ev, now, a));
+                }
+            }
+            _ => unreachable!("packet events handled elsewhere"),
+        }
+    }
+}
+
+/// Extracts the access matrix for `program` by probing every handler the
+/// manifest declares. The program is consumed conceptually: probing
+/// mutates its state, so lint throwaway instances, not live ones.
+pub fn extract(program: &mut dyn EventProgram, manifest: &AppManifest) -> AccessMatrix {
+    probe::arm();
+    let mut prober = Prober {
+        program,
+        now: SimTime::ZERO,
+        staged_meta: [0; 4],
+        raised: BTreeSet::new(),
+        generated: false,
+        panics: Vec::new(),
+    };
+    for kind in PROBE_ORDER {
+        if !manifest.implements(kind) {
+            continue;
+        }
+        match kind {
+            EventKind::IngressPacket
+            | EventKind::EgressPacket
+            | EventKind::RecirculatedPacket
+            | EventKind::GeneratedPacket => prober.probe_packet_handler(kind),
+            _ => prober.probe_event_handler(kind, manifest),
+        }
+    }
+    let panics = std::mem::take(&mut prober.panics);
+    let raised = std::mem::take(&mut prober.raised);
+    let generated = prober.generated;
+    let (records, claims) = probe::disarm();
+
+    let mut matrix = AccessMatrix {
+        raised_user_codes: raised,
+        generated_packets: generated,
+        panics,
+        ..Default::default()
+    };
+    for r in records {
+        if r.context.is_empty() {
+            continue; // access outside any probed handler (construction)
+        }
+        if r.class == ProbeClass::Aggregated {
+            matrix.aggregated.insert(r.register.clone());
+        }
+        let cell = matrix
+            .rows
+            .entry(r.register)
+            .or_default()
+            .entry(r.context)
+            .or_default();
+        match r.access {
+            ProbeAccess::Read => cell.reads += 1,
+            ProbeAccess::Write => cell.writes += 1,
+            ProbeAccess::Rmw => cell.rmws += 1,
+        }
+    }
+    for c in claims {
+        if c.context.is_empty() {
+            continue;
+        }
+        let actual = port_class(c.context);
+        if c.claimed != actual {
+            matrix
+                .claim_mismatches
+                .push((c.register, c.claimed, actual));
+        }
+    }
+    matrix
+}

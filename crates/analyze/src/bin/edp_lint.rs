@@ -1,0 +1,193 @@
+//! `edp_lint` — run the static hazard/lint catalog over every built-in
+//! app and report structured diagnostics.
+//!
+//! ```text
+//! edp_lint [--json] [--deny warnings] [--seed N]
+//! ```
+//!
+//! Exit status is nonzero when any error-severity diagnostic is active,
+//! or when warnings are active under `--deny warnings` (the CI
+//! configuration). Allowed findings are always printed with their
+//! recorded reason — suppression is visible, never silent.
+
+use edp_analyze::{lint_app, Report, Severity, DEFAULT_SEED};
+use edp_apps::registry::builtin_apps;
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny_warnings: false,
+        seed: DEFAULT_SEED,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => opts.deny_warnings = true,
+                other => {
+                    return Err(format!(
+                        "--deny takes `warnings`, got {}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--seed" => {
+                let v = args.next().ok_or("--seed takes a number")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--help" | "-h" => {
+                println!("usage: edp_lint [--json] [--deny warnings] [--seed N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn print_json(reports: &[(String, Report)]) {
+    let mut out = String::from("{\n  \"apps\": [\n");
+    for (i, (name, report)) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": {},\n", json_str(name)));
+        out.push_str("      \"diagnostics\": [");
+        for (j, d) in report.diagnostics.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{\"code\": {}, \"name\": {}, \"severity\": {}, \
+                 \"subject\": {}, \"message\": {}}}",
+                json_str(d.code.code()),
+                json_str(d.code.name()),
+                json_str(d.code.severity().name()),
+                json_str(&d.subject),
+                json_str(&d.message),
+            ));
+        }
+        if !report.diagnostics.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("],\n      \"allowed\": [");
+        for (j, (d, reason)) in report.allowed.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{\"code\": {}, \"subject\": {}, \"reason\": {}}}",
+                json_str(d.code.code()),
+                json_str(&d.subject),
+                json_str(reason),
+            ));
+        }
+        if !report.allowed.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }");
+        if i + 1 < reports.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    let errors: usize = reports.iter().map(|(_, r)| r.errors()).sum();
+    let warnings: usize = reports.iter().map(|(_, r)| r.warnings()).sum();
+    let allowed: usize = reports.iter().map(|(_, r)| r.allowed.len()).sum();
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"errors\": {errors}, \"warnings\": {warnings}, \"allowed\": {allowed}}}\n"
+    ));
+    out.push('}');
+    println!("{out}");
+}
+
+fn print_human(reports: &[(String, Report)]) {
+    for (name, report) in reports {
+        if report.diagnostics.is_empty() && report.allowed.is_empty() {
+            continue;
+        }
+        println!("{name}:");
+        for d in &report.diagnostics {
+            println!("  {d}");
+        }
+        for (d, reason) in &report.allowed {
+            println!(
+                "  allowed [{} {}] {}: {}",
+                d.code.code(),
+                d.code.name(),
+                d.subject,
+                reason
+            );
+        }
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("edp_lint: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut reports: Vec<(String, Report)> = Vec::new();
+    for mut app in builtin_apps() {
+        let report = lint_app(app.program.as_mut(), &app.manifest, opts.seed);
+        reports.push((app.manifest.name.to_string(), report));
+    }
+
+    let errors: usize = reports.iter().map(|(_, r)| r.errors()).sum();
+    let warnings: usize = reports.iter().map(|(_, r)| r.warnings()).sum();
+    let allowed: usize = reports.iter().map(|(_, r)| r.allowed.len()).sum();
+
+    if opts.json {
+        print_json(&reports);
+    } else {
+        print_human(&reports);
+        let worst = reports
+            .iter()
+            .flat_map(|(_, r)| r.diagnostics.iter())
+            .map(|d| d.code.severity())
+            .max();
+        let verdict = match worst {
+            Some(Severity::Error) => "FAIL",
+            Some(Severity::Warning) if opts.deny_warnings => "FAIL (denied warnings)",
+            _ => "ok",
+        };
+        println!(
+            "edp_lint: {} apps analyzed, {errors} errors, {warnings} warnings, \
+             {allowed} allowed — {verdict}",
+            reports.len()
+        );
+    }
+
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Shared-state hazard detection over the access matrix (paper §4).
+//!
+//! The hardware reality the paper confronts: pipeline stages own
+//! *single-ported* SRAM. A register written from more than one handler
+//! context needs either a port per writer (low-line-rate multiported
+//! realization) or an aggregation register in front (Figure 3). A plain
+//! register with multiple writer contexts is therefore flagged, as is a
+//! read-modify-write cycle that spans handlers (its read can be torn by
+//! the other context's interleaved write).
+
+use crate::access::{port_class, AccessMatrix};
+use crate::diag::{Diagnostic, LintCode};
+
+/// Runs the hazard lints over one app's access matrix.
+///
+/// Writer multiplicity is counted per §4 *port class*, not per handler:
+/// ingress and generated-packet handlers both run in the packet pipeline
+/// and legally share its register port, so writes from the two are one
+/// writer. Writes from, say, an enqueue handler and a dequeue handler
+/// land on different ports of the same stage — that is the violation.
+pub fn check(app: &str, matrix: &AccessMatrix) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (register, cols) in &matrix.rows {
+        // Aggregated registers funnel event-side writes through per-
+        // context aggregation arrays; multi-context writes are the
+        // design (the merge-op lints police their correctness instead).
+        if matrix.aggregated.contains(register) {
+            continue;
+        }
+        let writers = matrix.writer_contexts(register);
+        let writer_classes: std::collections::BTreeSet<&'static str> =
+            writers.iter().map(|w| port_class(w)).collect();
+        if writer_classes.len() >= 2 {
+            out.push(Diagnostic {
+                code: LintCode::MultiWriterRegister,
+                app: app.to_string(),
+                subject: register.clone(),
+                message: format!(
+                    "written from {} handler contexts ({}) spanning port \
+                     classes {{{}}} with no aggregation register in front; a \
+                     single-ported realization cannot serve them (§4) — front \
+                     it with an AggregatedState or allow it as an intentional \
+                     multiported register",
+                    writers.len(),
+                    writers.join(", "),
+                    writer_classes
+                        .iter()
+                        .copied()
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+            });
+        }
+        for (ctx, cell) in cols {
+            if cell.rmws == 0 {
+                continue;
+            }
+            let other_writers: Vec<&str> = writers
+                .iter()
+                .copied()
+                .filter(|w| port_class(w) != port_class(ctx))
+                .collect();
+            if !other_writers.is_empty() {
+                out.push(Diagnostic {
+                    code: LintCode::CrossHandlerRmw,
+                    app: app.to_string(),
+                    subject: register.clone(),
+                    message: format!(
+                        "read-modify-written in `{ctx}` while also written from \
+                         {}; the RMW's read can be torn by the interleaved \
+                         write unless the updates commute",
+                        other_writers.join(", "),
+                    ),
+                });
+                break; // one W002 per register is enough signal
+            }
+        }
+    }
+    for (register, claimed, actual) in &matrix.claim_mismatches {
+        out.push(Diagnostic {
+            code: LintCode::AccessorMismatch,
+            app: app.to_string(),
+            subject: register.clone(),
+            message: format!(
+                "access claimed Accessor::{claimed} but ran in a {actual} \
+                 handler context; port accounting (§4 resource model) is \
+                 miscounted"
+            ),
+        });
+    }
+    if !matrix.panics.is_empty() {
+        for (ctx, msg) in &matrix.panics {
+            out.push(Diagnostic {
+                code: LintCode::ProbePanic,
+                app: app.to_string(),
+                subject: (*ctx).to_string(),
+                message: format!("handler panicked under synthetic probe: {msg}"),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessCell;
+
+    fn cell(reads: u64, writes: u64, rmws: u64) -> AccessCell {
+        AccessCell {
+            reads,
+            writes,
+            rmws,
+        }
+    }
+
+    #[test]
+    fn multi_writer_flagged_unless_aggregated() {
+        let mut m = AccessMatrix::default();
+        m.rows
+            .entry("occ".into())
+            .or_default()
+            .insert("enqueue", cell(0, 0, 1));
+        m.rows
+            .entry("occ".into())
+            .or_default()
+            .insert("dequeue", cell(0, 0, 1));
+        let diags = check("app", &m);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::MultiWriterRegister));
+        assert!(diags.iter().any(|d| d.code == LintCode::CrossHandlerRmw));
+
+        m.aggregated.insert("occ".into());
+        assert!(
+            check("app", &m).is_empty(),
+            "aggregated registers are exempt"
+        );
+    }
+
+    #[test]
+    fn same_port_class_writers_clean() {
+        // Ingress and generated-packet handlers both run in the packet
+        // pipeline: one port class, no violation.
+        let mut m = AccessMatrix::default();
+        m.rows
+            .entry("cnt".into())
+            .or_default()
+            .insert("ingress", cell(1, 0, 2));
+        m.rows
+            .entry("cnt".into())
+            .or_default()
+            .insert("generated", cell(0, 3, 0));
+        assert!(check("app", &m).is_empty());
+    }
+
+    #[test]
+    fn single_writer_clean() {
+        let mut m = AccessMatrix::default();
+        m.rows
+            .entry("r".into())
+            .or_default()
+            .insert("ingress", cell(2, 1, 3));
+        m.rows
+            .entry("r".into())
+            .or_default()
+            .insert("timer", cell(5, 0, 0));
+        assert!(
+            check("app", &m).is_empty(),
+            "reads from other contexts are fine"
+        );
+    }
+
+    #[test]
+    fn claim_mismatch_flagged() {
+        let mut m = AccessMatrix::default();
+        m.claim_mismatches.push(("r".into(), "packet", "enqueue"));
+        let diags = check("app", &m);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::AccessorMismatch);
+    }
+}

@@ -1,0 +1,367 @@
+//! Match-table rule analysis over action-erased [`TableShape`]s.
+//!
+//! Purely static: shadowed entries (a higher-precedence entry covers the
+//! whole match set, so the entry can never win), duplicate LPM prefixes
+//! (first-install-wins makes the later one unreachable), and missing
+//! default actions (no catch-all, so lookups can miss). Cover testing is
+//! conservative — a diagnostic is only emitted when shadowing is
+//! *provable* field-by-field, never on a heuristic.
+
+use crate::diag::{Diagnostic, LintCode};
+use edp_pisa::{FieldMatch, MatchKind, ShapeEntry, TableShape};
+
+/// True when `a`'s match set provably contains `b`'s for one field.
+fn field_covers(kind: MatchKind, a: &FieldMatch, b: &FieldMatch) -> bool {
+    if field_is_wildcard(kind, a) {
+        return true;
+    }
+    match (a, b) {
+        (FieldMatch::Exact(va), FieldMatch::Exact(vb)) => va == vb,
+        (
+            FieldMatch::Lpm {
+                value: va,
+                prefix_len: pa,
+            },
+            FieldMatch::Lpm {
+                value: vb,
+                prefix_len: pb,
+            },
+        ) => {
+            let MatchKind::Lpm { width } = kind else {
+                return false;
+            };
+            if pa > pb {
+                return false; // longer prefix matches fewer keys
+            }
+            if *pa == 0 {
+                return true;
+            }
+            let shift = width as u32 - *pa as u32;
+            (va >> shift) == (vb >> shift)
+        }
+        (
+            FieldMatch::Ternary {
+                value: va,
+                mask: ma,
+            },
+            FieldMatch::Ternary {
+                value: vb,
+                mask: mb,
+            },
+        ) => ma & !mb == 0 && (va ^ vb) & ma == 0,
+        (FieldMatch::Ternary { value, mask }, FieldMatch::Exact(vb)) => vb & mask == value & mask,
+        (FieldMatch::Range { lo, hi }, FieldMatch::Range { lo: lo2, hi: hi2 }) => {
+            lo <= lo2 && hi2 <= hi
+        }
+        (FieldMatch::Range { lo, hi }, FieldMatch::Exact(v)) => (*lo..=*hi).contains(v),
+        _ => false,
+    }
+}
+
+/// True when the field match accepts every key value.
+fn field_is_wildcard(kind: MatchKind, f: &FieldMatch) -> bool {
+    match f {
+        FieldMatch::Any => true,
+        FieldMatch::Ternary { mask: 0, .. } => true,
+        FieldMatch::Range { lo: 0, hi } => *hi == u64::MAX,
+        FieldMatch::Lpm { prefix_len: 0, .. } => matches!(kind, MatchKind::Lpm { .. }),
+        _ => false,
+    }
+}
+
+/// Sum of matched LPM bits — the scan path's tie-break among
+/// equal-priority matches.
+fn lpm_bits(e: &ShapeEntry) -> i64 {
+    e.fields
+        .iter()
+        .map(|f| match f {
+            FieldMatch::Lpm { prefix_len, .. } => *prefix_len as i64,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// True when entry `a` provably covers entry `b` on every field.
+fn entry_covers(schema: &[MatchKind], a: &ShapeEntry, b: &ShapeEntry) -> bool {
+    schema
+        .iter()
+        .zip(a.fields.iter().zip(&b.fields))
+        .all(|(&kind, (fa, fb))| field_covers(kind, fa, fb))
+}
+
+/// True for the single-field LPM-with-uniform-priority shape that the
+/// table's bucket index serves; prefix-length precedence applies there,
+/// so shadowing reduces to duplicate prefixes.
+fn is_uniform_lpm(shape: &TableShape) -> bool {
+    matches!(shape.schema[..], [MatchKind::Lpm { .. }])
+        && shape
+            .entries
+            .iter()
+            .all(|e| matches!(e.fields[0], FieldMatch::Lpm { .. }))
+        && shape
+            .entries
+            .windows(2)
+            .all(|w| w[0].priority == w[1].priority)
+}
+
+/// Runs the table lints over one table snapshot.
+pub fn check(app: &str, shape: &TableShape) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if shape.schema.is_empty() || shape.entries.is_empty() {
+        return out;
+    }
+    let all_exact = shape.schema.iter().all(|k| matches!(k, MatchKind::Exact));
+    if all_exact {
+        // Exact tables replace on duplicate key and a miss is the normal
+        // negative result — no rule-level lints apply.
+        return out;
+    }
+
+    if is_uniform_lpm(shape) {
+        let MatchKind::Lpm { width } = shape.schema[0] else {
+            unreachable!("checked by is_uniform_lpm");
+        };
+        // Duplicate prefixes: the first install wins, later installs are
+        // unreachable.
+        let mut seen: std::collections::HashMap<(u8, u64), usize> = Default::default();
+        for (j, e) in shape.entries.iter().enumerate() {
+            let FieldMatch::Lpm { value, prefix_len } = e.fields[0] else {
+                unreachable!("checked by is_uniform_lpm");
+            };
+            let masked = if prefix_len == 0 {
+                0
+            } else {
+                value >> (width as u32 - prefix_len as u32)
+            };
+            if let Some(&first) = seen.get(&(prefix_len, masked)) {
+                out.push(Diagnostic {
+                    code: LintCode::DuplicateLpmPrefix,
+                    app: app.to_string(),
+                    subject: format!("{}#{}", shape.name, j),
+                    message: format!(
+                        "prefix /{prefix_len} duplicates entry #{first}; \
+                         first-install-wins makes this entry unreachable"
+                    ),
+                });
+            } else {
+                seen.insert((prefix_len, masked), j);
+            }
+        }
+        if !shape
+            .entries
+            .iter()
+            .any(|e| matches!(e.fields[0], FieldMatch::Lpm { prefix_len: 0, .. }))
+        {
+            out.push(Diagnostic {
+                code: LintCode::MissingDefaultAction,
+                app: app.to_string(),
+                subject: shape.name.clone(),
+                message: "no /0 catch-all route; lookups outside the installed \
+                          prefixes miss with no default action"
+                    .to_string(),
+            });
+        }
+        return out;
+    }
+
+    // General scan-semantics table: provable shadowing. Entry j is dead
+    // when an entry i covers all its fields and always outranks it:
+    // strictly higher priority, or equal priority with earlier install
+    // and at least as many matched LPM bits (the two tie-breaks, in
+    // order).
+    for (j, ej) in shape.entries.iter().enumerate() {
+        let shadowed_by = shape.entries.iter().enumerate().find(|(i, ei)| {
+            *i != j
+                && entry_covers(&shape.schema, ei, ej)
+                && (ei.priority > ej.priority
+                    || (ei.priority == ej.priority && *i < j && lpm_bits(ei) >= lpm_bits(ej)))
+        });
+        if let Some((i, ei)) = shadowed_by {
+            out.push(Diagnostic {
+                code: LintCode::ShadowedRule,
+                app: app.to_string(),
+                subject: format!("{}#{}", shape.name, j),
+                message: format!(
+                    "entry #{j} (priority {}) is fully covered by entry #{i} \
+                     (priority {}); it can never be selected",
+                    ej.priority, ei.priority
+                ),
+            });
+        }
+    }
+    let has_catch_all = shape.entries.iter().any(|e| {
+        shape
+            .schema
+            .iter()
+            .zip(&e.fields)
+            .all(|(&k, f)| field_is_wildcard(k, f))
+    });
+    if !has_catch_all {
+        out.push(Diagnostic {
+            code: LintCode::MissingDefaultAction,
+            app: app.to_string(),
+            subject: shape.name.clone(),
+            message: "no catch-all entry; lookups can miss with no default \
+                      action"
+                .to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ternary_shape(entries: Vec<ShapeEntry>) -> TableShape {
+        TableShape {
+            name: "acl".into(),
+            schema: vec![MatchKind::Ternary],
+            entries,
+        }
+    }
+
+    #[test]
+    fn shadowed_ternary_detected() {
+        let shape = ternary_shape(vec![
+            ShapeEntry {
+                fields: vec![FieldMatch::Any],
+                priority: 10,
+            },
+            ShapeEntry {
+                fields: vec![FieldMatch::Ternary {
+                    value: 0x80,
+                    mask: 0xF0,
+                }],
+                priority: 1,
+            },
+        ]);
+        let diags = check("t", &shape);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::ShadowedRule && d.subject == "acl#1"));
+    }
+
+    #[test]
+    fn disjoint_ternary_clean() {
+        let shape = ternary_shape(vec![
+            ShapeEntry {
+                fields: vec![FieldMatch::Ternary {
+                    value: 0x80,
+                    mask: 0x80,
+                }],
+                priority: 10,
+            },
+            ShapeEntry {
+                fields: vec![FieldMatch::Any],
+                priority: 1,
+            },
+        ]);
+        let diags = check("t", &shape);
+        assert!(!diags.iter().any(|d| d.code == LintCode::ShadowedRule));
+        // The Any entry is the catch-all, so no W004 either.
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn equal_priority_longer_lpm_not_shadowed() {
+        // Scan tie-break prefers more matched LPM bits, so a /8 installed
+        // first does NOT shadow a later /16 at the same priority.
+        let shape = TableShape {
+            name: "r".into(),
+            schema: vec![MatchKind::Lpm { width: 32 }, MatchKind::Range],
+            entries: vec![
+                ShapeEntry {
+                    fields: vec![
+                        FieldMatch::Lpm {
+                            value: 0x0A00_0000,
+                            prefix_len: 8,
+                        },
+                        FieldMatch::Any,
+                    ],
+                    priority: 0,
+                },
+                ShapeEntry {
+                    fields: vec![
+                        FieldMatch::Lpm {
+                            value: 0x0A01_0000,
+                            prefix_len: 16,
+                        },
+                        FieldMatch::Any,
+                    ],
+                    priority: 0,
+                },
+            ],
+        };
+        let diags = check("t", &shape);
+        assert!(!diags.iter().any(|d| d.code == LintCode::ShadowedRule));
+    }
+
+    #[test]
+    fn duplicate_lpm_prefix_detected() {
+        let shape = TableShape {
+            name: "routes".into(),
+            schema: vec![MatchKind::Lpm { width: 32 }],
+            entries: vec![
+                ShapeEntry {
+                    fields: vec![FieldMatch::Lpm {
+                        value: 0x0A00_0000,
+                        prefix_len: 8,
+                    }],
+                    priority: 0,
+                },
+                ShapeEntry {
+                    fields: vec![FieldMatch::Lpm {
+                        value: 0x0A05_0000, // same /8 as above
+                        prefix_len: 8,
+                    }],
+                    priority: 0,
+                },
+            ],
+        };
+        let diags = check("t", &shape);
+        assert!(diags.iter().any(|d| d.code == LintCode::DuplicateLpmPrefix));
+        // And no /0 → missing default too.
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::MissingDefaultAction));
+    }
+
+    #[test]
+    fn lpm_with_default_clean() {
+        let shape = TableShape {
+            name: "routes".into(),
+            schema: vec![MatchKind::Lpm { width: 32 }],
+            entries: vec![
+                ShapeEntry {
+                    fields: vec![FieldMatch::Lpm {
+                        value: 0x0A00_0000,
+                        prefix_len: 8,
+                    }],
+                    priority: 0,
+                },
+                ShapeEntry {
+                    fields: vec![FieldMatch::Lpm {
+                        value: 0,
+                        prefix_len: 0,
+                    }],
+                    priority: 0,
+                },
+            ],
+        };
+        assert!(check("t", &shape).is_empty());
+    }
+
+    #[test]
+    fn exact_tables_exempt() {
+        let shape = TableShape {
+            name: "mac".into(),
+            schema: vec![MatchKind::Exact],
+            entries: vec![ShapeEntry {
+                fields: vec![FieldMatch::Exact(42)],
+                priority: 0,
+            }],
+        };
+        assert!(check("t", &shape).is_empty());
+    }
+}

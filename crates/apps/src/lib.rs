@@ -34,4 +34,5 @@ pub mod ndp;
 pub mod netcache;
 pub mod policer;
 pub mod rate_monitor;
+pub mod registry;
 pub mod scheduler;

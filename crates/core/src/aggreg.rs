@@ -19,6 +19,75 @@ use edp_evsim::Cycles;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// A named binary merge/fold operation for aggregation registers.
+///
+/// Idle-cycle folding applies parked event-side updates to the main
+/// register in an order the program does not control (§4): whichever
+/// dirty slot reaches the front of the FIFO folds first, and updates from
+/// different handler contexts interleave arbitrarily. A merge op is
+/// therefore only legal when reordering provably cannot change the final
+/// value — it must be **commutative**, **associative**, and have the
+/// declared **identity** as its no-op element. `edp-analyze` checks all
+/// three by exhaustive small-domain plus seeded randomized probing;
+/// programs declare the ops backing their shared state in their
+/// [`crate::AppManifest`].
+#[derive(Debug, Clone, Copy)]
+pub struct MergeOp {
+    /// Human-readable operation name (stable; appears in diagnostics).
+    pub name: &'static str,
+    /// The identity element: `apply(identity, x) == x` for all `x`.
+    pub identity: u64,
+    /// The binary operation itself.
+    pub apply: fn(u64, u64) -> u64,
+}
+
+fn merge_sat_add(a: u64, b: u64) -> u64 {
+    a.saturating_add(b)
+}
+
+fn merge_max(a: u64, b: u64) -> u64 {
+    a.max(b)
+}
+
+fn merge_min(a: u64, b: u64) -> u64 {
+    a.min(b)
+}
+
+fn merge_or(a: u64, b: u64) -> u64 {
+    a | b
+}
+
+/// Saturating addition — the enqueue/dequeue delta-accumulation idiom
+/// ([`AggregatedState::enqueue`] uses exactly this on its aggregation
+/// array). Saturation preserves associativity: the result clamps iff the
+/// true sum exceeds `u64::MAX`, regardless of grouping.
+pub const MERGE_ADD: MergeOp = MergeOp {
+    name: "sat-add",
+    identity: 0,
+    apply: merge_sat_add,
+};
+
+/// Running maximum (peak trackers, high-watermarks).
+pub const MERGE_MAX: MergeOp = MergeOp {
+    name: "max",
+    identity: 0,
+    apply: merge_max,
+};
+
+/// Running minimum (e.g. best-path utilization in HULA-style probes).
+pub const MERGE_MIN: MergeOp = MergeOp {
+    name: "min",
+    identity: u64::MAX,
+    apply: merge_min,
+};
+
+/// Bitwise OR (flag accumulation / membership sketches).
+pub const MERGE_OR: MergeOp = MergeOp {
+    name: "or",
+    identity: 0,
+    apply: merge_or,
+};
+
 /// Configuration for an aggregated register bank.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct AggregConfig {
@@ -50,6 +119,8 @@ enum Side {
 /// aggregation arrays with idle-cycle folding.
 #[derive(Debug, Clone)]
 pub struct AggregatedState {
+    /// Diagnostic name (appears in analyzer access matrices).
+    name: String,
     cfg: AggregConfig,
     /// Algorithmic state as packet events read it (possibly stale).
     /// Signed: fold order can transiently invert an enqueue/dequeue pair
@@ -75,8 +146,14 @@ pub struct AggregatedState {
 impl AggregatedState {
     /// Creates a zeroed bank.
     pub fn new(cfg: AggregConfig) -> Self {
+        Self::named("aggregated", cfg)
+    }
+
+    /// Creates a zeroed bank under a diagnostic `name`.
+    pub fn named(name: impl Into<String>, cfg: AggregConfig) -> Self {
         assert!(cfg.entries > 0 && cfg.folds_per_idle_cycle > 0);
         AggregatedState {
+            name: name.into(),
             main: vec![0; cfg.entries],
             enq_agg: vec![0; cfg.entries],
             deq_agg: vec![0; cfg.entries],
@@ -91,6 +168,11 @@ impl AggregatedState {
         }
     }
 
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Number of entries.
     pub fn entries(&self) -> usize {
         self.cfg.entries
@@ -101,6 +183,11 @@ impl AggregatedState {
     pub fn packet_read(&mut self, i: usize) -> u64 {
         let i = i % self.cfg.entries;
         self.reads += 1;
+        edp_pisa::probe::record(
+            &self.name,
+            edp_pisa::ProbeClass::Aggregated,
+            edp_pisa::ProbeAccess::Read,
+        );
         if self.enq_agg[i] != 0 || self.deq_agg[i] != 0 {
             self.stale_reads += 1;
         }
@@ -110,6 +197,11 @@ impl AggregatedState {
     /// Enqueue-event handler: aggregate `delta` for entry `i`.
     pub fn enqueue(&mut self, i: usize, delta: u64) {
         let i = i % self.cfg.entries;
+        edp_pisa::probe::record(
+            &self.name,
+            edp_pisa::ProbeClass::Aggregated,
+            edp_pisa::ProbeAccess::Write,
+        );
         self.enq_agg[i] = self.enq_agg[i].saturating_add(delta);
         if !self.enq_dirty[i] {
             self.enq_dirty[i] = true;
@@ -120,6 +212,11 @@ impl AggregatedState {
     /// Dequeue-event handler: aggregate `delta` for entry `i`.
     pub fn dequeue(&mut self, i: usize, delta: u64) {
         let i = i % self.cfg.entries;
+        edp_pisa::probe::record(
+            &self.name,
+            edp_pisa::ProbeClass::Aggregated,
+            edp_pisa::ProbeAccess::Write,
+        );
         self.deq_agg[i] = self.deq_agg[i].saturating_add(delta);
         if !self.deq_dirty[i] {
             self.deq_dirty[i] = true;

@@ -63,13 +63,17 @@
 
 pub mod aggreg;
 pub mod event;
+pub mod manifest;
 mod merger;
 mod program;
 mod shared;
 mod sume;
 
-pub use aggreg::{run_staleness_experiment, AggregConfig, AggregatedState, StalenessReport};
+pub use aggreg::{
+    run_staleness_experiment, AggregConfig, AggregatedState, MergeOp, StalenessReport,
+};
 pub use event::{Event, EventCounters, EventKind};
+pub use manifest::{AppManifest, LintAllow};
 pub use merger::{EventMerger, MergerConfig, MergerStats};
 pub use program::{BaselineAdapter, EventActions, EventProgram};
 pub use shared::{Accessor, SharedRegister};

@@ -65,6 +65,27 @@ impl EventActions {
         self.trim_requeue = Some(rank);
     }
 
+    /// Frames queued by [`generate_packet`](Self::generate_packet), in
+    /// request order (read-only view; the architecture drains them).
+    pub fn generated_frames(&self) -> &[Vec<u8>] {
+        &self.generated
+    }
+
+    /// User events raised so far, in request order.
+    pub fn raised_user_events(&self) -> &[UserEvent] {
+        &self.user_events
+    }
+
+    /// Control-plane notifications requested so far, as `(code, args)`.
+    pub fn cp_notifications(&self) -> &[(u32, [u64; 4])] {
+        &self.notify_cp
+    }
+
+    /// The pending trim-and-requeue rank, if any.
+    pub fn trim_rank(&self) -> Option<u64> {
+        self.trim_requeue
+    }
+
     /// True when no actions were requested.
     pub fn is_empty(&self) -> bool {
         self.generated.is_empty()

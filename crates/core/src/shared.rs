@@ -24,6 +24,18 @@ pub enum Accessor {
     Other,
 }
 
+impl Accessor {
+    /// Stable lowercase name, as recorded in analyzer probe claims.
+    pub fn name(self) -> &'static str {
+        match self {
+            Accessor::Packet => "packet",
+            Accessor::Enqueue => "enqueue",
+            Accessor::Dequeue => "dequeue",
+            Accessor::Other => "other",
+        }
+    }
+}
+
 /// A multiported shared register array: the `shared_register<bit<W>>(N)`
 /// extern from `microburst.p4`.
 ///
@@ -46,21 +58,29 @@ impl SharedRegister {
         }
     }
 
+    /// Records one access by `who`: port accounting, plus the accessor
+    /// *claim* the analyzer cross-checks against the handler context the
+    /// access actually ran in (no-op unless a probe is armed).
+    fn account(&mut self, who: Accessor) {
+        *self.port_accesses.entry(who).or_insert(0) += 1;
+        edp_pisa::probe::record_claim(self.inner.name(), who.name());
+    }
+
     /// Reads entry `index` as accessor `who`.
     pub fn read(&mut self, who: Accessor, index: usize) -> u64 {
-        *self.port_accesses.entry(who).or_insert(0) += 1;
+        self.account(who);
         self.inner.read(index)
     }
 
     /// Writes entry `index` as accessor `who`.
     pub fn write(&mut self, who: Accessor, index: usize, value: u64) {
-        *self.port_accesses.entry(who).or_insert(0) += 1;
+        self.account(who);
         self.inner.write(index, value)
     }
 
     /// Read-modify-write as accessor `who` (one port transaction).
     pub fn rmw(&mut self, who: Accessor, index: usize, f: impl FnOnce(u64) -> u64) -> u64 {
-        *self.port_accesses.entry(who).or_insert(0) += 1;
+        self.account(who);
         self.inner.rmw(index, f)
     }
 
@@ -76,7 +96,7 @@ impl SharedRegister {
 
     /// Zeroes the array (timer-driven reset).
     pub fn reset(&mut self, who: Accessor) {
-        *self.port_accesses.entry(who).or_insert(0) += 1;
+        self.account(who);
         self.inner.reset();
     }
 

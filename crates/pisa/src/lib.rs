@@ -26,6 +26,7 @@
 
 mod cache;
 mod meta;
+pub mod probe;
 mod program;
 mod register;
 mod switch;
@@ -34,10 +35,12 @@ mod tm;
 
 pub use cache::{CachedDecision, FlowCache, FlowCacheStats, DEFAULT_FLOW_CACHE_CAPACITY};
 pub use meta::{Destination, PortId, StdMeta};
+pub use probe::{ProbeAccess, ProbeClaim, ProbeClass, ProbeRecord};
 pub use program::{ForwardTo, PisaProgram, TableRouter};
 pub use register::{PacketByteCounter, RegisterArray};
 pub use switch::{BaselineSwitch, SwitchCounters, MAX_RECIRCULATIONS};
 pub use table::{
-    insert_ipv4_route, ipv4_lpm_schema, FieldMatch, MatchKind, MatchTable, TableEntry,
+    insert_ipv4_route, ipv4_lpm_schema, FieldMatch, MatchKind, MatchTable, ShapeEntry, TableEntry,
+    TableShape,
 };
 pub use tm::{QueueConfig, QueueDisc, QueueStats, TmEvent, TrafficManager};

@@ -1,0 +1,174 @@
+//! Thread-local access recording for static analysis.
+//!
+//! `edp-analyze` derives the handler × register access matrix by invoking
+//! each handler of an [`crate::PisaProgram`]/`EventProgram` once with
+//! synthetic inputs while recording is armed. Every stateful extern
+//! ([`crate::RegisterArray`], and through it `SharedRegister` and
+//! `AggregatedState` in `edp-core`) reports its accesses here; the
+//! analyzer then reasons about which handler *contexts* touch which
+//! registers without simulating any traffic.
+//!
+//! Recording is off by default and costs one thread-local flag check per
+//! register access when disarmed, so the data-path price is negligible.
+
+use std::cell::{Cell, RefCell};
+
+/// What a recorded register access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeAccess {
+    /// A plain read.
+    Read,
+    /// A plain write.
+    Write,
+    /// An atomic read-modify-write (one port transaction doing both).
+    Rmw,
+}
+
+/// Which class of state primitive performed the access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeClass {
+    /// Direct register storage: [`crate::RegisterArray`], including the
+    /// one inside a multiported `SharedRegister`. Writes land immediately,
+    /// so concurrent handler contexts contend for ports.
+    Plain,
+    /// An aggregation register complex (`AggregatedState` / fold
+    /// registers): event-side writes park in per-context aggregation
+    /// arrays and fold during idle cycles, so multi-context writes are the
+    /// design, not a hazard — provided the merge op tolerates reordering.
+    Aggregated,
+}
+
+/// One recorded register access.
+#[derive(Debug, Clone)]
+pub struct ProbeRecord {
+    /// Diagnostic name of the register that was accessed.
+    pub register: String,
+    /// State-primitive class performing the access.
+    pub class: ProbeClass,
+    /// What the access did.
+    pub access: ProbeAccess,
+    /// The handler context active when the access happened (set by the
+    /// analyzer via [`set_context`]; empty outside any handler).
+    pub context: &'static str,
+}
+
+/// A claimed accessor annotation (`edp-core`'s `Accessor` argument on
+/// `SharedRegister` calls), recorded so the analyzer can cross-check the
+/// claim against the context the access actually happened in.
+#[derive(Debug, Clone)]
+pub struct ProbeClaim {
+    /// Register the claim was made against.
+    pub register: String,
+    /// The accessor class the program *claimed* ("packet", "enqueue",
+    /// "dequeue" or "other").
+    pub claimed: &'static str,
+    /// The handler context the access actually ran in.
+    pub context: &'static str,
+}
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static CONTEXT: Cell<&'static str> = const { Cell::new("") };
+    static RECORDS: RefCell<Vec<ProbeRecord>> = const { RefCell::new(Vec::new()) };
+    static CLAIMS: RefCell<Vec<ProbeClaim>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Arms recording on this thread and clears any previous log.
+pub fn arm() {
+    ARMED.with(|a| a.set(true));
+    CONTEXT.with(|c| c.set(""));
+    RECORDS.with(|r| r.borrow_mut().clear());
+    CLAIMS.with(|c| c.borrow_mut().clear());
+}
+
+/// Sets the handler context subsequent accesses are attributed to.
+pub fn set_context(context: &'static str) {
+    CONTEXT.with(|c| c.set(context));
+}
+
+/// Disarms recording and returns everything recorded since [`arm`].
+pub fn disarm() -> (Vec<ProbeRecord>, Vec<ProbeClaim>) {
+    ARMED.with(|a| a.set(false));
+    CONTEXT.with(|c| c.set(""));
+    (
+        RECORDS.with(|r| std::mem::take(&mut *r.borrow_mut())),
+        CLAIMS.with(|c| std::mem::take(&mut *c.borrow_mut())),
+    )
+}
+
+/// True while recording is armed on this thread. The single flag check
+/// every register access pays when analysis is *not* running.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.with(|a| a.get())
+}
+
+/// Records one register access. No-op unless [`arm`]ed.
+#[inline]
+pub fn record(register: &str, class: ProbeClass, access: ProbeAccess) {
+    if !armed() {
+        return;
+    }
+    let context = CONTEXT.with(|c| c.get());
+    RECORDS.with(|r| {
+        r.borrow_mut().push(ProbeRecord {
+            register: register.to_string(),
+            class,
+            access,
+            context,
+        })
+    });
+}
+
+/// Records an accessor-class claim. No-op unless [`arm`]ed.
+#[inline]
+pub fn record_claim(register: &str, claimed: &'static str) {
+    if !armed() {
+        return;
+    }
+    let context = CONTEXT.with(|c| c.get());
+    CLAIMS.with(|c| {
+        c.borrow_mut().push(ProbeClaim {
+            register: register.to_string(),
+            claimed,
+            context,
+        })
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_records_nothing() {
+        record("x", ProbeClass::Plain, ProbeAccess::Read);
+        arm();
+        let (records, claims) = disarm();
+        assert!(records.is_empty());
+        assert!(claims.is_empty());
+    }
+
+    #[test]
+    fn armed_records_with_context() {
+        arm();
+        set_context("enqueue");
+        record("occ", ProbeClass::Plain, ProbeAccess::Rmw);
+        record_claim("occ", "enqueue");
+        set_context("ingress");
+        record("occ", ProbeClass::Aggregated, ProbeAccess::Read);
+        let (records, claims) = disarm();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].context, "enqueue");
+        assert_eq!(records[0].access, ProbeAccess::Rmw);
+        assert_eq!(records[1].context, "ingress");
+        assert_eq!(records[1].class, ProbeClass::Aggregated);
+        assert_eq!(claims.len(), 1);
+        assert_eq!(claims[0].claimed, "enqueue");
+        // Disarm cleared the log.
+        record("occ", ProbeClass::Plain, ProbeAccess::Read);
+        arm();
+        let (records, _) = disarm();
+        assert!(records.is_empty());
+    }
+}

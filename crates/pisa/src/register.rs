@@ -50,12 +50,22 @@ impl RegisterArray {
     /// Reads entry `index` (wrapping).
     pub fn read(&mut self, index: usize) -> u64 {
         self.reads += 1;
+        crate::probe::record(
+            &self.name,
+            crate::ProbeClass::Plain,
+            crate::ProbeAccess::Read,
+        );
         self.cells[self.idx(index)]
     }
 
     /// Writes entry `index` (wrapping).
     pub fn write(&mut self, index: usize, value: u64) {
         self.writes += 1;
+        crate::probe::record(
+            &self.name,
+            crate::ProbeClass::Plain,
+            crate::ProbeAccess::Write,
+        );
         let i = self.idx(index);
         self.cells[i] = value;
     }
@@ -66,6 +76,11 @@ impl RegisterArray {
         let i = self.idx(index);
         self.reads += 1;
         self.writes += 1;
+        crate::probe::record(
+            &self.name,
+            crate::ProbeClass::Plain,
+            crate::ProbeAccess::Rmw,
+        );
         let v = f(self.cells[i]);
         self.cells[i] = v;
         v
@@ -85,6 +100,11 @@ impl RegisterArray {
     /// write per cell (hardware sweeps the array).
     pub fn reset(&mut self) {
         self.writes += self.cells.len() as u64;
+        crate::probe::record(
+            &self.name,
+            crate::ProbeClass::Plain,
+            crate::ProbeAccess::Write,
+        );
         self.cells.fill(0);
     }
 

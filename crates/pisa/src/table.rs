@@ -18,6 +18,7 @@
 //! scan; the index is an acceleration structure, never a semantic change.
 
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// How one key field matches.
@@ -180,8 +181,11 @@ pub struct MatchTable<A> {
     /// Bumped on every mutation; lets callers (e.g. flow caches) detect
     /// control-plane churn without hooking each write path.
     generation: u64,
-    hits: u64,
-    misses: u64,
+    /// Interior-mutable so [`lookup`](Self::lookup) works through `&self`
+    /// (read-only probing by the analyzer; lookups are observations, not
+    /// mutations — they never bump the generation).
+    hits: Cell<u64>,
+    misses: Cell<u64>,
 }
 
 impl<A> MatchTable<A> {
@@ -200,8 +204,8 @@ impl<A> MatchTable<A> {
             entries: Vec::new(),
             index,
             generation: 0,
-            hits: 0,
-            misses: 0,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
         }
     }
 
@@ -297,15 +301,15 @@ impl<A> MatchTable<A> {
     ///
     /// # Panics
     /// Panics if `key` arity doesn't match the schema.
-    pub fn lookup(&mut self, key: &[u64]) -> Option<&A> {
+    pub fn lookup(&self, key: &[u64]) -> Option<&A> {
         assert_eq!(key.len(), self.schema.len(), "key arity mismatch");
         match self.lookup_index(key) {
             Some(i) => {
-                self.hits += 1;
+                self.hits.set(self.hits.get() + 1);
                 Some(&self.entries[i].action)
             }
             None => {
-                self.misses += 1;
+                self.misses.set(self.misses.get() + 1);
                 None
             }
         }
@@ -410,13 +414,62 @@ impl<A> MatchTable<A> {
 
     /// Lookup hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.get()
     }
 
     /// Lookup misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.get()
     }
+
+    /// The key schema, one [`MatchKind`] per field.
+    pub fn schema(&self) -> &[MatchKind] {
+        &self.schema
+    }
+
+    /// The installed entries, in install order.
+    pub fn entries(&self) -> &[TableEntry<A>] {
+        &self.entries
+    }
+
+    /// An action-erased snapshot of the table for rule analysis
+    /// (`edp-analyze` works on shapes so it needs no knowledge of `A`).
+    pub fn shape(&self) -> TableShape {
+        TableShape {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            entries: self
+                .entries
+                .iter()
+                .map(|e| ShapeEntry {
+                    fields: e.fields.clone(),
+                    priority: e.priority,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An action-erased snapshot of a [`MatchTable`]: schema plus the match
+/// side of every entry, in install order. This is what rule-level static
+/// analysis (shadowing, duplicate prefixes, missing default) consumes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableShape {
+    /// Diagnostic table name.
+    pub name: String,
+    /// Key schema.
+    pub schema: Vec<MatchKind>,
+    /// Match side of each entry, in install order.
+    pub entries: Vec<ShapeEntry>,
+}
+
+/// The match side of one installed entry (see [`TableShape`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShapeEntry {
+    /// One match per key field, in schema order.
+    pub fields: Vec<FieldMatch>,
+    /// Entry priority (higher wins).
+    pub priority: i64,
 }
 
 /// Builds an IPv4 LPM route table schema (single 32-bit LPM field).
@@ -661,7 +714,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity")]
     fn arity_mismatch_panics() {
-        let mut t: MatchTable<u8> = MatchTable::new("a", vec![MatchKind::Exact]);
+        let t: MatchTable<u8> = MatchTable::new("a", vec![MatchKind::Exact]);
         t.lookup(&[1, 2]);
     }
 }

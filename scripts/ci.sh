@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Offline-friendly CI gate: everything a PR must pass, with no network.
 #
-#   scripts/ci.sh           # fmt, build, test, lint, smoke-bench + regression gate
-#   scripts/ci.sh --quick   # fmt, build, test only
+#   scripts/ci.sh           # fmt, build, test, edp_lint, clippy, smoke-bench + regression gate
+#   scripts/ci.sh --quick   # fmt, build, test, edp_lint only
 #
 # The workspace vendors all third-party crates (see vendor/), so the
 # whole gate runs with the cargo registry unreachable.
@@ -31,6 +31,13 @@ cargo build --offline --release -q
 
 echo "==> cargo test"
 cargo test --offline -q
+
+echo "==> edp_lint --deny warnings (static hazard/lint gate)"
+# Static analysis over every registered app: shared-state hazards, merge
+# op algebra, table rule reachability, event coverage. Stable codes are
+# documented in DESIGN.md §9; intentional findings are allowed
+# per-(code, subject) in the app's manifest, never blanket-suppressed.
+cargo run --offline --release -q -p edp-analyze --bin edp_lint -- --deny warnings
 
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo clippy (-D warnings)"
