@@ -27,6 +27,12 @@ pub fn check(app: &str, matrix: &AccessMatrix) -> Vec<Diagnostic> {
         if matrix.aggregated.contains(register) {
             continue;
         }
+        // Telemetry mirrors (the `tele:` prefix) observe the data path
+        // from any handler context by design; they are not program state
+        // contended over SRAM ports, so W001/W002 do not apply.
+        if edp_telemetry::is_telemetry_register(register) {
+            continue;
+        }
         let writers = matrix.writer_contexts(register);
         let writer_classes: std::collections::BTreeSet<&'static str> =
             writers.iter().map(|w| port_class(w)).collect();
@@ -136,6 +142,41 @@ mod tests {
             check("app", &m).is_empty(),
             "aggregated registers are exempt"
         );
+    }
+
+    #[test]
+    fn telemetry_registers_exempt_from_w001_w002() {
+        // A telemetry mirror written from two handler contexts (and
+        // RMW'd cross-context) must raise nothing: it observes the data
+        // path, it is not contended program state.
+        let mut m = AccessMatrix::default();
+        m.rows
+            .entry("tele:rx_mirror".into())
+            .or_default()
+            .insert("enqueue", cell(0, 0, 1));
+        m.rows
+            .entry("tele:rx_mirror".into())
+            .or_default()
+            .insert("dequeue", cell(0, 0, 1));
+        assert!(
+            check("app", &m).is_empty(),
+            "telemetry-prefixed registers are exempt"
+        );
+        // The same shape under a program-state name still fires both.
+        let mut m = AccessMatrix::default();
+        m.rows
+            .entry("rx_mirror".into())
+            .or_default()
+            .insert("enqueue", cell(0, 0, 1));
+        m.rows
+            .entry("rx_mirror".into())
+            .or_default()
+            .insert("dequeue", cell(0, 0, 1));
+        let diags = check("app", &m);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::MultiWriterRegister));
+        assert!(diags.iter().any(|d| d.code == LintCode::CrossHandlerRmw));
     }
 
     #[test]

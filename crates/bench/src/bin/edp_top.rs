@@ -1,0 +1,109 @@
+//! `edp_top` — run a registered app under telemetry and inspect it.
+//!
+//! ```sh
+//! edp_top --list
+//! edp_top microburst
+//! edp_top ndp-trim --seeds 4 --duration-ms 10 --json
+//! edp_top microburst --trace-out /tmp/microburst.trace --prom
+//! ```
+
+use edp_bench::top::{self, TopOptions};
+use edp_evsim::SimDuration;
+
+const USAGE: &str = "usage: edp_top <app> [options] | edp_top --list
+options:
+  --seeds N          run seeds 1..=N (default 2)
+  --duration-ms M    simulated milliseconds per seed (default 5)
+  --threads T        sweep workers (default: EDP_SWEEP_THREADS or cores)
+  --trace-capacity C trace-ring records per seed (default 65536)
+  --json             emit the report as JSON instead of the table
+  --prom             emit the registry in Prometheus text format
+  --trace-out FILE   write the structured trace to FILE
+  --overhead REPS    measure enabled-vs-disabled telemetry wall-clock
+                     over REPS runs instead of reporting";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("edp_top: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parsed<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    match v.map(|v| v.parse::<T>()) {
+        Some(Ok(x)) => x,
+        _ => fail(&format!("{flag} needs a numeric argument")),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut app: Option<String> = None;
+    let mut opts = TopOptions::default();
+    let mut json = false;
+    let mut prom = false;
+    let mut trace_out: Option<String> = None;
+    let mut overhead: Option<u64> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list" => {
+                for name in top::app_names() {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--seeds" => {
+                let n: u64 = parsed("--seeds", args.next());
+                opts.seeds = (1..=n.max(1)).collect();
+            }
+            "--duration-ms" => {
+                opts.duration = SimDuration::from_millis(parsed("--duration-ms", args.next()));
+            }
+            "--threads" => opts.threads = parsed("--threads", args.next()),
+            "--trace-capacity" => opts.trace_capacity = parsed("--trace-capacity", args.next()),
+            "--overhead" => overhead = Some(parsed("--overhead", args.next())),
+            "--json" => json = true,
+            "--prom" => prom = true,
+            "--trace-out" => {
+                trace_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--trace-out needs a path")),
+                )
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            _ if app.is_none() && !a.starts_with('-') => app = Some(a),
+            _ => fail(&format!("unrecognized argument `{a}`")),
+        }
+    }
+    let Some(app) = app else { fail("no app named") };
+    if let Some(reps) = overhead {
+        let (on, off) = top::measure_overhead(&app, opts.duration, reps.max(1));
+        println!(
+            "telemetry overhead ({app}, {} reps x {} ms sim): enabled {:.3}s, \
+             disabled {:.3}s, ratio {:.2}x",
+            reps.max(1),
+            opts.duration.as_nanos() / 1_000_000,
+            on,
+            off,
+            on / off
+        );
+        return;
+    }
+    let report = match top::run(&app, &opts) {
+        Ok(r) => r,
+        Err(e) => fail(&e),
+    };
+    if let Some(path) = trace_out {
+        if let Err(e) = std::fs::write(&path, &report.trace) {
+            fail(&format!("writing {path}: {e}"));
+        }
+    }
+    if json {
+        println!("{}", top::to_json_report(&report));
+    } else if prom {
+        print!("{}", edp_telemetry::to_prometheus_text(&report.registry));
+    } else {
+        print!("{}", top::render(&report));
+    }
+}

@@ -20,6 +20,8 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod top;
+
 /// Prints a table header: a rule, the column names, another rule.
 pub fn table_header(title: &str, cols: &[(&str, usize)]) {
     let width: usize = cols.iter().map(|(_, w)| w + 1).sum();

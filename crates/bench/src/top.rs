@@ -1,0 +1,377 @@
+//! The `edp_top` runner: drives any registered app on the canonical
+//! dumbbell under a telemetry session and renders what it saw.
+//!
+//! One sweep *point* is one seed: enable a fresh telemetry session,
+//! build the app from [`builtin_apps`], run a one-sender dumbbell with a
+//! CBR load that oversubscribes the bottleneck (so queues, drops, and
+//! overflow handlers actually fire), publish every component's counters
+//! into the session registry, and disable. A point is a pure function of
+//! `(app, seed, options)` — `sweep` may place it on any worker thread
+//! and the outputs stay byte-identical regardless of
+//! `EDP_SWEEP_THREADS`, which is exactly what the determinism test
+//! checks.
+
+use edp_apps::common::{addr, dumbbell, run_until, sink_addr};
+use edp_apps::registry::builtin_apps;
+use edp_core::{EventProgram, EventSwitch, EventSwitchConfig, TimerSpec};
+use edp_evsim::{default_threads, sweep, Sim, SimDuration, SimTime};
+use edp_netsim::traffic::start_cbr;
+use edp_netsim::Network;
+use edp_packet::PacketBuilder;
+use edp_telemetry::{self as telemetry, Registry, TelemetryConfig};
+use std::fmt::Write as _;
+
+/// How `edp_top` drives an app.
+#[derive(Debug, Clone)]
+pub struct TopOptions {
+    /// Seeds to run, one sweep point each.
+    pub seeds: Vec<u64>,
+    /// Simulated duration per point.
+    pub duration: SimDuration,
+    /// Worker threads for the sweep (`EDP_SWEEP_THREADS` default).
+    pub threads: usize,
+    /// Trace-ring capacity per point.
+    pub trace_capacity: usize,
+}
+
+impl Default for TopOptions {
+    fn default() -> Self {
+        TopOptions {
+            seeds: vec![1, 2],
+            duration: SimDuration::from_millis(5),
+            threads: default_threads(),
+            trace_capacity: 65_536,
+        }
+    }
+}
+
+/// Everything one `edp_top` run observed, merged across seeds.
+#[derive(Debug)]
+pub struct TopReport {
+    /// App name as registered.
+    pub app: String,
+    /// Number of seeds (sweep points) merged into this report.
+    pub n_seeds: usize,
+    /// Simulated duration per point.
+    pub duration: SimDuration,
+    /// Unified metrics: counters summed across seeds, gauges folded as
+    /// maxima (high-water marks), histogram buckets merged.
+    pub registry: Registry,
+    /// Rendered traces, one `== app seed N ==` section per point, in
+    /// seed order.
+    pub trace: String,
+    /// Total trace records retained across points.
+    pub trace_records: u64,
+    /// Total trace records evicted by ring capacity across points.
+    pub trace_dropped: u64,
+}
+
+/// Names of every registered app, in registry order.
+pub fn app_names() -> Vec<&'static str> {
+    builtin_apps().iter().map(|a| a.manifest.name).collect()
+}
+
+struct PointOutcome {
+    registry: Registry,
+    trace: String,
+    records: u64,
+    dropped: u64,
+}
+
+/// Builds the app's dumbbell, drives the CBR load for `duration`, and
+/// returns the network for metric publication. Runs identically with
+/// telemetry enabled or disabled — [`measure_overhead`] exploits that.
+fn drive(app: &str, seed: u64, duration: SimDuration) -> Network {
+    let reg_app = builtin_apps()
+        .into_iter()
+        .find(|a| a.manifest.name == app)
+        .expect("caller validated the app name");
+    // Arm every timer the manifest declares; periods are staggered so
+    // multi-timer apps interleave firings instead of stacking them.
+    let timers = reg_app
+        .manifest
+        .timer_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| TimerSpec {
+            id,
+            period: SimDuration::from_micros(100 + 25 * i as u64),
+            start: SimDuration::from_micros(100 + 25 * i as u64),
+        })
+        .collect();
+    let cfg = EventSwitchConfig {
+        n_ports: 4,
+        timers,
+        ..Default::default()
+    };
+    let sw: EventSwitch<Box<dyn EventProgram>> = EventSwitch::new(reg_app.program, cfg);
+    // One sender on port 0, sink behind a 50 Mb/s bottleneck on port 1 —
+    // the port most registry apps egress to — so ~190 Mb/s of CBR load
+    // builds real queues and forces overflow/trim paths.
+    let (mut net, senders, _sink, _) = dumbbell(Box::new(sw), 1, 50_000_000, seed);
+    let mut sim: Sim<Network> = Sim::new();
+    let src = addr(1);
+    let interval = SimDuration::from_micros(10);
+    let count = duration.as_nanos() / interval.as_nanos();
+    start_cbr(
+        &mut sim,
+        senders[0],
+        SimTime::ZERO,
+        interval,
+        count,
+        move |i| {
+            PacketBuilder::udp(src, sink_addr(), 4000, 9000, &[0u8; 200])
+                .ident(i as u16)
+                .build()
+        },
+    );
+    run_until(&mut net, &mut sim, SimTime::ZERO + duration);
+    net
+}
+
+/// One sweep point: a pure function of `(app, seed, duration, capacity)`.
+fn run_point(app: &str, seed: u64, duration: SimDuration, trace_capacity: usize) -> PointOutcome {
+    telemetry::enable(TelemetryConfig {
+        trace_capacity,
+        ..TelemetryConfig::default()
+    });
+    let net = drive(app, seed, duration);
+    telemetry::with(|t| net.publish_metrics(&mut t.registry));
+    let t = telemetry::disable().expect("session enabled above");
+    let mut trace = format!("== {app} seed {seed} ==\n");
+    trace.push_str(&t.render_trace());
+    PointOutcome {
+        records: t.ring.len() as u64,
+        dropped: t.ring.dropped(),
+        registry: t.registry,
+        trace,
+    }
+}
+
+/// Wall-clock cost of a full telemetry session vs the disabled path:
+/// runs the same point `reps` times with a session enabled, then `reps`
+/// times disabled, and returns `(enabled_secs, disabled_secs)` totals.
+/// The ratio is the number DESIGN.md §10's overhead budget quotes.
+pub fn measure_overhead(app: &str, duration: SimDuration, reps: u64) -> (f64, f64) {
+    use std::time::Instant;
+    let t0 = Instant::now();
+    for r in 0..reps {
+        telemetry::enable(TelemetryConfig::default());
+        drive(app, 1 + r, duration);
+        telemetry::disable();
+    }
+    let enabled = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    for r in 0..reps {
+        let _ = telemetry::disable(); // ensure the disabled path
+        drive(app, 1 + r, duration);
+    }
+    let disabled = t1.elapsed().as_secs_f64();
+    (enabled, disabled)
+}
+
+/// Runs `app` over every seed in `opts` and merges the outcomes.
+pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
+    if !builtin_apps().iter().any(|a| a.manifest.name == app) {
+        return Err(format!(
+            "unknown app `{app}` (known: {})",
+            app_names().join(", ")
+        ));
+    }
+    let duration = opts.duration;
+    let cap = opts.trace_capacity;
+    let outcomes = sweep(opts.seeds.clone(), opts.threads, |seed| {
+        run_point(app, seed, duration, cap)
+    });
+    let mut registry = Registry::new();
+    let mut trace = String::new();
+    let mut records = 0u64;
+    let mut dropped = 0u64;
+    for o in &outcomes {
+        registry.merge(&o.registry);
+        trace.push_str(&o.trace);
+        records += o.records;
+        dropped += o.dropped;
+    }
+    // `merge` keeps the *later* gauge value; re-fold them as maxima so
+    // high-water marks (staleness bounds, queue peaks) survive merging.
+    for o in &outcomes {
+        for (n, s, v) in o.registry.gauges() {
+            registry.gauge_max(n, s, v);
+        }
+    }
+    Ok(TopReport {
+        app: app.to_string(),
+        n_seeds: outcomes.len(),
+        duration,
+        registry,
+        trace,
+        trace_records: records,
+        trace_dropped: dropped,
+    })
+}
+
+/// Renders the report as the human-facing summary table.
+pub fn render(r: &TopReport) -> String {
+    let secs = r.duration.as_nanos() as f64 / 1e9 * r.n_seeds as f64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "edp_top — {} | {} seed(s) x {} ms sim",
+        r.app,
+        r.n_seeds,
+        r.duration.as_nanos() / 1_000_000
+    );
+
+    let _ = writeln!(out, "\n  events (sw0)              count      rate/s");
+    for (name, scope, v) in r.registry.counters() {
+        if scope == "sw0" && name.starts_with("events_") && v > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>9} {:>11.0}",
+                &name["events_".len()..],
+                v,
+                v as f64 / secs
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n  drops (sw0)");
+    for n in [
+        "dropped_by_program",
+        "dropped_overflow",
+        "dropped_link_down",
+        "parse_errors",
+        "cascade_limit_drops",
+    ] {
+        let _ = writeln!(out, "  {:<22} {:>9}", n, r.registry.counter(n, "sw0"));
+    }
+
+    let _ = writeln!(
+        out,
+        "\n  queues         enq      deq     drop  pkts(hi)  bytes(hi)"
+    );
+    let scopes: Vec<&str> = r
+        .registry
+        .counters()
+        .filter(|(n, s, _)| *n == "queue_enqueued" && s.starts_with("sw0:p"))
+        .map(|(_, s, _)| s)
+        .collect();
+    for s in scopes {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>9} {:>8} {:>8} {:>9} {:>10}",
+            s,
+            r.registry.counter("queue_enqueued", s),
+            r.registry.counter("queue_dequeued", s),
+            r.registry.counter("queue_dropped", s),
+            r.registry.gauge("queue_pkts", s).unwrap_or(0),
+            r.registry.gauge("queue_bytes", s).unwrap_or(0),
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\n  flow cache: {} hits, {} misses, {} insertions, {} invalidations",
+        r.registry.counter("flow_cache_hits", "sw0"),
+        r.registry.counter("flow_cache_misses", "sw0"),
+        r.registry.counter("flow_cache_insertions", "sw0"),
+        r.registry.counter("flow_cache_invalidations", "sw0"),
+    );
+
+    let mut any = false;
+    for (name, scope, h) in r.registry.histograms() {
+        if !any {
+            let _ = writeln!(
+                out,
+                "\n  histograms                          count      p50      p99      max"
+            );
+            any = true;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<20} {:<12} {:>8} {:>8} {:>8} {:>8}",
+            name,
+            scope,
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.max()
+        );
+    }
+
+    let mut any = false;
+    for (name, scope, v) in r.registry.gauges() {
+        if name.starts_with("queue_") {
+            continue;
+        }
+        if !any {
+            let _ = writeln!(out, "\n  gauges (high-water)");
+            any = true;
+        }
+        let _ = writeln!(out, "  {:<22} {:<12} {:>8}", name, scope, v);
+    }
+
+    let _ = writeln!(
+        out,
+        "\n  trace ring: {} records, {} dropped",
+        r.trace_records, r.trace_dropped
+    );
+    out
+}
+
+/// Renders the report as one JSON object (registry via
+/// [`telemetry::to_json`], so the shape matches the exporter).
+pub fn to_json_report(r: &TopReport) -> String {
+    format!(
+        "{{\"app\":\"{}\",\"seeds\":{},\"duration_ns\":{},\"trace_records\":{},\"trace_dropped\":{},\"registry\":{}}}",
+        r.app,
+        r.n_seeds,
+        r.duration.as_nanos(),
+        r.trace_records,
+        r.trace_dropped,
+        telemetry::to_json(&r.registry)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> TopOptions {
+        TopOptions {
+            seeds: vec![7],
+            duration: SimDuration::from_millis(1),
+            threads: 1,
+            trace_capacity: 4096,
+        }
+    }
+
+    #[test]
+    fn unknown_app_is_an_error() {
+        assert!(run("no-such-app", &quick()).is_err());
+    }
+
+    #[test]
+    fn microburst_report_has_events_and_queues() {
+        let r = run("microburst", &quick()).expect("runs");
+        assert!(r.registry.counter("events_ingress", "sw0") > 0);
+        assert!(r.registry.counter("rx", "sw0") > 0);
+        assert!(r.trace.contains("== microburst seed 7 =="));
+        let text = render(&r);
+        assert!(text.contains("events (sw0)"));
+        assert!(text.contains("trace ring:"));
+        let json = to_json_report(&r);
+        assert!(json.starts_with("{\"app\":\"microburst\""));
+        assert!(json.contains("\"registry\":{\"counters\":["));
+    }
+
+    #[test]
+    fn timer_apps_fire_declared_timers() {
+        let r = run("timer-policer", &quick()).expect("runs");
+        assert!(
+            r.registry.counter("events_timer", "sw0") > 0,
+            "manifest timers must be armed"
+        );
+    }
+}

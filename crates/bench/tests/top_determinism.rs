@@ -1,0 +1,38 @@
+//! `edp_top` determinism: a sweep point's telemetry is a pure function
+//! of its seed. Running the same seeds on 1 worker thread and on 8 must
+//! produce byte-identical traces and exports — the acceptance bar for
+//! `EDP_SWEEP_THREADS` independence.
+
+use edp_bench::top::{run, to_json_report, TopOptions};
+use edp_evsim::SimDuration;
+
+fn opts(threads: usize) -> TopOptions {
+    TopOptions {
+        seeds: vec![1, 2, 3, 4],
+        duration: SimDuration::from_millis(2),
+        threads,
+        trace_capacity: 8192,
+    }
+}
+
+#[test]
+fn trace_and_exports_identical_for_1_vs_8_threads() {
+    for app in ["microburst", "ndp-trim"] {
+        let a = run(app, &opts(1)).expect("1-thread run");
+        let b = run(app, &opts(8)).expect("8-thread run");
+        assert_eq!(a.trace, b.trace, "{app}: trace must not depend on threads");
+        assert_eq!(
+            to_json_report(&a),
+            to_json_report(&b),
+            "{app}: JSON report must not depend on threads"
+        );
+        assert_eq!(
+            edp_telemetry::to_prometheus_text(&a.registry),
+            edp_telemetry::to_prometheus_text(&b.registry),
+            "{app}: Prometheus export must not depend on threads"
+        );
+        // The load actually exercised the switch in every point.
+        assert!(a.registry.counter("rx", "sw0") > 0);
+        assert!(a.trace.matches("== ").count() == 4, "one section per seed");
+    }
+}

@@ -141,6 +141,8 @@ pub struct AggregatedState {
     idle_cycles: u64,
     stale_reads: u64,
     reads: u64,
+    /// FNV hash of `name`, precomputed for telemetry records.
+    tele_id: u32,
 }
 
 impl AggregatedState {
@@ -152,8 +154,10 @@ impl AggregatedState {
     /// Creates a zeroed bank under a diagnostic `name`.
     pub fn named(name: impl Into<String>, cfg: AggregConfig) -> Self {
         assert!(cfg.entries > 0 && cfg.folds_per_idle_cycle > 0);
+        let name = name.into();
         AggregatedState {
-            name: name.into(),
+            tele_id: edp_telemetry::register_label(&name),
+            name,
             main: vec![0; cfg.entries],
             enq_agg: vec![0; cfg.entries],
             deq_agg: vec![0; cfg.entries],
@@ -190,6 +194,19 @@ impl AggregatedState {
         );
         if self.enq_agg[i] != 0 || self.deq_agg[i] != 0 {
             self.stale_reads += 1;
+            if edp_telemetry::on() {
+                // The bank has no sim clock; records are stamped with the
+                // read ordinal, which is deterministic per run.
+                let bound = self.enq_agg[i].saturating_add(self.deq_agg[i]);
+                edp_telemetry::emit(
+                    self.reads,
+                    edp_telemetry::RecordKind::Staleness {
+                        register: self.tele_id,
+                        bound,
+                    },
+                );
+                edp_telemetry::gauge_max("staleness_bound", &self.name, bound as i64);
+            }
         }
         self.main[i].max(0) as u64
     }
@@ -247,6 +264,16 @@ impl AggregatedState {
             }
             self.folds += 1;
             applied += 1;
+        }
+        if applied > 0 {
+            // Stamped with the idle-cycle ordinal (no sim clock here).
+            edp_telemetry::emit(
+                self.idle_cycles,
+                edp_telemetry::RecordKind::RegisterFlush {
+                    register: self.tele_id,
+                    folds: applied as u64,
+                },
+            );
         }
         applied
     }
@@ -526,6 +553,40 @@ mod tests {
             folds_per_idle_cycle: 1,
         });
         assert_eq!(st.state_words(), 30);
+    }
+
+    #[test]
+    fn telemetry_records_staleness_and_flushes() {
+        use edp_telemetry::RecordKind as RK;
+        edp_telemetry::enable(edp_telemetry::TelemetryConfig::default());
+        let mut st = AggregatedState::named(
+            "qlen",
+            AggregConfig {
+                entries: 2,
+                folds_per_idle_cycle: 2,
+            },
+        );
+        st.enqueue(0, 100);
+        st.packet_read(0); // stale: 100 parked
+        st.idle_cycle(); // folds the one dirty slot
+        st.packet_read(0); // fresh: no record
+        let t = edp_telemetry::disable().expect("session");
+        let reg = edp_telemetry::register_label("qlen");
+        let recs: Vec<_> = t.ring.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            recs,
+            vec![
+                RK::Staleness {
+                    register: reg,
+                    bound: 100
+                },
+                RK::RegisterFlush {
+                    register: reg,
+                    folds: 1
+                },
+            ]
+        );
+        assert_eq!(t.registry.gauge("staleness_bound", "qlen"), Some(100));
     }
 
     #[test]

@@ -57,6 +57,16 @@ impl EventKind {
         EventKind::UserEvent,
     ];
 
+    /// Compact telemetry code: this kind's index in [`EventKind::ALL`].
+    /// [`edp_telemetry::event_kind_label`] maps the code back to a short
+    /// label in trace renders.
+    pub fn code(self) -> u8 {
+        EventKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("every kind is in ALL") as u8
+    }
+
     /// The human-readable name used in Table 1.
     pub fn name(self) -> &'static str {
         match self {
@@ -257,6 +267,16 @@ impl EventCounters {
     pub fn total(&self) -> u64 {
         self.counts.values().sum()
     }
+
+    /// Publishes per-kind counts into the unified metrics registry under
+    /// `scope`, as `events_<label>` counters plus an `events_total`.
+    pub fn publish(&self, reg: &mut edp_telemetry::Registry, scope: &str) {
+        for kind in EventKind::ALL {
+            let label = edp_telemetry::event_kind_label(kind.code());
+            reg.set_counter(&format!("events_{label}"), scope, self.get(kind));
+        }
+        reg.set_counter("events_total", scope, self.total());
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +320,29 @@ mod tests {
             meta: [0; 4],
         });
         assert_eq!(e.kind(), EventKind::BufferOverflow);
+    }
+
+    #[test]
+    fn codes_index_all_and_have_labels() {
+        for (i, kind) in EventKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.code() as usize, i);
+            assert_ne!(edp_telemetry::event_kind_label(kind.code()), "unknown");
+        }
+        assert_eq!(edp_telemetry::event_kind_label(13), "unknown");
+    }
+
+    #[test]
+    fn counters_publish_to_registry() {
+        let mut c = EventCounters::new();
+        c.record(EventKind::BufferEnqueue);
+        c.record(EventKind::BufferEnqueue);
+        c.record(EventKind::TimerExpiration);
+        let mut reg = edp_telemetry::Registry::new();
+        c.publish(&mut reg, "sw0");
+        assert_eq!(reg.counter("events_enqueue", "sw0"), 2);
+        assert_eq!(reg.counter("events_timer", "sw0"), 1);
+        assert_eq!(reg.counter("events_user", "sw0"), 0);
+        assert_eq!(reg.counter("events_total", "sw0"), 3);
     }
 
     #[test]

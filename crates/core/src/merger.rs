@@ -97,6 +97,12 @@ impl EventMerger {
     /// Offers a new event at `cycle`.
     pub fn push_event(&mut self, cycle: Cycles, ev: Event) {
         self.stats.events_in += 1;
+        edp_telemetry::emit(
+            cycle,
+            edp_telemetry::RecordKind::EventEnqueued {
+                kind: ev.kind().code(),
+            },
+        );
         self.pending.push_back(Pending { ev, arrived: cycle });
     }
 

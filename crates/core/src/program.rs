@@ -200,6 +200,91 @@ pub trait EventProgram {
     }
 }
 
+/// Boxed programs forward every handler, so an [`EventSwitch`] can run a
+/// `Box<dyn EventProgram>` picked at runtime (the app registry, `edp_top`).
+/// Each method forwards explicitly — relying on the trait defaults here
+/// would re-route overridden `on_recirculated`/`on_generated` through the
+/// box's own `on_ingress` default instead of the inner program's override.
+///
+/// [`EventSwitch`]: crate::EventSwitch
+impl<P: EventProgram + ?Sized> EventProgram for Box<P> {
+    fn on_ingress(
+        &mut self,
+        pkt: &mut Packet,
+        parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        now: SimTime,
+        actions: &mut EventActions,
+    ) {
+        (**self).on_ingress(pkt, parsed, meta, now, actions)
+    }
+    fn on_egress(
+        &mut self,
+        pkt: &mut Packet,
+        parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        now: SimTime,
+        actions: &mut EventActions,
+    ) {
+        (**self).on_egress(pkt, parsed, meta, now, actions)
+    }
+    fn on_recirculated(
+        &mut self,
+        pkt: &mut Packet,
+        parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        now: SimTime,
+        actions: &mut EventActions,
+    ) {
+        (**self).on_recirculated(pkt, parsed, meta, now, actions)
+    }
+    fn on_generated(
+        &mut self,
+        pkt: &mut Packet,
+        parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        now: SimTime,
+        actions: &mut EventActions,
+    ) {
+        (**self).on_generated(pkt, parsed, meta, now, actions)
+    }
+    fn on_enqueue(&mut self, ev: &EnqueueEvent, now: SimTime, actions: &mut EventActions) {
+        (**self).on_enqueue(ev, now, actions)
+    }
+    fn on_dequeue(&mut self, ev: &DequeueEvent, now: SimTime, actions: &mut EventActions) {
+        (**self).on_dequeue(ev, now, actions)
+    }
+    fn on_overflow(&mut self, ev: &OverflowEvent, now: SimTime, actions: &mut EventActions) {
+        (**self).on_overflow(ev, now, actions)
+    }
+    fn on_underflow(&mut self, ev: &UnderflowEvent, now: SimTime, actions: &mut EventActions) {
+        (**self).on_underflow(ev, now, actions)
+    }
+    fn on_timer(&mut self, ev: &TimerEvent, now: SimTime, actions: &mut EventActions) {
+        (**self).on_timer(ev, now, actions)
+    }
+    fn on_control_plane(
+        &mut self,
+        ev: &ControlPlaneEvent,
+        now: SimTime,
+        actions: &mut EventActions,
+    ) {
+        (**self).on_control_plane(ev, now, actions)
+    }
+    fn on_link_status(&mut self, ev: &LinkStatusEvent, now: SimTime, actions: &mut EventActions) {
+        (**self).on_link_status(ev, now, actions)
+    }
+    fn on_user(&mut self, ev: &UserEvent, now: SimTime, actions: &mut EventActions) {
+        (**self).on_user(ev, now, actions)
+    }
+    fn on_transmit(&mut self, ev: &TransmitEvent, now: SimTime, actions: &mut EventActions) {
+        (**self).on_transmit(ev, now, actions)
+    }
+    fn flow_cacheable(&self) -> bool {
+        (**self).flow_cacheable()
+    }
+}
+
 /// Adapts a baseline [`edp_pisa::PisaProgram`] into an [`EventProgram`]
 /// that ignores every non-packet event — the formal statement of "the
 /// baseline model is a strict subset of the event-driven model" (§8).

@@ -26,6 +26,7 @@ use edp_pisa::{
     Destination, FlowCache, FlowCacheStats, PortId, QueueConfig, QueueStats, StdMeta,
     TrafficManager,
 };
+use edp_telemetry::{emit, DropReason, RecordKind};
 use serde::{Deserialize, Serialize};
 
 /// Upper bound on recirculations per packet.
@@ -110,6 +111,24 @@ pub struct EventSwitchCounters {
     /// [`LinkStatusEvent`]; repeats of the same status are deduplicated
     /// and not counted).
     pub link_transitions: u64,
+}
+
+impl EventSwitchCounters {
+    /// Publishes the snapshot into the unified metrics registry under
+    /// `scope` (conventionally `sw<N>`).
+    pub fn publish(&self, reg: &mut edp_telemetry::Registry, scope: &str) {
+        reg.set_counter("rx", scope, self.rx);
+        reg.set_counter("tx", scope, self.tx);
+        reg.set_counter("dropped_by_program", scope, self.dropped_by_program);
+        reg.set_counter("dropped_overflow", scope, self.dropped_overflow);
+        reg.set_counter("dropped_link_down", scope, self.dropped_link_down);
+        reg.set_counter("parse_errors", scope, self.parse_errors);
+        reg.set_counter("recirculated", scope, self.recirculated);
+        reg.set_counter("generated", scope, self.generated);
+        reg.set_counter("trimmed", scope, self.trimmed);
+        reg.set_counter("cascade_limit_drops", scope, self.cascade_limit_drops);
+        reg.set_counter("link_transitions", scope, self.link_transitions);
+    }
 }
 
 /// A control-plane notification emitted by a handler.
@@ -243,6 +262,14 @@ impl<P: EventProgram> EventSwitch<P> {
     pub fn receive(&mut self, now: SimTime, port: PortId, pkt: Packet) {
         self.counters.rx += 1;
         self.events.record(EventKind::IngressPacket);
+        emit(
+            now.as_nanos(),
+            RecordKind::PacketRx {
+                switch: self.cfg.switch_id,
+                port,
+                len: pkt.len() as u32,
+            },
+        );
         let meta = StdMeta::ingress(port, now, pkt.len());
         self.pipeline_pass(now, pkt, meta, EventKind::IngressPacket, 0);
     }
@@ -283,6 +310,7 @@ impl<P: EventProgram> EventSwitch<P> {
         }
         if !self.link_up[port as usize] {
             self.counters.dropped_link_down += 1;
+            self.drop_record(now, DropReason::LinkDown);
             return None;
         }
         self.events.record(EventKind::EgressPacket);
@@ -290,6 +318,7 @@ impl<P: EventProgram> EventSwitch<P> {
             Ok(p) => p,
             Err(_) => {
                 self.counters.parse_errors += 1;
+                self.drop_record(now, DropReason::ParseError);
                 return None;
             }
         };
@@ -299,10 +328,19 @@ impl<P: EventProgram> EventSwitch<P> {
         self.drain_actions(now, actions, 0);
         if meta.egress_drop {
             self.counters.dropped_by_program += 1;
+            self.drop_record(now, DropReason::Program);
             return None;
         }
         self.counters.tx += 1;
         let len = pkt.len() as u32;
+        emit(
+            now.as_nanos(),
+            RecordKind::PacketTx {
+                switch: self.cfg.switch_id,
+                port,
+                len,
+            },
+        );
         self.dispatch_event(
             now,
             Event::Transmit(TransmitEvent { port, pkt_len: len }),
@@ -358,7 +396,9 @@ impl<P: EventProgram> EventSwitch<P> {
             Event::ControlPlane(ControlPlaneEvent { opcode, args }),
             0,
         );
+        let evicted = self.cache.len() as u32;
         self.cache.invalidate_all();
+        emit(now.as_nanos(), RecordKind::FlowCacheInvalidate { evicted });
     }
 
     /// A port's link status changed.
@@ -377,9 +417,32 @@ impl<P: EventProgram> EventSwitch<P> {
         self.dispatch_event(now, Event::User(UserEvent { code, args }), 0);
     }
 
+    /// Publishes counters, event coverage, flow-cache stats and per-port
+    /// queue stats into the unified metrics registry under `scope`.
+    pub fn publish_metrics(&self, reg: &mut edp_telemetry::Registry, scope: &str) {
+        self.counters.publish(reg, scope);
+        self.events.publish(reg, scope);
+        self.cache.stats().publish(reg, scope);
+        for port in 0..self.cfg.n_ports as PortId {
+            self.tm
+                .stats(port)
+                .publish(reg, &format!("{scope}:p{port}"));
+        }
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    fn drop_record(&self, now: SimTime, reason: DropReason) {
+        emit(
+            now.as_nanos(),
+            RecordKind::PacketDrop {
+                switch: self.cfg.switch_id,
+                reason,
+            },
+        );
+    }
 
     fn pipeline_pass(
         &mut self,
@@ -393,6 +456,7 @@ impl<P: EventProgram> EventSwitch<P> {
             Ok(p) => p,
             Err(_) => {
                 self.counters.parse_errors += 1;
+                self.drop_record(now, DropReason::ParseError);
                 return;
             }
         };
@@ -426,6 +490,12 @@ impl<P: EventProgram> EventSwitch<P> {
             }
             if let Some(h) = flow_hash {
                 self.cache.admit(h, &meta);
+                emit(
+                    now.as_nanos(),
+                    RecordKind::FlowCacheAdmit {
+                        entries: self.cache.len() as u32,
+                    },
+                );
             }
             self.drain_actions(now, actions, depth);
         }
@@ -435,6 +505,7 @@ impl<P: EventProgram> EventSwitch<P> {
                     self.enqueue(now, out, pkt, meta, depth);
                 } else {
                     self.counters.dropped_by_program += 1;
+                    self.drop_record(now, DropReason::Program);
                 }
             }
             Destination::Flood => {
@@ -448,16 +519,25 @@ impl<P: EventProgram> EventSwitch<P> {
             Destination::Recirculate => {
                 if meta.recirc_count >= MAX_RECIRCULATIONS {
                     self.counters.dropped_by_program += 1;
+                    self.drop_record(now, DropReason::RecircLimit);
                     return;
                 }
                 self.counters.recirculated += 1;
                 self.events.record(EventKind::RecirculatedPacket);
                 meta.recirc_count += 1;
+                emit(
+                    now.as_nanos(),
+                    RecordKind::PacketRecirc {
+                        switch: self.cfg.switch_id,
+                        pass: meta.recirc_count,
+                    },
+                );
                 meta.dest = Destination::Unspecified;
                 self.pipeline_pass(now, pkt, meta, EventKind::RecirculatedPacket, depth);
             }
             Destination::Drop | Destination::Unspecified => {
                 self.counters.dropped_by_program += 1;
+                self.drop_record(now, DropReason::Program);
             }
         }
     }
@@ -497,6 +577,7 @@ impl<P: EventProgram> EventSwitch<P> {
                 if depth >= MAX_CASCADE_DEPTH {
                     self.counters.cascade_limit_drops += 1;
                     self.counters.dropped_overflow += 1;
+                    self.drop_record(now, DropReason::CascadeLimit);
                     return;
                 }
                 self.events.record(EventKind::BufferOverflow);
@@ -546,9 +627,11 @@ impl<P: EventProgram> EventSwitch<P> {
                             }
                         }
                         self.counters.dropped_overflow += 1;
+                        self.drop_record(now, DropReason::Overflow);
                     }
                     _ => {
                         self.counters.dropped_overflow += 1;
+                        self.drop_record(now, DropReason::Overflow);
                     }
                 }
             }
@@ -559,11 +642,18 @@ impl<P: EventProgram> EventSwitch<P> {
     fn inject_generated(&mut self, now: SimTime, frame: std::sync::Arc<Vec<u8>>, depth: u8) {
         if depth >= MAX_CASCADE_DEPTH {
             self.counters.cascade_limit_drops += 1;
+            self.drop_record(now, DropReason::CascadeLimit);
             return;
         }
         self.gen_seq += 1;
         self.counters.generated += 1;
         self.events.record(EventKind::GeneratedPacket);
+        emit(
+            now.as_nanos(),
+            RecordKind::EventRaised {
+                kind: EventKind::GeneratedPacket.code(),
+            },
+        );
         let uid = PacketUid(((self.cfg.switch_id as u64) << 48) | (1 << 47) | self.gen_seq);
         let pkt = Packet::from_shared(uid, frame);
         // Generated packets enter "from" the highest port index + 1 so
@@ -578,6 +668,19 @@ impl<P: EventProgram> EventSwitch<P> {
             return;
         }
         self.events.record(ev.kind());
+        let code = ev.kind().code();
+        // Span covers the handler *and* its cascaded actions, so packets
+        // enqueued and events raised inside carry this firing as cause.
+        let span = edp_telemetry::span_begin(now.as_nanos(), RecordKind::EventFired { kind: code });
+        if edp_telemetry::on() {
+            if let Event::Dequeue(e) = &ev {
+                edp_telemetry::observe(
+                    "sojourn_ns",
+                    &format!("sw{}:p{}", self.cfg.switch_id, e.port),
+                    e.sojourn_ns,
+                );
+            }
+        }
         let mut actions = EventActions::new();
         match &ev {
             Event::Enqueue(e) => self.program.on_enqueue(e, now, &mut actions),
@@ -591,6 +694,7 @@ impl<P: EventProgram> EventSwitch<P> {
             Event::Transmit(e) => self.program.on_transmit(e, now, &mut actions),
         }
         self.drain_actions(now, actions, depth);
+        edp_telemetry::span_end(now.as_nanos(), span, RecordKind::HandlerDone { kind: code });
     }
 
     fn drain_actions(&mut self, now: SimTime, actions: EventActions, depth: u8) {
@@ -602,6 +706,12 @@ impl<P: EventProgram> EventSwitch<P> {
             });
         }
         for ue in actions.user_events {
+            emit(
+                now.as_nanos(),
+                RecordKind::EventRaised {
+                    kind: EventKind::UserEvent.code(),
+                },
+            );
             self.dispatch_event(now, Event::User(ue), depth + 1);
         }
         for frame in actions.generated {
@@ -985,6 +1095,79 @@ mod tests {
         sw.receive(SimTime::ZERO, 0, frame());
         assert!(sw.has_pending(3));
         assert!(!sw.has_pending(1));
+    }
+
+    #[test]
+    fn telemetry_trace_covers_packet_lifecycle() {
+        use edp_telemetry::RecordKind as RK;
+        edp_telemetry::enable(edp_telemetry::TelemetryConfig::default());
+        let mut sw = EventSwitch::new(Recorder::default(), cfg());
+        sw.receive(SimTime::ZERO, 0, frame());
+        assert!(sw.transmit(SimTime::from_nanos(10), 1).is_some());
+        let t = edp_telemetry::disable().expect("session");
+        let recs: Vec<_> = t.ring.iter().copied().collect();
+        assert!(recs.iter().any(|r| r.kind
+            == RK::PacketRx {
+                switch: 0,
+                port: 0,
+                len: 100
+            }));
+        assert!(recs.iter().any(|r| r.kind
+            == RK::PacketTx {
+                switch: 0,
+                port: 1,
+                len: 100
+            }));
+        // The enqueue handler ran under a span that its HandlerDone closes,
+        // and the records between them carry the span as cause.
+        let enq = EventKind::BufferEnqueue.code();
+        let fired = recs
+            .iter()
+            .find(|r| r.kind == RK::EventFired { kind: enq })
+            .expect("enqueue fired");
+        assert!(recs
+            .iter()
+            .any(|r| r.kind == RK::HandlerDone { kind: enq } && r.span == fired.span));
+        // Dequeue sojourn observed into the per-port histogram.
+        let h = t
+            .registry
+            .histogram("sojourn_ns", "sw0:p1")
+            .expect("sojourn histogram");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 10);
+    }
+
+    #[test]
+    fn telemetry_drop_records_carry_reasons() {
+        use edp_telemetry::{DropReason as DR, RecordKind as RK};
+        edp_telemetry::enable(edp_telemetry::TelemetryConfig::default());
+        let mut sw = EventSwitch::new(Recorder::default(), cfg());
+        // Link-down drop at egress.
+        sw.receive(SimTime::ZERO, 0, frame());
+        sw.set_link_status(SimTime::ZERO, 1, false);
+        assert!(sw.transmit(SimTime::ZERO, 1).is_none());
+        let t = edp_telemetry::disable().expect("session");
+        assert!(t.ring.iter().any(|r| r.kind
+            == RK::PacketDrop {
+                switch: 0,
+                reason: DR::LinkDown
+            }));
+    }
+
+    #[test]
+    fn publish_metrics_mirrors_counters() {
+        let mut sw = EventSwitch::new(Recorder::default(), cfg());
+        sw.receive(SimTime::ZERO, 0, frame());
+        sw.receive(SimTime::ZERO, 0, frame());
+        assert!(sw.transmit(SimTime::from_nanos(5), 1).is_some());
+        let mut reg = edp_telemetry::Registry::new();
+        sw.publish_metrics(&mut reg, "sw0");
+        assert_eq!(reg.counter("rx", "sw0"), 2);
+        assert_eq!(reg.counter("tx", "sw0"), 1);
+        assert_eq!(reg.counter("events_enqueue", "sw0"), 2);
+        assert_eq!(reg.counter("queue_enqueued", "sw0:p1"), 2);
+        assert_eq!(reg.counter("queue_dequeued", "sw0:p1"), 1);
+        assert_eq!(reg.gauge("queue_pkts", "sw0:p1"), Some(1));
     }
 
     #[test]

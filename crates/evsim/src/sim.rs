@@ -32,6 +32,20 @@
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 
+/// Emits a scheduler trace record when a telemetry session is live and
+/// asked for scheduler detail. Disabled cost: one thread-local branch.
+#[inline]
+fn sched_record(at_ns: u64, kind: edp_telemetry::RecordKind) {
+    if !edp_telemetry::on() {
+        return;
+    }
+    edp_telemetry::with(|t| {
+        if t.config.scheduler_records {
+            t.emit(at_ns, kind);
+        }
+    });
+}
+
 /// Handle to a scheduled event, usable with [`Sim::cancel`].
 ///
 /// Internally packs a slab slot index and a generation counter; a handle
@@ -347,6 +361,13 @@ impl<W> Sim<W> {
             slot,
         });
         self.live += 1;
+        sched_record(
+            self.now.as_nanos(),
+            edp_telemetry::RecordKind::SchedArm {
+                seq,
+                due_ns: at.as_nanos(),
+            },
+        );
         EventId::pack(slot, self.slots[slot as usize].generation)
     }
 
@@ -391,6 +412,13 @@ impl<W> Sim<W> {
             slot,
         });
         self.live += 1;
+        sched_record(
+            self.now.as_nanos(),
+            edp_telemetry::RecordKind::SchedArm {
+                seq,
+                due_ns: start.as_nanos(),
+            },
+        );
         EventId::pack(slot, self.slots[slot as usize].generation)
     }
 
@@ -411,6 +439,10 @@ impl<W> Sim<W> {
             SlotState::Once(_) | SlotState::Repeating { .. } => {
                 slot.state = SlotState::Cancelled;
                 self.live -= 1;
+                sched_record(
+                    self.now.as_nanos(),
+                    edp_telemetry::RecordKind::SchedCancel { handle: id.0 },
+                );
                 true
             }
             SlotState::Vacant { .. } | SlotState::Cancelled => false,
@@ -446,6 +478,10 @@ impl<W> Sim<W> {
                     debug_assert!(key.time >= self.now);
                     self.now = key.time;
                     self.fired += 1;
+                    sched_record(
+                        self.now.as_nanos(),
+                        edp_telemetry::RecordKind::SchedFire { seq: key.seq },
+                    );
                     f.fire(world, self);
                     return true;
                 }
@@ -454,6 +490,10 @@ impl<W> Sim<W> {
                     debug_assert!(key.time >= self.now);
                     self.now = key.time;
                     self.fired += 1;
+                    sched_record(
+                        self.now.as_nanos(),
+                        edp_telemetry::RecordKind::SchedFire { seq: key.seq },
+                    );
                     match (rep.tick)(world, self) {
                         Periodic::Continue => {
                             // Re-arm in place: same slot, same box, fresh
@@ -776,6 +816,44 @@ mod tests {
         sim.run(&mut w);
         assert_eq!(w, 0);
         assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn scheduler_telemetry_records_arm_fire_cancel() {
+        use edp_telemetry::RecordKind;
+        edp_telemetry::enable(edp_telemetry::TelemetryConfig::default());
+        let mut sim: Sim<u64> = Sim::new();
+        let mut w = 0u64;
+        sim.schedule_at(SimTime::from_nanos(5), |w: &mut u64, _: &mut _| *w += 1);
+        let b = sim.schedule_at(SimTime::from_nanos(9), |_: &mut u64, _: &mut _| {});
+        sim.cancel(b);
+        sim.run(&mut w);
+        let t = edp_telemetry::disable().expect("session");
+        let kinds: Vec<RecordKind> = t.ring.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                RecordKind::SchedArm { seq: 0, due_ns: 5 },
+                RecordKind::SchedArm { seq: 1, due_ns: 9 },
+                RecordKind::SchedCancel { handle: b.0 },
+                RecordKind::SchedFire { seq: 0 },
+            ]
+        );
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn scheduler_telemetry_disabled_by_config() {
+        edp_telemetry::enable(edp_telemetry::TelemetryConfig {
+            scheduler_records: false,
+            ..edp_telemetry::TelemetryConfig::default()
+        });
+        let mut sim: Sim<u64> = Sim::new();
+        let mut w = 0u64;
+        sim.schedule_at(SimTime::from_nanos(5), |w: &mut u64, _: &mut _| *w += 1);
+        sim.run(&mut w);
+        let t = edp_telemetry::disable().expect("session");
+        assert!(t.ring.is_empty(), "config gate must suppress sched records");
     }
 
     #[test]

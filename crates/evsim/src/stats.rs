@@ -17,14 +17,15 @@ impl Counter {
         Counter(0)
     }
 
-    /// Adds one.
+    /// Adds one, saturating at `u64::MAX` so long soak runs cannot
+    /// panic on overflow in debug builds.
     pub fn incr(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`, saturating at `u64::MAX`.
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Current value.
@@ -329,6 +330,18 @@ mod tests {
         c.incr();
         c.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn counter_saturates_at_max() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX, "incr past MAX must saturate, not wrap");
+        c.add(17);
+        assert_eq!(c.get(), u64::MAX, "add past MAX must saturate, not wrap");
     }
 
     #[test]

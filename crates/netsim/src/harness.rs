@@ -37,6 +37,9 @@ pub trait SwitchHarness: Any {
     fn drain_cp(&mut self) -> Vec<CpNotification> {
         Vec::new()
     }
+    /// Publish this switch's counters into the unified metrics registry
+    /// under `scope` (default: nothing to publish).
+    fn publish_metrics(&self, _reg: &mut edp_telemetry::Registry, _scope: &str) {}
     /// Downcast support.
     fn as_any(&self) -> &dyn Any;
     /// Downcast support (mutable).
@@ -58,6 +61,9 @@ impl<P: PisaProgram + 'static> SwitchHarness for BaselineSwitch<P> {
     }
     fn control_plane(&mut self, now: SimTime, opcode: u32, args: [u64; 4]) {
         BaselineSwitch::control_plane(self, now, opcode, args)
+    }
+    fn publish_metrics(&self, reg: &mut edp_telemetry::Registry, scope: &str) {
+        BaselineSwitch::publish_metrics(self, reg, scope)
     }
     fn as_any(&self) -> &dyn Any {
         self
@@ -94,6 +100,9 @@ impl<P: EventProgram + 'static> SwitchHarness for EventSwitch<P> {
     }
     fn drain_cp(&mut self) -> Vec<CpNotification> {
         EventSwitch::drain_cp_notifications(self)
+    }
+    fn publish_metrics(&self, reg: &mut edp_telemetry::Registry, scope: &str) {
+        EventSwitch::publish_metrics(self, reg, scope)
     }
     fn as_any(&self) -> &dyn Any {
         self

@@ -3,11 +3,13 @@
 //! Enable with [`Tracer::enabled`]; the network records one line per
 //! delivery with timestamp, receiving endpoint, and a parsed summary.
 //! Bounded capacity keeps long experiments from hoarding memory — the
-//! oldest entries are dropped and counted.
+//! storage is the same eviction-counting [`edp_telemetry::Ring`] the
+//! structured trace uses, and the eviction count is surfaced in both
+//! [`Tracer::render`] and [`Tracer::to_json`].
 
 use crate::net::{Endpoint, NodeRef};
 use edp_evsim::SimTime;
-use std::collections::VecDeque;
+use edp_telemetry::Ring;
 
 /// What a trace entry records.
 #[derive(Debug, Clone)]
@@ -57,9 +59,7 @@ impl TraceEntry {
 pub struct Tracer {
     /// Whether recording is active.
     pub enabled: bool,
-    entries: VecDeque<TraceEntry>,
-    capacity: usize,
-    dropped: u64,
+    entries: Ring<TraceEntry>,
 }
 
 impl Tracer {
@@ -67,9 +67,7 @@ impl Tracer {
     pub fn new(capacity: usize) -> Self {
         Tracer {
             enabled: false,
-            entries: VecDeque::new(),
-            capacity: capacity.max(1),
-            dropped: 0,
+            entries: Ring::new(capacity),
         }
     }
 
@@ -102,11 +100,7 @@ impl Tracer {
     }
 
     fn push(&mut self, entry: TraceEntry) {
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
-            self.dropped += 1;
-        }
-        self.entries.push_back(entry);
+        self.entries.push(entry);
     }
 
     /// Recorded entries, oldest first.
@@ -126,16 +120,74 @@ impl Tracer {
 
     /// Entries evicted due to the capacity bound.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.entries.dropped()
     }
 
-    /// Renders the whole trace.
+    /// Renders the whole trace, with a footer reporting eviction losses.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in &self.entries {
+        for e in self.entries.iter() {
             out.push_str(&e.render());
             out.push('\n');
         }
+        out.push_str(&format!(
+            "-- {} entries, {} dropped (capacity {})\n",
+            self.entries.len(),
+            self.entries.dropped(),
+            self.entries.capacity()
+        ));
+        out
+    }
+
+    /// Exports the trace as a JSON object: retained entries plus the
+    /// eviction count, so consumers can tell a quiet wire from a wrapped
+    /// ring.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut out = String::from("{\"entries\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match &e.kind {
+                TraceKind::Rx { to, len, summary } => {
+                    let who = match to.0 {
+                        NodeRef::Switch(s) => format!("sw{}:p{}", s, to.1),
+                        NodeRef::Host(h) => format!("host{h}"),
+                    };
+                    out.push_str(&format!(
+                        "{{\"at_ns\":{},\"kind\":\"rx\",\"to\":\"{}\",\"len\":{},\"summary\":\"{}\"}}",
+                        e.at.as_nanos(),
+                        who,
+                        len,
+                        esc(summary)
+                    ));
+                }
+                TraceKind::Note(text) => {
+                    out.push_str(&format!(
+                        "{{\"at_ns\":{},\"kind\":\"note\",\"text\":\"{}\"}}",
+                        e.at.as_nanos(),
+                        esc(text)
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "],\"len\":{},\"dropped\":{},\"capacity\":{}}}",
+            self.entries.len(),
+            self.entries.dropped(),
+            self.entries.capacity()
+        ));
         out
     }
 }
@@ -218,6 +270,32 @@ mod tests {
         t.note(SimTime::ZERO, "invisible");
         assert!(t.is_empty());
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn dropped_count_surfaces_in_render_and_json() {
+        let mut t = Tracer::new(2);
+        t.enabled = true;
+        for i in 0..5u64 {
+            t.record(SimTime::from_nanos(i), (NodeRef::Host(0), 0), &frame());
+        }
+        assert_eq!(t.dropped(), 3);
+        let rendered = t.render();
+        assert!(
+            rendered.contains("-- 2 entries, 3 dropped (capacity 2)"),
+            "{rendered}"
+        );
+        let json = t.to_json();
+        assert!(json.contains("\"dropped\":3"), "{json}");
+        assert!(json.contains("\"len\":2"), "{json}");
+        assert!(json.contains("\"capacity\":2"), "{json}");
+        // Zero-loss traces say so too.
+        let mut quiet = Tracer::new(8);
+        quiet.enabled = true;
+        quiet.note(SimTime::ZERO, "hello \"quoted\"");
+        assert!(quiet.render().contains("-- 1 entries, 0 dropped"));
+        assert!(quiet.to_json().contains("\"dropped\":0"));
+        assert!(quiet.to_json().contains("hello \\\"quoted\\\""));
     }
 
     #[test]

@@ -102,6 +102,17 @@ pub struct FlowCacheStats {
     pub invalidations: u64,
 }
 
+impl FlowCacheStats {
+    /// Publishes the snapshot into the unified metrics registry under
+    /// `scope` (conventionally the owning switch's `sw<N>`).
+    pub fn publish(&self, reg: &mut edp_telemetry::Registry, scope: &str) {
+        reg.set_counter("flow_cache_hits", scope, self.hits);
+        reg.set_counter("flow_cache_misses", scope, self.misses);
+        reg.set_counter("flow_cache_insertions", scope, self.insertions);
+        reg.set_counter("flow_cache_invalidations", scope, self.invalidations);
+    }
+}
+
 /// The cache proper: flow-hash → memoized decision.
 #[derive(Debug, Clone)]
 pub struct FlowCache {

@@ -12,6 +12,7 @@ use crate::program::PisaProgram;
 use crate::tm::{QueueConfig, QueueStats, TrafficManager};
 use edp_evsim::SimTime;
 use edp_packet::{parse_packet, Packet};
+use edp_telemetry::{emit, DropReason, RecordKind};
 use serde::{Deserialize, Serialize};
 
 /// Upper bound on recirculations per packet, guarding against programs
@@ -35,6 +36,20 @@ pub struct SwitchCounters {
     pub recirculated: u64,
     /// Frames dropped for exceeding [`MAX_RECIRCULATIONS`].
     pub recirc_limit_drops: u64,
+}
+
+impl SwitchCounters {
+    /// Publishes the snapshot into the unified metrics registry under
+    /// `scope` (conventionally `sw<N>`).
+    pub fn publish(&self, reg: &mut edp_telemetry::Registry, scope: &str) {
+        reg.set_counter("rx", scope, self.rx);
+        reg.set_counter("tx", scope, self.tx);
+        reg.set_counter("dropped_by_program", scope, self.dropped_by_program);
+        reg.set_counter("dropped_overflow", scope, self.dropped_overflow);
+        reg.set_counter("parse_errors", scope, self.parse_errors);
+        reg.set_counter("recirculated", scope, self.recirculated);
+        reg.set_counter("recirc_limit_drops", scope, self.recirc_limit_drops);
+    }
 }
 
 /// A baseline PSA switch around a [`PisaProgram`].
@@ -91,6 +106,14 @@ impl<P: PisaProgram> BaselineSwitch<P> {
     /// to drain.
     pub fn receive(&mut self, now: SimTime, port: PortId, pkt: Packet) {
         self.counters.rx += 1;
+        emit(
+            now.as_nanos(),
+            RecordKind::PacketRx {
+                switch: 0,
+                port,
+                len: pkt.len() as u32,
+            },
+        );
         let meta = StdMeta::ingress(port, now, pkt.len());
         self.ingress_pass(now, pkt, meta);
     }
@@ -100,6 +123,13 @@ impl<P: PisaProgram> BaselineSwitch<P> {
             Ok(p) => p,
             Err(_) => {
                 self.counters.parse_errors += 1;
+                emit(
+                    now.as_nanos(),
+                    RecordKind::PacketDrop {
+                        switch: 0,
+                        reason: DropReason::ParseError,
+                    },
+                );
                 return;
             }
         };
@@ -117,6 +147,12 @@ impl<P: PisaProgram> BaselineSwitch<P> {
                 self.program.ingress(&mut pkt, &parsed, &mut meta, now);
                 if let Some(h) = flow_hash {
                     self.cache.admit(h, &meta);
+                    emit(
+                        now.as_nanos(),
+                        RecordKind::FlowCacheAdmit {
+                            entries: self.cache.len() as u32,
+                        },
+                    );
                 }
             }
         }
@@ -126,6 +162,13 @@ impl<P: PisaProgram> BaselineSwitch<P> {
                     self.enqueue(out, pkt, meta, now);
                 } else {
                     self.counters.dropped_by_program += 1;
+                    emit(
+                        now.as_nanos(),
+                        RecordKind::PacketDrop {
+                            switch: 0,
+                            reason: DropReason::Program,
+                        },
+                    );
                 }
             }
             Destination::Flood => {
@@ -139,15 +182,36 @@ impl<P: PisaProgram> BaselineSwitch<P> {
             Destination::Recirculate => {
                 if meta.recirc_count >= MAX_RECIRCULATIONS {
                     self.counters.recirc_limit_drops += 1;
+                    emit(
+                        now.as_nanos(),
+                        RecordKind::PacketDrop {
+                            switch: 0,
+                            reason: DropReason::RecircLimit,
+                        },
+                    );
                     return;
                 }
                 self.counters.recirculated += 1;
                 meta.recirc_count += 1;
+                emit(
+                    now.as_nanos(),
+                    RecordKind::PacketRecirc {
+                        switch: 0,
+                        pass: meta.recirc_count,
+                    },
+                );
                 meta.dest = Destination::Unspecified;
                 self.ingress_pass(now, pkt, meta);
             }
             Destination::Drop | Destination::Unspecified => {
                 self.counters.dropped_by_program += 1;
+                emit(
+                    now.as_nanos(),
+                    RecordKind::PacketDrop {
+                        switch: 0,
+                        reason: DropReason::Program,
+                    },
+                );
             }
         }
     }
@@ -157,6 +221,13 @@ impl<P: PisaProgram> BaselineSwitch<P> {
         // Baseline architecture: the TmEvent is dropped on the floor.
         if returned.is_some() {
             self.counters.dropped_overflow += 1;
+            emit(
+                now.as_nanos(),
+                RecordKind::PacketDrop {
+                    switch: 0,
+                    reason: DropReason::Overflow,
+                },
+            );
         }
     }
 
@@ -169,15 +240,37 @@ impl<P: PisaProgram> BaselineSwitch<P> {
             Ok(p) => p,
             Err(_) => {
                 self.counters.parse_errors += 1;
+                emit(
+                    now.as_nanos(),
+                    RecordKind::PacketDrop {
+                        switch: 0,
+                        reason: DropReason::ParseError,
+                    },
+                );
                 return None;
             }
         };
         self.program.egress(&mut pkt, &parsed, &mut meta, now);
         if meta.egress_drop {
             self.counters.dropped_by_program += 1;
+            emit(
+                now.as_nanos(),
+                RecordKind::PacketDrop {
+                    switch: 0,
+                    reason: DropReason::Program,
+                },
+            );
             return None;
         }
         self.counters.tx += 1;
+        emit(
+            now.as_nanos(),
+            RecordKind::PacketTx {
+                switch: 0,
+                port,
+                len: pkt.len() as u32,
+            },
+        );
         Some(pkt)
     }
 
@@ -191,7 +284,22 @@ impl<P: PisaProgram> BaselineSwitch<P> {
     /// invalidated — the next packet of each flow re-runs the pipeline.
     pub fn control_plane(&mut self, now: SimTime, opcode: u32, args: [u64; 4]) {
         self.program.control_update(opcode, args, now);
+        let evicted = self.cache.len() as u32;
         self.cache.invalidate_all();
+        emit(now.as_nanos(), RecordKind::FlowCacheInvalidate { evicted });
+    }
+
+    /// Publishes every counter this switch owns — aggregate counters,
+    /// per-port queue statistics, flow-cache statistics — into the
+    /// unified metrics registry under `scope`.
+    pub fn publish_metrics(&self, reg: &mut edp_telemetry::Registry, scope: &str) {
+        self.counters.publish(reg, scope);
+        self.cache.stats().publish(reg, scope);
+        for port in 0..self.n_ports as PortId {
+            self.tm
+                .stats(port)
+                .publish(reg, &format!("{scope}:p{port}"));
+        }
     }
 }
 
@@ -322,6 +430,101 @@ mod tests {
         sw.receive(SimTime::ZERO, 0, frame());
         assert!(sw.transmit(SimTime::ZERO, 1).is_some());
         assert_eq!(sw.counters().recirculated, 1);
+    }
+
+    /// The drop-accounting identity every counter snapshot must satisfy:
+    /// every received frame either left the switch or is accounted to
+    /// exactly one drop bucket (or still sits in a queue).
+    fn assert_accounting_consistent(c: &SwitchCounters, queued: u64) {
+        assert_eq!(
+            c.rx - c.tx,
+            c.dropped_by_program
+                + c.dropped_overflow
+                + c.parse_errors
+                + c.recirc_limit_drops
+                + queued,
+            "rx - tx must equal the sum of the drop buckets plus still-queued frames: {c:?}"
+        );
+    }
+
+    #[test]
+    fn recirc_limit_drops_sum_consistently_with_rx_tx() {
+        // A program that loops every packet until the recirculation bound
+        // trips: all of rx must land in recirc_limit_drops, none in the
+        // program/overflow buckets.
+        struct Recirc;
+        impl PisaProgram for Recirc {
+            fn ingress(
+                &mut self,
+                _p: &mut Packet,
+                _h: &ParsedPacket,
+                m: &mut StdMeta,
+                _n: SimTime,
+            ) {
+                m.dest = Destination::Recirculate;
+            }
+        }
+        let mut sw = BaselineSwitch::new(Recirc, 2, QueueConfig::default());
+        for _ in 0..3 {
+            sw.receive(SimTime::ZERO, 0, frame());
+        }
+        sw.receive(SimTime::ZERO, 0, Packet::anonymous(vec![1, 2, 3])); // parse error
+        let c = sw.counters();
+        assert_eq!(c.rx, 4);
+        assert_eq!(c.tx, 0);
+        assert_eq!(c.recirc_limit_drops, 3);
+        assert_eq!(c.recirculated, 3 * MAX_RECIRCULATIONS as u64);
+        assert_eq!(c.dropped_by_program, 0);
+        assert_eq!(c.dropped_overflow, 0);
+        assert_eq!(c.parse_errors, 1);
+        assert_accounting_consistent(&c, 0);
+    }
+
+    #[test]
+    fn mixed_drop_buckets_sum_consistently_with_rx_tx() {
+        // Odd packets recirculate forever; even packets forward into a
+        // queue sized for exactly one of them, so the second even packet
+        // overflows. Every drop bucket then holds a known share of rx.
+        struct MixedRecirc {
+            n: u64,
+        }
+        impl PisaProgram for MixedRecirc {
+            fn ingress(
+                &mut self,
+                _p: &mut Packet,
+                _h: &ParsedPacket,
+                m: &mut StdMeta,
+                _n: SimTime,
+            ) {
+                if m.recirc_count > 0 {
+                    m.dest = Destination::Recirculate;
+                    return;
+                }
+                self.n += 1;
+                m.dest = if self.n % 2 == 1 {
+                    Destination::Recirculate
+                } else {
+                    Destination::Port(1)
+                };
+            }
+        }
+        let cfg = QueueConfig {
+            capacity_bytes: 64, // one ~50 B frame fits, the next overflows
+            ..QueueConfig::default()
+        };
+        let mut sw = BaselineSwitch::new(MixedRecirc { n: 0 }, 2, cfg);
+        for _ in 0..4 {
+            sw.receive(SimTime::ZERO, 0, frame());
+        }
+        let sent = u64::from(sw.transmit(SimTime::ZERO, 1).is_some());
+        let c = sw.counters();
+        assert_eq!(c.rx, 4);
+        assert_eq!(c.tx, sent);
+        assert_eq!(c.recirc_limit_drops, 2, "both odd packets hit the bound");
+        assert_eq!(c.dropped_overflow, 1, "second even packet overflowed");
+        assert_eq!(c.dropped_by_program, 0);
+        let queued = u64::from(sw.has_pending(1));
+        assert_accounting_consistent(&c, queued);
     }
 
     #[test]

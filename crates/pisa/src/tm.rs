@@ -14,6 +14,27 @@ use edp_packet::Packet;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// Emits a queue-occupancy sample when a telemetry session is live and
+/// asked for queue-depth detail. Disabled cost: one thread-local branch.
+#[inline]
+fn depth_sample(at_ns: u64, port: PortId, q_bytes: u64, q_pkts: u32) {
+    if !edp_telemetry::on() {
+        return;
+    }
+    edp_telemetry::with(|t| {
+        if t.config.queue_depth_samples {
+            t.emit(
+                at_ns,
+                edp_telemetry::RecordKind::QueueDepth {
+                    port,
+                    q_bytes,
+                    q_pkts,
+                },
+            );
+        }
+    });
+}
+
 /// Queueing discipline for an output queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum QueueDisc {
@@ -228,6 +249,19 @@ pub struct QueueStats {
     pub pkts: u32,
 }
 
+impl QueueStats {
+    /// Publishes the snapshot into the unified metrics registry under
+    /// `scope` (conventionally `sw<N>:p<PORT>`).
+    pub fn publish(&self, reg: &mut edp_telemetry::Registry, scope: &str) {
+        reg.set_counter("queue_enqueued", scope, self.enqueued);
+        reg.set_counter("queue_dequeued", scope, self.dequeued);
+        reg.set_counter("queue_dropped", scope, self.dropped);
+        reg.set_counter("queue_dropped_bytes", scope, self.dropped_bytes);
+        reg.set_gauge("queue_bytes", scope, self.bytes as i64);
+        reg.set_gauge("queue_pkts", scope, self.pkts as i64);
+    }
+}
+
 /// The traffic manager: one output queue per port.
 #[derive(Debug, Clone)]
 pub struct TrafficManager {
@@ -257,14 +291,17 @@ impl TrafficManager {
         let q = &mut self.queues[port as usize];
         match q.pop() {
             Some(item) => {
+                let q_bytes = q.bytes;
+                let q_pkts = q.depth_pkts();
                 let ev = TmEvent::Dequeue {
                     port,
                     pkt_len: item.pkt.len() as u32,
-                    q_bytes: q.bytes,
-                    q_pkts: q.depth_pkts(),
+                    q_bytes,
+                    q_pkts,
                     sojourn_ns: now.saturating_since(item.enq_time).as_nanos(),
                     meta: item.meta.event_meta,
                 };
+                depth_sample(now.as_nanos(), port, q_bytes, q_pkts);
                 Ok((item.pkt, item.meta, ev))
             }
             None => Err(TmEvent::Underflow { port }),
@@ -333,13 +370,16 @@ impl TrafficManager {
         }
         let ok = q.push(pkt, meta, now);
         debug_assert!(ok, "capacity pre-checked");
+        let q_bytes = q.bytes;
+        let q_pkts = q.depth_pkts();
+        depth_sample(now.as_nanos(), port, q_bytes, q_pkts);
         (
             None,
             TmEvent::Enqueue {
                 port,
                 pkt_len,
-                q_bytes: q.bytes,
-                q_pkts: q.depth_pkts(),
+                q_bytes,
+                q_pkts,
                 meta: event_meta,
             },
         )

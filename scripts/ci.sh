@@ -39,11 +39,35 @@ echo "==> edp_lint --deny warnings (static hazard/lint gate)"
 # per-(code, subject) in the app's manifest, never blanket-suppressed.
 cargo run --offline --release -q -p edp-analyze --bin edp_lint -- --deny warnings
 
+echo "==> edp_top --json smoke (telemetry layer end-to-end)"
+# Drives two registered apps under a full telemetry session and checks
+# the JSON report is non-degenerate: the switch saw traffic and the
+# trace ring recorded it. Grep keeps this dependency-free.
+for app in microburst ndp-trim; do
+    out="$(cargo run --offline --release -q -p edp-bench --bin edp_top -- \
+        "$app" --seeds 2 --duration-ms 2 --json)"
+    echo "$out" | grep -q "\"app\":\"$app\"" || {
+        echo "edp_top --json: missing app field for $app" >&2
+        exit 1
+    }
+    echo "$out" | grep -q '"name":"events_ingress","scope":"sw0","value":[1-9]' || {
+        echo "edp_top --json: no ingress events recorded for $app" >&2
+        exit 1
+    }
+    echo "$out" | grep -q '"trace_records":[1-9]' || {
+        echo "edp_top --json: empty trace ring for $app" >&2
+        exit 1
+    }
+done
+
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo clippy (-D warnings)"
     cargo clippy --offline --all-targets -q -- -D warnings
 
     echo "==> bench_snapshot --smoke (regression gate vs ${baseline})"
+    # Telemetry is compiled in but *disabled* here (no session enabled),
+    # so this same gate proves the instrumented hot paths cost at most
+    # the disabled-path branch: a >${max_regress} throughput drop fails.
     # Smoke scale: verifies the perf harness end-to-end in seconds and
     # fails (exit 1) if a gated metric regressed more than the limit.
     # Writes nothing into the repo; full snapshots are taken manually
