@@ -71,11 +71,17 @@ pub enum LintCode {
     /// `EDP-E005` — a handler panicked while being probed with synthetic
     /// inputs; the access matrix for it is incomplete.
     ProbePanic,
+    /// `EDP-E006` — a non-exact match entry is installed into an
+    /// all-exact table. At runtime this demotes the hash index to a
+    /// linear scan ([`edp_pisa::MatchTable::try_insert`] rejects it with
+    /// `TableError::NonExactField`); it is almost always a mis-shaped
+    /// control-plane rule.
+    NonExactInExactTable,
 }
 
 impl LintCode {
     /// Every catalogued code, in code order.
-    pub const ALL: [LintCode; 12] = [
+    pub const ALL: [LintCode; 13] = [
         LintCode::MultiWriterRegister,
         LintCode::CrossHandlerRmw,
         LintCode::DuplicateLpmPrefix,
@@ -88,6 +94,7 @@ impl LintCode {
         LintCode::MergeNotAssociative,
         LintCode::MergeBadIdentity,
         LintCode::ProbePanic,
+        LintCode::NonExactInExactTable,
     ];
 
     /// The stable code string.
@@ -105,6 +112,7 @@ impl LintCode {
             LintCode::MergeNotAssociative => "EDP-E003",
             LintCode::MergeBadIdentity => "EDP-E004",
             LintCode::ProbePanic => "EDP-E005",
+            LintCode::NonExactInExactTable => "EDP-E006",
         }
     }
 
@@ -123,6 +131,7 @@ impl LintCode {
             LintCode::MergeNotAssociative => "merge-not-associative",
             LintCode::MergeBadIdentity => "merge-bad-identity",
             LintCode::ProbePanic => "probe-panic",
+            LintCode::NonExactInExactTable => "non-exact-in-exact-table",
         }
     }
 
@@ -133,7 +142,8 @@ impl LintCode {
             | LintCode::ShadowedRule
             | LintCode::MergeNotAssociative
             | LintCode::MergeBadIdentity
-            | LintCode::ProbePanic => Severity::Error,
+            | LintCode::ProbePanic
+            | LintCode::NonExactInExactTable => Severity::Error,
             _ => Severity::Warning,
         }
     }

@@ -112,8 +112,28 @@ pub fn check(app: &str, shape: &TableShape) -> Vec<Diagnostic> {
     }
     let all_exact = shape.schema.iter().all(|k| matches!(k, MatchKind::Exact));
     if all_exact {
-        // Exact tables replace on duplicate key and a miss is the normal
-        // negative result — no rule-level lints apply.
+        // A non-exact entry in an all-exact table demotes the hash index
+        // to a linear scan at runtime; flag each offending entry (E006).
+        for (j, e) in shape.entries.iter().enumerate() {
+            if let Some(field) = e
+                .fields
+                .iter()
+                .position(|f| !matches!(f, FieldMatch::Exact(_)))
+            {
+                out.push(Diagnostic {
+                    code: LintCode::NonExactInExactTable,
+                    app: app.to_string(),
+                    subject: format!("{}#{}", shape.name, j),
+                    message: format!(
+                        "field {field} is not an exact match in an all-exact \
+                         table; serving it demotes the hash index to a linear \
+                         scan (MatchTable::try_insert rejects this entry)"
+                    ),
+                });
+            }
+        }
+        // Otherwise exact tables replace on duplicate key and a miss is
+        // the normal negative result — no rule-level lints apply.
         return out;
     }
 
@@ -363,5 +383,29 @@ mod tests {
             }],
         };
         assert!(check("t", &shape).is_empty());
+    }
+
+    #[test]
+    fn non_exact_entry_in_exact_table_is_e006() {
+        let shape = TableShape {
+            name: "mac".into(),
+            schema: vec![MatchKind::Exact, MatchKind::Exact],
+            entries: vec![
+                ShapeEntry {
+                    fields: vec![FieldMatch::Exact(42), FieldMatch::Exact(1)],
+                    priority: 0,
+                },
+                ShapeEntry {
+                    fields: vec![FieldMatch::Exact(42), FieldMatch::Any],
+                    priority: 0,
+                },
+            ],
+        };
+        let diags = check("t", &shape);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::NonExactInExactTable);
+        assert_eq!(diags[0].code.code(), "EDP-E006");
+        assert_eq!(diags[0].subject, "mac#1");
+        assert!(diags[0].message.contains("field 1"));
     }
 }

@@ -1,0 +1,184 @@
+//! Sharded-engine scaling snapshot: wall-clock throughput of an
+//! 8-switch line topology at 1, 2, and 4 shards, written to
+//! `BENCH_2.json`.
+//!
+//! ```sh
+//! cargo run --release -p edp-bench --bin bench_shards
+//! cargo run --release -p edp-bench --bin bench_shards -- --pkts 50000 --out /tmp/b2.json
+//! ```
+//!
+//! The line `h0 — sw0 — sw1 — … — sw7 — h1` keeps every inter-switch
+//! link at 2 µs latency, so the partitioner cuts it into 8 single-switch
+//! groups with a 2 µs lookahead — at 4 shards each worker owns 2
+//! switches and every hop crosses a mailbox boundary. The run also
+//! asserts the delivered-packet count is identical at every shard
+//! count before reporting any rate.
+//!
+//! Speedup is bounded by physical parallelism: the snapshot records
+//! `host_cores` (`std::thread::available_parallelism`) next to the
+//! rates so a number measured on a 1-core CI container is not mistaken
+//! for an engine regression.
+
+use edp_evsim::{Sim, SimDuration, SimTime};
+use edp_netsim::traffic::start_cbr;
+use edp_netsim::{run_sharded, Host, HostApp, LinkSpec, Network, NodeRef};
+use edp_packet::PacketBuilder;
+use edp_pisa::{BaselineSwitch, ForwardTo, QueueConfig};
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+const SWITCHES: usize = 8;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Builds the 8-switch line with `n` CBR packets armed. Pure function
+/// of its arguments — every shard builds the identical world.
+fn build(n: u64) -> (Network, Sim<Network>) {
+    let mut net = Network::new(42);
+    let switches: Vec<usize> = (0..SWITCHES)
+        .map(|_| {
+            net.add_switch(Box::new(BaselineSwitch::new(
+                ForwardTo(1),
+                2,
+                QueueConfig::default(),
+            )))
+        })
+        .collect();
+    let h0 = net.add_host(Host::new(Ipv4Addr::new(10, 0, 0, 1), HostApp::Sink));
+    let h1 = net.add_host(Host::new(Ipv4Addr::new(10, 0, 0, 2), HostApp::Sink));
+    let edge = LinkSpec::ten_gig(SimDuration::from_micros(1));
+    let trunk = LinkSpec::ten_gig(SimDuration::from_micros(2));
+    net.connect(
+        (NodeRef::Host(h0), 0),
+        (NodeRef::Switch(switches[0]), 0),
+        edge,
+    );
+    for w in switches.windows(2) {
+        net.connect(
+            (NodeRef::Switch(w[0]), 1),
+            (NodeRef::Switch(w[1]), 0),
+            trunk,
+        );
+    }
+    net.connect(
+        (NodeRef::Switch(switches[SWITCHES - 1]), 1),
+        (NodeRef::Host(h1), 0),
+        edge,
+    );
+    let mut sim: Sim<Network> = Sim::new();
+    start_cbr(
+        &mut sim,
+        h0,
+        SimTime::ZERO,
+        SimDuration::from_nanos(500),
+        n,
+        move |i| {
+            PacketBuilder::udp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                4000,
+                8080,
+                &[],
+            )
+            .ident(i as u16)
+            .pad_to(256)
+            .build()
+        },
+    );
+    (net, sim)
+}
+
+/// Runs the line at `shards` and returns `(delivered, window count,
+/// cross-shard messages, wall seconds)`.
+fn measure(shards: usize, n: u64) -> (u64, u64, u64, f64) {
+    // 500 ns spacing + the ~17 µs path + margin.
+    let deadline = SimTime::from_nanos(500 * n + 1_000_000);
+    let t0 = Instant::now();
+    let (delivered, stats) = run_sharded(
+        shards,
+        deadline,
+        |_shard| build(n),
+        |_shard, net, _sim| net.hosts[1].stats.rx_pkts,
+    );
+    let secs = t0.elapsed().as_secs_f64();
+    (
+        delivered.iter().sum(),
+        stats.windows,
+        stats.cross_messages,
+        secs,
+    )
+}
+
+fn main() {
+    let mut pkts: u64 = 200_000;
+    let mut out = String::from("BENCH_2.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pkts" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => pkts = v,
+                None => {
+                    eprintln!("error: --pkts requires a count");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out = p,
+                None => {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: bench_shards [--pkts N] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("bench_shards — {SWITCHES}-switch line, {pkts} pkts, {cores} host core(s)");
+
+    let mut rows = Vec::new();
+    let mut base_rate = 0.0f64;
+    let mut base_rx = None;
+    for shards in SHARD_COUNTS {
+        let (rx, windows, crossed, secs) = measure(shards, pkts);
+        match base_rx {
+            None => base_rx = Some(rx),
+            Some(b) => assert_eq!(rx, b, "{shards}-shard run delivered a different count"),
+        }
+        let rate = pkts as f64 / secs;
+        if shards == 1 {
+            base_rate = rate;
+        }
+        let speedup = rate / base_rate;
+        println!(
+            "  {shards} shard(s): {rate:>12.0} pkts/s  ({windows} windows, \
+             {crossed} cross msgs, speedup {speedup:.2}x)"
+        );
+        rows.push((shards, rate, windows, crossed, speedup));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"pkts\": {pkts},\n"));
+    json.push_str(&format!("  \"switches\": {SWITCHES},\n"));
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str(
+        "  \"note\": \"speedup is bounded by host_cores; a 1-core container \
+         cannot show parallel gains regardless of engine quality\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, (shards, rate, windows, crossed, speedup)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"pkts_per_sec\": {rate:.1}, \
+             \"windows\": {windows}, \"cross_messages\": {crossed}, \
+             \"speedup_vs_1\": {speedup:.3}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write snapshot");
+    println!("wrote {out}");
+}

@@ -314,14 +314,67 @@ fn bench_switch_flood(n: u64) -> f64 {
     rate(n, t0.elapsed())
 }
 
+/// pkts/s end-to-end through the sharded engine on the canonical
+/// dumbbell (h0 — switch — h1): the whole-stack number for the parallel
+/// execution path. Shard count comes from `EDP_SHARDS` (min 1), so the
+/// committed baseline — measured at 1 shard — gates the engine's fixed
+/// overhead (windows, barriers, mailboxes) over the classic loop.
+fn bench_sharded_dumbbell(n: u64) -> f64 {
+    use edp_netsim::traffic::start_cbr;
+    use edp_netsim::{run_sharded, Host, HostApp, LinkSpec, Network, NodeRef};
+    use edp_pisa::QueueConfig;
+
+    let shards = edp_bench::top::shards_from_env().max(1);
+    let interval = SimDuration::from_nanos(500);
+    let deadline = SimTime::from_nanos(500 * n + 1_000_000);
+    let t0 = Instant::now();
+    let (delivered, _stats) = run_sharded(
+        shards,
+        deadline,
+        |_shard| {
+            let mut net = Network::new(1);
+            let sw = net.add_switch(Box::new(edp_pisa::BaselineSwitch::new(
+                ForwardTo(1),
+                2,
+                QueueConfig::default(),
+            )));
+            let h0 = net.add_host(Host::new(Ipv4Addr::new(10, 0, 0, 1), HostApp::Sink));
+            let h1 = net.add_host(Host::new(Ipv4Addr::new(10, 0, 0, 2), HostApp::Sink));
+            let spec = LinkSpec::ten_gig(SimDuration::from_micros(1));
+            net.connect((NodeRef::Host(h0), 0), (NodeRef::Switch(sw), 0), spec);
+            net.connect((NodeRef::Switch(sw), 1), (NodeRef::Host(h1), 0), spec);
+            let mut sim: Sim<Network> = Sim::new();
+            start_cbr(&mut sim, h0, SimTime::ZERO, interval, n, move |i| {
+                PacketBuilder::udp(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    4000,
+                    8080,
+                    &[],
+                )
+                .ident(i as u16)
+                .pad_to(256)
+                .build()
+            });
+            (net, sim)
+        },
+        |_shard, net, _sim| net.hosts[1].stats.rx_pkts,
+    );
+    let total: u64 = delivered.iter().sum();
+    assert_eq!(total, n, "dumbbell must deliver every frame");
+    rate(n, t0.elapsed())
+}
+
 /// Metrics gated by the CI regression check: the event-queue and LPM
-/// rates the PR-1 fast-path work optimized. The packet-path metrics are
-/// too machine-noise-prone at smoke scale to gate on.
-const GATED_METRICS: [&str; 4] = [
+/// rates the PR-1 fast-path work optimized, plus the sharded-engine
+/// dumbbell throughput. The raw packet-path metrics are too
+/// machine-noise-prone at smoke scale to gate on.
+const GATED_METRICS: [&str; 5] = [
     "events_schedule_fire_per_sec",
     "events_cancel_heavy_per_sec",
     "events_periodic_per_sec",
     "lookups_lpm_1k_per_sec",
+    "sharded_dumbbell_pkts_per_sec",
 ];
 
 /// Scale for re-measuring a tripped gated metric: windows of tens to
@@ -343,6 +396,7 @@ fn bench_gated(name: &str, s: &Scale) -> Option<f64> {
         "events_cancel_heavy_per_sec" => bench_events_cancel_heavy(s.cancels),
         "events_periodic_per_sec" => bench_events_periodic(s.periodic_ticks),
         "lookups_lpm_1k_per_sec" => bench_lpm_lookup_1k(s.lookups / 10),
+        "sharded_dumbbell_pkts_per_sec" => bench_sharded_dumbbell(s.pkts),
         _ => return None,
     })
 }
@@ -473,6 +527,10 @@ fn main() {
     record("switch_forward_pkts_per_sec", bench_switch_pkts(s.pkts));
     record("switch_routed_1k_pkts_per_sec", bench_switch_routed(s.pkts));
     record("switch_flood_pkts_per_sec", bench_switch_flood(s.pkts / 4));
+    record(
+        "sharded_dumbbell_pkts_per_sec",
+        bench_sharded_dumbbell(s.pkts),
+    );
 
     let path = out.unwrap_or_else(next_snapshot_path);
     let mut json = String::from("{\n");
@@ -487,8 +545,27 @@ fn main() {
     println!("wrote {path}");
 
     if let Some(base_path) = baseline {
-        let base_json = std::fs::read_to_string(&base_path)
-            .unwrap_or_else(|e| panic!("read baseline {base_path}: {e}"));
+        // Exit 3 (distinct from 1 = regression, 2 = usage) so CI logs show
+        // at a glance whether the gate *failed* or never got to run.
+        let base_json = match std::fs::read_to_string(&base_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read baseline snapshot `{base_path}`: {e}");
+                eprintln!("hint: point --baseline at a committed BENCH_<n>.json");
+                std::process::exit(3);
+            }
+        };
+        if GATED_METRICS
+            .iter()
+            .all(|m| extract_metric(&base_json, m).is_none())
+        {
+            eprintln!(
+                "error: baseline `{base_path}` is malformed: no gated metric \
+                 ({}) found in it",
+                GATED_METRICS.join(", ")
+            );
+            std::process::exit(3);
+        }
         let mut bad = check_regressions(&metrics, &base_json, max_regress);
         if !bad.is_empty() {
             // A smoke sample is only milliseconds wide, so a loaded
@@ -540,7 +617,8 @@ mod tests {
     "events_schedule_fire_per_sec": 6000000.0,
     "events_cancel_heavy_per_sec": 6000000.0,
     "events_periodic_per_sec": 50000000.0,
-    "lookups_lpm_1k_per_sec": 36000000.0
+    "lookups_lpm_1k_per_sec": 36000000.0,
+    "sharded_dumbbell_pkts_per_sec": 500000.0
   }
 }"#;
 

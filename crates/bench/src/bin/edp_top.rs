@@ -16,6 +16,9 @@ options:
   --duration-ms M    simulated milliseconds per seed (default 5)
   --threads T        sweep workers (default: EDP_SWEEP_THREADS or cores)
   --trace-capacity C trace-ring records per seed (default 65536)
+  --shards S         run each seed on S parallel shards; outputs are
+                     byte-identical for any S (default: EDP_SHARDS or
+                     0 = classic single-world engine)
   --json             emit the report as JSON instead of the table
   --prom             emit the registry in Prometheus text format
   --trace-out FILE   write the structured trace to FILE
@@ -59,6 +62,7 @@ fn main() {
             }
             "--threads" => opts.threads = parsed("--threads", args.next()),
             "--trace-capacity" => opts.trace_capacity = parsed("--trace-capacity", args.next()),
+            "--shards" => opts.shards = parsed("--shards", args.next()),
             "--overhead" => overhead = Some(parsed("--overhead", args.next())),
             "--json" => json = true,
             "--prom" => prom = true,

@@ -16,7 +16,7 @@ use edp_apps::registry::builtin_apps;
 use edp_core::{EventProgram, EventSwitch, EventSwitchConfig, TimerSpec};
 use edp_evsim::{default_threads, sweep, Sim, SimDuration, SimTime};
 use edp_netsim::traffic::start_cbr;
-use edp_netsim::Network;
+use edp_netsim::{run_sharded, Network};
 use edp_packet::PacketBuilder;
 use edp_telemetry::{self as telemetry, Registry, TelemetryConfig};
 use std::fmt::Write as _;
@@ -32,6 +32,19 @@ pub struct TopOptions {
     pub threads: usize,
     /// Trace-ring capacity per point.
     pub trace_capacity: usize,
+    /// Shard count for the parallel engine (`EDP_SHARDS` default).
+    /// `0` runs the classic single-world path; `>= 1` runs every point
+    /// through [`edp_netsim::run_sharded`], whose output is byte-identical
+    /// for any shard count.
+    pub shards: usize,
+}
+
+/// Reads `EDP_SHARDS`; unset or unparsable means `0` (classic path).
+pub fn shards_from_env() -> usize {
+    std::env::var("EDP_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 impl Default for TopOptions {
@@ -41,6 +54,7 @@ impl Default for TopOptions {
             duration: SimDuration::from_millis(5),
             threads: default_threads(),
             trace_capacity: 65_536,
+            shards: shards_from_env(),
         }
     }
 }
@@ -64,6 +78,12 @@ pub struct TopReport {
     pub trace_records: u64,
     /// Total trace records evicted by ring capacity across points.
     pub trace_dropped: u64,
+    /// Shard count the points ran with (`0` = classic path).
+    pub shards: usize,
+    /// Safe-horizon windows executed, summed across points (0 classic).
+    pub shard_windows: u64,
+    /// Packets exchanged across shard boundaries, summed across points.
+    pub shard_messages: u64,
 }
 
 /// Names of every registered app, in registry order.
@@ -76,12 +96,15 @@ struct PointOutcome {
     trace: String,
     records: u64,
     dropped: u64,
+    windows: u64,
+    cross_messages: u64,
 }
 
-/// Builds the app's dumbbell, drives the CBR load for `duration`, and
-/// returns the network for metric publication. Runs identically with
-/// telemetry enabled or disabled — [`measure_overhead`] exploits that.
-fn drive(app: &str, seed: u64, duration: SimDuration) -> Network {
+/// Builds the app's dumbbell with its CBR load armed but nothing run:
+/// the piece of [`drive`] that is also usable as a [`run_sharded`] build
+/// closure (the sharded engine arms switch timers and runs the loop
+/// itself).
+fn build_point(app: &str, seed: u64, duration: SimDuration) -> (Network, Sim<Network>) {
     let reg_app = builtin_apps()
         .into_iter()
         .find(|a| a.manifest.name == app)
@@ -108,7 +131,7 @@ fn drive(app: &str, seed: u64, duration: SimDuration) -> Network {
     // One sender on port 0, sink behind a 50 Mb/s bottleneck on port 1 —
     // the port most registry apps egress to — so ~190 Mb/s of CBR load
     // builds real queues and forces overflow/trim paths.
-    let (mut net, senders, _sink, _) = dumbbell(Box::new(sw), 1, 50_000_000, seed);
+    let (net, senders, _sink, _) = dumbbell(Box::new(sw), 1, 50_000_000, seed);
     let mut sim: Sim<Network> = Sim::new();
     let src = addr(1);
     let interval = SimDuration::from_micros(10);
@@ -125,12 +148,31 @@ fn drive(app: &str, seed: u64, duration: SimDuration) -> Network {
                 .build()
         },
     );
+    (net, sim)
+}
+
+/// Builds the app's dumbbell, drives the CBR load for `duration`, and
+/// returns the network for metric publication. Runs identically with
+/// telemetry enabled or disabled — [`measure_overhead`] exploits that.
+fn drive(app: &str, seed: u64, duration: SimDuration) -> Network {
+    let (mut net, mut sim) = build_point(app, seed, duration);
     run_until(&mut net, &mut sim, SimTime::ZERO + duration);
     net
 }
 
-/// One sweep point: a pure function of `(app, seed, duration, capacity)`.
-fn run_point(app: &str, seed: u64, duration: SimDuration, trace_capacity: usize) -> PointOutcome {
+/// One sweep point: a pure function of `(app, seed, duration, capacity)`
+/// on the classic path, and of those *plus nothing else* on the sharded
+/// path — the sharded outcome is byte-identical for every `shards >= 1`.
+fn run_point(
+    app: &str,
+    seed: u64,
+    duration: SimDuration,
+    trace_capacity: usize,
+    shards: usize,
+) -> PointOutcome {
+    if shards > 0 {
+        return run_point_sharded(app, seed, duration, trace_capacity, shards);
+    }
     telemetry::enable(TelemetryConfig {
         trace_capacity,
         ..TelemetryConfig::default()
@@ -145,6 +187,80 @@ fn run_point(app: &str, seed: u64, duration: SimDuration, trace_capacity: usize)
         dropped: t.ring.dropped(),
         registry: t.registry,
         trace,
+        windows: 0,
+        cross_messages: 0,
+    }
+}
+
+/// One sweep point through the sharded engine.
+///
+/// Each shard runs the identical build on its own thread under its own
+/// telemetry session; `finish` publishes only owner-gated metrics into
+/// that session. Scheduler records are disabled — they carry global
+/// heap sequence numbers, which depend on how events were distributed
+/// over shards — and the merged trace uses the canonical (span-less)
+/// rendering sorted by `(time, text)`, so the whole outcome is a pure
+/// function of `(app, seed, duration, capacity)` for any shard count.
+fn run_point_sharded(
+    app: &str,
+    seed: u64,
+    duration: SimDuration,
+    trace_capacity: usize,
+    shards: usize,
+) -> PointOutcome {
+    let (sessions, stats) = run_sharded(
+        shards,
+        SimTime::ZERO + duration,
+        |_shard| {
+            telemetry::enable(TelemetryConfig {
+                trace_capacity,
+                scheduler_records: false,
+                ..TelemetryConfig::default()
+            });
+            build_point(app, seed, duration)
+        },
+        |_shard, net, _sim| {
+            telemetry::with(|t| net.publish_metrics(&mut t.registry));
+            telemetry::disable().expect("session enabled in build")
+        },
+    );
+    // Counters/histograms are per-scope partial sums; gauges are written
+    // only by the owning shard, so `merge`'s overwrite is safe and the
+    // max re-fold below is a no-op kept for symmetry with `run`.
+    let mut registry = Registry::new();
+    for s in &sessions {
+        registry.merge(&s.registry);
+    }
+    for s in &sessions {
+        for (n, sc, v) in s.registry.gauges() {
+            registry.gauge_max(n, sc, v);
+        }
+    }
+    let mut lines: Vec<(u64, String)> = Vec::new();
+    let (mut records, mut dropped) = (0u64, 0u64);
+    for s in &sessions {
+        records += s.ring.len() as u64;
+        dropped += s.ring.dropped();
+        for rec in s.ring.iter() {
+            lines.push((rec.at_ns, rec.render_canonical()));
+        }
+    }
+    lines.sort();
+    let mut trace = format!("== {app} seed {seed} ==\n");
+    for (_, line) in &lines {
+        trace.push_str(line);
+        trace.push('\n');
+    }
+    trace.push_str(&format!(
+        "-- {records} records, {dropped} dropped (ring capacity {trace_capacity})\n"
+    ));
+    PointOutcome {
+        registry,
+        trace,
+        records,
+        dropped,
+        windows: stats.windows,
+        cross_messages: stats.cross_messages,
     }
 }
 
@@ -180,18 +296,23 @@ pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
     }
     let duration = opts.duration;
     let cap = opts.trace_capacity;
+    let shards = opts.shards;
     let outcomes = sweep(opts.seeds.clone(), opts.threads, |seed| {
-        run_point(app, seed, duration, cap)
+        run_point(app, seed, duration, cap, shards)
     });
     let mut registry = Registry::new();
     let mut trace = String::new();
     let mut records = 0u64;
     let mut dropped = 0u64;
+    let mut windows = 0u64;
+    let mut cross = 0u64;
     for o in &outcomes {
         registry.merge(&o.registry);
         trace.push_str(&o.trace);
         records += o.records;
         dropped += o.dropped;
+        windows += o.windows;
+        cross += o.cross_messages;
     }
     // `merge` keeps the *later* gauge value; re-fold them as maxima so
     // high-water marks (staleness bounds, queue peaks) survive merging.
@@ -208,6 +329,9 @@ pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
         trace,
         trace_records: records,
         trace_dropped: dropped,
+        shards,
+        shard_windows: windows,
+        shard_messages: cross,
     })
 }
 
@@ -317,6 +441,13 @@ pub fn render(r: &TopReport) -> String {
         "\n  trace ring: {} records, {} dropped",
         r.trace_records, r.trace_dropped
     );
+    if r.shards > 0 {
+        let _ = writeln!(
+            out,
+            "  shards: {} | {} windows, {} cross-shard msgs",
+            r.shards, r.shard_windows, r.shard_messages
+        );
+    }
     out
 }
 
@@ -344,6 +475,7 @@ mod tests {
             duration: SimDuration::from_millis(1),
             threads: 1,
             trace_capacity: 4096,
+            shards: 0,
         }
     }
 
@@ -373,5 +505,31 @@ mod tests {
             r.registry.counter("events_timer", "sw0") > 0,
             "manifest timers must be armed"
         );
+    }
+
+    #[test]
+    fn sharded_point_is_byte_identical_across_shard_counts() {
+        let mut opts = quick();
+        // Big enough that no shard's ring evicts — eviction order is the
+        // one thing that legitimately differs per shard count.
+        opts.trace_capacity = 65_536;
+        opts.shards = 1;
+        let one = run("microburst", &opts).expect("runs");
+        opts.shards = 2;
+        let two = run("microburst", &opts).expect("runs");
+        assert_eq!(one.trace, two.trace, "merged canonical traces diverge");
+        assert_eq!(to_json_report(&one), to_json_report(&two));
+        assert!(one.trace_records > 0);
+        assert_eq!(one.shards, 1);
+        assert_eq!(two.shards, 2);
+        assert!(render(&two).contains("shards: 2"));
+    }
+
+    #[test]
+    fn env_default_is_classic_path() {
+        // The suite doesn't set EDP_SHARDS, so Default must pick classic.
+        if std::env::var("EDP_SHARDS").is_err() {
+            assert_eq!(TopOptions::default().shards, 0);
+        }
     }
 }

@@ -1,9 +1,11 @@
 //! `edp_top` determinism: a sweep point's telemetry is a pure function
 //! of its seed. Running the same seeds on 1 worker thread and on 8 must
 //! produce byte-identical traces and exports — the acceptance bar for
-//! `EDP_SWEEP_THREADS` independence.
+//! `EDP_SWEEP_THREADS` independence. The sharded engine raises the bar:
+//! the same point on 1, 2, or 4 shards must also be byte-identical,
+//! for every registered app.
 
-use edp_bench::top::{run, to_json_report, TopOptions};
+use edp_bench::top::{app_names, run, to_json_report, TopOptions};
 use edp_evsim::SimDuration;
 
 fn opts(threads: usize) -> TopOptions {
@@ -12,6 +14,7 @@ fn opts(threads: usize) -> TopOptions {
         duration: SimDuration::from_millis(2),
         threads,
         trace_capacity: 8192,
+        shards: 0,
     }
 }
 
@@ -35,4 +38,60 @@ fn trace_and_exports_identical_for_1_vs_8_threads() {
         assert!(a.registry.counter("rx", "sw0") > 0);
         assert!(a.trace.matches("== ").count() == 4, "one section per seed");
     }
+}
+
+/// Options for the shard-invariance sweep: short duration (16 apps x 3
+/// shard counts), a ring big enough that no shard evicts (eviction order
+/// is the one thing that legitimately depends on the shard count — the
+/// summed `dropped` footer turns any eviction into a loud diff).
+fn shard_opts(shards: usize) -> TopOptions {
+    TopOptions {
+        seeds: vec![1, 2],
+        duration: SimDuration::from_millis(1),
+        threads: 1,
+        trace_capacity: 65_536,
+        shards,
+    }
+}
+
+#[test]
+fn every_app_is_byte_identical_across_shard_counts() {
+    for app in app_names() {
+        let one = run(app, &shard_opts(1)).expect("1-shard run");
+        assert!(one.trace_records > 0, "{app}: sharded run recorded nothing");
+        assert_eq!(one.trace_dropped, 0, "{app}: ring evicted; raise capacity");
+        let one_json = to_json_report(&one);
+        let one_prom = edp_telemetry::to_prometheus_text(&one.registry);
+        for shards in [2usize, 4] {
+            let many = run(app, &shard_opts(shards)).expect("sharded run");
+            assert_eq!(
+                one.trace, many.trace,
+                "{app}: trace differs at {shards} shards"
+            );
+            assert_eq!(
+                one_json,
+                to_json_report(&many),
+                "{app}: JSON report differs at {shards} shards"
+            );
+            assert_eq!(
+                one_prom,
+                edp_telemetry::to_prometheus_text(&many.registry),
+                "{app}: Prometheus export differs at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_sweep_is_thread_independent_too() {
+    let mut a_opts = shard_opts(2);
+    let mut b_opts = shard_opts(2);
+    a_opts.threads = 1;
+    b_opts.threads = 8;
+    let a = run("microburst", &a_opts).expect("run");
+    let b = run("microburst", &b_opts).expect("run");
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(to_json_report(&a), to_json_report(&b));
+    assert_eq!(a.shard_windows, b.shard_windows);
+    assert_eq!(a.shard_messages, b.shard_messages);
 }

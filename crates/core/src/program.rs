@@ -102,8 +102,10 @@ impl EventActions {
 /// with optional controls. Packet-event handlers mirror
 /// [`edp_pisa::PisaProgram`]; the remaining ten are the paper's new
 /// events.
+/// Programs are `Send` so a sharded simulation can build its switches on
+/// worker threads and hand finished shard state back for inspection.
 #[allow(unused_variables)]
-pub trait EventProgram {
+pub trait EventProgram: Send {
     /// Ingress packet event. Set `meta.dest` to forward, and stage
     /// `meta.event_meta` for the enqueue/dequeue handlers.
     fn on_ingress(

@@ -36,6 +36,7 @@
 mod clock;
 mod parallel;
 mod rng;
+pub mod shard;
 mod sim;
 pub mod stats;
 mod time;
@@ -44,7 +45,8 @@ mod wheel;
 pub use clock::{ClockDomain, Cycles};
 pub use parallel::{default_threads, sweep};
 pub use rng::{SimRng, Zipf};
-pub use sim::{EventFn, EventId, Periodic, Sim};
+pub use shard::{drive_windows, safe_horizon, WindowSync};
+pub use sim::{EventFn, EventId, Periodic, Sim, UNKEYED};
 pub use stats::{jain_fairness, percentile, Counter, Histogram, TimeSeries, Welford};
 pub use time::{SimDuration, SimTime};
 pub use wheel::{TimerId, TimerWheel};

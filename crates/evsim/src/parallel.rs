@@ -10,14 +10,30 @@
 //! each worker claims the next index with `fetch_add`, so there is no lock
 //! to contend on the hot path and no allocation per claim.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A worker panic captured by [`sweep`]: the offending point index plus
+/// the original payload, so the failure can be re-raised with context.
+struct SweepPanic {
+    point: usize,
+    payload: Box<dyn std::any::Any + Send>,
+}
 
 /// Runs `f` once per input point across `threads` worker threads.
 ///
 /// Results come back in the order of `points`, independent of scheduling.
 /// `f` must be `Sync` (it is shared by reference across workers); per-run
 /// state, including RNG seeds, should be derived from the point itself.
+///
+/// # Panics
+///
+/// If `f` panics for some point, the sweep stops handing out new work,
+/// waits for in-flight points, and re-raises the *first* (lowest-index)
+/// captured panic with the offending point index prepended to string
+/// payloads — instead of the opaque poisoned-mutex abort this used to
+/// produce.
 pub fn sweep<P, R, F>(points: Vec<P>, threads: usize, f: F) -> Vec<R>
 where
     P: Send,
@@ -35,31 +51,71 @@ where
     let work: Vec<Mutex<Option<P>>> = points.into_iter().map(|p| Mutex::new(Some(p))).collect();
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let panics: Mutex<Vec<SweepPanic>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 if idx >= n {
                     break;
                 }
-                let p = work[idx]
-                    .lock()
-                    .expect("sweep point poisoned")
-                    .take()
-                    .expect("sweep point claimed twice");
-                let r = f(p);
-                *slots[idx].lock().expect("sweep slot poisoned") = Some(r);
+                let p = match work[idx].lock() {
+                    Ok(mut cell) => cell.take().expect("sweep point claimed twice"),
+                    // Another worker panicked while holding this cell;
+                    // its own capture carries the real payload.
+                    Err(_) => break,
+                };
+                // Capture the panic instead of letting it poison the slot
+                // mutexes: the payload (with its point index) is what the
+                // caller needs, not a "sweep point poisoned" abort.
+                match std::panic::catch_unwind(AssertUnwindSafe(|| f(p))) {
+                    Ok(r) => {
+                        if let Ok(mut slot) = slots[idx].lock() {
+                            *slot = Some(r);
+                        }
+                    }
+                    Err(payload) => {
+                        failed.store(true, Ordering::Relaxed);
+                        if let Ok(mut ps) = panics.lock() {
+                            ps.push(SweepPanic {
+                                point: idx,
+                                payload,
+                            });
+                        }
+                    }
+                }
             });
         }
     });
+
+    let mut captured = panics.into_inner().unwrap_or_default();
+    if !captured.is_empty() {
+        captured.sort_by_key(|p| p.point);
+        let SweepPanic { point, payload } = captured.remove(0);
+        // Re-raise with the point index attached when the payload is a
+        // plain message; otherwise resume the original payload untouched
+        // (typed payloads may be downcast by the caller).
+        if let Some(msg) = payload.downcast_ref::<&str>() {
+            panic!("sweep point {point} panicked: {msg}");
+        }
+        if let Some(msg) = payload.downcast_ref::<String>() {
+            panic!("sweep point {point} panicked: {msg}");
+        }
+        eprintln!("sweep point {point} panicked (non-string payload)");
+        std::panic::resume_unwind(payload);
+    }
 
     slots
         .into_iter()
         .map(|s| {
             s.into_inner()
                 .expect("sweep slot poisoned")
-                .expect("sweep slot unfilled")
+                .expect("sweep slot unfilled: worker exited without a result")
         })
         .collect()
 }
@@ -114,6 +170,37 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_carries_point_index_and_payload() {
+        let err = std::panic::catch_unwind(|| {
+            sweep(vec![0u64, 1, 2, 3], 2, |p| {
+                if p == 2 {
+                    panic!("boom at load {p}");
+                }
+                p
+            })
+        })
+        .expect_err("sweep must propagate the worker panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload");
+        assert!(
+            msg.contains("sweep point 2") && msg.contains("boom at load 2"),
+            "panic message must name the point and original payload, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn panic_on_every_point_reports_lowest_index() {
+        let err = std::panic::catch_unwind(|| {
+            sweep(vec![0u64, 1, 2, 3], 1, |p: u64| -> u64 { panic!("p{p}") })
+        })
+        .expect_err("sweep must propagate");
+        let msg = err.downcast_ref::<String>().cloned().expect("string");
+        assert!(msg.contains("sweep point 0"), "got: {msg}");
     }
 
     #[test]

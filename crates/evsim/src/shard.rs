@@ -1,0 +1,317 @@
+//! Conservative safe-horizon window execution for sharded simulations.
+//!
+//! A sharded run partitions the world across worker threads, each owning a
+//! [`Sim`] of its own. The classic conservative parallel-discrete-event
+//! argument applies: if every cross-shard interaction takes at least
+//! `lookahead` of simulated time to arrive, then once the shards agree on
+//! the globally earliest pending event time `global_next`, every event
+//! strictly before `global_next + lookahead` can be executed without ever
+//! receiving a message that should have pre-empted it. The shards therefore
+//! proceed in *windows*:
+//!
+//! 1. accept messages delivered at the previous window's close,
+//! 2. publish the local earliest pending-event time and take the global
+//!    minimum ([`WindowSync::negotiate`]),
+//! 3. fire everything strictly before the safe horizon
+//!    ([`Sim::run_before`]),
+//! 4. hand outbound messages to their destination shards and barrier
+//!    ([`WindowSync::exchange`]) so step 1 of the next window sees them.
+//!
+//! The loop ends when no shard has an event at or before the deadline;
+//! messages cannot appear out of thin air, so the shards agree on that
+//! state. What makes the merged schedule *byte-identical* to a
+//! single-threaded run is not this module but the ordering keys carried by
+//! the messages themselves (see [`Sim::schedule_keyed_at`]).
+//!
+//! The rendezvous is poisonable: a worker that panics mid-window calls
+//! [`WindowSync::poison`] before unwinding, which wakes every peer blocked
+//! at a barrier and makes it panic too — the run fails loudly instead of
+//! deadlocking on a barrier that will never fill.
+
+use crate::sim::Sim;
+use crate::time::{SimDuration, SimTime};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+struct SyncState {
+    /// Per-shard earliest-pending-event slots for the negotiation.
+    next: Vec<Option<SimTime>>,
+    /// Threads currently parked at the barrier.
+    arrived: usize,
+    /// Bumped each time the barrier fills; waiters leave when it changes.
+    generation: u64,
+    /// Set by [`WindowSync::poison`]; every waiter panics on observing it.
+    poisoned: bool,
+}
+
+/// Shared barrier state for one sharded run: a reusable, poisonable
+/// rendezvous plus a per-shard slot for the earliest-pending-event
+/// negotiation.
+pub struct WindowSync {
+    state: Mutex<SyncState>,
+    cv: Condvar,
+    shards: usize,
+}
+
+impl WindowSync {
+    /// Creates synchronization state for `shards` worker threads.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded run needs at least one shard");
+        WindowSync {
+            state: Mutex::new(SyncState {
+                next: vec![None; shards],
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            shards,
+        }
+    }
+
+    /// Number of participating shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SyncState> {
+        // A peer that panicked while holding the lock poisons the mutex;
+        // the explicit `poisoned` flag below is the real signal, so keep
+        // going and let the flag check raise the meaningful panic.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Marks the run as failed and wakes every thread blocked at a
+    /// barrier. Call from a worker that is about to unwind so its peers
+    /// panic instead of waiting forever for a rendezvous it will never
+    /// join.
+    pub fn poison(&self) {
+        let mut st = self.lock();
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut st = self.lock();
+        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
+        st.arrived += 1;
+        if st.arrived == self.shards {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return;
+        }
+        let generation = st.generation;
+        while st.generation == generation && !st.poisoned {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
+    }
+
+    /// Publishes this shard's earliest pending event time and returns the
+    /// global minimum over all shards. Every shard must call this once per
+    /// window; all callers return the same value.
+    pub fn negotiate(&self, shard: usize, local_next: Option<SimTime>) -> Option<SimTime> {
+        {
+            let mut st = self.lock();
+            assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
+            st.next[shard] = local_next;
+        }
+        self.wait();
+        let global = {
+            let st = self.lock();
+            st.next.iter().filter_map(|t| *t).min()
+        };
+        // Second rendezvous so no shard can overwrite its slot for the
+        // next window while a peer is still reading this one.
+        self.wait();
+        global
+    }
+
+    /// Barrier after the outbound mailboxes are filled, so the next
+    /// window's accept phase on every shard sees all of this window's
+    /// messages.
+    pub fn exchange(&self) {
+        self.wait();
+    }
+}
+
+/// The exclusive event-execution bound for one window: events strictly
+/// before the returned time are safe to fire.
+///
+/// `lookahead` is the minimum simulated-time delay of any cross-shard
+/// interaction; `None` means the shards cannot interact at all (no
+/// cross-shard links), in which case the whole run up to the deadline is
+/// one window. The bound is capped just past `deadline` so an
+/// inclusive-deadline run (`t <= deadline`, matching [`Sim::run_until`])
+/// never fires later events.
+pub fn safe_horizon(
+    global_next: SimTime,
+    lookahead: Option<SimDuration>,
+    deadline: SimTime,
+) -> SimTime {
+    let cap = deadline.as_nanos().saturating_add(1);
+    let h = match lookahead {
+        Some(la) => global_next.as_nanos().saturating_add(la.as_nanos()),
+        None => cap,
+    };
+    SimTime::from_nanos(h.min(cap))
+}
+
+/// Runs one shard's event loop to `deadline` in conservative windows.
+///
+/// `accept` schedules messages handed over at the previous window's close
+/// into `sim`; `publish` moves this window's outbound messages into the
+/// shared mailboxes. Both run on the shard's own thread. Returns the
+/// number of windows executed (identical on every shard).
+#[allow(clippy::too_many_arguments)] // deliberate: the low-level engine entry point takes the full window protocol
+pub fn drive_windows<W>(
+    world: &mut W,
+    sim: &mut Sim<W>,
+    shard: usize,
+    sync: &WindowSync,
+    lookahead: Option<SimDuration>,
+    deadline: SimTime,
+    mut accept: impl FnMut(&mut W, &mut Sim<W>),
+    mut publish: impl FnMut(&mut W, &mut Sim<W>),
+) -> u64 {
+    let mut windows = 0u64;
+    loop {
+        accept(world, sim);
+        let local = sim.peek_next();
+        let Some(global) = sync.negotiate(shard, local) else {
+            break;
+        };
+        if global > deadline {
+            break;
+        }
+        windows += 1;
+        let horizon = safe_horizon(global, lookahead, deadline);
+        sim.run_before(world, horizon);
+        publish(world, sim);
+        sync.exchange();
+    }
+    // Mirror run_until's clock semantics once the shards agree that
+    // nothing at or before the deadline remains.
+    sim.fast_forward(deadline);
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_is_lookahead_past_next_capped_at_deadline() {
+        let d = SimTime::from_nanos(1000);
+        assert_eq!(
+            safe_horizon(
+                SimTime::from_nanos(100),
+                Some(SimDuration::from_nanos(50)),
+                d
+            ),
+            SimTime::from_nanos(150)
+        );
+        assert_eq!(
+            safe_horizon(
+                SimTime::from_nanos(990),
+                Some(SimDuration::from_nanos(50)),
+                d
+            ),
+            SimTime::from_nanos(1001),
+            "cap is one past the deadline so t == deadline still fires"
+        );
+        assert_eq!(
+            safe_horizon(SimTime::from_nanos(0), None, d),
+            SimTime::from_nanos(1001)
+        );
+    }
+
+    #[test]
+    fn two_shards_exchange_messages_deterministically() {
+        // A ping-pong across two shards: each shard's world is a counter
+        // plus an outbox; messages take exactly `lookahead` to cross.
+        use std::sync::Mutex as StdMutex;
+        let lookahead = SimDuration::from_nanos(10);
+        let deadline = SimTime::from_nanos(200);
+        let sync = WindowSync::new(2);
+        let mailbox: [StdMutex<Vec<SimTime>>; 2] =
+            [StdMutex::new(Vec::new()), StdMutex::new(Vec::new())];
+        let log: [StdMutex<Vec<u64>>; 2] = [StdMutex::new(Vec::new()), StdMutex::new(Vec::new())];
+
+        std::thread::scope(|scope| {
+            for me in 0..2usize {
+                let sync = &sync;
+                let mailbox = &mailbox;
+                let log = &log;
+                scope.spawn(move || {
+                    // World = (outbox of send-times, fired-times log).
+                    type World = (Vec<SimTime>, Vec<u64>);
+                    let mut world: World = (Vec::new(), Vec::new());
+                    let mut sim: Sim<World> = Sim::new();
+                    if me == 0 {
+                        // Shard 0 serves: every received ping fires a pong.
+                        sim.schedule_at(SimTime::ZERO, |w: &mut World, s: &mut Sim<World>| {
+                            w.1.push(s.now().as_nanos());
+                            w.0.push(s.now() + SimDuration::from_nanos(10));
+                        });
+                    }
+                    let windows = drive_windows(
+                        &mut world,
+                        &mut sim,
+                        me,
+                        sync,
+                        Some(lookahead),
+                        deadline,
+                        |_w, s| {
+                            let mut inbox = mailbox[me].lock().unwrap();
+                            for at in inbox.drain(..) {
+                                s.schedule_keyed_at(
+                                    at,
+                                    0,
+                                    move |w: &mut World, s: &mut Sim<World>| {
+                                        w.1.push(s.now().as_nanos());
+                                        let reply = s.now() + SimDuration::from_nanos(10);
+                                        if reply <= SimTime::from_nanos(100) {
+                                            w.0.push(reply);
+                                        }
+                                    },
+                                );
+                            }
+                        },
+                        |w, _s| {
+                            let peer = 1 - me;
+                            mailbox[peer].lock().unwrap().append(&mut w.0);
+                        },
+                    );
+                    assert!(windows >= 1 || me == 1);
+                    *log[me].lock().unwrap() = world.1;
+                });
+            }
+        });
+
+        // Shard 0 fired at 0, 20, 40, ... and shard 1 at 10, 30, ... until
+        // the reply cutoff at t=100.
+        let l0 = log[0].lock().unwrap().clone();
+        let l1 = log[1].lock().unwrap().clone();
+        assert_eq!(l0, vec![0, 20, 40, 60, 80, 100]);
+        assert_eq!(l1, vec![10, 30, 50, 70, 90]);
+    }
+
+    #[test]
+    fn poison_wakes_a_blocked_peer_and_panics_it() {
+        let sync = std::sync::Arc::new(WindowSync::new(2));
+        let peer = {
+            let sync = std::sync::Arc::clone(&sync);
+            std::thread::spawn(move || sync.negotiate(0, Some(SimTime::ZERO)))
+        };
+        // Give the peer time to park at the first rendezvous, then poison
+        // instead of joining it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        sync.poison();
+        let out = peer.join();
+        assert!(out.is_err(), "poisoned waiter must panic, not hang");
+        // Later arrivals see the poison immediately.
+        let late = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sync.exchange()));
+        assert!(late.is_err());
+    }
+}

@@ -10,9 +10,10 @@
 //! # Fast path
 //!
 //! The queue is a slab-backed arena: the binary heap holds compact
-//! `(time, seq, slot)` keys (24 bytes, `Copy`) while the event payloads
-//! live in a slot arena indexed by the key. This buys three things over
-//! the classic `BinaryHeap<Entry>` + cancelled-`HashSet` design:
+//! `(time, key, seq, slot)` keys (32 bytes, `Copy`) while the event
+//! payloads live in a slot arena indexed by the key. This buys three
+//! things over the classic `BinaryHeap<Entry>` + cancelled-`HashSet`
+//! design:
 //!
 //! - **Cancellation is O(1) and exact** — it flips the slot state; there
 //!   is no hash-set probe on every pop and no tombstone that can outlive
@@ -93,10 +94,18 @@ pub enum Periodic {
     Stop,
 }
 
+/// Ordering key for events that carry no cross-run ordering identity:
+/// they sort after every keyed event at the same instant and fall back to
+/// scheduling order (`seq`) among themselves. See [`Sim::schedule_keyed_at`].
+pub const UNKEYED: u64 = u64::MAX;
+
 /// Compact heap key; the payload lives in the slot arena.
 #[derive(Clone, Copy, PartialEq, Eq)]
 struct HeapKey {
     time: SimTime,
+    /// Same-instant ordering class (see [`Sim::schedule_keyed_at`]);
+    /// [`UNKEYED`] for ordinary events.
+    key: u64,
     seq: u64,
     slot: u32,
 }
@@ -109,11 +118,14 @@ impl PartialOrd for HeapKey {
 
 impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Earliest time first, then lowest sequence number first for FIFO
-        // among same-time events (natural min ordering; the heap below is
-        // a min-heap, unlike std's max-`BinaryHeap`).
+        // Earliest time first, then the explicit ordering key (keyed
+        // events before unkeyed ones, since UNKEYED == u64::MAX), then
+        // lowest sequence number first for FIFO among same-time events
+        // (natural min ordering; the heap below is a min-heap, unlike
+        // std's max-`BinaryHeap`).
         self.time
             .cmp(&other.time)
+            .then_with(|| self.key.cmp(&other.key))
             .then_with(|| self.seq.cmp(&other.seq))
     }
 }
@@ -122,8 +134,8 @@ impl Ord for HeapKey {
 ///
 /// Versus `std::collections::BinaryHeap` this cuts the tree depth to a
 /// third, so a pop on a deep queue takes far fewer dependent cache misses;
-/// a node's eight children are consecutive 24-byte `Copy` keys (three
-/// cache lines), which the hardware prefetcher streams while the min-scan
+/// a node's children are consecutive 32-byte `Copy` keys (two cache
+/// lines), which the hardware prefetcher streams while the min-scan
 /// runs. Pushes in non-decreasing time order (the overwhelmingly common
 /// pattern in a forward-running simulation) stay O(1) as in any sift-up
 /// heap.
@@ -346,6 +358,36 @@ impl<W> Sim<W> {
     /// Schedules an already-boxed event (avoids double boxing for trait
     /// objects built elsewhere).
     pub fn schedule_boxed(&mut self, at: SimTime, f: Box<dyn EventFn<W>>) -> EventId {
+        self.schedule_keyed_boxed(at, UNKEYED, f)
+    }
+
+    /// Schedules `f` at `at` with an explicit same-instant ordering key.
+    ///
+    /// Events at the same time fire in ascending `key` order, then in
+    /// scheduling order among equal keys. Ordinary events use [`UNKEYED`]
+    /// (`u64::MAX`), so keyed events always fire before unkeyed ones at the
+    /// same instant. The point of a key is that it can be derived from
+    /// *simulation state* (e.g. a wire sequence number) instead of from
+    /// scheduling order, making same-instant ordering reproducible across
+    /// execution strategies that arm the same events in different orders —
+    /// this is what lets a sharded run merge to the exact single-threaded
+    /// schedule.
+    pub fn schedule_keyed_at(
+        &mut self,
+        at: SimTime,
+        key: u64,
+        f: impl EventFn<W> + 'static,
+    ) -> EventId {
+        self.schedule_keyed_boxed(at, key, Box::new(f))
+    }
+
+    /// [`Sim::schedule_keyed_at`] for an already-boxed event.
+    pub fn schedule_keyed_boxed(
+        &mut self,
+        at: SimTime,
+        key: u64,
+        f: Box<dyn EventFn<W>>,
+    ) -> EventId {
         assert!(
             at >= self.now,
             "scheduled into the past: {} < {}",
@@ -357,6 +399,7 @@ impl<W> Sim<W> {
         let slot = self.arm_slot(seq, SlotState::Once(f));
         self.heap.push(HeapKey {
             time: at,
+            key,
             seq,
             slot,
         });
@@ -408,6 +451,7 @@ impl<W> Sim<W> {
         );
         self.heap.push(HeapKey {
             time: start,
+            key: UNKEYED,
             seq,
             slot,
         });
@@ -511,6 +555,7 @@ impl<W> Sim<W> {
                             slot.state = SlotState::Repeating(rep);
                             self.heap.push(HeapKey {
                                 time: at,
+                                key: UNKEYED,
                                 seq,
                                 slot: key.slot,
                             });
@@ -532,26 +577,32 @@ impl<W> Sim<W> {
         while self.step(world) {}
     }
 
+    /// Time of the earliest live pending event, reclaiming any cancelled
+    /// keys that have surfaced at the heap head on the way. `None` when
+    /// nothing is pending.
+    pub fn peek_next(&mut self) -> Option<SimTime> {
+        loop {
+            match self.heap.peek() {
+                Some(key)
+                    if matches!(self.slots[key.slot as usize].state, SlotState::Cancelled) =>
+                {
+                    // Reclaim cancelled keys without firing them, so a
+                    // cancelled event cannot mask the real next event time.
+                    let key = self.heap.pop().expect("peeked");
+                    self.free_slot(key.slot);
+                }
+                Some(key) => break Some(key.time),
+                None => break None,
+            }
+        }
+    }
+
     /// Runs until the queue drains or the next event is strictly after
     /// `deadline`. On return `now() == deadline` if the deadline was reached
     /// (time is advanced even if no event fires exactly then).
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
         loop {
-            // Reclaim cancelled keys without firing them, so a cancelled
-            // event beyond the deadline does not block the clock advance.
-            let next = loop {
-                match self.heap.peek() {
-                    Some(key)
-                        if matches!(self.slots[key.slot as usize].state, SlotState::Cancelled) =>
-                    {
-                        let key = self.heap.pop().expect("peeked");
-                        self.free_slot(key.slot);
-                    }
-                    Some(key) => break Some(key.time),
-                    None => break None,
-                }
-            };
-            match next {
+            match self.peek_next() {
                 Some(t) if t <= deadline => {
                     self.step(world);
                 }
@@ -562,6 +613,31 @@ impl<W> Sim<W> {
                     return;
                 }
             }
+        }
+    }
+
+    /// Fires every pending event strictly before `bound`, then stops.
+    ///
+    /// Unlike [`Sim::run_until`] the clock is *not* advanced past the last
+    /// fired event: `bound` is a safe horizon, not a deadline, and events
+    /// arriving from outside (cross-shard mailboxes) may still land exactly
+    /// at `bound`. Use [`Sim::fast_forward`] to advance the clock once no
+    /// more input can arrive.
+    pub fn run_before(&mut self, world: &mut W, bound: SimTime) {
+        while let Some(t) = self.peek_next() {
+            if t >= bound {
+                return;
+            }
+            self.step(world);
+        }
+    }
+
+    /// Advances the clock to `t` if it is ahead of `now()`; never moves it
+    /// backwards. Mirrors the implicit clock advance at the end of
+    /// [`Sim::run_until`] for drivers that fire events in windows.
+    pub fn fast_forward(&mut self, t: SimTime) {
+        if self.now < t {
+            self.now = t;
         }
     }
 
@@ -876,5 +952,95 @@ mod tests {
         assert!(sim.step(&mut ids));
         assert!(sim.cancel(ids[0]), "fresh id from reused slot is live");
         sim.run(&mut ids);
+    }
+
+    // --- keyed ordering + window-execution APIs (sharded engine) ---
+
+    #[test]
+    fn keyed_events_order_by_key_then_seq_at_same_instant() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut out = Vec::new();
+        let t = SimTime::from_nanos(5);
+        // Armed out of key order; an unkeyed event armed first must still
+        // fire last at the same instant.
+        sim.schedule_at(t, |w: &mut Vec<u64>, _: &mut _| w.push(999));
+        sim.schedule_keyed_at(t, 7, |w: &mut Vec<u64>, _: &mut _| w.push(7));
+        sim.schedule_keyed_at(t, 3, |w: &mut Vec<u64>, _: &mut _| w.push(3));
+        sim.schedule_keyed_at(t, 7, |w: &mut Vec<u64>, _: &mut _| w.push(70));
+        sim.run(&mut out);
+        assert_eq!(out, vec![3, 7, 70, 999]);
+    }
+
+    #[test]
+    fn keyed_order_is_independent_of_arm_order() {
+        let fire = |arm: &[u64]| {
+            let mut sim: Sim<Vec<u64>> = Sim::new();
+            let mut out = Vec::new();
+            for &k in arm {
+                sim.schedule_keyed_at(
+                    SimTime::from_nanos(1),
+                    k,
+                    move |w: &mut Vec<u64>, _: &mut _| w.push(k),
+                );
+            }
+            sim.run(&mut out);
+            out
+        };
+        assert_eq!(fire(&[2, 0, 1]), fire(&[0, 1, 2]));
+        assert_eq!(fire(&[2, 0, 1]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn time_still_dominates_keys() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut out = Vec::new();
+        sim.schedule_keyed_at(SimTime::from_nanos(2), 0, |w: &mut Vec<u64>, _: &mut _| {
+            w.push(2)
+        });
+        sim.schedule_keyed_at(SimTime::from_nanos(1), 9, |w: &mut Vec<u64>, _: &mut _| {
+            w.push(1)
+        });
+        sim.run(&mut out);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn run_before_is_exclusive_and_keeps_clock() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut out = Vec::new();
+        sim.schedule_at(SimTime::from_nanos(10), |w: &mut Vec<u64>, _: &mut _| {
+            w.push(10)
+        });
+        sim.schedule_at(SimTime::from_nanos(20), |w: &mut Vec<u64>, _: &mut _| {
+            w.push(20)
+        });
+        sim.run_before(&mut out, SimTime::from_nanos(20));
+        assert_eq!(out, vec![10], "event exactly at the bound must not fire");
+        assert_eq!(
+            sim.now(),
+            SimTime::from_nanos(10),
+            "clock stays at last fired event"
+        );
+        // An external message may now land exactly at the bound.
+        sim.schedule_at(SimTime::from_nanos(20), |w: &mut Vec<u64>, _: &mut _| {
+            w.push(21)
+        });
+        sim.run(&mut out);
+        assert_eq!(out, vec![10, 20, 21]);
+    }
+
+    #[test]
+    fn peek_next_skips_cancelled_and_fast_forward_is_monotone() {
+        let mut sim: Sim<u64> = Sim::new();
+        assert_eq!(sim.peek_next(), None);
+        let a = sim.schedule_at(SimTime::from_nanos(5), |_: &mut u64, _: &mut _| {});
+        sim.schedule_at(SimTime::from_nanos(9), |_: &mut u64, _: &mut _| {});
+        assert_eq!(sim.peek_next(), Some(SimTime::from_nanos(5)));
+        sim.cancel(a);
+        assert_eq!(sim.peek_next(), Some(SimTime::from_nanos(9)));
+        sim.fast_forward(SimTime::from_nanos(7));
+        assert_eq!(sim.now(), SimTime::from_nanos(7));
+        sim.fast_forward(SimTime::from_nanos(3));
+        assert_eq!(sim.now(), SimTime::from_nanos(7), "never moves backwards");
     }
 }

@@ -12,7 +12,10 @@ use edp_pisa::{BaselineSwitch, PisaProgram, PortId};
 use std::any::Any;
 
 /// A switch that the network can drive.
-pub trait SwitchHarness: Any {
+///
+/// `Send` so finished shard state (the owning [`crate::Network`]) can be
+/// handed back across the worker-thread boundary for inspection.
+pub trait SwitchHarness: Any + Send {
     /// Number of ports.
     fn n_ports(&self) -> usize;
     /// Deliver an arriving frame.

@@ -27,6 +27,7 @@ mod harness;
 mod host;
 mod link;
 mod net;
+pub mod shard;
 pub mod trace;
 pub mod traffic;
 
@@ -38,4 +39,5 @@ pub use link::{
     LinkState,
 };
 pub use net::{Endpoint, Network, NodeRef};
+pub use shard::{merge_tracers, run_sharded, ShardPlan, ShardStats};
 pub use trace::{TraceEntry, TraceKind, Tracer};

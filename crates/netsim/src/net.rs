@@ -8,6 +8,7 @@
 use crate::harness::SwitchHarness;
 use crate::host::{Host, HostId};
 use crate::link::{Dir, LinkDirState, LinkFaults, LinkId, LinkSpec, LinkState};
+use crate::shard::{ShardCtx, ShardMsg, ShardPlan};
 use crate::trace::Tracer;
 use edp_core::CpNotification;
 use edp_evsim::{Sim, SimDuration, SimRng, SimTime};
@@ -47,6 +48,11 @@ pub struct Network {
     host_txq: Vec<VecDeque<Packet>>,
     send_times: HashMap<PacketUid, SimTime>,
     next_uid: u64,
+    /// Per-link, per-direction wire sequence counters feeding the
+    /// delivery ordering keys (see [`Network::next_wire_key`]).
+    wire_seq: Vec<[u64; 2]>,
+    /// Sharded-execution role; `None` for a classic single-world run.
+    shard: Option<ShardCtx>,
     /// Workload randomness (fault injection, Poisson arrivals).
     pub rng: SimRng,
     /// Control-plane notifications collected from all switches:
@@ -73,6 +79,8 @@ impl Network {
             host_txq: Vec::new(),
             send_times: HashMap::new(),
             next_uid: 1,
+            wire_seq: Vec::new(),
+            shard: None,
             rng: SimRng::seed_from_u64(seed),
             cp_log: Vec::new(),
             cp_messages: 0,
@@ -115,7 +123,46 @@ impl Network {
             state: LinkState::new(spec),
             ends: [a, b],
         });
+        self.wire_seq.push([0, 0]);
         id
+    }
+
+    /// Every link's endpoints and spec, for partitioning.
+    pub(crate) fn topology_edges(&self) -> impl Iterator<Item = ([Endpoint; 2], LinkSpec)> + '_ {
+        self.links.iter().map(|l| (l.ends, l.state.spec))
+    }
+
+    /// Installs this world's shard role. Engine-only: called by
+    /// [`crate::shard::run_sharded`] after the build closure returns and
+    /// before any event fires.
+    pub(crate) fn install_shard(&mut self, id: usize, plan: ShardPlan) {
+        assert!(id < plan.shards(), "shard id out of range");
+        self.shard = Some(ShardCtx {
+            id,
+            plan,
+            outbox: Vec::new(),
+        });
+    }
+
+    /// True when this world executes `node`'s side effects — always true
+    /// in a classic single-world run; under sharded execution, true only
+    /// on the owning shard. Every externally visible action (packet
+    /// injection, switch processing, timer cranks, telemetry) is gated on
+    /// this at fire time, so the same schedule can run everywhere while
+    /// each effect happens exactly once.
+    pub fn owns_node(&self, node: NodeRef) -> bool {
+        match &self.shard {
+            None => true,
+            Some(c) => c.plan.owner(node) == c.id,
+        }
+    }
+
+    /// This world's `(shard id, shard count)`; `(0, 1)` when unsharded.
+    pub fn shard_role(&self) -> (usize, usize) {
+        match &self.shard {
+            None => (0, 1),
+            Some(c) => (c.id, c.plan.shards()),
+        }
     }
 
     fn validate_endpoint(&self, (node, port): Endpoint) {
@@ -183,10 +230,22 @@ impl Network {
         &self.links[link].state.dirs[dir as usize]
     }
 
+    /// Allocates a uid. Under sharded execution uids are strided by shard
+    /// (`counter * shards + id`) so every shard draws from a disjoint set
+    /// without coordination; uids appear in no observable output, so the
+    /// mode-dependent numbering is invisible.
+    fn alloc_uid(&mut self) -> PacketUid {
+        let n = self.next_uid;
+        self.next_uid += 1;
+        match &self.shard {
+            None => PacketUid(n),
+            Some(c) => PacketUid(n * c.plan.shards() as u64 + c.id as u64),
+        }
+    }
+
     /// Allocates a fresh packet uid and records its send time.
     pub fn stamp_packet(&mut self, now: SimTime, frame: Vec<u8>) -> Packet {
-        let uid = PacketUid(self.next_uid);
-        self.next_uid += 1;
+        let uid = self.alloc_uid();
         self.send_times.insert(uid, now);
         Packet::new(uid, frame)
     }
@@ -199,8 +258,7 @@ impl Network {
         now: SimTime,
         payload: std::sync::Arc<Vec<u8>>,
     ) -> Packet {
-        let uid = PacketUid(self.next_uid);
-        self.next_uid += 1;
+        let uid = self.alloc_uid();
         self.send_times.insert(uid, now);
         Packet::from_shared(uid, payload)
     }
@@ -209,8 +267,14 @@ impl Network {
     // Event-driven machinery
     // ------------------------------------------------------------------
 
-    /// Sends `frame` from `host` (stamps uid and send time).
+    /// Sends `frame` from `host` (stamps uid and send time). Under
+    /// sharded execution this is the injection gate: the same workload
+    /// closure fires on every shard, and only the host's owner stamps and
+    /// queues the frame.
     pub fn host_send(&mut self, sim: &mut Sim<Network>, host: HostId, frame: Vec<u8>) {
+        if !self.owns_node(NodeRef::Host(host)) {
+            return;
+        }
         let pkt = self.stamp_packet(sim.now(), frame);
         self.host_txq[host].push_back(pkt);
         self.kick(sim, (NodeRef::Host(host), 0));
@@ -224,13 +288,20 @@ impl Network {
         host: HostId,
         payload: std::sync::Arc<Vec<u8>>,
     ) {
+        if !self.owns_node(NodeRef::Host(host)) {
+            return;
+        }
         let pkt = self.stamp_packet_shared(sim.now(), payload);
         self.host_txq[host].push_back(pkt);
         self.kick(sim, (NodeRef::Host(host), 0));
     }
 
-    /// Arms a transmit attempt on `ep` if none is pending.
+    /// Arms a transmit attempt on `ep` if none is pending. Only the
+    /// endpoint owner's shard transmits.
     pub fn kick(&mut self, sim: &mut Sim<Network>, ep: Endpoint) {
+        if !self.owns_node(ep.0) {
+            return;
+        }
         if self.tx_armed.contains(&ep) {
             return;
         }
@@ -314,16 +385,92 @@ impl Network {
             if let Some(off) = d.corrupt_at {
                 pkt.bytes_mut()[off] ^= 0xFF;
             }
-            sim.schedule_at(d.at, move |w: &mut Network, s: &mut Sim<Network>| {
-                w.deliver(s, dest, pkt)
-            });
+            let key = self.next_wire_key(lid, dir);
+            self.schedule_delivery(sim, d.at, dest, pkt, key);
         }
         if let Some((d, copy)) = dup {
-            sim.schedule_at(d.at, move |w: &mut Network, s: &mut Sim<Network>| {
-                w.deliver(s, dest, copy)
-            });
+            let key = self.next_wire_key(lid, dir);
+            self.schedule_delivery(sim, d.at, dest, copy, key);
         }
         self.maybe_rekick(sim, ep, now);
+    }
+
+    /// Allocates the next wire-order key for `(link, dir)`.
+    ///
+    /// Deliveries are the only events that cross shards, so each carries
+    /// a key encoding (link direction, position on that wire). The event
+    /// heap orders same-instant events by key before insertion order
+    /// (see [`edp_evsim::Sim::schedule_keyed_at`]), which makes the
+    /// merged delivery schedule a pure function of wire order — and wire
+    /// order is advanced only by the transmitting shard, identically in
+    /// every execution mode. All other events stay
+    /// [`edp_evsim::UNKEYED`] and keep insertion order.
+    fn next_wire_key(&mut self, lid: LinkId, dir: Dir) -> u64 {
+        let seq = &mut self.wire_seq[lid][dir as usize];
+        let s = *seq;
+        *seq += 1;
+        let linkdir = (lid as u64) * 2 + dir as u64;
+        debug_assert!(linkdir < (1 << 19) && s < (1 << 44), "wire key overflow");
+        ((linkdir + 1) << 44) | s
+    }
+
+    /// Schedules (or, for a remote destination, exports) one delivery.
+    fn schedule_delivery(
+        &mut self,
+        sim: &mut Sim<Network>,
+        at: SimTime,
+        dest: Endpoint,
+        pkt: Packet,
+        key: u64,
+    ) {
+        if self.owns_node(dest.0) {
+            sim.schedule_keyed_at(at, key, move |w: &mut Network, s: &mut Sim<Network>| {
+                w.deliver(s, dest, pkt, key)
+            });
+        } else {
+            // Hand the frame to the destination shard at the window
+            // close. The in-flight send-time record travels with it so
+            // end-to-end latency accounting survives the crossing.
+            let send_time = self.send_times.remove(&pkt.uid);
+            self.shard
+                .as_mut()
+                .expect("unowned destination without a shard role")
+                .outbox
+                .push(ShardMsg {
+                    at,
+                    dest,
+                    pkt,
+                    send_time,
+                    key,
+                });
+        }
+    }
+
+    /// Schedules a delivery handed over from another shard.
+    pub(crate) fn accept_shard_msg(&mut self, sim: &mut Sim<Network>, m: ShardMsg) {
+        if let Some(t) = m.send_time {
+            self.send_times.insert(m.pkt.uid, t);
+        }
+        let ShardMsg {
+            at, dest, pkt, key, ..
+        } = m;
+        sim.schedule_keyed_at(at, key, move |w: &mut Network, s: &mut Sim<Network>| {
+            w.deliver(s, dest, pkt, key)
+        });
+    }
+
+    /// Drains the outbound mailbox, tagging each message with its
+    /// destination shard.
+    pub(crate) fn take_outbox(&mut self) -> Vec<(usize, ShardMsg)> {
+        match self.shard.as_mut() {
+            None => Vec::new(),
+            Some(c) => {
+                let msgs = std::mem::take(&mut c.outbox);
+                msgs.into_iter()
+                    .map(|m| (c.plan.owner(m.dest.0), m))
+                    .collect()
+            }
+        }
     }
 
     fn maybe_rekick(&mut self, sim: &mut Sim<Network>, ep: Endpoint, _now: SimTime) {
@@ -337,17 +484,17 @@ impl Network {
         }
     }
 
-    fn deliver(&mut self, sim: &mut Sim<Network>, ep: Endpoint, pkt: Packet) {
+    fn deliver(&mut self, sim: &mut Sim<Network>, ep: Endpoint, pkt: Packet, key: u64) {
         let now = sim.now();
         if let NodeRef::Switch(i) = ep.0 {
             let until = self.stalled_until[i];
             if until > now {
                 // A stalled switch processes nothing: the frame waits at
-                // the ingress and is re-delivered when the stall lifts
-                // (same-time events keep FIFO order, so arrival order is
-                // preserved).
-                sim.schedule_at(until, move |w: &mut Network, s: &mut Sim<Network>| {
-                    w.deliver(s, ep, pkt)
+                // the ingress and is re-delivered when the stall lifts,
+                // keeping its original wire-order key so the re-delivery
+                // order is the arrival order in every execution mode.
+                sim.schedule_keyed_at(until, key, move |w: &mut Network, s: &mut Sim<Network>| {
+                    w.deliver(s, ep, pkt, key)
                 });
                 return;
             }
@@ -393,6 +540,9 @@ impl Network {
     /// Schedules the timer crank for switch `i` (call once after build;
     /// re-arms itself). No-op if the switch has no timers.
     pub fn arm_switch_timers(&mut self, sim: &mut Sim<Network>, i: usize) {
+        if !self.owns_node(NodeRef::Switch(i)) {
+            return;
+        }
         let Some(due) = self.switches[i].next_timer_due() else {
             return;
         };
@@ -430,8 +580,10 @@ impl Network {
         if until > self.stalled_until[i] {
             self.stalled_until[i] = until;
         }
-        self.tracer
-            .note(now, format!("sw{i} stalled until {until}"));
+        if self.owns_node(NodeRef::Switch(i)) {
+            self.tracer
+                .note(now, format!("sw{i} stalled until {until}"));
+        }
         // Restart egress once the stall lifts (deliveries and timer
         // cranks re-schedule themselves; queued frames need a kick).
         sim.schedule_at(until, move |w: &mut Network, s: &mut Sim<Network>| {
@@ -454,19 +606,28 @@ impl Network {
         }
         self.links[link].state.up = up;
         let now = sim.now();
-        self.tracer.note(
-            now,
-            format!("link{link} {}", if up { "up" } else { "down" }),
-        );
-        edp_telemetry::emit(
-            now.as_nanos(),
-            edp_telemetry::RecordKind::LinkStatus {
-                link: link as u32,
-                up,
-            },
-        );
+        // Under sharding the status flip runs everywhere (every shard's
+        // copy of the wire must agree), but exactly one shard — the owner
+        // of the link's A end — records it, so merged traces and rings
+        // carry one copy.
+        if self.owns_node(self.links[link].ends[0].0) {
+            self.tracer.note(
+                now,
+                format!("link{link} {}", if up { "up" } else { "down" }),
+            );
+            edp_telemetry::emit(
+                now.as_nanos(),
+                edp_telemetry::RecordKind::LinkStatus {
+                    link: link as u32,
+                    up,
+                },
+            );
+        }
         for &(node, port) in &self.links[link].ends.clone() {
             if let NodeRef::Switch(i) = node {
+                if !self.owns_node(node) {
+                    continue;
+                }
                 self.switches[i].set_link_status(now, port, up);
                 self.collect_cp(i);
                 self.kick_switch_ports(sim, i);
@@ -496,8 +657,17 @@ impl Network {
     /// each switch under `sw<i>` (via [`SwitchHarness::publish_metrics`]),
     /// link wire/fault counters per link under `net`, and control-plane /
     /// tracer accounting under `net`.
+    ///
+    /// Under sharded execution each shard publishes only the switches it
+    /// owns plus its partial `net`-scope counts (wire counters advance
+    /// only on the transmitting shard); summing the per-shard registries
+    /// (e.g. [`edp_telemetry::Registry::merge`]) reconstructs exactly the
+    /// single-world numbers.
     pub fn publish_metrics(&self, reg: &mut edp_telemetry::Registry) {
         for (i, sw) in self.switches.iter().enumerate() {
+            if !self.owns_node(NodeRef::Switch(i)) {
+                continue;
+            }
             sw.publish_metrics(reg, &format!("sw{i}"));
         }
         let (mut fault_drops, mut down_drops) = (0u64, 0u64);
@@ -532,8 +702,18 @@ impl Network {
         opcode: u32,
         args: [u64; 4],
     ) {
-        self.cp_messages += 1;
+        if self.shard.is_none() {
+            self.cp_messages += 1;
+        }
         sim.schedule_in(delay, move |w: &mut Network, s: &mut Sim<Network>| {
+            if !w.owns_node(NodeRef::Switch(i)) {
+                return;
+            }
+            if w.shard.is_some() {
+                // Counted at delivery under sharding: the send site runs
+                // on every shard, and only the owner may touch counters.
+                w.cp_messages += 1;
+            }
             w.switches[i].control_plane(s.now(), opcode, args);
             w.collect_cp(i);
             w.kick_switch_ports(s, i);

@@ -1,0 +1,481 @@
+//! Sharded parallel execution of a [`Network`] simulation.
+//!
+//! The engine runs the *same* build closure on every worker thread (SPMD):
+//! each shard holds a full copy of the topology and the full event
+//! schedule, but only executes the side effects of the nodes it owns —
+//! [`Network::owns_node`] gates packet injection, switch processing,
+//! timer cranks, and telemetry at fire time. Packets that cross a shard
+//! boundary travel through per-`(src, dst)` mailboxes at conservative
+//! safe-horizon barriers (see [`edp_evsim::drive_windows`]), carrying a
+//! wire-order key so the destination shard schedules them exactly where a
+//! single-threaded run would have.
+//!
+//! # Partitioning rule
+//!
+//! [`ShardPlan::partition`] groups nodes with a union-find over the links
+//! that cannot be cut:
+//!
+//! * **host links** — a host and its attached switch must co-shard, so
+//!   end-to-end latency accounting and response frames never race a
+//!   window boundary;
+//! * **zero-latency links** — the safe-horizon argument needs every
+//!   cross-shard hop to take at least the lookahead of simulated time; a
+//!   zero-latency link would force a zero lookahead and serialize the
+//!   run, so its endpoints are co-sharded instead.
+//!
+//! Groups are anchored at their smallest node index and dealt round-robin
+//! to shards in anchor order — a pure function of the topology, so every
+//! worker computes the identical plan. The lookahead is the minimum
+//! latency over the links that ended up crossing shards (`None` when none
+//! do: the whole run is then a single window).
+
+use crate::net::{Endpoint, Network, NodeRef};
+use crate::trace::Tracer;
+use edp_evsim::{drive_windows, Sim, SimDuration, SimTime, WindowSync};
+use edp_packet::Packet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A packet crossing from one shard to another, carrying everything the
+/// destination shard needs to schedule the delivery exactly as the
+/// single-shard run would have: the arrival instant, the wire-order key,
+/// and the in-flight send-time record for latency accounting.
+pub(crate) struct ShardMsg {
+    pub(crate) at: SimTime,
+    pub(crate) dest: Endpoint,
+    pub(crate) pkt: Packet,
+    pub(crate) send_time: Option<SimTime>,
+    pub(crate) key: u64,
+}
+
+/// This shard's role in a sharded run: its id, the shared partition, and
+/// the outbound frames awaiting the next window close.
+pub(crate) struct ShardCtx {
+    pub(crate) id: usize,
+    pub(crate) plan: ShardPlan,
+    pub(crate) outbox: Vec<ShardMsg>,
+}
+
+/// A static partition of a topology across shards. Pure function of the
+/// topology: every worker thread computes the same plan independently.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    nshards: usize,
+    switch_owner: Vec<usize>,
+    host_owner: Vec<usize>,
+    lookahead: Option<SimDuration>,
+}
+
+impl ShardPlan {
+    /// Partitions `net`'s topology into `nshards` shards (see the module
+    /// docs for the rule).
+    ///
+    /// # Panics
+    /// Panics when `nshards > 1` and any link sets the legacy
+    /// [`LinkSpec::drop_prob`]: that path draws the shared workload RNG on
+    /// the transmitting shard only, desynchronizing every other shard's
+    /// copy. Use [`crate::LinkFaultModel::loss`] (per-link streams)
+    /// instead.
+    pub fn partition(net: &Network, nshards: usize) -> ShardPlan {
+        assert!(nshards >= 1, "a plan needs at least one shard");
+        let ns = net.switches.len();
+        let nh = net.hosts.len();
+        let n = ns + nh;
+        let flat = |node: NodeRef| match node {
+            NodeRef::Switch(i) => i,
+            NodeRef::Host(h) => ns + h,
+        };
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (ends, spec) in net.topology_edges() {
+            assert!(
+                nshards == 1 || spec.drop_prob == 0.0,
+                "LinkSpec::drop_prob is unsupported under sharded execution: it draws \
+                 the shared workload RNG on one shard only; install a LinkFaultModel \
+                 (per-link RNG streams) instead"
+            );
+            let host_edge = ends.iter().any(|e| matches!(e.0, NodeRef::Host(_)));
+            if host_edge || spec.latency.is_zero() {
+                let ra = find(&mut parent, flat(ends[0].0));
+                let rb = find(&mut parent, flat(ends[1].0));
+                // Anchor every group at its smallest member so group
+                // identity is independent of union order.
+                let (lo, hi) = (ra.min(rb), ra.max(rb));
+                parent[hi] = lo;
+            }
+        }
+        // Scanning nodes in index order visits each group first at its
+        // anchor, so the round-robin deal is deterministic.
+        let mut owner = vec![0usize; n];
+        let mut group_shard: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (x, slot) in owner.iter_mut().enumerate() {
+            let r = find(&mut parent, x);
+            let next = group_shard.len() % nshards;
+            *slot = *group_shard.entry(r).or_insert(next);
+        }
+        let mut lookahead: Option<SimDuration> = None;
+        for (ends, spec) in net.topology_edges() {
+            if owner[flat(ends[0].0)] != owner[flat(ends[1].0)] {
+                debug_assert!(!spec.latency.is_zero(), "zero-latency links are co-sharded");
+                lookahead = Some(match lookahead {
+                    None => spec.latency,
+                    Some(cur) if spec.latency.as_nanos() < cur.as_nanos() => spec.latency,
+                    Some(cur) => cur,
+                });
+            }
+        }
+        let host_owner = owner.split_off(ns);
+        ShardPlan {
+            nshards,
+            switch_owner: owner,
+            host_owner,
+            lookahead,
+        }
+    }
+
+    /// Number of shards the plan was built for.
+    pub fn shards(&self) -> usize {
+        self.nshards
+    }
+
+    /// The shard that owns `node`'s side effects.
+    pub fn owner(&self, node: NodeRef) -> usize {
+        match node {
+            NodeRef::Switch(i) => self.switch_owner[i],
+            NodeRef::Host(h) => self.host_owner[h],
+        }
+    }
+
+    /// Minimum simulated latency of any cross-shard link; `None` when the
+    /// partition cut no links (one safe-horizon window covers the run).
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+}
+
+/// Aggregate statistics of one sharded run. Both fields are deterministic
+/// for a given (topology, workload, shard count) — they are *not* part of
+/// the simulation's observable schedule, which is shard-count-invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Safe-horizon windows executed (identical on every shard).
+    pub windows: u64,
+    /// Packets that crossed a shard boundary through the mailboxes.
+    pub cross_messages: u64,
+}
+
+/// Runs a network simulation across `nshards` worker threads and returns
+/// each shard's `finish` result (in shard order) plus run statistics.
+///
+/// `build` runs once per shard **on that shard's thread** and must
+/// construct the identical topology and workload schedule regardless of
+/// the shard id — the engine installs the shard role afterwards, then
+/// arms switch timers (ownership-gated), so `build` must do neither.
+/// `finish` runs after the deadline on the same thread and typically
+/// extracts statistics, telemetry, or the whole [`Network`].
+///
+/// With `nshards == 1` this is the single-threaded reference schedule;
+/// larger counts produce the byte-identical observable outcome.
+pub fn run_sharded<T, B, F>(
+    nshards: usize,
+    deadline: SimTime,
+    build: B,
+    finish: F,
+) -> (Vec<T>, ShardStats)
+where
+    T: Send,
+    B: Fn(usize) -> (Network, Sim<Network>) + Sync,
+    F: Fn(usize, Network, Sim<Network>) -> T + Sync,
+{
+    assert!(nshards >= 1, "run_sharded needs at least one shard");
+    let sync = WindowSync::new(nshards);
+    let mailboxes: Vec<Vec<Mutex<Vec<ShardMsg>>>> = (0..nshards)
+        .map(|_| (0..nshards).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let crossed = AtomicU64::new(0);
+    let mut results: Vec<Option<(T, u64)>> = (0..nshards).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nshards)
+            .map(|me| {
+                let sync = &sync;
+                let mailboxes = &mailboxes;
+                let crossed = &crossed;
+                let build = &build;
+                let finish = &finish;
+                scope.spawn(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        run_shard(
+                            me, nshards, deadline, sync, mailboxes, crossed, build, finish,
+                        )
+                    }));
+                    match out {
+                        Ok(v) => v,
+                        Err(p) => {
+                            // Wake peers blocked at a window barrier so the
+                            // run fails loudly instead of deadlocking.
+                            sync.poison();
+                            resume_unwind(p);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for (me, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(v) => results[me] = Some(v),
+                Err(p) => resume_unwind(p),
+            }
+        }
+    });
+    let mut windows = 0;
+    let outs: Vec<T> = results
+        .into_iter()
+        .map(|r| {
+            let (t, w) = r.expect("shard result");
+            windows = w;
+            t
+        })
+        .collect();
+    (
+        outs,
+        ShardStats {
+            windows,
+            cross_messages: crossed.load(Ordering::Relaxed),
+        },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shard<T, B, F>(
+    me: usize,
+    nshards: usize,
+    deadline: SimTime,
+    sync: &WindowSync,
+    mailboxes: &[Vec<Mutex<Vec<ShardMsg>>>],
+    crossed: &AtomicU64,
+    build: &B,
+    finish: &F,
+) -> (T, u64)
+where
+    B: Fn(usize) -> (Network, Sim<Network>) + Sync,
+    F: Fn(usize, Network, Sim<Network>) -> T + Sync,
+{
+    let (mut net, mut sim) = build(me);
+    let plan = ShardPlan::partition(&net, nshards);
+    let lookahead = plan.lookahead();
+    net.install_shard(me, plan);
+    net.arm_all_timers(&mut sim);
+    let windows = drive_windows(
+        &mut net,
+        &mut sim,
+        me,
+        sync,
+        lookahead,
+        deadline,
+        |net, sim| {
+            for row in mailboxes.iter() {
+                let msgs: Vec<ShardMsg> = row[me]
+                    .lock()
+                    .expect("shard mailbox poisoned")
+                    .drain(..)
+                    .collect();
+                for m in msgs {
+                    net.accept_shard_msg(sim, m);
+                }
+            }
+        },
+        |net, _sim| {
+            for (dst, msg) in net.take_outbox() {
+                crossed.fetch_add(1, Ordering::Relaxed);
+                mailboxes[me][dst]
+                    .lock()
+                    .expect("shard mailbox poisoned")
+                    .push(msg);
+            }
+        },
+    );
+    (finish(me, net, sim), windows)
+}
+
+/// Deterministically merges per-shard packet traces into one canonical
+/// rendering: entries sorted by `(time, rendered line)`, with summed
+/// footer accounting. The result is a pure function of the entry multiset
+/// — which ownership gating makes shard-count-invariant — so the merged
+/// text is byte-identical across shard counts (compare merged output on
+/// *both* sides; a raw single-shard [`Tracer::render`] keeps insertion
+/// order instead). Entries must not have been evicted: an eviction on any
+/// shard shows up in the footer and breaks equality loudly.
+pub fn merge_tracers(tracers: &[&Tracer]) -> String {
+    let mut lines: Vec<(SimTime, String)> = Vec::new();
+    let (mut len, mut dropped, mut capacity) = (0usize, 0u64, 0usize);
+    for t in tracers {
+        len += t.len();
+        dropped += t.dropped();
+        capacity = capacity.max(t.capacity());
+        for e in t.entries() {
+            lines.push((e.at, e.render()));
+        }
+    }
+    lines.sort();
+    let mut out = String::new();
+    for (_, l) in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "-- {len} entries, {dropped} dropped (capacity {capacity})\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{Host, HostApp, HostId};
+    use crate::link::LinkSpec;
+    use edp_packet::PacketBuilder;
+    use edp_pisa::{BaselineSwitch, ForwardTo, QueueConfig};
+    use std::net::Ipv4Addr;
+
+    fn a(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, n)
+    }
+
+    /// h0 — sw0 — sw1 — h1, switch-switch latency 2 us.
+    fn two_switch_line(seed: u64) -> (Network, HostId, HostId) {
+        let mut net = Network::new(seed);
+        let s0 = net.add_switch(Box::new(BaselineSwitch::new(
+            ForwardTo(1),
+            2,
+            QueueConfig::default(),
+        )));
+        let s1 = net.add_switch(Box::new(BaselineSwitch::new(
+            ForwardTo(1),
+            2,
+            QueueConfig::default(),
+        )));
+        let h0 = net.add_host(Host::new(a(1), HostApp::Sink));
+        let h1 = net.add_host(Host::new(a(2), HostApp::Sink));
+        let edge = LinkSpec::ten_gig(SimDuration::from_micros(1));
+        let trunk = LinkSpec::ten_gig(SimDuration::from_micros(2));
+        net.connect((NodeRef::Host(h0), 0), (NodeRef::Switch(s0), 0), edge);
+        net.connect((NodeRef::Switch(s0), 1), (NodeRef::Switch(s1), 0), trunk);
+        net.connect((NodeRef::Switch(s1), 1), (NodeRef::Host(h1), 0), edge);
+        (net, h0, h1)
+    }
+
+    #[test]
+    fn partition_cosh_shards_hosts_and_cuts_the_trunk() {
+        let (net, h0, h1) = two_switch_line(1);
+        let plan = ShardPlan::partition(&net, 2);
+        assert_eq!(
+            plan.owner(NodeRef::Host(h0)),
+            plan.owner(NodeRef::Switch(0))
+        );
+        assert_eq!(
+            plan.owner(NodeRef::Host(h1)),
+            plan.owner(NodeRef::Switch(1))
+        );
+        assert_ne!(
+            plan.owner(NodeRef::Switch(0)),
+            plan.owner(NodeRef::Switch(1))
+        );
+        assert_eq!(plan.lookahead(), Some(SimDuration::from_micros(2)));
+    }
+
+    #[test]
+    fn zero_latency_links_force_co_sharding() {
+        let mut net = Network::new(1);
+        let s0 = net.add_switch(Box::new(BaselineSwitch::new(
+            ForwardTo(1),
+            2,
+            QueueConfig::default(),
+        )));
+        let s1 = net.add_switch(Box::new(BaselineSwitch::new(
+            ForwardTo(1),
+            2,
+            QueueConfig::default(),
+        )));
+        net.connect(
+            (NodeRef::Switch(s0), 1),
+            (NodeRef::Switch(s1), 0),
+            LinkSpec::ten_gig(SimDuration::ZERO),
+        );
+        let plan = ShardPlan::partition(&net, 2);
+        assert_eq!(
+            plan.owner(NodeRef::Switch(s0)),
+            plan.owner(NodeRef::Switch(s1))
+        );
+        assert_eq!(plan.lookahead(), None, "nothing left to cut");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob is unsupported")]
+    fn legacy_drop_prob_rejected_under_sharding() {
+        let mut net = Network::new(1);
+        let h0 = net.add_host(Host::new(a(1), HostApp::Sink));
+        let h1 = net.add_host(Host::new(a(2), HostApp::Sink));
+        let mut spec = LinkSpec::ten_gig(SimDuration::from_micros(1));
+        spec.drop_prob = 0.5;
+        net.connect((NodeRef::Host(h0), 0), (NodeRef::Host(h1), 0), spec);
+        let _ = ShardPlan::partition(&net, 2);
+    }
+
+    /// Runs the two-switch line under `shards` workers and folds the
+    /// observables: (delivered count, flow latency means, merged trace).
+    fn run_line(shards: usize) -> (u64, String, String, ShardStats) {
+        let (nets, stats) = run_sharded(
+            shards,
+            SimTime::from_millis(1),
+            |_me| {
+                let (mut net, h0, _h1) = two_switch_line(11);
+                net.tracer.enabled = true;
+                let mut sim: Sim<Network> = Sim::new();
+                for i in 0..20u16 {
+                    sim.schedule_at(
+                        SimTime::from_micros(i as u64 * 5),
+                        move |w: &mut Network, s: &mut Sim<Network>| {
+                            let f = PacketBuilder::udp(a(1), a(2), 5, 6, &[])
+                                .ident(i)
+                                .pad_to(500)
+                                .build();
+                            w.host_send(s, h0, f);
+                        },
+                    );
+                }
+                (net, sim)
+            },
+            |_me, net, _sim| net,
+        );
+        let rx: u64 = nets.iter().map(|n| n.hosts[1].stats.rx_pkts).sum();
+        let means: String = nets
+            .iter()
+            .filter_map(|n| n.hosts[1].stats.flows.values().next())
+            .map(|f| format!("{:.3}", f.latency_ns.mean()))
+            .collect::<Vec<_>>()
+            .join(",");
+        let tracers: Vec<&Tracer> = nets.iter().map(|n| &n.tracer).collect();
+        (rx, means, merge_tracers(&tracers), stats)
+    }
+
+    #[test]
+    fn sharded_line_matches_single_shard_byte_for_byte() {
+        let (rx1, means1, trace1, stats1) = run_line(1);
+        let (rx2, means2, trace2, stats2) = run_line(2);
+        assert_eq!(rx1, 20);
+        assert_eq!(rx1, rx2);
+        assert_eq!(means1, means2, "end-to-end latency survives the crossing");
+        assert_eq!(trace1, trace2, "merged traces byte-identical");
+        assert_eq!(stats1.cross_messages, 0, "one shard crosses nothing");
+        assert!(stats2.cross_messages >= 20, "trunk frames cross the cut");
+        assert!(stats2.windows >= 1);
+    }
+}

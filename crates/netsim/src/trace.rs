@@ -123,6 +123,11 @@ impl Tracer {
         self.entries.dropped()
     }
 
+    /// The ring's entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
     /// Renders the whole trace, with a footer reporting eviction losses.
     pub fn render(&self) -> String {
         let mut out = String::new();

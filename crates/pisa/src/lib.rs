@@ -41,6 +41,6 @@ pub use register::{PacketByteCounter, RegisterArray};
 pub use switch::{BaselineSwitch, SwitchCounters, MAX_RECIRCULATIONS};
 pub use table::{
     insert_ipv4_route, ipv4_lpm_schema, FieldMatch, MatchKind, MatchTable, ShapeEntry, TableEntry,
-    TableShape,
+    TableError, TableShape,
 };
 pub use tm::{QueueConfig, QueueDisc, QueueStats, TmEvent, TrafficManager};

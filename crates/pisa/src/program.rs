@@ -12,7 +12,10 @@ use edp_evsim::SimTime;
 use edp_packet::{Packet, ParsedPacket};
 
 /// A baseline PISA program: ingress + egress packet-event handlers.
-pub trait PisaProgram {
+///
+/// Programs are `Send` so a sharded simulation can build its switches on
+/// worker threads and hand finished shard state back for inspection.
+pub trait PisaProgram: Send {
     /// Handles an ingress packet event. Set `meta.dest` to forward; the
     /// parsed view reflects the packet *before* any rewrites this call
     /// makes.

@@ -102,6 +102,49 @@ pub struct TableEntry<A> {
     pub action: A,
 }
 
+/// A rejected table mutation (see [`MatchTable::try_insert`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// The entry's field count doesn't match the key schema.
+    ArityMismatch {
+        /// Diagnostic table name.
+        table: String,
+        /// Schema arity.
+        expected: usize,
+        /// Entry arity.
+        got: usize,
+    },
+    /// A non-exact match aimed at an all-exact table; serving it would
+    /// demote the hash index to a linear scan.
+    NonExactField {
+        /// Diagnostic table name.
+        table: String,
+        /// Index of the offending field (schema order).
+        field: usize,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "table {table}: entry arity {got} != schema arity {expected}"
+            ),
+            TableError::NonExactField { table, field } => write!(
+                f,
+                "table {table}: non-exact match in field {field} of an all-exact table"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
 /// Per-prefix-length hash buckets for a single-field LPM table.
 ///
 /// Eligible while every installed entry is `FieldMatch::Lpm` at one shared
@@ -236,6 +279,13 @@ impl<A> MatchTable<A> {
     /// longest-prefix ordering is handled internally (prefix length is the
     /// effective priority). Replaces an identical-key exact entry.
     ///
+    /// A non-exact match installed into an all-exact table demotes the
+    /// table to the sorted scan path (same rule as LPM ineligibility) —
+    /// the hash index simply can't serve wildcards, but the entry is
+    /// semantically fine. Use [`try_insert`](Self::try_insert) to reject
+    /// such entries instead, and `edp-analyze` (EDP-E006) to flag them
+    /// statically.
+    ///
     /// # Panics
     /// Panics if the entry's field count doesn't match the schema.
     pub fn insert(&mut self, entry: TableEntry<A>) {
@@ -246,22 +296,69 @@ impl<A> MatchTable<A> {
             self.name
         );
         self.generation += 1;
-        if let Index::Exact(idx) = &mut self.index {
-            let key: Vec<u64> = entry
+        self.insert_indexed(entry);
+    }
+
+    /// Installs an entry, rejecting shapes the table cannot take with a
+    /// typed [`TableError`] instead of panicking or silently degrading:
+    /// arity mismatches, and non-exact matches aimed at an all-exact
+    /// table (which [`insert`](Self::insert) would accept by demoting the
+    /// index). On `Err` the table is untouched — not even the generation
+    /// moves.
+    pub fn try_insert(&mut self, entry: TableEntry<A>) -> Result<(), TableError> {
+        if entry.fields.len() != self.schema.len() {
+            return Err(TableError::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.schema.len(),
+                got: entry.fields.len(),
+            });
+        }
+        if matches!(self.index, Index::Exact(_)) {
+            if let Some(field) = entry
                 .fields
                 .iter()
-                .map(|f| match f {
-                    FieldMatch::Exact(v) => *v,
-                    other => panic!("non-exact match {other:?} in all-exact table {}", self.name),
-                })
-                .collect();
-            if let Some(&i) = idx.get(&key) {
-                self.entries[i] = entry;
-            } else {
-                idx.insert(key, self.entries.len());
-                self.entries.push(entry);
+                .position(|f| !matches!(f, FieldMatch::Exact(_)))
+            {
+                return Err(TableError::NonExactField {
+                    table: self.name.clone(),
+                    field,
+                });
             }
-            return;
+        }
+        self.generation += 1;
+        self.insert_indexed(entry);
+        Ok(())
+    }
+
+    /// The index-maintaining tail of insertion; arity already checked.
+    fn insert_indexed(&mut self, entry: TableEntry<A>) {
+        if let Index::Exact(idx) = &mut self.index {
+            if entry
+                .fields
+                .iter()
+                .all(|f| matches!(f, FieldMatch::Exact(_)))
+            {
+                let key: Vec<u64> = entry
+                    .fields
+                    .iter()
+                    .map(|f| match f {
+                        FieldMatch::Exact(v) => *v,
+                        _ => unreachable!("checked all-exact above"),
+                    })
+                    .collect();
+                if let Some(&i) = idx.get(&key) {
+                    self.entries[i] = entry;
+                } else {
+                    idx.insert(key, self.entries.len());
+                    self.entries.push(entry);
+                }
+                return;
+            }
+            // Reachable from control-plane rule installs: a wildcard/range
+            // aimed at an exact table. The scan path evaluates any
+            // `FieldMatch` against any column kind, so demote rather than
+            // abort the process.
+            self.demote_to_scan();
         }
         if let Index::Lpm(lpm) = &self.index {
             let eligible = matches!(entry.fields[0], FieldMatch::Lpm { .. })
@@ -272,7 +369,7 @@ impl<A> MatchTable<A> {
         }
         let idx = self.entries.len();
         match &mut self.index {
-            Index::Exact(_) => unreachable!("handled above"),
+            Index::Exact(_) => unreachable!("handled or demoted above"),
             Index::Lpm(lpm) => {
                 let FieldMatch::Lpm { value, prefix_len } = entry.fields[0] else {
                     unreachable!("eligibility checked above");
@@ -716,5 +813,90 @@ mod tests {
     fn arity_mismatch_panics() {
         let t: MatchTable<u8> = MatchTable::new("a", vec![MatchKind::Exact]);
         t.lookup(&[1, 2]);
+    }
+
+    #[test]
+    fn non_exact_entry_demotes_exact_table_instead_of_panicking() {
+        // Regression: this configuration used to abort the whole process
+        // with "non-exact match ... in all-exact table".
+        let mut t: MatchTable<&str> = MatchTable::new("mac", vec![MatchKind::Exact]);
+        t.insert_exact(&[42], "port1");
+        t.insert(TableEntry {
+            fields: vec![FieldMatch::Any],
+            priority: -1,
+            action: "flood",
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(&[42]), Some(&"port1"), "exact entry still wins");
+        assert_eq!(t.lookup(&[7]), Some(&"flood"), "wildcard now reachable");
+    }
+
+    #[test]
+    fn try_insert_rejects_non_exact_without_mutating() {
+        let mut t: MatchTable<&str> = MatchTable::new("mac", vec![MatchKind::Exact]);
+        t.insert_exact(&[42], "port1");
+        let g = t.generation();
+        let err = t
+            .try_insert(TableEntry {
+                fields: vec![FieldMatch::Range { lo: 0, hi: 10 }],
+                priority: 0,
+                action: "bad",
+            })
+            .expect_err("non-exact into exact table must be rejected");
+        assert_eq!(
+            err,
+            TableError::NonExactField {
+                table: "mac".into(),
+                field: 0
+            }
+        );
+        assert!(err.to_string().contains("all-exact"));
+        assert_eq!(t.generation(), g, "rejected insert must not mutate");
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.lookup(&[42]),
+            Some(&"port1"),
+            "index still exact and live"
+        );
+    }
+
+    #[test]
+    fn try_insert_rejects_arity_mismatch_and_accepts_good_entries() {
+        let mut t: MatchTable<u8> =
+            MatchTable::new("pair", vec![MatchKind::Exact, MatchKind::Exact]);
+        let err = t
+            .try_insert(TableEntry {
+                fields: vec![FieldMatch::Exact(1)],
+                priority: 0,
+                action: 1,
+            })
+            .expect_err("arity mismatch");
+        assert!(matches!(
+            err,
+            TableError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
+        t.try_insert(TableEntry {
+            fields: vec![FieldMatch::Exact(1), FieldMatch::Exact(2)],
+            priority: 0,
+            action: 9,
+        })
+        .expect("well-formed entry");
+        assert_eq!(t.lookup(&[1, 2]), Some(&9));
+    }
+
+    #[test]
+    fn try_insert_allows_non_exact_on_scan_tables() {
+        let mut t: MatchTable<&str> = MatchTable::new("acl", vec![MatchKind::Ternary]);
+        t.try_insert(TableEntry {
+            fields: vec![FieldMatch::Any],
+            priority: 0,
+            action: "any",
+        })
+        .expect("scan tables take any match kind");
+        assert_eq!(t.lookup(&[5]), Some(&"any"));
     }
 }

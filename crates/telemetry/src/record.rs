@@ -228,7 +228,29 @@ pub fn register_label(name: &str) -> u32 {
 impl TraceRecord {
     /// Renders the record as one stable text line.
     pub fn render(&self) -> String {
-        let body = match self.kind {
+        format!(
+            "{:>12} [span {:>4} cause {:>4}] {}",
+            self.at_ns,
+            self.span,
+            self.cause,
+            self.render_body()
+        )
+    }
+
+    /// Renders the record *without* span/cause ids: `time body`.
+    ///
+    /// Span ids are allocated sequentially per session, so they depend on
+    /// how records were distributed over sessions — under sharded
+    /// execution, on the shard count. The canonical form drops them,
+    /// leaving a line that is a pure function of the record itself;
+    /// sorting canonical lines by `(time, text)` therefore merges
+    /// per-shard rings into byte-identical text for any shard count.
+    pub fn render_canonical(&self) -> String {
+        format!("{:>12} {}", self.at_ns, self.render_body())
+    }
+
+    fn render_body(&self) -> String {
+        match self.kind {
             RecordKind::EventRaised { kind } => {
                 format!("event-raised {}", event_kind_label(kind))
             }
@@ -288,11 +310,7 @@ impl TraceRecord {
                 format!("link-status l{link} {}", if up { "up" } else { "down" })
             }
             RecordKind::Note { code, a, b } => format!("note c{code} a={a} b={b}"),
-        };
-        format!(
-            "{:>12} [span {:>4} cause {:>4}] {}",
-            self.at_ns, self.span, self.cause, body
-        )
+        }
     }
 }
 

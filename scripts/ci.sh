@@ -61,6 +61,13 @@ for app in microburst ndp-trim; do
 done
 
 if [[ $quick -eq 0 ]]; then
+    echo "==> cargo test (EDP_SHARDS=4: tier-1 through the sharded engine)"
+    # Everything that consults EDP_SHARDS (edp_top's TopOptions default
+    # and the determinism suites) reruns on the 4-shard parallel engine;
+    # byte-identity with the classic path is asserted by the tests
+    # themselves (top_determinism, integration_shards).
+    EDP_SHARDS=4 cargo test --offline -q
+
     echo "==> cargo clippy (-D warnings)"
     cargo clippy --offline --all-targets -q -- -D warnings
 
