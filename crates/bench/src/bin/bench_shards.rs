@@ -1,6 +1,8 @@
 //! Sharded-engine scaling snapshot: wall-clock throughput of an
-//! 8-switch line topology at 1, 2, and 4 shards, written to
-//! `BENCH_2.json`.
+//! 8-switch line topology at 1, 2, and 4 shards — each at burst
+//! factors 1 and 32 — written to `BENCH_2.json`. The `windows` column
+//! is the burst engine's headline: sub-window execution collapses the
+//! negotiated window count by an order of magnitude at burst 32.
 //!
 //! ```sh
 //! cargo run --release -p edp-bench --bin bench_shards
@@ -21,7 +23,7 @@
 
 use edp_evsim::{Sim, SimDuration, SimTime};
 use edp_netsim::traffic::start_cbr;
-use edp_netsim::{run_sharded, Host, HostApp, LinkSpec, Network, NodeRef};
+use edp_netsim::{run_sharded_opts, Host, HostApp, LinkSpec, Network, NodeRef};
 use edp_packet::PacketBuilder;
 use edp_pisa::{BaselineSwitch, ForwardTo, QueueConfig};
 use std::net::Ipv4Addr;
@@ -29,6 +31,10 @@ use std::time::Instant;
 
 const SWITCHES: usize = 8;
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Burst factors swept per shard count: 1 = the legacy one-negotiation-
+/// per-window protocol, 32 = the sub-window fast path. Outputs are
+/// byte-identical; only windows (and wall clock) move.
+const BURSTS: [usize; 2] = [1, 32];
 
 /// Builds the 8-switch line with `n` CBR packets armed. Pure function
 /// of its arguments — every shard builds the identical world.
@@ -87,14 +93,15 @@ fn build(n: u64) -> (Network, Sim<Network>) {
     (net, sim)
 }
 
-/// Runs the line at `shards` and returns `(delivered, window count,
-/// cross-shard messages, wall seconds)`.
-fn measure(shards: usize, n: u64) -> (u64, u64, u64, f64) {
+/// Runs the line at `shards` x `burst` and returns `(delivered, window
+/// count, cross-shard messages, wall seconds)`.
+fn measure(shards: usize, burst: usize, n: u64) -> (u64, u64, u64, f64) {
     // 500 ns spacing + the ~17 µs path + margin.
     let deadline = SimTime::from_nanos(500 * n + 1_000_000);
     let t0 = Instant::now();
-    let (delivered, stats) = run_sharded(
+    let (delivered, stats) = run_sharded_opts(
         shards,
+        burst,
         deadline,
         |_shard| build(n),
         |_shard, net, _sim| net.hosts[1].stats.rx_pkts,
@@ -144,21 +151,26 @@ fn main() {
     let mut base_rate = 0.0f64;
     let mut base_rx = None;
     for shards in SHARD_COUNTS {
-        let (rx, windows, crossed, secs) = measure(shards, pkts);
-        match base_rx {
-            None => base_rx = Some(rx),
-            Some(b) => assert_eq!(rx, b, "{shards}-shard run delivered a different count"),
+        for burst in BURSTS {
+            let (rx, windows, crossed, secs) = measure(shards, burst, pkts);
+            match base_rx {
+                None => base_rx = Some(rx),
+                Some(b) => assert_eq!(
+                    rx, b,
+                    "{shards}-shard burst-{burst} run delivered a different count"
+                ),
+            }
+            let rate = pkts as f64 / secs;
+            if shards == 1 && burst == 1 {
+                base_rate = rate;
+            }
+            let speedup = rate / base_rate;
+            println!(
+                "  {shards} shard(s) x burst {burst:>2}: {rate:>12.0} pkts/s  \
+                 ({windows} windows, {crossed} cross msgs, speedup {speedup:.2}x)"
+            );
+            rows.push((shards, burst, rate, windows, crossed, speedup));
         }
-        let rate = pkts as f64 / secs;
-        if shards == 1 {
-            base_rate = rate;
-        }
-        let speedup = rate / base_rate;
-        println!(
-            "  {shards} shard(s): {rate:>12.0} pkts/s  ({windows} windows, \
-             {crossed} cross msgs, speedup {speedup:.2}x)"
-        );
-        rows.push((shards, rate, windows, crossed, speedup));
     }
 
     let mut json = String::from("{\n");
@@ -170,10 +182,11 @@ fn main() {
          cannot show parallel gains regardless of engine quality\",\n",
     );
     json.push_str("  \"results\": [\n");
-    for (i, (shards, rate, windows, crossed, speedup)) in rows.iter().enumerate() {
+    for (i, (shards, burst, rate, windows, crossed, speedup)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         json.push_str(&format!(
-            "    {{\"shards\": {shards}, \"pkts_per_sec\": {rate:.1}, \
+            "    {{\"shards\": {shards}, \"burst\": {burst}, \
+             \"pkts_per_sec\": {rate:.1}, \
              \"windows\": {windows}, \"cross_messages\": {crossed}, \
              \"speedup_vs_1\": {speedup:.3}}}{comma}\n"
         ));

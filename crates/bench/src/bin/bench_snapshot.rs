@@ -18,12 +18,13 @@
 //! later PR can diff two snapshots with nothing fancier than `jq`.
 
 use edp_core::{BaselineAdapter, EventSwitch, EventSwitchConfig};
-use edp_evsim::{Periodic, Sim, SimDuration, SimTime};
-use edp_packet::{Packet, PacketBuilder};
+use edp_evsim::{burst_from_env, Periodic, Sim, SimDuration, SimTime};
+use edp_packet::{Burst, Packet, PacketBuilder, PacketUid};
 use edp_pisa::{
     insert_ipv4_route, ipv4_lpm_schema, FieldMatch, ForwardTo, MatchKind, MatchTable, TableEntry,
 };
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Scale {
@@ -203,48 +204,95 @@ fn bench_ternary_lookup(n: u64) -> f64 {
     rate(n, t0.elapsed())
 }
 
-/// pkts/s through the EventSwitch: receive + transmit per packet, with
-/// full event delivery (enqueue/dequeue/transmit handler dispatches).
-fn bench_switch_pkts(n: u64) -> f64 {
-    let frame = PacketBuilder::udp(
-        Ipv4Addr::new(10, 0, 0, 1),
-        Ipv4Addr::new(10, 0, 0, 2),
-        4000,
-        8080,
-        &[],
-    )
-    .pad_to(256)
-    .build();
+/// Drives `n` shared-payload frames through `sw` in same-instant groups
+/// of `burst` (1 = the classic per-packet receive/transmit loop) and
+/// returns the pkts/s rate. The frame is `Arc`-shared so the loop pays
+/// an Arc bump per packet, not an alloc+memcpy — the same economy a real
+/// driver gets from a descriptor ring.
+fn drive_switch<P: edp_core::EventProgram>(
+    sw: &mut EventSwitch<P>,
+    frame: &Arc<Vec<u8>>,
+    n: u64,
+    burst: usize,
+    out_port: u8,
+) -> f64 {
+    let b = burst.max(1) as u64;
+    let t0 = Instant::now();
+    let mut t = 0u64;
+    let mut done = 0u64;
+    while done < n {
+        let take = b.min(n - done);
+        t += 100;
+        if take == 1 {
+            sw.receive(
+                SimTime::from_nanos(t),
+                0,
+                Packet::from_shared(PacketUid(0), Arc::clone(frame)),
+            );
+            std::hint::black_box(sw.transmit(SimTime::from_nanos(t + 50), out_port));
+        } else {
+            let mut group = Burst::with_capacity(take as usize);
+            for _ in 0..take {
+                group.push(Packet::from_shared(PacketUid(0), Arc::clone(frame)));
+            }
+            sw.receive_burst(SimTime::from_nanos(t), 0, group);
+            std::hint::black_box(sw.transmit_burst(
+                SimTime::from_nanos(t + 50),
+                out_port,
+                take as usize,
+            ));
+        }
+        done += take;
+    }
+    assert_eq!(sw.counters().tx, n);
+    rate(n, t0.elapsed())
+}
+
+/// pkts/s through the EventSwitch: receive + transmit with full event
+/// delivery (enqueue/dequeue/transmit handler dispatches), in groups of
+/// `burst` same-instant frames.
+fn bench_switch_pkts_at(n: u64, burst: usize) -> f64 {
+    let frame = Arc::new(
+        PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            4000,
+            8080,
+            &[],
+        )
+        .pad_to(256)
+        .build(),
+    );
     let cfg = EventSwitchConfig {
         n_ports: 4,
         ..Default::default()
     };
     let mut sw = EventSwitch::new(BaselineAdapter(ForwardTo(1)), cfg);
-    let t0 = Instant::now();
-    let mut t = 0u64;
-    for _ in 0..n {
-        t += 100;
-        sw.receive(SimTime::from_nanos(t), 0, Packet::anonymous(frame.clone()));
-        std::hint::black_box(sw.transmit(SimTime::from_nanos(t + 50), 1));
-    }
-    assert_eq!(sw.counters().tx, n);
-    rate(n, t0.elapsed())
+    drive_switch(&mut sw, &frame, n, burst, 1)
+}
+
+/// The snapshot's forward number at the ambient `EDP_BURST` (default 1,
+/// i.e. the classic loop).
+fn bench_switch_pkts(n: u64) -> f64 {
+    bench_switch_pkts_at(n, burst_from_env())
 }
 
 /// pkts/s through the EventSwitch running a routed program: a
 /// [`TableRouter`] with 1k LPM routes installed. The first packet of the
 /// flow runs the LPM lookup; every later packet replays the memoized
 /// decision from the per-flow cache — the shape the cache exists for.
-fn bench_switch_routed(n: u64) -> f64 {
-    let frame = PacketBuilder::udp(
-        Ipv4Addr::new(10, 0, 0, 1),
-        Ipv4Addr::new(10, 1, 2, 3),
-        4000,
-        8080,
-        &[],
-    )
-    .pad_to(256)
-    .build();
+fn bench_switch_routed_at(n: u64, burst: usize) -> f64 {
+    let frame = Arc::new(
+        PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 1, 2, 3),
+            4000,
+            8080,
+            &[],
+        )
+        .pad_to(256)
+        .build(),
+    );
     let cfg = EventSwitchConfig {
         n_ports: 4,
         ..Default::default()
@@ -258,15 +306,12 @@ fn bench_switch_routed(n: u64) -> f64 {
             [u64::from(u32::from(dst)), 24, 2, 0],
         );
     }
-    let t0 = Instant::now();
-    let mut t = 0u64;
-    for _ in 0..n {
-        t += 100;
-        sw.receive(SimTime::from_nanos(t), 0, Packet::anonymous(frame.clone()));
-        std::hint::black_box(sw.transmit(SimTime::from_nanos(t + 50), 2));
-    }
-    assert_eq!(sw.counters().tx, n);
-    rate(n, t0.elapsed())
+    drive_switch(&mut sw, &frame, n, burst, 2)
+}
+
+/// The snapshot's routed number at the ambient `EDP_BURST`.
+fn bench_switch_routed(n: u64) -> f64 {
+    bench_switch_routed_at(n, burst_from_env())
 }
 
 /// pkts/s for a 3-way flood fan-out (the multicast copy path).
@@ -320,16 +365,25 @@ fn bench_switch_flood(n: u64) -> f64 {
 /// committed baseline — measured at 1 shard — gates the engine's fixed
 /// overhead (windows, barriers, mailboxes) over the classic loop.
 fn bench_sharded_dumbbell(n: u64) -> f64 {
+    let shards = edp_bench::top::shards_from_env().max(1);
+    run_dumbbell(n, shards, burst_from_env()).0
+}
+
+/// Runs the canonical dumbbell through the sharded engine and returns
+/// `(pkts/s, negotiated windows)`. The window count is a pure function
+/// of `(n, shards, subwindows)` — no wall-clock input — so it doubles
+/// as a deterministic gate metric.
+fn run_dumbbell(n: u64, shards: usize, subwindows: usize) -> (f64, u64) {
     use edp_netsim::traffic::start_cbr;
-    use edp_netsim::{run_sharded, Host, HostApp, LinkSpec, Network, NodeRef};
+    use edp_netsim::{run_sharded_opts, Host, HostApp, LinkSpec, Network, NodeRef};
     use edp_pisa::QueueConfig;
 
-    let shards = edp_bench::top::shards_from_env().max(1);
     let interval = SimDuration::from_nanos(500);
     let deadline = SimTime::from_nanos(500 * n + 1_000_000);
     let t0 = Instant::now();
-    let (delivered, _stats) = run_sharded(
+    let (delivered, stats) = run_sharded_opts(
         shards,
+        subwindows,
         deadline,
         |_shard| {
             let mut net = Network::new(1);
@@ -362,20 +416,114 @@ fn bench_sharded_dumbbell(n: u64) -> f64 {
     );
     let total: u64 = delivered.iter().sum();
     assert_eq!(total, n, "dumbbell must deliver every frame");
-    rate(n, t0.elapsed())
+    (rate(n, t0.elapsed()), stats.windows)
+}
+
+/// Negotiated safe-horizon windows for a *fixed* line workload
+/// (10k packets, 4 switches, 2 shards, 32 sub-windows): a deterministic
+/// count — identical in smoke and full runs, on any machine — gated
+/// lower-is-better so the burst engine's window collapse can never
+/// silently regress.
+///
+/// The dumbbell is useless for this metric: with one switch the
+/// partitioner finds no cross-shard link, the lookahead is unbounded and
+/// the whole run is a single window. The 4-switch line's 2 µs trunks
+/// give the shards a real lookahead to negotiate over.
+fn bench_shard_windows() -> f64 {
+    run_line(10_000, 2, 32).1 as f64
+}
+
+/// Runs a 4-switch line (`h0 — sw0 — sw1 — sw2 — sw3 — h1`, 2 µs
+/// trunks) through the sharded engine and returns `(pkts/s, negotiated
+/// windows)`. The window count is a pure function of
+/// `(n, shards, subwindows)` — no wall-clock input.
+fn run_line(n: u64, shards: usize, subwindows: usize) -> (f64, u64) {
+    use edp_netsim::traffic::start_cbr;
+    use edp_netsim::{run_sharded_opts, Host, HostApp, LinkSpec, Network, NodeRef};
+    use edp_pisa::QueueConfig;
+
+    const SWITCHES: usize = 4;
+    let interval = SimDuration::from_nanos(500);
+    let deadline = SimTime::from_nanos(500 * n + 1_000_000);
+    let t0 = Instant::now();
+    let (delivered, stats) = run_sharded_opts(
+        shards,
+        subwindows,
+        deadline,
+        |_shard| {
+            let mut net = Network::new(7);
+            let switches: Vec<usize> = (0..SWITCHES)
+                .map(|_| {
+                    net.add_switch(Box::new(edp_pisa::BaselineSwitch::new(
+                        ForwardTo(1),
+                        2,
+                        QueueConfig::default(),
+                    )))
+                })
+                .collect();
+            let h0 = net.add_host(Host::new(Ipv4Addr::new(10, 0, 0, 1), HostApp::Sink));
+            let h1 = net.add_host(Host::new(Ipv4Addr::new(10, 0, 0, 2), HostApp::Sink));
+            let edge = LinkSpec::ten_gig(SimDuration::from_micros(1));
+            let trunk = LinkSpec::ten_gig(SimDuration::from_micros(2));
+            net.connect(
+                (NodeRef::Host(h0), 0),
+                (NodeRef::Switch(switches[0]), 0),
+                edge,
+            );
+            for w in switches.windows(2) {
+                net.connect(
+                    (NodeRef::Switch(w[0]), 1),
+                    (NodeRef::Switch(w[1]), 0),
+                    trunk,
+                );
+            }
+            net.connect(
+                (NodeRef::Switch(switches[SWITCHES - 1]), 1),
+                (NodeRef::Host(h1), 0),
+                edge,
+            );
+            let mut sim: Sim<Network> = Sim::new();
+            start_cbr(&mut sim, h0, SimTime::ZERO, interval, n, move |i| {
+                PacketBuilder::udp(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    4000,
+                    8080,
+                    &[],
+                )
+                .ident(i as u16)
+                .pad_to(256)
+                .build()
+            });
+            (net, sim)
+        },
+        |_shard, net, _sim| net.hosts[1].stats.rx_pkts,
+    );
+    let total: u64 = delivered.iter().sum();
+    assert_eq!(total, n, "line must deliver every frame");
+    (rate(n, t0.elapsed()), stats.windows)
 }
 
 /// Metrics gated by the CI regression check: the event-queue and LPM
-/// rates the PR-1 fast-path work optimized, plus the sharded-engine
-/// dumbbell throughput. The raw packet-path metrics are too
-/// machine-noise-prone at smoke scale to gate on.
-const GATED_METRICS: [&str; 5] = [
+/// rates the PR-1 fast-path work optimized, the sharded-engine dumbbell
+/// throughput, the burst-mode forward rate (explicit burst of 32, so it
+/// measures the fast path regardless of the ambient `EDP_BURST`), and
+/// the deterministic window count. The raw per-packet path metrics are
+/// too machine-noise-prone at smoke scale to gate on.
+const GATED_METRICS: [&str; 7] = [
     "events_schedule_fire_per_sec",
     "events_cancel_heavy_per_sec",
     "events_periodic_per_sec",
     "lookups_lpm_1k_per_sec",
     "sharded_dumbbell_pkts_per_sec",
+    "switch_forward_burst_pkts_per_sec",
+    "shard_windows",
 ];
+
+/// Gated metrics where *lower* is better — deterministic counts, not
+/// throughput rates. For these the regression fraction is how far the
+/// measurement rose above the baseline.
+const LOWER_IS_BETTER: [&str; 1] = ["shard_windows"];
 
 /// Scale for re-measuring a tripped gated metric: windows of tens to
 /// hundreds of milliseconds, wide enough that CPU-frequency and
@@ -397,6 +545,8 @@ fn bench_gated(name: &str, s: &Scale) -> Option<f64> {
         "events_periodic_per_sec" => bench_events_periodic(s.periodic_ticks),
         "lookups_lpm_1k_per_sec" => bench_lpm_lookup_1k(s.lookups / 10),
         "sharded_dumbbell_pkts_per_sec" => bench_sharded_dumbbell(s.pkts),
+        "switch_forward_burst_pkts_per_sec" => bench_switch_pkts_at(s.pkts, 32),
+        "shard_windows" => bench_shard_windows(),
         _ => return None,
     })
 }
@@ -432,7 +582,11 @@ fn check_regressions(
         let Some(&(_, got)) = metrics.iter().find(|(n, _)| *n == name) else {
             continue;
         };
-        let frac = 1.0 - got / base;
+        let frac = if LOWER_IS_BETTER.contains(&name) {
+            got / base - 1.0
+        } else {
+            1.0 - got / base
+        };
         if frac > max_regress {
             bad.push((name.to_string(), got, base, frac));
         }
@@ -531,6 +685,15 @@ fn main() {
         "sharded_dumbbell_pkts_per_sec",
         bench_sharded_dumbbell(s.pkts),
     );
+    record(
+        "switch_forward_burst_pkts_per_sec",
+        bench_switch_pkts_at(s.pkts, 32),
+    );
+    record(
+        "switch_routed_burst_pkts_per_sec",
+        bench_switch_routed_at(s.pkts, 32),
+    );
+    record("shard_windows", bench_shard_windows());
 
     let path = out.unwrap_or_else(next_snapshot_path);
     let mut json = String::from("{\n");
@@ -574,10 +737,11 @@ fn main() {
             // three, before believing the number — a real regression
             // reproduces, scheduler noise does not.
             for (name, got, _, _) in &bad {
+                let lower = LOWER_IS_BETTER.contains(&name.as_str());
                 let mut best: f64 = *got;
                 for _ in 0..3 {
                     if let Some(v) = bench_gated(name, &RETRY) {
-                        best = best.max(v);
+                        best = if lower { best.min(v) } else { best.max(v) };
                     }
                 }
                 println!("  re-measured {name}: best {best:.0} ops/s");
@@ -618,7 +782,9 @@ mod tests {
     "events_cancel_heavy_per_sec": 6000000.0,
     "events_periodic_per_sec": 50000000.0,
     "lookups_lpm_1k_per_sec": 36000000.0,
-    "sharded_dumbbell_pkts_per_sec": 500000.0
+    "sharded_dumbbell_pkts_per_sec": 500000.0,
+    "switch_forward_burst_pkts_per_sec": 8000000.0,
+    "shard_windows": 1000.0
   }
 }"#;
 
@@ -649,6 +815,19 @@ mod tests {
         assert!(check_regressions(&measured, SNAPSHOT, 0.25).is_empty());
         // Improvements never trip the gate.
         let measured: Vec<(&str, f64)> = vec![("lookups_lpm_1k_per_sec", 90_000_000.0)];
+        assert!(check_regressions(&measured, SNAPSHOT, 0.25).is_empty());
+    }
+
+    #[test]
+    fn window_count_gates_in_the_lower_is_better_direction() {
+        // shard_windows going *up* 50% is a regression...
+        let measured: Vec<(&str, f64)> = vec![("shard_windows", 1_500.0)];
+        let bad = check_regressions(&measured, SNAPSHOT, 0.25);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "shard_windows");
+        assert!((bad[0].3 - 0.50).abs() < 1e-9);
+        // ...while dropping (better batching) never trips the gate.
+        let measured: Vec<(&str, f64)> = vec![("shard_windows", 100.0)];
         assert!(check_regressions(&measured, SNAPSHOT, 0.25).is_empty());
     }
 

@@ -19,6 +19,9 @@ options:
   --shards S         run each seed on S parallel shards; outputs are
                      byte-identical for any S (default: EDP_SHARDS or
                      0 = classic single-world engine)
+  --burst B          sub-windows per negotiated shard window; outputs
+                     are byte-identical for any B >= 1 (default:
+                     EDP_BURST or 1)
   --json             emit the report as JSON instead of the table
   --prom             emit the registry in Prometheus text format
   --trace-out FILE   write the structured trace to FILE
@@ -63,6 +66,7 @@ fn main() {
             "--threads" => opts.threads = parsed("--threads", args.next()),
             "--trace-capacity" => opts.trace_capacity = parsed("--trace-capacity", args.next()),
             "--shards" => opts.shards = parsed("--shards", args.next()),
+            "--burst" => opts.burst = parsed::<usize>("--burst", args.next()).max(1),
             "--overhead" => overhead = Some(parsed("--overhead", args.next())),
             "--json" => json = true,
             "--prom" => prom = true,

@@ -16,7 +16,7 @@ use edp_apps::registry::builtin_apps;
 use edp_core::{EventProgram, EventSwitch, EventSwitchConfig, TimerSpec};
 use edp_evsim::{default_threads, sweep, Sim, SimDuration, SimTime};
 use edp_netsim::traffic::start_cbr;
-use edp_netsim::{run_sharded, Network};
+use edp_netsim::{run_sharded_opts, Network};
 use edp_packet::PacketBuilder;
 use edp_telemetry::{self as telemetry, Registry, TelemetryConfig};
 use std::fmt::Write as _;
@@ -37,6 +37,10 @@ pub struct TopOptions {
     /// through [`edp_netsim::run_sharded`], whose output is byte-identical
     /// for any shard count.
     pub shards: usize,
+    /// Burst factor (`EDP_BURST` default): sub-windows executed per
+    /// negotiated shard window. Pure execution-strategy knob — output is
+    /// byte-identical for any value `>= 1`; only the window count drops.
+    pub burst: usize,
 }
 
 /// Reads `EDP_SHARDS`; unset or unparsable means `0` (classic path).
@@ -55,6 +59,7 @@ impl Default for TopOptions {
             threads: default_threads(),
             trace_capacity: 65_536,
             shards: shards_from_env(),
+            burst: edp_evsim::burst_from_env(),
         }
     }
 }
@@ -169,9 +174,10 @@ fn run_point(
     duration: SimDuration,
     trace_capacity: usize,
     shards: usize,
+    burst: usize,
 ) -> PointOutcome {
     if shards > 0 {
-        return run_point_sharded(app, seed, duration, trace_capacity, shards);
+        return run_point_sharded(app, seed, duration, trace_capacity, shards, burst);
     }
     telemetry::enable(TelemetryConfig {
         trace_capacity,
@@ -207,9 +213,11 @@ fn run_point_sharded(
     duration: SimDuration,
     trace_capacity: usize,
     shards: usize,
+    burst: usize,
 ) -> PointOutcome {
-    let (sessions, stats) = run_sharded(
+    let (sessions, stats) = run_sharded_opts(
         shards,
+        burst,
         SimTime::ZERO + duration,
         |_shard| {
             telemetry::enable(TelemetryConfig {
@@ -297,8 +305,9 @@ pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
     let duration = opts.duration;
     let cap = opts.trace_capacity;
     let shards = opts.shards;
+    let burst = opts.burst.max(1);
     let outcomes = sweep(opts.seeds.clone(), opts.threads, |seed| {
-        run_point(app, seed, duration, cap, shards)
+        run_point(app, seed, duration, cap, shards, burst)
     });
     let mut registry = Registry::new();
     let mut trace = String::new();
@@ -476,6 +485,7 @@ mod tests {
             threads: 1,
             trace_capacity: 4096,
             shards: 0,
+            burst: 1,
         }
     }
 

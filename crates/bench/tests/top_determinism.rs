@@ -15,6 +15,7 @@ fn opts(threads: usize) -> TopOptions {
         threads,
         trace_capacity: 8192,
         shards: 0,
+        burst: 1,
     }
 }
 
@@ -51,6 +52,7 @@ fn shard_opts(shards: usize) -> TopOptions {
         threads: 1,
         trace_capacity: 65_536,
         shards,
+        burst: 1,
     }
 }
 
@@ -77,6 +79,42 @@ fn every_app_is_byte_identical_across_shard_counts() {
                 one_prom,
                 edp_telemetry::to_prometheus_text(&many.registry),
                 "{app}: Prometheus export differs at {shards} shards"
+            );
+        }
+    }
+}
+
+/// `EDP_BURST` is a pure execution-strategy knob: for every registered
+/// app the sharded point must render the byte-identical canonical trace
+/// and exports at burst 1, 8, and 32 — only the negotiated-window count
+/// is allowed to move (down).
+#[test]
+fn every_app_is_byte_identical_across_burst_factors() {
+    for app in app_names() {
+        let mut o = shard_opts(2);
+        let one = run(app, &o).expect("burst-1 run");
+        assert_eq!(one.trace_dropped, 0, "{app}: ring evicted; raise capacity");
+        let one_json = to_json_report(&one);
+        let one_prom = edp_telemetry::to_prometheus_text(&one.registry);
+        for burst in [8usize, 32] {
+            o.burst = burst;
+            let b = run(app, &o).expect("burst run");
+            assert_eq!(one.trace, b.trace, "{app}: trace differs at burst {burst}");
+            assert_eq!(
+                one_json,
+                to_json_report(&b),
+                "{app}: JSON report differs at burst {burst}"
+            );
+            assert_eq!(
+                one_prom,
+                edp_telemetry::to_prometheus_text(&b.registry),
+                "{app}: Prometheus export differs at burst {burst}"
+            );
+            assert!(
+                b.shard_windows <= one.shard_windows,
+                "{app}: burst {burst} negotiated more windows ({} > {})",
+                b.shard_windows,
+                one.shard_windows
             );
         }
     }

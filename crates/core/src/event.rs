@@ -59,12 +59,30 @@ impl EventKind {
 
     /// Compact telemetry code: this kind's index in [`EventKind::ALL`].
     /// [`edp_telemetry::event_kind_label`] maps the code back to a short
-    /// label in trace renders.
-    pub fn code(self) -> u8 {
-        EventKind::ALL
-            .iter()
-            .position(|&k| k == self)
-            .expect("every kind is in ALL") as u8
+    /// label in trace renders. Constant-time — this runs on every event
+    /// dispatch, so a scan over `ALL` would tax the hot path.
+    pub const fn code(self) -> u8 {
+        match self {
+            EventKind::IngressPacket => 0,
+            EventKind::EgressPacket => 1,
+            EventKind::RecirculatedPacket => 2,
+            EventKind::GeneratedPacket => 3,
+            EventKind::PacketTransmitted => 4,
+            EventKind::BufferEnqueue => 5,
+            EventKind::BufferDequeue => 6,
+            EventKind::BufferOverflow => 7,
+            EventKind::BufferUnderflow => 8,
+            EventKind::TimerExpiration => 9,
+            EventKind::ControlPlaneTriggered => 10,
+            EventKind::LinkStatusChange => 11,
+            EventKind::UserEvent => 12,
+        }
+    }
+
+    /// This kind's bit in an event-set bitmask (`1 << code`), as used by
+    /// [`EventProgram::passive_events`](crate::EventProgram::passive_events).
+    pub const fn bit(self) -> u16 {
+        1 << self.code()
     }
 
     /// The human-readable name used in Table 1.
@@ -234,9 +252,13 @@ impl Event {
 }
 
 /// Per-kind event counters: the coverage matrix behind Table 1.
+///
+/// Stored as a flat array indexed by [`EventKind::code`]: `record` runs
+/// on every architectural event of every packet, so it must be a single
+/// indexed add, not a map probe.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EventCounters {
-    counts: std::collections::BTreeMap<EventKind, u64>,
+    counts: [u64; 13],
 }
 
 impl EventCounters {
@@ -246,13 +268,22 @@ impl EventCounters {
     }
 
     /// Records one occurrence of `kind`.
+    #[inline]
     pub fn record(&mut self, kind: EventKind) {
-        *self.counts.entry(kind).or_insert(0) += 1;
+        self.counts[kind.code() as usize] += 1;
+    }
+
+    /// Records `n` occurrences of `kind` with one indexed add — the
+    /// per-burst form of [`EventCounters::record`]. Final counts are
+    /// identical to `n` individual calls.
+    #[inline]
+    pub fn record_n(&mut self, kind: EventKind, n: u64) {
+        self.counts[kind.code() as usize] += n;
     }
 
     /// Occurrences of `kind` so far.
     pub fn get(&self, kind: EventKind) -> u64 {
-        self.counts.get(&kind).copied().unwrap_or(0)
+        self.counts[kind.code() as usize]
     }
 
     /// Kinds that have fired at least once.
@@ -265,7 +296,7 @@ impl EventCounters {
 
     /// Total events recorded.
     pub fn total(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.iter().sum()
     }
 
     /// Publishes per-kind counts into the unified metrics registry under

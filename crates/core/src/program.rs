@@ -13,8 +13,8 @@
 //! handler invocation.
 
 use crate::event::{
-    ControlPlaneEvent, DequeueEvent, EnqueueEvent, LinkStatusEvent, OverflowEvent, TimerEvent,
-    TransmitEvent, UnderflowEvent, UserEvent,
+    ControlPlaneEvent, DequeueEvent, EnqueueEvent, EventKind, LinkStatusEvent, OverflowEvent,
+    TimerEvent, TransmitEvent, UnderflowEvent, UserEvent,
 };
 use edp_evsim::SimTime;
 use edp_packet::{Packet, ParsedPacket};
@@ -200,6 +200,26 @@ pub trait EventProgram: Send {
     fn flow_cacheable(&self) -> bool {
         false
     }
+
+    /// Bitmask (of [`EventKind::bit`](crate::EventKind::bit)) of *control*
+    /// events — enqueue, dequeue, transmit, underflow, overflow, timer,
+    /// control-plane, link-status, user — whose handlers this program
+    /// leaves as the trait's empty defaults.
+    ///
+    /// A passive handler observably does nothing: it touches no program
+    /// state and requests no [`EventActions`]. The switch uses this to
+    /// skip the dispatch scaffolding for such events when no telemetry
+    /// session is live (the event *counter* still advances; with
+    /// telemetry on, dispatch always runs in full so the
+    /// `EventFired`/`HandlerDone` trace records are emitted). Declaring a
+    /// bit while overriding that handler silently disables it — only list
+    /// handlers you have not implemented. Must be constant for the
+    /// program's lifetime (queried once at switch construction). Bits for
+    /// packet events (ingress/egress/recirculated/generated) are ignored.
+    /// Default: `0` (every handler may be active).
+    fn passive_events(&self) -> u16 {
+        0
+    }
 }
 
 /// Boxed programs forward every handler, so an [`EventSwitch`] can run a
@@ -285,6 +305,9 @@ impl<P: EventProgram + ?Sized> EventProgram for Box<P> {
     fn flow_cacheable(&self) -> bool {
         (**self).flow_cacheable()
     }
+    fn passive_events(&self) -> u16 {
+        (**self).passive_events()
+    }
 }
 
 /// Adapts a baseline [`edp_pisa::PisaProgram`] into an [`EventProgram`]
@@ -335,6 +358,20 @@ impl<P: edp_pisa::PisaProgram> EventProgram for BaselineAdapter<P> {
 
     fn flow_cacheable(&self) -> bool {
         self.0.flow_cacheable()
+    }
+
+    /// A baseline program *cannot* react to control events — that is the
+    /// subset claim — so every control-event handler except the bridged
+    /// control-plane trigger is passive by construction.
+    fn passive_events(&self) -> u16 {
+        EventKind::PacketTransmitted.bit()
+            | EventKind::BufferEnqueue.bit()
+            | EventKind::BufferDequeue.bit()
+            | EventKind::BufferOverflow.bit()
+            | EventKind::BufferUnderflow.bit()
+            | EventKind::TimerExpiration.bit()
+            | EventKind::LinkStatusChange.bit()
+            | EventKind::UserEvent.bit()
     }
 }
 

@@ -17,6 +17,12 @@
 //! 4. hand outbound messages to their destination shards and barrier
 //!    ([`WindowSync::exchange`]) so step 1 of the next window sees them.
 //!
+//! When burst mode is on (`EDP_BURST > 1`, see [`burst_from_env`]) a
+//! negotiated window is stretched into up to that many lookahead-sized
+//! sub-windows, each closed by a single combined exchange-and-vote barrier
+//! ([`WindowSync::exchange_vote`]) instead of a fresh negotiation — see
+//! [`drive_windows`] for the induction that keeps this conservative.
+//!
 //! The loop ends when no shard has an event at or before the deadline;
 //! messages cannot appear out of thin air, so the shards agree on that
 //! state. What makes the merged schedule *byte-identical* to a
@@ -41,6 +47,10 @@ struct SyncState {
     generation: u64,
     /// Set by [`WindowSync::poison`]; every waiter panics on observing it.
     poisoned: bool,
+    /// OR-accumulator for the in-progress [`WindowSync::exchange_vote`].
+    vote_accum: bool,
+    /// The accumulated vote of the barrier round that last filled.
+    vote_latched: bool,
 }
 
 /// Shared barrier state for one sharded run: a reusable, poisonable
@@ -62,6 +72,8 @@ impl WindowSync {
                 arrived: 0,
                 generation: 0,
                 poisoned: false,
+                vote_accum: false,
+                vote_latched: false,
             }),
             cv: Condvar::new(),
             shards,
@@ -133,6 +145,49 @@ impl WindowSync {
     pub fn exchange(&self) {
         self.wait();
     }
+
+    /// Exchange barrier that doubles as a one-bit vote: every shard
+    /// contributes `active` and all shards receive the OR over the group.
+    ///
+    /// This is the sub-window fast path (see [`drive_windows`]): a single
+    /// rendezvous both publishes mailbox visibility *and* decides whether
+    /// any shard still has work before the next sub-horizon. One wait
+    /// suffices — the latched result can only be overwritten by the next
+    /// barrier fill, which requires every shard (including the slowest
+    /// reader, which reads under the same lock it wakes with) to have
+    /// arrived again.
+    pub fn exchange_vote(&self, active: bool) -> bool {
+        let mut st = self.lock();
+        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
+        st.vote_accum |= active;
+        st.arrived += 1;
+        if st.arrived == self.shards {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            st.vote_latched = st.vote_accum;
+            st.vote_accum = false;
+            self.cv.notify_all();
+            return st.vote_latched;
+        }
+        let generation = st.generation;
+        while st.generation == generation && !st.poisoned {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
+        st.vote_latched
+    }
+}
+
+/// Burst size from the `EDP_BURST` environment variable (default 1 —
+/// exactly today's one-at-a-time behavior). The knob sizes both packet
+/// bursts on the switch fast path and the number of lookahead-sized
+/// sub-windows a sharded run executes per negotiated window.
+pub fn burst_from_env() -> usize {
+    std::env::var("EDP_BURST")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// The exclusive event-execution bound for one window: events strictly
@@ -157,12 +212,30 @@ pub fn safe_horizon(
     SimTime::from_nanos(h.min(cap))
 }
 
-/// Runs one shard's event loop to `deadline` in conservative windows.
+/// Runs one shard's event loop to `deadline` in conservative windows of up
+/// to `subwindows` lookahead-sized sub-steps each.
 ///
-/// `accept` schedules messages handed over at the previous window's close
-/// into `sim`; `publish` moves this window's outbound messages into the
-/// shared mailboxes. Both run on the shard's own thread. Returns the
-/// number of windows executed (identical on every shard).
+/// `accept` schedules messages handed over at the previous barrier into
+/// `sim`; `publish` moves outbound messages into the shared mailboxes and
+/// reports whether it published anything. Both run on the shard's own
+/// thread. Returns the number of *negotiated* windows executed (identical
+/// on every shard).
+///
+/// # Sub-windows
+///
+/// A full window negotiates the global earliest event time (two waits) and
+/// then fires everything before `global_next + lookahead` (one exchange
+/// wait). But once that window closes, a cheaper induction holds: every
+/// message that can arrive before `horizon + lookahead` was sent strictly
+/// before `horizon`, and the closing exchange already made it visible. So
+/// the shards may keep advancing one lookahead at a time with only a
+/// single combined exchange-and-vote barrier per sub-step — no
+/// renegotiation — for up to `subwindows` sub-steps. The vote is the
+/// early exit: when no shard has a pending event before the next
+/// sub-horizon and none published this round, every shard breaks back to
+/// negotiation in lockstep and the negotiated minimum jumps the idle gap
+/// in one hop. The executed event schedule is identical for every
+/// `subwindows >= 1`; `subwindows == 1` is exactly the legacy protocol.
 #[allow(clippy::too_many_arguments)] // deliberate: the low-level engine entry point takes the full window protocol
 pub fn drive_windows<W>(
     world: &mut W,
@@ -171,9 +244,12 @@ pub fn drive_windows<W>(
     sync: &WindowSync,
     lookahead: Option<SimDuration>,
     deadline: SimTime,
+    subwindows: usize,
     mut accept: impl FnMut(&mut W, &mut Sim<W>),
-    mut publish: impl FnMut(&mut W, &mut Sim<W>),
+    mut publish: impl FnMut(&mut W, &mut Sim<W>) -> bool,
 ) -> u64 {
+    let subwindows = subwindows.max(1) as u64;
+    let cap = deadline.as_nanos().saturating_add(1);
     let mut windows = 0u64;
     loop {
         accept(world, sim);
@@ -185,10 +261,32 @@ pub fn drive_windows<W>(
             break;
         }
         windows += 1;
-        let horizon = safe_horizon(global, lookahead, deadline);
-        sim.run_before(world, horizon);
-        publish(world, sim);
-        sync.exchange();
+        let mut horizon = safe_horizon(global, lookahead, deadline);
+        let mut remaining = subwindows;
+        loop {
+            sim.run_before(world, horizon);
+            let published = publish(world, sim);
+            remaining -= 1;
+            // Extend by one more lookahead without renegotiating, unless
+            // the sub-window budget or the deadline cap is exhausted.
+            let next = match lookahead {
+                Some(la) if remaining > 0 && horizon.as_nanos() < cap => {
+                    SimTime::from_nanos(horizon.as_nanos().saturating_add(la.as_nanos()).min(cap))
+                }
+                _ => {
+                    sync.exchange();
+                    break;
+                }
+            };
+            let active = published || sim.peek_next().is_some_and(|t| t < next);
+            if !sync.exchange_vote(active) {
+                // Every shard idle below `next` and nothing in flight:
+                // renegotiate so the global minimum jumps the gap.
+                break;
+            }
+            accept(world, sim);
+            horizon = next;
+        }
     }
     // Mirror run_until's clock semantics once the shards agree that
     // nothing at or before the deadline remains.
@@ -226,10 +324,10 @@ mod tests {
         );
     }
 
-    #[test]
-    fn two_shards_exchange_messages_deterministically() {
-        // A ping-pong across two shards: each shard's world is a counter
-        // plus an outbox; messages take exactly `lookahead` to cross.
+    /// Runs the two-shard ping-pong under `subwindows` and returns the
+    /// per-shard fired-time logs plus the (identical-across-shards)
+    /// window count.
+    fn ping_pong(subwindows: usize) -> (Vec<u64>, Vec<u64>, u64) {
         use std::sync::Mutex as StdMutex;
         let lookahead = SimDuration::from_nanos(10);
         let deadline = SimTime::from_nanos(200);
@@ -237,12 +335,14 @@ mod tests {
         let mailbox: [StdMutex<Vec<SimTime>>; 2] =
             [StdMutex::new(Vec::new()), StdMutex::new(Vec::new())];
         let log: [StdMutex<Vec<u64>>; 2] = [StdMutex::new(Vec::new()), StdMutex::new(Vec::new())];
+        let wins: [StdMutex<u64>; 2] = [StdMutex::new(0), StdMutex::new(0)];
 
         std::thread::scope(|scope| {
             for me in 0..2usize {
                 let sync = &sync;
                 let mailbox = &mailbox;
                 let log = &log;
+                let wins = &wins;
                 scope.spawn(move || {
                     // World = (outbox of send-times, fired-times log).
                     type World = (Vec<SimTime>, Vec<u64>);
@@ -262,6 +362,7 @@ mod tests {
                         sync,
                         Some(lookahead),
                         deadline,
+                        subwindows,
                         |_w, s| {
                             let mut inbox = mailbox[me].lock().unwrap();
                             for at in inbox.drain(..) {
@@ -280,21 +381,71 @@ mod tests {
                         },
                         |w, _s| {
                             let peer = 1 - me;
+                            let sent = !w.0.is_empty();
                             mailbox[peer].lock().unwrap().append(&mut w.0);
+                            sent
                         },
                     );
                     assert!(windows >= 1 || me == 1);
+                    *wins[me].lock().unwrap() = windows;
                     *log[me].lock().unwrap() = world.1;
                 });
             }
         });
 
-        // Shard 0 fired at 0, 20, 40, ... and shard 1 at 10, 30, ... until
-        // the reply cutoff at t=100.
         let l0 = log[0].lock().unwrap().clone();
         let l1 = log[1].lock().unwrap().clone();
+        let (w0, w1) = (*wins[0].lock().unwrap(), *wins[1].lock().unwrap());
+        assert_eq!(w0, w1, "window count must agree across shards");
+        (l0, l1, w0)
+    }
+
+    #[test]
+    fn two_shards_exchange_messages_deterministically() {
+        // Shard 0 fired at 0, 20, 40, ... and shard 1 at 10, 30, ... until
+        // the reply cutoff at t=100.
+        let (l0, l1, _) = ping_pong(1);
         assert_eq!(l0, vec![0, 20, 40, 60, 80, 100]);
         assert_eq!(l1, vec![10, 30, 50, 70, 90]);
+    }
+
+    #[test]
+    fn subwindows_preserve_the_schedule_and_collapse_negotiations() {
+        let (l0_base, l1_base, w_base) = ping_pong(1);
+        for sub in [2usize, 8, 32] {
+            let (l0, l1, w) = ping_pong(sub);
+            assert_eq!(l0, l0_base, "subwindows={sub} changed shard 0's schedule");
+            assert_eq!(l1, l1_base, "subwindows={sub} changed shard 1's schedule");
+            assert!(
+                w < w_base,
+                "subwindows={sub} should negotiate fewer windows ({w} vs {w_base})"
+            );
+        }
+    }
+
+    #[test]
+    fn exchange_vote_ors_across_shards() {
+        let sync = std::sync::Arc::new(WindowSync::new(2));
+        let peer = {
+            let sync = std::sync::Arc::clone(&sync);
+            std::thread::spawn(move || {
+                let rounds = [false, true, false];
+                rounds.map(|mine| sync.exchange_vote(mine))
+            })
+        };
+        let got = [false, false, true].map(|mine| sync.exchange_vote(mine));
+        assert_eq!(got, [false, true, true]);
+        assert_eq!(peer.join().unwrap(), [false, true, true]);
+    }
+
+    #[test]
+    fn burst_env_defaults_to_one() {
+        // The suite must not mutate process-global env (tests run in
+        // parallel); with the variable unset the default is the legacy
+        // single-packet behavior.
+        if std::env::var("EDP_BURST").is_err() {
+            assert_eq!(burst_from_env(), 1);
+        }
     }
 
     #[test]

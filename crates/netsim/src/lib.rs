@@ -39,5 +39,5 @@ pub use link::{
     LinkState,
 };
 pub use net::{Endpoint, Network, NodeRef};
-pub use shard::{merge_tracers, run_sharded, ShardPlan, ShardStats};
+pub use shard::{merge_tracers, run_sharded, run_sharded_opts, ShardPlan, ShardStats};
 pub use trace::{TraceEntry, TraceKind, Tracer};

@@ -184,8 +184,39 @@ pub struct ShardStats {
 ///
 /// With `nshards == 1` this is the single-threaded reference schedule;
 /// larger counts produce the byte-identical observable outcome.
+///
+/// The sub-window batch size comes from the `EDP_BURST` environment
+/// variable (default 1); use [`run_sharded_opts`] to pin it explicitly.
 pub fn run_sharded<T, B, F>(
     nshards: usize,
+    deadline: SimTime,
+    build: B,
+    finish: F,
+) -> (Vec<T>, ShardStats)
+where
+    T: Send,
+    B: Fn(usize) -> (Network, Sim<Network>) + Sync,
+    F: Fn(usize, Network, Sim<Network>) -> T + Sync,
+{
+    run_sharded_opts(
+        nshards,
+        edp_evsim::burst_from_env(),
+        deadline,
+        build,
+        finish,
+    )
+}
+
+/// [`run_sharded`] with an explicit sub-window batch size.
+///
+/// `subwindows` is the number of lookahead-sized sub-steps each negotiated
+/// window may cover (see [`edp_evsim::drive_windows`]); `1` reproduces the
+/// legacy one-negotiation-per-lookahead protocol exactly. The observable
+/// simulation outcome is byte-identical for every value — only the barrier
+/// count (and [`ShardStats::windows`]) changes.
+pub fn run_sharded_opts<T, B, F>(
+    nshards: usize,
+    subwindows: usize,
     deadline: SimTime,
     build: B,
     finish: F,
@@ -213,7 +244,8 @@ where
                 scope.spawn(move || {
                     let out = catch_unwind(AssertUnwindSafe(|| {
                         run_shard(
-                            me, nshards, deadline, sync, mailboxes, crossed, build, finish,
+                            me, nshards, subwindows, deadline, sync, mailboxes, crossed, build,
+                            finish,
                         )
                     }));
                     match out {
@@ -257,6 +289,7 @@ where
 fn run_shard<T, B, F>(
     me: usize,
     nshards: usize,
+    subwindows: usize,
     deadline: SimTime,
     sync: &WindowSync,
     mailboxes: &[Vec<Mutex<Vec<ShardMsg>>>],
@@ -273,6 +306,9 @@ where
     let lookahead = plan.lookahead();
     net.install_shard(me, plan);
     net.arm_all_timers(&mut sim);
+    // Reused per-destination staging rows so a window's whole batch for a
+    // peer costs one mailbox lock instead of one per message.
+    let mut staged: Vec<Vec<ShardMsg>> = (0..nshards).map(|_| Vec::new()).collect();
     let windows = drive_windows(
         &mut net,
         &mut sim,
@@ -280,6 +316,7 @@ where
         sync,
         lookahead,
         deadline,
+        subwindows,
         |net, sim| {
             for row in mailboxes.iter() {
                 let msgs: Vec<ShardMsg> = row[me]
@@ -293,13 +330,23 @@ where
             }
         },
         |net, _sim| {
-            for (dst, msg) in net.take_outbox() {
-                crossed.fetch_add(1, Ordering::Relaxed);
-                mailboxes[me][dst]
-                    .lock()
-                    .expect("shard mailbox poisoned")
-                    .push(msg);
+            let out = net.take_outbox();
+            if out.is_empty() {
+                return false;
             }
+            crossed.fetch_add(out.len() as u64, Ordering::Relaxed);
+            for (dst, msg) in out {
+                staged[dst].push(msg);
+            }
+            for (dst, batch) in staged.iter_mut().enumerate() {
+                if !batch.is_empty() {
+                    mailboxes[me][dst]
+                        .lock()
+                        .expect("shard mailbox poisoned")
+                        .append(batch);
+                }
+            }
+            true
         },
     );
     (finish(me, net, sim), windows)
@@ -432,8 +479,13 @@ mod tests {
     /// Runs the two-switch line under `shards` workers and folds the
     /// observables: (delivered count, flow latency means, merged trace).
     fn run_line(shards: usize) -> (u64, String, String, ShardStats) {
-        let (nets, stats) = run_sharded(
+        run_line_opts(shards, 1)
+    }
+
+    fn run_line_opts(shards: usize, subwindows: usize) -> (u64, String, String, ShardStats) {
+        let (nets, stats) = run_sharded_opts(
             shards,
+            subwindows,
             SimTime::from_millis(1),
             |_me| {
                 let (mut net, h0, _h1) = two_switch_line(11);
@@ -477,5 +529,29 @@ mod tests {
         assert_eq!(stats1.cross_messages, 0, "one shard crosses nothing");
         assert!(stats2.cross_messages >= 20, "trunk frames cross the cut");
         assert!(stats2.windows >= 1);
+    }
+
+    #[test]
+    fn subwindows_keep_byte_identity_and_shrink_the_window_count() {
+        let (rx_base, means_base, trace_base, stats_base) = run_line_opts(2, 1);
+        for sub in [8usize, 32] {
+            let (rx, means, trace, stats) = run_line_opts(2, sub);
+            assert_eq!(rx, rx_base);
+            assert_eq!(
+                means, means_base,
+                "latency accounting under subwindows={sub}"
+            );
+            assert_eq!(trace, trace_base, "merged trace under subwindows={sub}");
+            assert_eq!(
+                stats.cross_messages, stats_base.cross_messages,
+                "batched publish must move the same frames"
+            );
+            assert!(
+                stats.windows < stats_base.windows,
+                "subwindows={sub} should negotiate fewer windows ({} vs {})",
+                stats.windows,
+                stats_base.windows
+            );
+        }
     }
 }

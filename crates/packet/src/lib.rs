@@ -39,6 +39,7 @@
 mod addr;
 mod apphdr;
 mod builder;
+mod burst;
 mod error;
 mod eth;
 mod flow;
@@ -55,6 +56,7 @@ pub use apphdr::{
     PORT_LIVENESS, PORT_TELEMETRY,
 };
 pub use builder::PacketBuilder;
+pub use burst::{Burst, ParsedBurst};
 pub use error::{ParseError, ParseResult};
 pub use eth::{EthHeader, EtherType, ETH_HEADER_LEN};
 pub use flow::{fnv1a64, FlowKey, Fnv1a};

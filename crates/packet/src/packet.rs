@@ -27,12 +27,24 @@ impl fmt::Display for PacketUid {
 /// (one owner, in-place `patch_*` header rewrites) never copies at all.
 /// Observable semantics are value semantics throughout: no clone ever
 /// sees another clone's writes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Packet {
     /// Simulation-unique identity for tracing and latency bookkeeping.
     pub uid: PacketUid,
     data: Arc<Vec<u8>>,
+    /// Count of mutable-buffer accesses (see [`Packet::mutation_count`]).
+    muts: u32,
 }
+
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        // Value semantics: identity + bytes. The mutation counter is an
+        // optimization aid, not part of the packet's value.
+        self.uid == other.uid && self.data == other.data
+    }
+}
+
+impl Eq for Packet {}
 
 impl Packet {
     /// Wraps raw frame bytes.
@@ -40,6 +52,7 @@ impl Packet {
         Packet {
             uid,
             data: Arc::new(bytes),
+            muts: 0,
         }
     }
 
@@ -51,7 +64,23 @@ impl Packet {
     /// Wraps an already-shared payload without copying (zero-copy
     /// injection of a template frame under a fresh identity).
     pub fn from_shared(uid: PacketUid, bytes: Arc<Vec<u8>>) -> Self {
-        Packet { uid, data: bytes }
+        Packet {
+            uid,
+            data: bytes,
+            muts: 0,
+        }
+    }
+
+    /// Number of mutable-buffer accesses this packet has seen (writes
+    /// through [`Packet::bytes_mut`], [`Packet::extend`],
+    /// [`Packet::truncate`] or [`Packet::trim_to_network_header`]).
+    ///
+    /// An unchanged count across a region of code proves the frame bytes
+    /// were not touched in it, which lets pipelines reuse an earlier parse
+    /// of this packet instead of re-parsing (parsing is pure, so equal
+    /// bytes parse equally). Monotonic; never reset.
+    pub fn mutation_count(&self) -> u32 {
+        self.muts
     }
 
     /// A handle to the shared payload (cheap; bumps the refcount).
@@ -97,6 +126,7 @@ impl Packet {
     /// Mutable view of the frame, for in-place header rewrites.
     /// Copy-on-write: copies the frame first if it is currently shared.
     pub fn bytes_mut(&mut self) -> &mut [u8] {
+        self.muts += 1;
         let vec: &mut Vec<u8> = Arc::make_mut(&mut self.data);
         vec
     }
@@ -104,11 +134,13 @@ impl Packet {
     /// Extends the frame with `more` bytes (e.g. appending a telemetry
     /// record at the end of the payload).
     pub fn extend(&mut self, more: &[u8]) {
+        self.muts += 1;
         Arc::make_mut(&mut self.data).extend_from_slice(more);
     }
 
     /// Truncates the frame to `len` bytes.
     pub fn truncate(&mut self, len: usize) {
+        self.muts += 1;
         Arc::make_mut(&mut self.data).truncate(len);
     }
 
@@ -117,6 +149,7 @@ impl Packet {
     /// untouched, when it is not a parseable IPv4 packet. See
     /// [`crate::Ipv4Header::trim_to_network_header`].
     pub fn trim_to_network_header(&mut self) -> bool {
+        self.muts += 1;
         crate::Ipv4Header::trim_to_network_header(Arc::make_mut(&mut self.data))
     }
 }

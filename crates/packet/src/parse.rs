@@ -41,7 +41,7 @@ pub enum AppHeader {
 }
 
 /// A fully parsed packet with layer offsets into the original buffer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParsedPacket {
     /// Ethernet header (always present).
     pub eth: EthHeader,

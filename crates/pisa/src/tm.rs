@@ -10,7 +10,7 @@
 
 use crate::meta::{PortId, StdMeta};
 use edp_evsim::SimTime;
-use edp_packet::Packet;
+use edp_packet::{Packet, ParsedPacket};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -132,6 +132,11 @@ pub enum TmEvent {
 #[derive(Debug, Clone)]
 struct Item {
     pkt: Packet,
+    /// The caller's ingress parse of `pkt`, when the caller can prove the
+    /// frame bytes were not mutated after parsing (see
+    /// [`TrafficManager::offer_parsed`]); handed back on dequeue so
+    /// egress can skip the re-parse.
+    parsed: Option<ParsedPacket>,
     meta: StdMeta,
     enq_time: SimTime,
     rank: u64,
@@ -175,7 +180,13 @@ impl OutQueue {
         self.lanes.iter().map(|l| l.len() as u32).sum()
     }
 
-    fn push(&mut self, pkt: Packet, meta: StdMeta, now: SimTime) -> bool {
+    fn push(
+        &mut self,
+        pkt: Packet,
+        parsed: Option<ParsedPacket>,
+        meta: StdMeta,
+        now: SimTime,
+    ) -> bool {
         let len = pkt.len() as u64;
         let cap = self.cfg.capacity_bytes
             + if meta.rank == 0 {
@@ -191,6 +202,7 @@ impl OutQueue {
         let rank = meta.rank;
         let item = Item {
             pkt,
+            parsed,
             meta,
             enq_time: now,
             rank,
@@ -288,6 +300,18 @@ impl TrafficManager {
         port: PortId,
         now: SimTime,
     ) -> Result<(Packet, StdMeta, TmEvent), TmEvent> {
+        self.dequeue_parsed(port, now)
+            .map(|(pkt, _parsed, meta, ev)| (pkt, meta, ev))
+    }
+
+    /// [`TrafficManager::dequeue`], additionally handing back the ingress
+    /// parse stashed by [`TrafficManager::offer_parsed`] (`None` when the
+    /// packet was offered without one).
+    pub fn dequeue_parsed(
+        &mut self,
+        port: PortId,
+        now: SimTime,
+    ) -> Result<(Packet, Option<ParsedPacket>, StdMeta, TmEvent), TmEvent> {
         let q = &mut self.queues[port as usize];
         match q.pop() {
             Some(item) => {
@@ -302,7 +326,7 @@ impl TrafficManager {
                     meta: item.meta.event_meta,
                 };
                 depth_sample(now.as_nanos(), port, q_bytes, q_pkts);
-                Ok((item.pkt, item.meta, ev))
+                Ok((item.pkt, item.parsed, item.meta, ev))
             }
             None => Err(TmEvent::Underflow { port }),
         }
@@ -348,6 +372,26 @@ impl TrafficManager {
         meta: StdMeta,
         now: SimTime,
     ) -> (Option<Packet>, TmEvent) {
+        self.offer_parsed(port, pkt, None, meta, now)
+    }
+
+    /// [`TrafficManager::offer`], stashing the caller's ingress parse of
+    /// `pkt` alongside it for [`TrafficManager::dequeue_parsed`] to hand
+    /// back.
+    ///
+    /// Contract: pass `Some` only when `parsed` is the parse of `pkt`'s
+    /// *current* bytes (no mutation since parsing — provable with
+    /// [`Packet::mutation_count`]). Parsing is pure, so an egress that
+    /// reuses the stash is byte-identical to one that re-parses; it just
+    /// skips the redundant work.
+    pub fn offer_parsed(
+        &mut self,
+        port: PortId,
+        pkt: Packet,
+        parsed: Option<ParsedPacket>,
+        meta: StdMeta,
+        now: SimTime,
+    ) -> (Option<Packet>, TmEvent) {
         let q = &mut self.queues[port as usize];
         let pkt_len = pkt.len() as u32;
         let event_meta = meta.event_meta;
@@ -368,7 +412,7 @@ impl TrafficManager {
             };
             return (Some(pkt), ev);
         }
-        let ok = q.push(pkt, meta, now);
+        let ok = q.push(pkt, parsed, meta, now);
         debug_assert!(ok, "capacity pre-checked");
         let q_bytes = q.bytes;
         let q_pkts = q.depth_pkts();

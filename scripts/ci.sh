@@ -68,6 +68,13 @@ if [[ $quick -eq 0 ]]; then
     # themselves (top_determinism, integration_shards).
     EDP_SHARDS=4 cargo test --offline -q
 
+    echo "==> cargo test (EDP_BURST=32: tier-1 on the burst fast path)"
+    # Everything that consults EDP_BURST (TopOptions' default and the
+    # sharded engine's sub-window count) reruns with 32-deep bursts;
+    # byte-identity with the per-packet path is asserted by the tests
+    # themselves (top_determinism, integration_shards).
+    EDP_BURST=32 cargo test --offline -q
+
     echo "==> cargo clippy (-D warnings)"
     cargo clippy --offline --all-targets -q -- -D warnings
 

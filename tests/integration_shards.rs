@@ -14,8 +14,8 @@ use edp_apps::liveness::{LivenessMonitor, LivenessReflector, Neighbor, TIMER_CHE
 use edp_core::{EventSwitch, EventSwitchConfig, TimerSpec};
 use edp_evsim::{Sim, SimDuration, SimTime};
 use edp_netsim::{
-    merge_tracers, run_sharded, Dir, FaultPlan, Host, HostApp, LinkFaultModel, LinkSpec, Network,
-    NodeRef, Tracer,
+    merge_tracers, run_sharded_opts, Dir, FaultPlan, Host, HostApp, LinkFaultModel, LinkSpec,
+    Network, NodeRef, Tracer,
 };
 use edp_packet::PacketBuilder;
 use edp_pisa::{BaselineSwitch, ForwardTo, QueueConfig};
@@ -33,7 +33,23 @@ fn run_shards<B>(shards: usize, deadline: SimTime, build: B) -> (Vec<Network>, S
 where
     B: Fn() -> (Network, Sim<Network>) + Sync,
 {
-    let (nets, _stats) = run_sharded(shards, deadline, |_s| build(), |_s, net, _sim| net);
+    run_shards_at(shards, 1, deadline, build)
+}
+
+/// Same, at an explicit burst factor (sub-windows per negotiated
+/// window). Passed explicitly rather than via `EDP_BURST` so parallel
+/// tests never race on process-global env state.
+fn run_shards_at<B>(
+    shards: usize,
+    burst: usize,
+    deadline: SimTime,
+    build: B,
+) -> (Vec<Network>, String, String)
+where
+    B: Fn() -> (Network, Sim<Network>) + Sync,
+{
+    let (nets, _stats) =
+        run_sharded_opts(shards, burst, deadline, |_s| build(), |_s, net, _sim| net);
     let tracers: Vec<&Tracer> = nets.iter().map(|n| &n.tracer).collect();
     let trace = merge_tracers(&tracers);
     // One registry per shard, merged: `publish_metrics` *sets* net-scope
@@ -85,14 +101,25 @@ where
         "tracer ring evicted; scenario too big for invariance checks"
     );
     for shards in SHARD_COUNTS {
-        let (many, trace, json) = run_shards(shards, deadline, &build);
-        assert_eq!(
-            observe(&many),
-            classic_obs,
-            "{shards}-shard observables diverged"
-        );
-        assert_eq!(one_trace, trace, "{shards}-shard merged trace diverged");
-        assert_eq!(one_json, json, "{shards}-shard metrics JSON diverged");
+        // Burst 1 is the legacy one-negotiation-per-window protocol;
+        // burst 32 exercises the sub-window fast path. Every scenario
+        // family must be invariant under both.
+        for burst in [1usize, 32] {
+            let (many, trace, json) = run_shards_at(shards, burst, deadline, &build);
+            assert_eq!(
+                observe(&many),
+                classic_obs,
+                "{shards}-shard burst-{burst} observables diverged"
+            );
+            assert_eq!(
+                one_trace, trace,
+                "{shards}-shard burst-{burst} merged trace diverged"
+            );
+            assert_eq!(
+                one_json, json,
+                "{shards}-shard burst-{burst} metrics JSON diverged"
+            );
+        }
     }
     one
 }
