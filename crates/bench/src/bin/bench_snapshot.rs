@@ -504,19 +504,77 @@ fn run_line(n: u64, shards: usize, subwindows: usize) -> (f64, u64) {
     (rate(n, t0.elapsed()), stats.windows)
 }
 
+/// pkts/s for the capture-ingestion path: decode a generated classic
+/// pcap (500 ns gaps) and replay it through the canonical dumbbell on
+/// sim time until every frame reaches the sink. The capture is built in
+/// memory before the clock starts, so the number covers codec decode +
+/// replay injection + the network path, not frame assembly.
+fn bench_pcap_replay(n: u64) -> f64 {
+    use edp_netsim::{start_replay, Host, HostApp, LinkSpec, Network, NodeRef};
+    use edp_packet::{PcapFile, PcapPacket};
+    use edp_pisa::QueueConfig;
+
+    let mut file = PcapFile::default();
+    for i in 0..n {
+        let frame = PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            4000,
+            8080,
+            &[],
+        )
+        .ident(i as u16)
+        .pad_to(256)
+        .build();
+        file.packets.push(PcapPacket::full(i * 500, frame));
+    }
+    let bytes = file.to_pcap_bytes();
+    let deadline = SimTime::from_nanos(500 * n + 1_000_000);
+
+    let t0 = Instant::now();
+    let parsed = PcapFile::parse(&bytes).expect("generated capture parses");
+    let mut net = Network::new(1);
+    let sw = net.add_switch(Box::new(edp_pisa::BaselineSwitch::new(
+        ForwardTo(1),
+        2,
+        QueueConfig::default(),
+    )));
+    let h0 = net.add_host(Host::new(Ipv4Addr::new(10, 0, 0, 1), HostApp::Sink));
+    let h1 = net.add_host(Host::new(Ipv4Addr::new(10, 0, 0, 2), HostApp::Sink));
+    let spec = LinkSpec::ten_gig(SimDuration::from_micros(1));
+    net.connect((NodeRef::Host(h0), 0), (NodeRef::Switch(sw), 0), spec);
+    net.connect((NodeRef::Switch(sw), 1), (NodeRef::Host(h1), 0), spec);
+    let mut sim: Sim<edp_netsim::Network> = Sim::new();
+    start_replay(
+        &mut sim,
+        h0,
+        Arc::new(parsed.packets),
+        SimTime::ZERO,
+        1.0,
+        deadline,
+    );
+    sim.run_until(&mut net, deadline);
+    assert_eq!(
+        net.hosts[h1].stats.rx_pkts, n,
+        "replay must deliver every frame"
+    );
+    rate(n, t0.elapsed())
+}
+
 /// Metrics gated by the CI regression check: the event-queue and LPM
 /// rates the PR-1 fast-path work optimized, the sharded-engine dumbbell
 /// throughput, the burst-mode forward rate (explicit burst of 32, so it
 /// measures the fast path regardless of the ambient `EDP_BURST`), and
 /// the deterministic window count. The raw per-packet path metrics are
 /// too machine-noise-prone at smoke scale to gate on.
-const GATED_METRICS: [&str; 7] = [
+const GATED_METRICS: [&str; 8] = [
     "events_schedule_fire_per_sec",
     "events_cancel_heavy_per_sec",
     "events_periodic_per_sec",
     "lookups_lpm_1k_per_sec",
     "sharded_dumbbell_pkts_per_sec",
     "switch_forward_burst_pkts_per_sec",
+    "pcap_replay_pkts_per_sec",
     "shard_windows",
 ];
 
@@ -546,6 +604,7 @@ fn bench_gated(name: &str, s: &Scale) -> Option<f64> {
         "lookups_lpm_1k_per_sec" => bench_lpm_lookup_1k(s.lookups / 10),
         "sharded_dumbbell_pkts_per_sec" => bench_sharded_dumbbell(s.pkts),
         "switch_forward_burst_pkts_per_sec" => bench_switch_pkts_at(s.pkts, 32),
+        "pcap_replay_pkts_per_sec" => bench_pcap_replay(s.pkts),
         "shard_windows" => bench_shard_windows(),
         _ => return None,
     })
@@ -693,6 +752,7 @@ fn main() {
         "switch_routed_burst_pkts_per_sec",
         bench_switch_routed_at(s.pkts, 32),
     );
+    record("pcap_replay_pkts_per_sec", bench_pcap_replay(s.pkts));
     record("shard_windows", bench_shard_windows());
 
     let path = out.unwrap_or_else(next_snapshot_path);
@@ -784,6 +844,7 @@ mod tests {
     "lookups_lpm_1k_per_sec": 36000000.0,
     "sharded_dumbbell_pkts_per_sec": 500000.0,
     "switch_forward_burst_pkts_per_sec": 8000000.0,
+    "pcap_replay_pkts_per_sec": 400000.0,
     "shard_windows": 1000.0
   }
 }"#;

@@ -1,0 +1,181 @@
+//! `pcap_gen` — deterministically (re)generate the committed pcap
+//! fixtures under `tests/fixtures/`.
+//!
+//! ```sh
+//! pcap_gen tests/fixtures            # write both fixtures
+//! pcap_gen --check tests/fixtures    # exit 1 if on-disk bytes differ
+//! ```
+//!
+//! Every byte is a pure function of the hard-coded seeds, so CI can run
+//! `--check` to prove the committed fixtures match the generator — the
+//! same property the replay pipeline leans on.
+
+use edp_evsim::SimRng;
+use edp_packet::{
+    EthHeader, EtherType, KvHeader, KvOp, LivenessHeader, LivenessKind, MacAddr, PacketBuilder,
+    PcapFile, PcapPacket, RpcHeader, RpcKind,
+};
+use std::net::Ipv4Addr;
+
+fn a(n: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, n)
+}
+
+/// A minimal ARP-ethertype frame (opaque body, padded to 60 bytes): the
+/// parser classifies it by ethertype alone, which is all the protocol
+/// telemetry needs.
+fn arp_frame(src_id: u32, dst_id: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    EthHeader {
+        dst: MacAddr::from_id(dst_id),
+        src: MacAddr::from_id(src_id),
+        ethertype: EtherType::Arp,
+    }
+    .emit(&mut out);
+    out.resize(60, 0);
+    out
+}
+
+/// ~120 frames mixing every protocol class the host telemetry buckets:
+/// kv / liveness / rpc / plain UDP, TCP, ICMP, and ARP, with exponential
+/// inter-arrival gaps (mean 5 µs).
+fn mixed_protocols() -> PcapFile {
+    let mut rng = SimRng::stream(0x7C49_0001, &[0xF1C5]);
+    let mut ts = 0u64;
+    let mut file = PcapFile::default();
+    for i in 0..120u64 {
+        ts += rng.exp(5_000.0) as u64;
+        let src = a(1 + (i % 4) as u8);
+        let dst = a(200);
+        let frame = match i % 7 {
+            0 => PacketBuilder::kv(
+                src,
+                dst,
+                &KvHeader {
+                    op: KvOp::Get,
+                    key: rng.uniform_u64(0, 256),
+                    value: 0,
+                },
+            )
+            .build(),
+            1 => PacketBuilder::liveness(
+                src,
+                dst,
+                &LivenessHeader {
+                    kind: LivenessKind::Request,
+                    origin: 1,
+                    seq: i as u32,
+                    ts_ns: ts,
+                },
+            )
+            .build(),
+            2 => PacketBuilder::rpc(
+                src,
+                dst,
+                &RpcHeader {
+                    kind: RpcKind::Request,
+                    endpoint: (i % 4) as u32,
+                    seq: i as u32,
+                    key: rng.uniform_u64(0, 1024),
+                    resp_bytes: 256,
+                },
+            )
+            .build(),
+            3 => PacketBuilder::udp(src, dst, 40_000 + i as u16, 9_999, b"payload")
+                .pad_to(200 + rng.index(400))
+                .build(),
+            4 => PacketBuilder::tcp(src, dst, 33_000, 80, i as u32 * 512, 0, b"tcp-seg")
+                .pad_to(512)
+                .build(),
+            5 => PacketBuilder::icmp_echo(src, dst, true, 7, i as u16).build(),
+            _ => arp_frame(i as u32, 0xFFFF),
+        };
+        file.packets.push(PcapPacket::full(ts, frame));
+    }
+    file
+}
+
+/// A tight 5 µs burst of 64 KV GETs from one sender (40 ns apart) with a
+/// quiet tail probe 1 ms later — the shape the microburst apps study.
+fn kv_burst() -> PcapFile {
+    let mut rng = SimRng::stream(0x7C49_0002, &[0xF1C5]);
+    let mut file = PcapFile::default();
+    for i in 0..64u64 {
+        let frame = PacketBuilder::kv(
+            a(1),
+            a(200),
+            &KvHeader {
+                op: KvOp::Get,
+                key: rng.uniform_u64(0, 64),
+                value: 0,
+            },
+        )
+        .pad_to(128)
+        .build();
+        file.packets.push(PcapPacket::full(1_000 + i * 40, frame));
+    }
+    let tail = PacketBuilder::liveness(
+        a(1),
+        a(200),
+        &LivenessHeader {
+            kind: LivenessKind::Request,
+            origin: 1,
+            seq: 64,
+            ts_ns: 1_000_000,
+        },
+    )
+    .build();
+    file.packets.push(PcapPacket::full(1_000_000, tail));
+    file
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.first().map(String::as_str) == Some("--check");
+    if check {
+        args.remove(0);
+    }
+    let dir = args.pop().unwrap_or_else(|| {
+        eprintln!("usage: pcap_gen [--check] <fixtures-dir>");
+        std::process::exit(2);
+    });
+    let fixtures = [
+        ("mixed_protocols.pcap", mixed_protocols()),
+        ("kv_burst.pcap", kv_burst()),
+    ];
+    let mut bad = 0;
+    for (name, file) in fixtures {
+        let bytes = file.to_pcap_bytes();
+        let path = format!("{dir}/{name}");
+        if check {
+            match std::fs::read(&path) {
+                Ok(on_disk) if on_disk == bytes => {
+                    println!(
+                        "{path}: ok ({} packets, {} bytes)",
+                        file.packets.len(),
+                        bytes.len()
+                    );
+                }
+                Ok(_) => {
+                    eprintln!("{path}: differs from generator output");
+                    bad += 1;
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    bad += 1;
+                }
+            }
+        } else {
+            std::fs::create_dir_all(&dir).expect("create fixtures dir");
+            std::fs::write(&path, &bytes).expect("write fixture");
+            println!(
+                "{path}: wrote {} packets, {} bytes",
+                file.packets.len(),
+                bytes.len()
+            );
+        }
+    }
+    if bad > 0 {
+        std::process::exit(1);
+    }
+}

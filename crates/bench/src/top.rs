@@ -13,13 +13,46 @@
 
 use edp_apps::common::{addr, dumbbell, run_until, sink_addr};
 use edp_apps::registry::builtin_apps;
-use edp_core::{EventProgram, EventSwitch, EventSwitchConfig, TimerSpec};
+use edp_core::event::{
+    ControlPlaneEvent, DequeueEvent, EnqueueEvent, LinkStatusEvent, OverflowEvent, TimerEvent,
+    TransmitEvent, UnderflowEvent, UserEvent,
+};
+use edp_core::{EventActions, EventProgram, EventSwitch, EventSwitchConfig, TimerSpec};
 use edp_evsim::{default_threads, sweep, Sim, SimDuration, SimTime};
 use edp_netsim::traffic::start_cbr;
-use edp_netsim::{run_sharded_opts, Network};
-use edp_packet::PacketBuilder;
+use edp_netsim::{
+    run_sharded_opts, start_endpoints, start_replay, EndpointConfig, EndpointFleet, HostApp,
+    Network,
+};
+use edp_packet::{Packet, PacketBuilder, ParsedPacket, PcapPacket};
+use edp_pisa::{Destination, StdMeta};
 use edp_telemetry::{self as telemetry, Registry, TelemetryConfig};
 use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The traffic a sweep point drives through the app's dumbbell.
+#[derive(Debug, Clone, Default)]
+pub enum TopWorkload {
+    /// The canonical oversubscribing CBR stream (the historical default).
+    #[default]
+    Cbr,
+    /// Replay a decoded capture from the sender host, preserving the
+    /// file's inter-arrival gaps divided by `speedup`.
+    Pcap {
+        /// The parsed capture's frames (shared across seeds/shards
+        /// zero-copy).
+        packets: Arc<Vec<PcapPacket>>,
+        /// Gap compression factor (1 = real capture pacing).
+        speedup: f64,
+    },
+    /// An endpoint fleet on the sender host against an RPC server on the
+    /// sink: `count` logical clients doing closed-loop request/response
+    /// with Zipf keys/sizes and timeout retransmit.
+    Endpoints {
+        /// Logical endpoints multiplexed onto the sender host.
+        count: u32,
+    },
+}
 
 /// How `edp_top` drives an app.
 #[derive(Debug, Clone)]
@@ -41,6 +74,8 @@ pub struct TopOptions {
     /// negotiated shard window. Pure execution-strategy knob — output is
     /// byte-identical for any value `>= 1`; only the window count drops.
     pub burst: usize,
+    /// The traffic source (CBR, pcap replay, or endpoint fleet).
+    pub workload: TopWorkload,
 }
 
 /// Reads `EDP_SHARDS`; unset or unparsable means `0` (classic path).
@@ -60,6 +95,7 @@ impl Default for TopOptions {
             trace_capacity: 65_536,
             shards: shards_from_env(),
             burst: edp_evsim::burst_from_env(),
+            workload: TopWorkload::Cbr,
         }
     }
 }
@@ -105,11 +141,129 @@ struct PointOutcome {
     cross_messages: u64,
 }
 
+/// Fronts a registry app's program with a static return route: ingress
+/// frames addressed to the fleet host go straight out its access port,
+/// everything else runs the app's own ingress unchanged. Registry
+/// programs are one-way (they egress toward the sink), so without this
+/// the server's replies would reflect back into the bottleneck — the
+/// closed-loop endpoint workload needs a reverse path, not a smarter app.
+struct ReturnPath {
+    inner: Box<dyn EventProgram>,
+    client: std::net::Ipv4Addr,
+    client_port: edp_pisa::PortId,
+}
+
+impl EventProgram for ReturnPath {
+    fn on_ingress(
+        &mut self,
+        pkt: &mut Packet,
+        parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        now: SimTime,
+        actions: &mut EventActions,
+    ) {
+        if parsed.ipv4.map(|ip| ip.dst) == Some(self.client) {
+            meta.dest = Destination::Port(self.client_port);
+            return;
+        }
+        self.inner.on_ingress(pkt, parsed, meta, now, actions)
+    }
+
+    fn on_egress(
+        &mut self,
+        pkt: &mut Packet,
+        parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        now: SimTime,
+        actions: &mut EventActions,
+    ) {
+        self.inner.on_egress(pkt, parsed, meta, now, actions)
+    }
+
+    fn on_recirculated(
+        &mut self,
+        pkt: &mut Packet,
+        parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        now: SimTime,
+        actions: &mut EventActions,
+    ) {
+        self.inner.on_recirculated(pkt, parsed, meta, now, actions)
+    }
+
+    fn on_generated(
+        &mut self,
+        pkt: &mut Packet,
+        parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        now: SimTime,
+        actions: &mut EventActions,
+    ) {
+        self.inner.on_generated(pkt, parsed, meta, now, actions)
+    }
+
+    fn on_enqueue(&mut self, ev: &EnqueueEvent, now: SimTime, actions: &mut EventActions) {
+        self.inner.on_enqueue(ev, now, actions)
+    }
+
+    fn on_dequeue(&mut self, ev: &DequeueEvent, now: SimTime, actions: &mut EventActions) {
+        self.inner.on_dequeue(ev, now, actions)
+    }
+
+    fn on_overflow(&mut self, ev: &OverflowEvent, now: SimTime, actions: &mut EventActions) {
+        self.inner.on_overflow(ev, now, actions)
+    }
+
+    fn on_underflow(&mut self, ev: &UnderflowEvent, now: SimTime, actions: &mut EventActions) {
+        self.inner.on_underflow(ev, now, actions)
+    }
+
+    fn on_timer(&mut self, ev: &TimerEvent, now: SimTime, actions: &mut EventActions) {
+        self.inner.on_timer(ev, now, actions)
+    }
+
+    fn on_control_plane(
+        &mut self,
+        ev: &ControlPlaneEvent,
+        now: SimTime,
+        actions: &mut EventActions,
+    ) {
+        self.inner.on_control_plane(ev, now, actions)
+    }
+
+    fn on_link_status(&mut self, ev: &LinkStatusEvent, now: SimTime, actions: &mut EventActions) {
+        self.inner.on_link_status(ev, now, actions)
+    }
+
+    fn on_user(&mut self, ev: &UserEvent, now: SimTime, actions: &mut EventActions) {
+        self.inner.on_user(ev, now, actions)
+    }
+
+    fn on_transmit(&mut self, ev: &TransmitEvent, now: SimTime, actions: &mut EventActions) {
+        self.inner.on_transmit(ev, now, actions)
+    }
+
+    fn flow_cacheable(&self) -> bool {
+        // The return route is itself a pure function of the 5-tuple, so
+        // the inner program's promise carries over unchanged.
+        self.inner.flow_cacheable()
+    }
+
+    fn passive_events(&self) -> u16 {
+        self.inner.passive_events()
+    }
+}
+
 /// Builds the app's dumbbell with its CBR load armed but nothing run:
 /// the piece of [`drive`] that is also usable as a [`run_sharded`] build
 /// closure (the sharded engine arms switch timers and runs the loop
 /// itself).
-fn build_point(app: &str, seed: u64, duration: SimDuration) -> (Network, Sim<Network>) {
+fn build_point(
+    app: &str,
+    seed: u64,
+    duration: SimDuration,
+    workload: &TopWorkload,
+) -> (Network, Sim<Network>) {
     let reg_app = builtin_apps()
         .into_iter()
         .find(|a| a.manifest.name == app)
@@ -132,35 +286,82 @@ fn build_point(app: &str, seed: u64, duration: SimDuration) -> (Network, Sim<Net
         timers,
         ..Default::default()
     };
-    let sw: EventSwitch<Box<dyn EventProgram>> = EventSwitch::new(reg_app.program, cfg);
+    // The endpoint workload is closed-loop: front the app with a return
+    // route so the server's replies can reach the fleet host on port 0.
+    let program: Box<dyn EventProgram> = match workload {
+        TopWorkload::Endpoints { .. } => Box::new(ReturnPath {
+            inner: reg_app.program,
+            client: addr(1),
+            client_port: 0,
+        }),
+        _ => reg_app.program,
+    };
+    let sw: EventSwitch<Box<dyn EventProgram>> = EventSwitch::new(program, cfg);
     // One sender on port 0, sink behind a 50 Mb/s bottleneck on port 1 —
     // the port most registry apps egress to — so ~190 Mb/s of CBR load
     // builds real queues and forces overflow/trim paths.
-    let (net, senders, _sink, _) = dumbbell(Box::new(sw), 1, 50_000_000, seed);
+    let (mut net, senders, sink, _) = dumbbell(Box::new(sw), 1, 50_000_000, seed);
     let mut sim: Sim<Network> = Sim::new();
-    let src = addr(1);
-    let interval = SimDuration::from_micros(10);
-    let count = duration.as_nanos() / interval.as_nanos();
-    start_cbr(
-        &mut sim,
-        senders[0],
-        SimTime::ZERO,
-        interval,
-        count,
-        move |i| {
-            PacketBuilder::udp(src, sink_addr(), 4000, 9000, &[0u8; 200])
-                .ident(i as u16)
-                .build()
-        },
-    );
+    let until = SimTime::ZERO + duration;
+    match workload {
+        TopWorkload::Cbr => {
+            let src = addr(1);
+            let interval = SimDuration::from_micros(10);
+            let count = duration.as_nanos() / interval.as_nanos();
+            start_cbr(
+                &mut sim,
+                senders[0],
+                SimTime::ZERO,
+                interval,
+                count,
+                move |i| {
+                    PacketBuilder::udp(src, sink_addr(), 4000, 9000, &[0u8; 200])
+                        .ident(i as u16)
+                        .build()
+                },
+            );
+        }
+        TopWorkload::Pcap { packets, speedup } => {
+            start_replay(
+                &mut sim,
+                senders[0],
+                Arc::clone(packets),
+                SimTime::ZERO,
+                *speedup,
+                until,
+            );
+        }
+        TopWorkload::Endpoints { count } => {
+            let cfg = EndpointConfig {
+                endpoints: *count,
+                seed,
+                server: sink_addr(),
+                keys: 4096,
+                zipf_s: 1.0,
+                think_mean_ns: 1_000_000.0,
+                timeout: SimDuration::from_millis(1),
+                max_retries: 3,
+            };
+            net.hosts[senders[0]].app =
+                HostApp::ClientFleet(Box::new(EndpointFleet::new(addr(1), cfg)));
+            net.hosts[sink].app = HostApp::RpcServer { served: 0 };
+            start_endpoints(
+                &mut sim,
+                senders[0],
+                SimTime::ZERO,
+                SimDuration::from_micros(20),
+                until,
+            );
+        }
+    }
     (net, sim)
 }
 
 /// Builds the app's dumbbell, drives the CBR load for `duration`, and
 /// returns the network for metric publication. Runs identically with
 /// telemetry enabled or disabled — [`measure_overhead`] exploits that.
-fn drive(app: &str, seed: u64, duration: SimDuration) -> Network {
-    let (mut net, mut sim) = build_point(app, seed, duration);
+fn drive(app: &str, seed: u64, duration: SimDuration, workload: &TopWorkload) -> Network {
+    let (mut net, mut sim) = build_point(app, seed, duration, workload);
     run_until(&mut net, &mut sim, SimTime::ZERO + duration);
     net
 }
@@ -168,6 +369,7 @@ fn drive(app: &str, seed: u64, duration: SimDuration) -> Network {
 /// One sweep point: a pure function of `(app, seed, duration, capacity)`
 /// on the classic path, and of those *plus nothing else* on the sharded
 /// path — the sharded outcome is byte-identical for every `shards >= 1`.
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     app: &str,
     seed: u64,
@@ -175,15 +377,16 @@ fn run_point(
     trace_capacity: usize,
     shards: usize,
     burst: usize,
+    workload: &TopWorkload,
 ) -> PointOutcome {
     if shards > 0 {
-        return run_point_sharded(app, seed, duration, trace_capacity, shards, burst);
+        return run_point_sharded(app, seed, duration, trace_capacity, shards, burst, workload);
     }
     telemetry::enable(TelemetryConfig {
         trace_capacity,
         ..TelemetryConfig::default()
     });
-    let net = drive(app, seed, duration);
+    let net = drive(app, seed, duration, workload);
     telemetry::with(|t| net.publish_metrics(&mut t.registry));
     let t = telemetry::disable().expect("session enabled above");
     let mut trace = format!("== {app} seed {seed} ==\n");
@@ -207,6 +410,7 @@ fn run_point(
 /// over shards — and the merged trace uses the canonical (span-less)
 /// rendering sorted by `(time, text)`, so the whole outcome is a pure
 /// function of `(app, seed, duration, capacity)` for any shard count.
+#[allow(clippy::too_many_arguments)]
 fn run_point_sharded(
     app: &str,
     seed: u64,
@@ -214,6 +418,7 @@ fn run_point_sharded(
     trace_capacity: usize,
     shards: usize,
     burst: usize,
+    workload: &TopWorkload,
 ) -> PointOutcome {
     let (sessions, stats) = run_sharded_opts(
         shards,
@@ -225,7 +430,7 @@ fn run_point_sharded(
                 scheduler_records: false,
                 ..TelemetryConfig::default()
             });
-            build_point(app, seed, duration)
+            build_point(app, seed, duration, workload)
         },
         |_shard, net, _sim| {
             telemetry::with(|t| net.publish_metrics(&mut t.registry));
@@ -281,14 +486,14 @@ pub fn measure_overhead(app: &str, duration: SimDuration, reps: u64) -> (f64, f6
     let t0 = Instant::now();
     for r in 0..reps {
         telemetry::enable(TelemetryConfig::default());
-        drive(app, 1 + r, duration);
+        drive(app, 1 + r, duration, &TopWorkload::Cbr);
         telemetry::disable();
     }
     let enabled = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     for r in 0..reps {
         let _ = telemetry::disable(); // ensure the disabled path
-        drive(app, 1 + r, duration);
+        drive(app, 1 + r, duration, &TopWorkload::Cbr);
     }
     let disabled = t1.elapsed().as_secs_f64();
     (enabled, disabled)
@@ -306,8 +511,9 @@ pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
     let cap = opts.trace_capacity;
     let shards = opts.shards;
     let burst = opts.burst.max(1);
-    let outcomes = sweep(opts.seeds.clone(), opts.threads, |seed| {
-        run_point(app, seed, duration, cap, shards, burst)
+    let workload = opts.workload.clone();
+    let outcomes = sweep(opts.seeds.clone(), opts.threads, move |seed| {
+        run_point(app, seed, duration, cap, shards, burst, &workload)
     });
     let mut registry = Registry::new();
     let mut trace = String::new();
@@ -413,6 +619,44 @@ pub fn render(r: &TopReport) -> String {
     );
 
     let mut any = false;
+    for (name, scope, v) in r.registry.counters() {
+        if name != "proto_pkts" || v == 0 {
+            continue;
+        }
+        if !any {
+            let _ = writeln!(out, "\n  protocols (hosts)           pkts       bytes");
+            any = true;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>10} {:>11}",
+            scope,
+            v,
+            r.registry.counter("proto_bytes", scope)
+        );
+    }
+
+    if r.registry.counter("endpoint_connects", "net") > 0 {
+        let responses = r.registry.counter("endpoint_responses", "net");
+        let samples = r.registry.counter("endpoint_rtt_samples", "net");
+        let mean_rtt = r
+            .registry
+            .counter("endpoint_rtt_ns", "net")
+            .checked_div(samples)
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "\n  endpoints: {} connected | {} requests, {} responses, {} retransmits, {} gave up | mean rtt {} ns",
+            r.registry.counter("endpoint_connected", "net"),
+            r.registry.counter("endpoint_requests", "net"),
+            responses,
+            r.registry.counter("endpoint_retransmits", "net"),
+            r.registry.counter("endpoint_gave_up", "net"),
+            mean_rtt,
+        );
+    }
+
+    let mut any = false;
     for (name, scope, h) in r.registry.histograms() {
         if !any {
             let _ = writeln!(
@@ -486,6 +730,7 @@ mod tests {
             trace_capacity: 4096,
             shards: 0,
             burst: 1,
+            workload: TopWorkload::Cbr,
         }
     }
 

@@ -5,7 +5,7 @@
 //! the same point on 1, 2, or 4 shards must also be byte-identical,
 //! for every registered app.
 
-use edp_bench::top::{app_names, run, to_json_report, TopOptions};
+use edp_bench::top::{app_names, run, to_json_report, TopOptions, TopWorkload};
 use edp_evsim::SimDuration;
 
 fn opts(threads: usize) -> TopOptions {
@@ -16,6 +16,7 @@ fn opts(threads: usize) -> TopOptions {
         trace_capacity: 8192,
         shards: 0,
         burst: 1,
+        workload: TopWorkload::Cbr,
     }
 }
 
@@ -53,6 +54,7 @@ fn shard_opts(shards: usize) -> TopOptions {
         trace_capacity: 65_536,
         shards,
         burst: 1,
+        workload: TopWorkload::Cbr,
     }
 }
 
@@ -118,6 +120,75 @@ fn every_app_is_byte_identical_across_burst_factors() {
             );
         }
     }
+}
+
+/// The ingestion-plane acceptance pin: the pcap-replay and
+/// endpoint-fleet workloads are a pure function of `(file, seed)` —
+/// trace and exports byte-identical across shard counts 1/2/4 crossed
+/// with burst factors 1/32.
+fn workload_pin(workload: TopWorkload, tag: &str) {
+    let point = |shards: usize, burst: usize| {
+        let o = TopOptions {
+            seeds: vec![1],
+            duration: SimDuration::from_millis(2),
+            threads: 1,
+            trace_capacity: 262_144,
+            shards,
+            burst,
+            workload: workload.clone(),
+        };
+        run("microburst", &o).expect("workload run")
+    };
+    let base = point(1, 1);
+    assert!(base.trace_records > 0, "{tag}: run recorded nothing");
+    assert_eq!(base.trace_dropped, 0, "{tag}: ring evicted; raise capacity");
+    let base_json = to_json_report(&base);
+    let base_prom = edp_telemetry::to_prometheus_text(&base.registry);
+    for shards in [1usize, 2, 4] {
+        for burst in [1usize, 32] {
+            if (shards, burst) == (1, 1) {
+                continue;
+            }
+            let b = point(shards, burst);
+            assert_eq!(
+                base.trace, b.trace,
+                "{tag}: trace differs at {shards} shards x burst {burst}"
+            );
+            assert_eq!(
+                base_json,
+                to_json_report(&b),
+                "{tag}: JSON differs at {shards} shards x burst {burst}"
+            );
+            assert_eq!(
+                base_prom,
+                edp_telemetry::to_prometheus_text(&b.registry),
+                "{tag}: Prometheus differs at {shards} shards x burst {burst}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pcap_replay_is_byte_identical_across_shards_and_burst() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/mixed_protocols.pcap"
+    );
+    let bytes = std::fs::read(path).expect("fixture present");
+    let file = edp_packet::PcapFile::parse(&bytes).expect("fixture parses");
+    assert!(!file.packets.is_empty());
+    workload_pin(
+        TopWorkload::Pcap {
+            packets: std::sync::Arc::new(file.packets),
+            speedup: 1.0,
+        },
+        "pcap",
+    );
+}
+
+#[test]
+fn endpoint_fleet_is_byte_identical_across_shards_and_burst() {
+    workload_pin(TopWorkload::Endpoints { count: 1000 }, "endpoints");
 }
 
 #[test]

@@ -1,8 +1,13 @@
 //! End hosts: traffic sinks with per-flow accounting plus small
-//! programmable responders (echo, key-value server).
+//! programmable responders (echo, key-value server, RPC server, and the
+//! endpoint-fleet client).
 
+use crate::endpoint::EndpointFleet;
 use edp_evsim::{SimTime, Welford};
-use edp_packet::{parse_packet, AppHeader, FlowKey, KvHeader, KvOp, Packet, PacketBuilder};
+use edp_packet::{
+    parse_packet, AppHeader, EtherType, FlowKey, IpProto, KvHeader, KvOp, Packet, PacketBuilder,
+    ParsedPacket, RpcHeader, RpcKind,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -21,6 +26,91 @@ pub struct FlowStats {
     pub latency_ns: Welford,
 }
 
+/// Human-readable labels for [`ProtoStats::eth`] buckets.
+pub const ETH_CLASSES: [&str; 4] = ["ipv4", "arp", "event", "other"];
+/// Human-readable labels for [`ProtoStats::ip`] buckets.
+pub const IP_CLASSES: [&str; 4] = ["udp", "tcp", "icmp", "other"];
+/// Human-readable labels for [`ProtoStats::port`] buckets.
+pub const PORT_CLASSES: [&str; 6] = ["hula", "int", "kv", "live", "rpc", "other"];
+
+/// Per-protocol receive accounting: packets and bytes bucketed by
+/// ethertype, IP protocol, and well-known-port class. Fixed-size arrays
+/// (indices match the `*_CLASSES` label tables) so counting is two adds
+/// per layer and publishing is deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtoStats {
+    /// Packets by ethertype class (see [`ETH_CLASSES`]).
+    pub eth: [u64; 4],
+    /// Bytes by ethertype class.
+    pub eth_bytes: [u64; 4],
+    /// IPv4 packets by protocol class (see [`IP_CLASSES`]).
+    pub ip: [u64; 4],
+    /// IPv4 bytes by protocol class.
+    pub ip_bytes: [u64; 4],
+    /// UDP packets by well-known-port class (see [`PORT_CLASSES`]).
+    pub port: [u64; 6],
+    /// UDP bytes by well-known-port class.
+    pub port_bytes: [u64; 6],
+}
+
+impl ProtoStats {
+    /// Folds one parsed frame of `len` bytes into the buckets.
+    pub fn record(&mut self, pp: &ParsedPacket, len: u64) {
+        let e = match pp.eth.ethertype {
+            EtherType::Ipv4 => 0,
+            EtherType::Arp => 1,
+            EtherType::EventCarrier => 2,
+            EtherType::Other(_) => 3,
+        };
+        self.eth[e] += 1;
+        self.eth_bytes[e] += len;
+        let Some(ip) = pp.ipv4 else { return };
+        let i = match ip.proto {
+            IpProto::Udp => 0,
+            IpProto::Tcp => 1,
+            IpProto::Icmp => 2,
+            IpProto::Other(_) => 3,
+        };
+        self.ip[i] += 1;
+        self.ip_bytes[i] += len;
+        if i != 0 {
+            return;
+        }
+        let p = match pp.app {
+            Some(AppHeader::Hula(_)) => 0,
+            Some(AppHeader::Telemetry(_)) => 1,
+            Some(AppHeader::Kv(_)) => 2,
+            Some(AppHeader::Liveness(_)) => 3,
+            Some(AppHeader::Rpc(_)) => 4,
+            None => 5,
+        };
+        self.port[p] += 1;
+        self.port_bytes[p] += len;
+    }
+
+    /// Sums `other` into `self` (shard-merge / multi-host aggregation).
+    pub fn absorb(&mut self, other: &ProtoStats) {
+        for (a, b) in self.eth.iter_mut().zip(other.eth) {
+            *a += b;
+        }
+        for (a, b) in self.eth_bytes.iter_mut().zip(other.eth_bytes) {
+            *a += b;
+        }
+        for (a, b) in self.ip.iter_mut().zip(other.ip) {
+            *a += b;
+        }
+        for (a, b) in self.ip_bytes.iter_mut().zip(other.ip_bytes) {
+            *a += b;
+        }
+        for (a, b) in self.port.iter_mut().zip(other.port) {
+            *a += b;
+        }
+        for (a, b) in self.port_bytes.iter_mut().zip(other.port_bytes) {
+            *a += b;
+        }
+    }
+}
+
 /// Aggregate host receive statistics.
 #[derive(Debug, Clone, Default)]
 pub struct HostStats {
@@ -30,6 +120,8 @@ pub struct HostStats {
     pub rx_bytes: u64,
     /// Frames that failed to parse.
     pub rx_errors: u64,
+    /// Per-protocol breakdown of parsed frames.
+    pub proto: ProtoStats,
     /// Per-flow breakdown.
     pub flows: HashMap<FlowKey, FlowStats>,
 }
@@ -64,6 +156,16 @@ pub enum HostApp {
         /// Served request count.
         served: u64,
     },
+    /// An HTTP/gRPC-shaped RPC server: acks `Connect`s and answers
+    /// `Request`s with a `Response` padded to the client-requested size.
+    RpcServer {
+        /// Served message count (connects + requests).
+        served: u64,
+    },
+    /// A fleet of logical clients (see [`crate::endpoint::EndpointFleet`]):
+    /// consumes `ConnectAck`/`Response` frames; its requests are injected
+    /// by the [`crate::endpoint::start_endpoints`] pacer.
+    ClientFleet(Box<EndpointFleet>),
 }
 
 /// An end host attached to the network by one link.
@@ -93,7 +195,7 @@ impl Host {
     /// tracked the packet's send time.
     pub fn on_receive(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         pkt: &Packet,
         latency_ns: Option<u64>,
     ) -> Vec<Vec<u8>> {
@@ -106,6 +208,7 @@ impl Host {
                 return Vec::new();
             }
         };
+        self.stats.proto.record(&parsed, pkt.len() as u64);
         if let Some(key) = parsed.flow_key() {
             let f = self.stats.flows.entry(key).or_default();
             f.pkts += 1;
@@ -149,6 +252,38 @@ impl Host {
                     }
                     KvOp::Reply => Vec::new(),
                 }
+            }
+            HostApp::RpcServer { served } => {
+                let (Some(ip), Some(AppHeader::Rpc(rpc))) = (parsed.ipv4, parsed.app) else {
+                    return Vec::new();
+                };
+                match rpc.kind {
+                    RpcKind::Connect => {
+                        *served += 1;
+                        let ack = RpcHeader {
+                            kind: RpcKind::ConnectAck,
+                            ..rpc
+                        };
+                        vec![PacketBuilder::rpc(ip.dst, ip.src, &ack).build()]
+                    }
+                    RpcKind::Request => {
+                        *served += 1;
+                        let resp = RpcHeader {
+                            kind: RpcKind::Response,
+                            ..rpc
+                        };
+                        vec![PacketBuilder::rpc(ip.dst, ip.src, &resp)
+                            .pad_to(rpc.resp_bytes as usize)
+                            .build()]
+                    }
+                    RpcKind::ConnectAck | RpcKind::Response => Vec::new(),
+                }
+            }
+            HostApp::ClientFleet(fleet) => {
+                if let Some(AppHeader::Rpc(rpc)) = parsed.app {
+                    fleet.on_rpc(now, &rpc);
+                }
+                Vec::new()
             }
         }
     }

@@ -22,22 +22,30 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod endpoint;
 pub mod faults;
 mod harness;
 mod host;
 mod link;
 mod net;
+pub mod replay;
 pub mod shard;
 pub mod trace;
 pub mod traffic;
 
+pub use endpoint::{
+    start_endpoints, EndpointConfig, EndpointFleet, FleetStats, ENDPOINT_DOMAIN, RESPONSE_SIZES,
+};
 pub use faults::{FaultPlan, FAULT_DOMAIN};
 pub use harness::SwitchHarness;
-pub use host::{FlowStats, Host, HostApp, HostId, HostStats};
+pub use host::{
+    FlowStats, Host, HostApp, HostId, HostStats, ProtoStats, ETH_CLASSES, IP_CLASSES, PORT_CLASSES,
+};
 pub use link::{
     Deliveries, Delivery, Dir, LinkDirState, LinkFaultModel, LinkFaults, LinkId, LinkSpec,
     LinkState,
 };
 pub use net::{Endpoint, Network, NodeRef};
+pub use replay::start_replay;
 pub use shard::{merge_tracers, run_sharded, run_sharded_opts, ShardPlan, ShardStats};
 pub use trace::{TraceEntry, TraceKind, Tracer};

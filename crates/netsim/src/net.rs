@@ -689,6 +689,63 @@ impl Network {
         reg.set_counter("dropped_unconnected", "net", self.dropped_unconnected);
         reg.set_counter("tracer_entries", "net", self.tracer.len() as u64);
         reg.set_counter("tracer_dropped", "net", self.tracer.dropped());
+        self.publish_proto_metrics(reg);
+    }
+
+    /// Per-protocol receive breakdown and endpoint-fleet counters, summed
+    /// over this world's *owned* hosts (non-owned hosts never receive, so
+    /// classic and merged-shard registries agree). Zero buckets are
+    /// skipped: presence of a key then depends only on whether that
+    /// traffic class exists in the run, not on the engine mode.
+    fn publish_proto_metrics(&self, reg: &mut edp_telemetry::Registry) {
+        let mut proto = crate::host::ProtoStats::default();
+        let mut fleet = crate::endpoint::FleetStats::default();
+        let mut have_fleet = false;
+        for (i, h) in self.hosts.iter().enumerate() {
+            if !self.owns_node(NodeRef::Host(i)) {
+                continue;
+            }
+            proto.absorb(&h.stats.proto);
+            if let crate::host::HostApp::ClientFleet(f) = &h.app {
+                have_fleet = true;
+                let s = &f.stats;
+                fleet.connects_sent += s.connects_sent;
+                fleet.connected += s.connected;
+                fleet.requests += s.requests;
+                fleet.responses += s.responses;
+                fleet.retransmits += s.retransmits;
+                fleet.gave_up += s.gave_up;
+                fleet.rtt_ns_sum += s.rtt_ns_sum;
+                fleet.rtt_samples += s.rtt_samples;
+            }
+        }
+        let mut put = |name: &str, scope: String, v: u64| {
+            if v > 0 {
+                reg.set_counter(name, &scope, v);
+            }
+        };
+        for (c, label) in crate::host::ETH_CLASSES.iter().enumerate() {
+            put("proto_pkts", format!("eth:{label}"), proto.eth[c]);
+            put("proto_bytes", format!("eth:{label}"), proto.eth_bytes[c]);
+        }
+        for (c, label) in crate::host::IP_CLASSES.iter().enumerate() {
+            put("proto_pkts", format!("ip:{label}"), proto.ip[c]);
+            put("proto_bytes", format!("ip:{label}"), proto.ip_bytes[c]);
+        }
+        for (c, label) in crate::host::PORT_CLASSES.iter().enumerate() {
+            put("proto_pkts", format!("port:{label}"), proto.port[c]);
+            put("proto_bytes", format!("port:{label}"), proto.port_bytes[c]);
+        }
+        if have_fleet {
+            put("endpoint_connects", "net".into(), fleet.connects_sent);
+            put("endpoint_connected", "net".into(), fleet.connected);
+            put("endpoint_requests", "net".into(), fleet.requests);
+            put("endpoint_responses", "net".into(), fleet.responses);
+            put("endpoint_retransmits", "net".into(), fleet.retransmits);
+            put("endpoint_gave_up", "net".into(), fleet.gave_up);
+            put("endpoint_rtt_ns", "net".into(), fleet.rtt_ns_sum);
+            put("endpoint_rtt_samples", "net".into(), fleet.rtt_samples);
+        }
     }
 
     /// Sends a control-plane command to switch `i` after `delay`

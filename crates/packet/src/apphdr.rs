@@ -16,11 +16,14 @@ pub const PORT_TELEMETRY: u16 = 17067;
 pub const PORT_KV: u16 = 17068;
 /// UDP port for data-plane liveness echo probes.
 pub const PORT_LIVENESS: u16 = 17069;
+/// UDP port for the endpoint model's HTTP/gRPC-shaped RPC protocol.
+pub const PORT_RPC: u16 = 17070;
 
 const MAGIC_HULA: u8 = 0xA1;
 const MAGIC_TELEMETRY: u8 = 0xA2;
 const MAGIC_KV: u8 = 0xA3;
 const MAGIC_LIVENESS: u8 = 0xA4;
+const MAGIC_RPC: u8 = 0xA5;
 
 /// A HULA-style path utilization probe (cf. Katta et al., SOSR '16).
 ///
@@ -274,6 +277,93 @@ impl LivenessHeader {
     }
 }
 
+/// RPC message direction/kind for the endpoint fleet model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RpcKind {
+    /// Client connection setup (the "SYN" of the HTTP/gRPC-shaped flow).
+    Connect,
+    /// Server acknowledgment of a `Connect`.
+    ConnectAck,
+    /// Client request for a key.
+    Request,
+    /// Server response carrying the value bytes.
+    Response,
+}
+
+/// The endpoint model's request/response header (see `edp-netsim`'s
+/// `endpoint` module): one host models a fleet of clients, each issuing
+/// Zipf-keyed requests and retransmitting on timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RpcHeader {
+    /// Message kind.
+    pub kind: RpcKind,
+    /// Logical endpoint (client) id within the fleet.
+    pub endpoint: u32,
+    /// Per-endpoint sequence number; a retransmit reuses the original's.
+    pub seq: u32,
+    /// Requested key (Zipf-distributed by the client).
+    pub key: u64,
+    /// Response body size in bytes the server should produce (drawn by
+    /// the client so traffic is a pure function of the client seed;
+    /// echoed back in the `Response`).
+    pub resp_bytes: u32,
+}
+
+impl RpcHeader {
+    /// Encoded length.
+    pub const WIRE_LEN: usize = 22;
+
+    /// Parses from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> ParseResult<(Self, usize)> {
+        check_len("rpc", buf.len(), Self::WIRE_LEN)?;
+        if buf[0] != MAGIC_RPC {
+            return Err(ParseError::Unsupported {
+                layer: "rpc",
+                field: "magic",
+                value: buf[0] as u64,
+            });
+        }
+        let kind = match buf[1] {
+            0 => RpcKind::Connect,
+            1 => RpcKind::ConnectAck,
+            2 => RpcKind::Request,
+            3 => RpcKind::Response,
+            other => {
+                return Err(ParseError::Unsupported {
+                    layer: "rpc",
+                    field: "kind",
+                    value: other as u64,
+                })
+            }
+        };
+        Ok((
+            RpcHeader {
+                kind,
+                endpoint: get_u32(buf, 2),
+                seq: get_u32(buf, 6),
+                key: get_u64(buf, 10),
+                resp_bytes: get_u32(buf, 18),
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+
+    /// Appends the encoded header to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.push(MAGIC_RPC);
+        out.push(match self.kind {
+            RpcKind::Connect => 0,
+            RpcKind::ConnectAck => 1,
+            RpcKind::Request => 2,
+            RpcKind::Response => 3,
+        });
+        out.extend_from_slice(&self.endpoint.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.key.to_be_bytes());
+        out.extend_from_slice(&self.resp_bytes.to_be_bytes());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,10 +458,51 @@ mod tests {
     }
 
     #[test]
+    fn rpc_round_trip_all_kinds() {
+        for kind in [
+            RpcKind::Connect,
+            RpcKind::ConnectAck,
+            RpcKind::Request,
+            RpcKind::Response,
+        ] {
+            let r = RpcHeader {
+                kind,
+                endpoint: 512,
+                seq: 9,
+                key: 0xCAFE_F00D,
+                resp_bytes: 1200,
+            };
+            let mut out = Vec::new();
+            r.emit(&mut out);
+            assert_eq!(out.len(), RpcHeader::WIRE_LEN);
+            assert_eq!(RpcHeader::parse(&out).expect("parse").0, r);
+        }
+    }
+
+    #[test]
+    fn rpc_bad_kind_and_magic_rejected() {
+        let mut out = Vec::new();
+        RpcHeader {
+            kind: RpcKind::Request,
+            endpoint: 0,
+            seq: 0,
+            key: 0,
+            resp_bytes: 0,
+        }
+        .emit(&mut out);
+        let mut bad = out.clone();
+        bad[1] = 200;
+        assert!(RpcHeader::parse(&bad).is_err());
+        out[0] = 0x00;
+        assert!(RpcHeader::parse(&out).is_err());
+    }
+
+    #[test]
     fn truncation_rejected_everywhere() {
         assert!(HulaProbe::parse(&[MAGIC_HULA]).is_err());
         assert!(TelemetryHeader::parse(&[MAGIC_TELEMETRY]).is_err());
         assert!(KvHeader::parse(&[MAGIC_KV]).is_err());
         assert!(LivenessHeader::parse(&[MAGIC_LIVENESS]).is_err());
+        assert!(RpcHeader::parse(&[MAGIC_RPC]).is_err());
     }
 }

@@ -6,8 +6,8 @@
 
 use crate::addr::MacAddr;
 use crate::apphdr::{
-    HulaProbe, KvHeader, LivenessHeader, TelemetryHeader, PORT_HULA, PORT_KV, PORT_LIVENESS,
-    PORT_TELEMETRY,
+    HulaProbe, KvHeader, LivenessHeader, RpcHeader, TelemetryHeader, PORT_HULA, PORT_KV,
+    PORT_LIVENESS, PORT_RPC, PORT_TELEMETRY,
 };
 use crate::eth::{EthHeader, EtherType, ETH_HEADER_LEN};
 use crate::ipv4::{Ecn, IpProto, Ipv4Header, IPV4_HEADER_LEN};
@@ -145,6 +145,13 @@ impl PacketBuilder {
         let mut payload = Vec::new();
         probe.emit(&mut payload);
         Self::udp(src, dst, PORT_LIVENESS, PORT_LIVENESS, &payload)
+    }
+
+    /// An endpoint-model RPC message on [`PORT_RPC`].
+    pub fn rpc(src: Ipv4Addr, dst: Ipv4Addr, msg: &RpcHeader) -> Self {
+        let mut payload = Vec::new();
+        msg.emit(&mut payload);
+        Self::udp(src, dst, PORT_RPC, PORT_RPC, &payload)
     }
 
     /// A bare event-carrier frame of `len` total bytes (≥ 14): what the

@@ -47,13 +47,14 @@ mod ipv4;
 mod l4;
 mod packet;
 mod parse;
+mod pcap;
 mod pool;
 pub mod wire;
 
 pub use addr::MacAddr;
 pub use apphdr::{
-    HulaProbe, KvHeader, KvOp, LivenessHeader, LivenessKind, TelemetryHeader, PORT_HULA, PORT_KV,
-    PORT_LIVENESS, PORT_TELEMETRY,
+    HulaProbe, KvHeader, KvOp, LivenessHeader, LivenessKind, RpcHeader, RpcKind, TelemetryHeader,
+    PORT_HULA, PORT_KV, PORT_LIVENESS, PORT_RPC, PORT_TELEMETRY,
 };
 pub use builder::PacketBuilder;
 pub use burst::{Burst, ParsedBurst};
@@ -67,4 +68,5 @@ pub use l4::{
 };
 pub use packet::{Packet, PacketUid};
 pub use parse::{parse_packet, summarize, AppHeader, ParsedPacket, L4};
+pub use pcap::{PcapError, PcapFile, PcapPacket, PcapResult, LINKTYPE_ETHERNET, MAX_FRAME_LEN};
 pub use pool::{BufferPool, PoolStats};

@@ -7,8 +7,8 @@
 //! packet whose deeper headers it has no states for.
 
 use crate::apphdr::{
-    HulaProbe, KvHeader, LivenessHeader, TelemetryHeader, PORT_HULA, PORT_KV, PORT_LIVENESS,
-    PORT_TELEMETRY,
+    HulaProbe, KvHeader, LivenessHeader, RpcHeader, TelemetryHeader, PORT_HULA, PORT_KV,
+    PORT_LIVENESS, PORT_RPC, PORT_TELEMETRY,
 };
 use crate::error::ParseResult;
 use crate::eth::{EthHeader, EtherType};
@@ -38,6 +38,8 @@ pub enum AppHeader {
     Kv(KvHeader),
     /// Liveness echo probe.
     Liveness(LivenessHeader),
+    /// Endpoint-model RPC message.
+    Rpc(RpcHeader),
 }
 
 /// A fully parsed packet with layer offsets into the original buffer.
@@ -175,6 +177,10 @@ pub fn summarize(buf: &[u8]) -> String {
         }
         Some(AppHeader::Kv(k)) => format!(" kv[{:?} key={}]", k.op, k.key),
         Some(AppHeader::Liveness(l)) => format!(" live[{:?} seq={}]", l.kind, l.seq),
+        Some(AppHeader::Rpc(r)) => format!(
+            " rpc[{:?} ep={} seq={} key={}]",
+            r.kind, r.endpoint, r.seq, r.key
+        ),
         None => String::new(),
     };
     match pp.l4 {
@@ -215,7 +221,10 @@ pub fn summarize(buf: &[u8]) -> String {
 }
 
 fn is_app_port(p: u16) -> bool {
-    matches!(p, PORT_HULA | PORT_TELEMETRY | PORT_KV | PORT_LIVENESS)
+    matches!(
+        p,
+        PORT_HULA | PORT_TELEMETRY | PORT_KV | PORT_LIVENESS | PORT_RPC
+    )
 }
 
 fn parse_app(port: u16, buf: &[u8]) -> ParseResult<(AppHeader, usize)> {
@@ -224,6 +233,7 @@ fn parse_app(port: u16, buf: &[u8]) -> ParseResult<(AppHeader, usize)> {
         PORT_TELEMETRY => TelemetryHeader::parse(buf).map(|(h, n)| (AppHeader::Telemetry(h), n)),
         PORT_KV => KvHeader::parse(buf).map(|(h, n)| (AppHeader::Kv(h), n)),
         PORT_LIVENESS => LivenessHeader::parse(buf).map(|(h, n)| (AppHeader::Liveness(h), n)),
+        PORT_RPC => RpcHeader::parse(buf).map(|(h, n)| (AppHeader::Rpc(h), n)),
         _ => unreachable!("caller checked is_app_port"),
     }
 }

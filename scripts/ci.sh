@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
 # Offline-friendly CI gate: everything a PR must pass, with no network.
 #
-#   scripts/ci.sh           # fmt, build, test, edp_lint, clippy, smoke-bench + regression gate
-#   scripts/ci.sh --quick   # fmt, build, test, edp_lint only
+#   scripts/ci.sh               # full local gate (everything below)
+#   scripts/ci.sh --quick       # fmt, build, test, edp_lint, telemetry smoke
+#   scripts/ci.sh --matrix-leg  # build + tier-1 tests under the ambient
+#                               # EDP_SHARDS / EDP_BURST (one CI matrix leg)
+#   scripts/ci.sh --gate        # fmt, clippy, edp_lint, pcap fixture
+#                               # round-trip, replay smoke, bench gate
+#
+# The CI pipeline fans the engine matrix {EDP_SHARDS=1,4} x {EDP_BURST=1,32}
+# across `--matrix-leg` jobs and runs `--gate` once beside them; the
+# default (no-flag) mode runs the union locally, emulating the matrix
+# with in-process EDP_SHARDS=4 / EDP_BURST=32 re-runs.
 #
 # The workspace vendors all third-party crates (see vendor/), so the
 # whole gate runs with the cargo registry unreachable.
@@ -10,57 +19,110 @@
 # The bench-regression gate compares the smoke snapshot against the
 # committed baseline (BENCH_1.json by default; override with
 # EDP_BENCH_BASELINE) and fails on a >25% throughput drop in the gated
-# event-queue / LPM metrics (override with EDP_BENCH_MAX_REGRESS).
+# metrics (override with EDP_BENCH_MAX_REGRESS).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-quick=0
-[[ "${1:-}" == "--quick" ]] && quick=1
+mode=full
+case "${1:-}" in
+"") mode=full ;;
+--quick) mode=quick ;;
+--matrix-leg) mode=matrix-leg ;;
+--gate) mode=gate ;;
+*)
+    echo "usage: scripts/ci.sh [--quick | --matrix-leg | --gate]" >&2
+    exit 2
+    ;;
+esac
 
 baseline="${EDP_BENCH_BASELINE:-BENCH_1.json}"
 max_regress="${EDP_BENCH_MAX_REGRESS:-0.25}"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+step_fmt() {
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+}
 
-echo "==> cargo build --release"
-cargo build --offline --release -q
+step_build() {
+    echo "==> cargo build --release"
+    cargo build --offline --release -q
+}
 
-echo "==> cargo test"
-cargo test --offline -q
+step_test() {
+    echo "==> cargo test (EDP_SHARDS=${EDP_SHARDS:-unset} EDP_BURST=${EDP_BURST:-unset})"
+    cargo test --offline -q
+}
 
-echo "==> edp_lint --deny warnings (static hazard/lint gate)"
-# Static analysis over every registered app: shared-state hazards, merge
-# op algebra, table rule reachability, event coverage. Stable codes are
-# documented in DESIGN.md §9; intentional findings are allowed
-# per-(code, subject) in the app's manifest, never blanket-suppressed.
-cargo run --offline --release -q -p edp-analyze --bin edp_lint -- --deny warnings
+step_lint() {
+    echo "==> edp_lint --deny warnings (static hazard/lint gate)"
+    # Static analysis over every registered app: shared-state hazards,
+    # merge op algebra, table rule reachability, event coverage. Stable
+    # codes are documented in DESIGN.md §9; intentional findings are
+    # allowed per-(code, subject) in the app's manifest, never
+    # blanket-suppressed.
+    cargo run --offline --release -q -p edp-analyze --bin edp_lint -- --deny warnings
+}
 
-echo "==> edp_top --json smoke (telemetry layer end-to-end)"
-# Drives two registered apps under a full telemetry session and checks
-# the JSON report is non-degenerate: the switch saw traffic and the
-# trace ring recorded it. Grep keeps this dependency-free.
-for app in microburst ndp-trim; do
+step_top_smoke() {
+    echo "==> edp_top --json smoke (telemetry layer end-to-end)"
+    # Drives two registered apps under a full telemetry session and
+    # checks the JSON report is non-degenerate: the switch saw traffic
+    # and the trace ring recorded it. Grep keeps this dependency-free.
+    local app out
+    for app in microburst ndp-trim; do
+        out="$(cargo run --offline --release -q -p edp-bench --bin edp_top -- \
+            "$app" --seeds 2 --duration-ms 2 --json)"
+        echo "$out" | grep -q "\"app\":\"$app\"" || {
+            echo "edp_top --json: missing app field for $app" >&2
+            exit 1
+        }
+        echo "$out" | grep -q '"name":"events_ingress","scope":"sw0","value":[1-9]' || {
+            echo "edp_top --json: no ingress events recorded for $app" >&2
+            exit 1
+        }
+        echo "$out" | grep -q '"trace_records":[1-9]' || {
+            echo "edp_top --json: empty trace ring for $app" >&2
+            exit 1
+        }
+    done
+}
+
+step_pcap() {
+    echo "==> pcap fixtures (deterministic regeneration check)"
+    # The committed fixtures are pure functions of their seeds: pcap_gen
+    # regenerates both in memory and fails on any byte difference with
+    # what is on disk.
+    cargo run --offline --release -q -p edp-bench --bin pcap_gen -- --check tests/fixtures
+
+    echo "==> pcap codec round-trip (byte-identical re-encode)"
+    # parse -> write -> parse must be a fixpoint, and canonical inputs
+    # (which the fixtures are) must survive byte-for-byte.
+    local f
+    for f in tests/fixtures/*.pcap; do
+        cargo run --offline --release -q -p edp-bench --bin edp_top -- --pcap-roundtrip "$f"
+    done
+
+    echo "==> edp_top --pcap smoke (capture replay + per-protocol telemetry)"
+    # Replays the mixed-protocol fixture through a registered app and
+    # checks the per-protocol counters saw every traffic class the
+    # fixture carries (ARP proves the non-IPv4 path is alive).
+    local out
     out="$(cargo run --offline --release -q -p edp-bench --bin edp_top -- \
-        "$app" --seeds 2 --duration-ms 2 --json)"
-    echo "$out" | grep -q "\"app\":\"$app\"" || {
-        echo "edp_top --json: missing app field for $app" >&2
-        exit 1
-    }
-    echo "$out" | grep -q '"name":"events_ingress","scope":"sw0","value":[1-9]' || {
-        echo "edp_top --json: no ingress events recorded for $app" >&2
-        exit 1
-    }
-    echo "$out" | grep -q '"trace_records":[1-9]' || {
-        echo "edp_top --json: empty trace ring for $app" >&2
-        exit 1
-    }
-done
+        microburst --pcap tests/fixtures/mixed_protocols.pcap \
+        --seeds 1 --duration-ms 2 --json)"
+    local scope
+    for scope in "eth:arp" "ip:udp" "port:kv" "port:rpc"; do
+        echo "$out" | grep -q "\"name\":\"proto_pkts\",\"scope\":\"$scope\",\"value\":[1-9]" || {
+            echo "edp_top --pcap: no proto_pkts for $scope" >&2
+            exit 1
+        }
+    done
+}
 
-if [[ $quick -eq 0 ]]; then
+step_engine_matrix_local() {
     echo "==> cargo test (EDP_SHARDS=4: tier-1 through the sharded engine)"
     # Everything that consults EDP_SHARDS (edp_top's TopOptions default
     # and the determinism suites) reruns on the 4-shard parallel engine;
@@ -74,10 +136,14 @@ if [[ $quick -eq 0 ]]; then
     # byte-identity with the per-packet path is asserted by the tests
     # themselves (top_determinism, integration_shards).
     EDP_BURST=32 cargo test --offline -q
+}
 
+step_clippy() {
     echo "==> cargo clippy (-D warnings)"
     cargo clippy --offline --all-targets -q -- -D warnings
+}
 
+step_bench_gate() {
     echo "==> bench_snapshot --smoke (regression gate vs ${baseline})"
     # Telemetry is compiled in but *disabled* here (no session enabled),
     # so this same gate proves the instrumented hot paths cost at most
@@ -89,6 +155,46 @@ if [[ $quick -eq 0 ]]; then
     cargo run --offline --release -q --bin bench_snapshot -- \
         --smoke --out /tmp/edp_ci_smoke.json \
         --baseline "${baseline}" --max-regress "${max_regress}"
-fi
+}
 
-echo "==> CI gate passed"
+case "$mode" in
+quick)
+    step_fmt
+    step_build
+    step_test
+    step_lint
+    step_top_smoke
+    ;;
+matrix-leg)
+    # One leg of the CI engine matrix: the workflow exports EDP_SHARDS
+    # and EDP_BURST before calling this, so the whole tier-1 suite runs
+    # natively on that engine configuration.
+    step_build
+    step_test
+    ;;
+gate)
+    # The non-matrixed CI leg: style, static analysis, fixtures, smoke
+    # drives and the perf regression gate — everything that only needs
+    # to run once per pipeline.
+    step_fmt
+    step_build
+    step_clippy
+    step_lint
+    step_top_smoke
+    step_pcap
+    step_bench_gate
+    ;;
+full)
+    step_fmt
+    step_build
+    step_test
+    step_lint
+    step_top_smoke
+    step_pcap
+    step_engine_matrix_local
+    step_clippy
+    step_bench_gate
+    ;;
+esac
+
+echo "==> CI gate passed (mode: ${mode})"
