@@ -17,10 +17,10 @@ use edp_core::event::{
     ControlPlaneEvent, DequeueEvent, EnqueueEvent, LinkStatusEvent, OverflowEvent, TimerEvent,
     TransmitEvent, UnderflowEvent, UserEvent,
 };
-use edp_core::{AppManifest, EventActions, EventKind, EventProgram};
+use edp_core::{AppManifest, EmitFootprint, EventActions, EventKind, EventProgram};
 use edp_evsim::SimTime;
 use edp_packet::{parse_packet, Packet, PacketBuilder};
-use edp_pisa::{probe, ProbeAccess, ProbeClass, StdMeta};
+use edp_pisa::{probe, Destination, ProbeAccess, ProbeClass, StdMeta};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -60,6 +60,13 @@ pub struct AccessMatrix {
     pub raised_user_codes: BTreeSet<u32>,
     /// True when any probed handler generated a packet.
     pub generated_packets: bool,
+    /// Per *entry* kind, the emission footprint probing observed: every
+    /// frame-routing decision made while the probe exercised that kind,
+    /// including decisions made by the generated-packet cascade the
+    /// handler started and by overflow trim-requeues. This is the
+    /// dynamic side of the observed ⊆ declared emission cross-check
+    /// (EDP-W008 / EDP-E007).
+    pub observed_emissions: BTreeMap<EventKind, EmitFootprint>,
     /// `(context, panic message)` for handlers that panicked under probe.
     pub panics: Vec<(&'static str, String)>,
 }
@@ -79,23 +86,11 @@ impl AccessMatrix {
     }
 }
 
-/// Stable lowercase context name for each event kind.
+/// Stable lowercase context name for each event kind — the same strings
+/// the architecture's own probe scopes push (`EventKind::probe_context`),
+/// so matrices built by this prober and by live-switch probing agree.
 pub fn context_name(kind: EventKind) -> &'static str {
-    match kind {
-        EventKind::IngressPacket => "ingress",
-        EventKind::EgressPacket => "egress",
-        EventKind::RecirculatedPacket => "recirculated",
-        EventKind::GeneratedPacket => "generated",
-        EventKind::PacketTransmitted => "transmit",
-        EventKind::BufferEnqueue => "enqueue",
-        EventKind::BufferDequeue => "dequeue",
-        EventKind::BufferOverflow => "overflow",
-        EventKind::BufferUnderflow => "underflow",
-        EventKind::TimerExpiration => "timer",
-        EventKind::ControlPlaneTriggered => "control-plane",
-        EventKind::LinkStatusChange => "link-status",
-        EventKind::UserEvent => "user",
-    }
+    kind.probe_context()
 }
 
 /// The §4 port class a context belongs to: ingress, egress,
@@ -154,12 +149,31 @@ fn probe_frames() -> Vec<Vec<u8>> {
     ]
 }
 
+/// Cap on generated frames fed back through `on_generated` — generators
+/// that reply to their own replies would otherwise loop forever. Probing
+/// is sampling, not simulation; the cap is reported nowhere because the
+/// *flag* (`generated_packets`) is what the closure analysis consumes,
+/// and it is already set by frame one.
+const GEN_FEED_CAP: usize = 8;
+
+/// Recirculation passes followed per probe frame (mirrors the
+/// architecture's own recirculation limit in spirit; 4 passes reach any
+/// fixed point a probe input is going to reach).
+const RECIRC_CAP: usize = 4;
+
 struct Prober<'p> {
     program: &'p mut dyn EventProgram,
     now: SimTime,
     staged_meta: [u64; 4],
     raised: BTreeSet<u32>,
     generated: bool,
+    /// The event kind whose probe started the current cascade — the key
+    /// observed emissions are attributed to.
+    entry: EventKind,
+    emissions: BTreeMap<EventKind, EmitFootprint>,
+    /// Generated frames awaiting an `on_generated` pass, tagged with the
+    /// entry kind of the cascade that generated them.
+    gen_feed: Vec<(EventKind, Vec<u8>)>,
     panics: Vec<(&'static str, String)>,
 }
 
@@ -188,18 +202,42 @@ impl Prober<'_> {
             self.raised.insert(ev.code);
         }
         self.generated |= !actions.generated_frames().is_empty();
+        for frame in actions.generated_frames() {
+            if self.gen_feed.len() < GEN_FEED_CAP {
+                self.gen_feed.push((self.entry, frame.clone()));
+            }
+        }
+        if self.entry == EventKind::BufferOverflow && actions.trim_rank().is_some() {
+            // The trim re-offers the victim header to the port that
+            // overflowed — port 0 in the synthetic overflow event.
+            self.observe_emission(EmitFootprint::port(0));
+        }
     }
 
-    fn probe_packet_handler(&mut self, kind: EventKind) {
-        let ctx = context_name(kind);
-        for frame in probe_frames() {
-            let mut pkt = Packet::anonymous(frame);
-            let Ok(parsed) = parse_packet(pkt.bytes()) else {
-                continue;
-            };
-            let mut meta = StdMeta::ingress(0, self.now, pkt.len());
-            let now = self.now;
-            self.in_context(ctx, |p, a| match kind {
+    /// Folds one observed routing decision into the current entry kind's
+    /// footprint.
+    fn observe_emission(&mut self, fp: EmitFootprint) {
+        let cell = self
+            .emissions
+            .entry(self.entry)
+            .or_insert(EmitFootprint::None);
+        *cell = std::mem::replace(cell, EmitFootprint::None).union(fp);
+    }
+
+    /// Runs one frame through a packet handler, following recirculation
+    /// up to [`RECIRC_CAP`] passes, and records where it was routed.
+    /// Egress probes skip the recording: at egress the destination is
+    /// already committed, so a handler writing `meta.dest` there routes
+    /// nothing.
+    fn probe_packet_frame(&mut self, kind: EventKind, frame: Vec<u8>) -> Option<StdMeta> {
+        let mut pkt = Packet::anonymous(frame);
+        let parsed = parse_packet(pkt.bytes()).ok()?;
+        let mut meta = StdMeta::ingress(0, self.now, pkt.len());
+        let now = self.now;
+        let mut pass_kind = kind;
+        for _pass in 0..=RECIRC_CAP {
+            let ctx = context_name(pass_kind);
+            self.in_context(ctx, |p, a| match pass_kind {
                 EventKind::IngressPacket => p.on_ingress(&mut pkt, &parsed, &mut meta, now, a),
                 EventKind::EgressPacket => p.on_egress(&mut pkt, &parsed, &mut meta, now, a),
                 EventKind::RecirculatedPacket => {
@@ -208,6 +246,34 @@ impl Prober<'_> {
                 EventKind::GeneratedPacket => p.on_generated(&mut pkt, &parsed, &mut meta, now, a),
                 _ => unreachable!("not a packet event"),
             });
+            if kind == EventKind::EgressPacket {
+                break;
+            }
+            match meta.dest {
+                Destination::Port(p) => {
+                    self.observe_emission(EmitFootprint::port(p));
+                    break;
+                }
+                Destination::Flood => {
+                    self.observe_emission(EmitFootprint::Any);
+                    break;
+                }
+                Destination::Recirculate => {
+                    meta.dest = Destination::Unspecified;
+                    meta.recirc_count += 1;
+                    pass_kind = EventKind::RecirculatedPacket;
+                }
+                Destination::Drop | Destination::Unspecified => break,
+            }
+        }
+        Some(meta)
+    }
+
+    fn probe_packet_handler(&mut self, kind: EventKind) {
+        for frame in probe_frames() {
+            let Some(meta) = self.probe_packet_frame(kind, frame) else {
+                continue;
+            };
             if kind == EventKind::IngressPacket && meta.event_meta != [0; 4] {
                 self.staged_meta = meta.event_meta;
             }
@@ -320,12 +386,16 @@ pub fn extract(program: &mut dyn EventProgram, manifest: &AppManifest) -> Access
         staged_meta: [0; 4],
         raised: BTreeSet::new(),
         generated: false,
+        entry: EventKind::IngressPacket,
+        emissions: BTreeMap::new(),
+        gen_feed: Vec::new(),
         panics: Vec::new(),
     };
     for kind in PROBE_ORDER {
         if !manifest.implements(kind) {
             continue;
         }
+        prober.entry = kind;
         match kind {
             EventKind::IngressPacket
             | EventKind::EgressPacket
@@ -334,14 +404,27 @@ pub fn extract(program: &mut dyn EventProgram, manifest: &AppManifest) -> Access
             _ => prober.probe_event_handler(kind, manifest),
         }
     }
+    // Feed generated frames back through `on_generated`, attributing the
+    // routing decisions to the entry kind whose cascade generated them —
+    // exactly how the architecture attributes emissions at runtime (the
+    // entry event is the outermost dispatch context).
+    let mut fed = 0;
+    while fed < GEN_FEED_CAP && fed < prober.gen_feed.len() {
+        let (entry, frame) = prober.gen_feed[fed].clone();
+        fed += 1;
+        prober.entry = entry;
+        prober.probe_packet_frame(EventKind::GeneratedPacket, frame);
+    }
     let panics = std::mem::take(&mut prober.panics);
     let raised = std::mem::take(&mut prober.raised);
+    let observed_emissions = std::mem::take(&mut prober.emissions);
     let generated = prober.generated;
-    let (records, claims) = probe::disarm();
+    let (records, claims, _live_emissions) = probe::disarm();
 
     let mut matrix = AccessMatrix {
         raised_user_codes: raised,
         generated_packets: generated,
+        observed_emissions,
         panics,
         ..Default::default()
     };

@@ -2,19 +2,42 @@
 //! app and report structured diagnostics.
 //!
 //! ```text
-//! edp_lint [--json] [--deny warnings] [--seed N]
+//! edp_lint [--json] [--sarif] [--effects] [--deny warnings] [--seed N]
 //! ```
 //!
-//! Exit status is nonzero when any error-severity diagnostic is active,
-//! or when warnings are active under `--deny warnings` (the CI
-//! configuration). Allowed findings are always printed with their
-//! recorded reason — suppression is visible, never silent.
+//! Exit status: `0` when the gate passes, `1` when lints are denied
+//! (any error-severity diagnostic, or active warnings under
+//! `--deny warnings` — the CI configuration), `2` on internal failure
+//! (bad arguments, malformed invocation). Allowed findings are always
+//! printed with their recorded reason — suppression is visible, never
+//! silent.
 
-use edp_analyze::{lint_app, Report, Severity, DEFAULT_SEED};
+use edp_analyze::{effect_report, lint_app, LintCode, Report, Severity, DEFAULT_SEED};
 use edp_apps::registry::builtin_apps;
+
+const HELP: &str = "\
+usage: edp_lint [--json] [--sarif] [--effects] [--deny warnings] [--seed N]
+
+Runs the full static analysis catalog (EDP-W001..W008, EDP-E001..E007)
+over every registered app.
+
+  --json            structured report on stdout
+  --sarif           SARIF 2.1.0 report on stdout (for code-scanning UIs)
+  --effects         per-app effect-summary report: observed vs declared
+                    vs closure emission footprints, and whether the
+                    app's timers certify as shard-local
+  --deny warnings   fail (exit 1) on active warnings, not just errors
+  --seed N          seed for the randomized merge-op sweep
+
+exit codes:
+  0  gate passed
+  1  lints denied (errors, or warnings under --deny warnings)
+  2  internal failure (bad arguments)";
 
 struct Options {
     json: bool,
+    sarif: bool,
+    effects: bool,
     deny_warnings: bool,
     seed: u64,
 }
@@ -22,6 +45,8 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         json: false,
+        sarif: false,
+        effects: false,
         deny_warnings: false,
         seed: DEFAULT_SEED,
     };
@@ -29,6 +54,8 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
+            "--effects" => opts.effects = true,
             "--deny" => match args.next().as_deref() {
                 Some("warnings") => opts.deny_warnings = true,
                 other => {
@@ -43,7 +70,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
             }
             "--help" | "-h" => {
-                println!("usage: edp_lint [--json] [--deny warnings] [--seed N]");
+                println!("{HELP}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -71,13 +98,19 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn print_json(reports: &[(String, Report)]) {
+struct AppResult {
+    name: String,
+    source: Option<&'static str>,
+    report: Report,
+}
+
+fn print_json(results: &[AppResult]) {
     let mut out = String::from("{\n  \"apps\": [\n");
-    for (i, (name, report)) in reports.iter().enumerate() {
+    for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
-        out.push_str(&format!("      \"name\": {},\n", json_str(name)));
+        out.push_str(&format!("      \"name\": {},\n", json_str(&r.name)));
         out.push_str("      \"diagnostics\": [");
-        for (j, d) in report.diagnostics.iter().enumerate() {
+        for (j, d) in r.report.diagnostics.iter().enumerate() {
             if j > 0 {
                 out.push(',');
             }
@@ -91,11 +124,11 @@ fn print_json(reports: &[(String, Report)]) {
                 json_str(&d.message),
             ));
         }
-        if !report.diagnostics.is_empty() {
+        if !r.report.diagnostics.is_empty() {
             out.push_str("\n      ");
         }
         out.push_str("],\n      \"allowed\": [");
-        for (j, (d, reason)) in report.allowed.iter().enumerate() {
+        for (j, (d, reason)) in r.report.allowed.iter().enumerate() {
             if j > 0 {
                 out.push(',');
             }
@@ -106,18 +139,18 @@ fn print_json(reports: &[(String, Report)]) {
                 json_str(reason),
             ));
         }
-        if !report.allowed.is_empty() {
+        if !r.report.allowed.is_empty() {
             out.push_str("\n      ");
         }
         out.push_str("]\n    }");
-        if i + 1 < reports.len() {
+        if i + 1 < results.len() {
             out.push(',');
         }
         out.push('\n');
     }
-    let errors: usize = reports.iter().map(|(_, r)| r.errors()).sum();
-    let warnings: usize = reports.iter().map(|(_, r)| r.warnings()).sum();
-    let allowed: usize = reports.iter().map(|(_, r)| r.allowed.len()).sum();
+    let errors: usize = results.iter().map(|r| r.report.errors()).sum();
+    let warnings: usize = results.iter().map(|r| r.report.warnings()).sum();
+    let allowed: usize = results.iter().map(|r| r.report.allowed.len()).sum();
     out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"summary\": {{\"errors\": {errors}, \"warnings\": {warnings}, \"allowed\": {allowed}}}\n"
@@ -126,22 +159,128 @@ fn print_json(reports: &[(String, Report)]) {
     println!("{out}");
 }
 
-fn print_human(reports: &[(String, Report)]) {
-    for (name, report) in reports {
-        if report.diagnostics.is_empty() && report.allowed.is_empty() {
+/// SARIF 2.1.0: one run, one rule per catalogued lint code, one result
+/// per active diagnostic. Allowed findings are emitted with
+/// `"kind": "informational"` suppressions so scanning UIs show the
+/// acknowledged hazards without failing on them.
+fn print_sarif(results: &[AppResult]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"edp_lint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, code) in LintCode::ALL.iter().enumerate() {
+        let comma = if i + 1 == LintCode::ALL.len() {
+            ""
+        } else {
+            ","
+        };
+        let level = match code.severity() {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"name\": {}, \
+             \"defaultConfiguration\": {{\"level\": \"{level}\"}}}}{comma}\n",
+            json_str(code.code()),
+            json_str(code.name()),
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let mut results_json = Vec::new();
+    for r in results {
+        let uri = r.source.unwrap_or("crates/apps/src/registry.rs");
+        for d in &r.report.diagnostics {
+            let level = match d.code.severity() {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            };
+            results_json.push(format!(
+                "        {{\"ruleId\": {}, \"level\": \"{level}\", \
+                 \"message\": {{\"text\": {}}}, \
+                 \"locations\": [{{\"physicalLocation\": \
+                 {{\"artifactLocation\": {{\"uri\": {}}}}}}}]}}",
+                json_str(d.code.code()),
+                json_str(&format!("{}: {}: {}", d.app, d.subject, d.message)),
+                json_str(uri),
+            ));
+        }
+        for (d, reason) in &r.report.allowed {
+            results_json.push(format!(
+                "        {{\"ruleId\": {}, \"level\": \"note\", \
+                 \"message\": {{\"text\": {}}}, \
+                 \"locations\": [{{\"physicalLocation\": \
+                 {{\"artifactLocation\": {{\"uri\": {}}}}}}}], \
+                 \"suppressions\": [{{\"kind\": \"inSource\", \
+                 \"justification\": {}}}]}}",
+                json_str(d.code.code()),
+                json_str(&format!("{}: {}: allowed", d.app, d.subject)),
+                json_str(uri),
+                json_str(reason),
+            ));
+        }
+    }
+    out.push_str(&results_json.join(",\n"));
+    if !results_json.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}");
+    println!("{out}");
+}
+
+fn print_human(results: &[AppResult]) {
+    for r in results {
+        if r.report.diagnostics.is_empty() && r.report.allowed.is_empty() {
             continue;
         }
-        println!("{name}:");
-        for d in &report.diagnostics {
+        println!("{}:", r.name);
+        for d in &r.report.diagnostics {
             println!("  {d}");
         }
-        for (d, reason) in &report.allowed {
+        for (d, reason) in &r.report.allowed {
             println!(
                 "  allowed [{} {}] {}: {}",
                 d.code.code(),
                 d.code.name(),
                 d.subject,
                 reason
+            );
+        }
+    }
+}
+
+/// The `--effects` view: observed vs declared vs closure footprints per
+/// kind, per app, plus the timer certificate the engine would load.
+fn print_effects() {
+    for mut app in builtin_apps() {
+        let rep = effect_report(app.program.as_mut(), &app.manifest);
+        let world = if rep.closed_world {
+            "closed world"
+        } else {
+            "open world"
+        };
+        let timer = if rep.timer_local {
+            "timers certified local"
+        } else {
+            "timers horizon-bound"
+        };
+        println!("{} ({world}, {timer}):", rep.app);
+        println!(
+            "  {:<16} {:<12} {:<12} {:<12}",
+            "event", "observed", "declared", "closure"
+        );
+        for row in &rep.rows {
+            println!(
+                "  {:<16} {:<12} {:<12} {:<12}",
+                row.kind.name(),
+                row.observed.to_string(),
+                row.declared.to_string(),
+                row.closure.to_string(),
             );
         }
     }
@@ -156,23 +295,34 @@ fn main() {
         }
     };
 
-    let mut reports: Vec<(String, Report)> = Vec::new();
-    for mut app in builtin_apps() {
-        let report = lint_app(app.program.as_mut(), &app.manifest, opts.seed);
-        reports.push((app.manifest.name.to_string(), report));
+    if opts.effects {
+        print_effects();
+        return;
     }
 
-    let errors: usize = reports.iter().map(|(_, r)| r.errors()).sum();
-    let warnings: usize = reports.iter().map(|(_, r)| r.warnings()).sum();
-    let allowed: usize = reports.iter().map(|(_, r)| r.allowed.len()).sum();
+    let mut results: Vec<AppResult> = Vec::new();
+    for mut app in builtin_apps() {
+        let report = lint_app(app.program.as_mut(), &app.manifest, opts.seed);
+        results.push(AppResult {
+            name: app.manifest.name.to_string(),
+            source: app.manifest.source,
+            report,
+        });
+    }
 
-    if opts.json {
-        print_json(&reports);
+    let errors: usize = results.iter().map(|r| r.report.errors()).sum();
+    let warnings: usize = results.iter().map(|r| r.report.warnings()).sum();
+    let allowed: usize = results.iter().map(|r| r.report.allowed.len()).sum();
+
+    if opts.sarif {
+        print_sarif(&results);
+    } else if opts.json {
+        print_json(&results);
     } else {
-        print_human(&reports);
-        let worst = reports
+        print_human(&results);
+        let worst = results
             .iter()
-            .flat_map(|(_, r)| r.diagnostics.iter())
+            .flat_map(|r| r.report.diagnostics.iter())
             .map(|d| d.code.severity())
             .max();
         let verdict = match worst {
@@ -183,7 +333,7 @@ fn main() {
         println!(
             "edp_lint: {} apps analyzed, {errors} errors, {warnings} warnings, \
              {allowed} allowed — {verdict}",
-            reports.len()
+            results.len()
         );
     }
 

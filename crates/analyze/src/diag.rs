@@ -56,6 +56,13 @@ pub enum LintCode {
     /// class but ran in a different handler context, corrupting the port
     /// accounting the §4 resource model is built on.
     AccessorMismatch,
+    /// `EDP-W008` — probing observed a handler emit a frame but the app
+    /// declares no emission map at all (open world). Nothing is wrong at
+    /// runtime, but the app certifies nothing: the sharded engine must
+    /// treat every one of its events as horizon-bound. Declaring the
+    /// observed footprint (or `no_emissions()`) upgrades the app to a
+    /// checkable closed world.
+    UndeclaredEmission,
     /// `EDP-E001` — a registered merge op is not commutative; idle-cycle
     /// fold reordering changes results.
     MergeNotCommutative,
@@ -77,11 +84,19 @@ pub enum LintCode {
     /// `TableError::NonExactField`); it is almost always a mis-shaped
     /// control-plane rule.
     NonExactInExactTable,
+    /// `EDP-E007` — probing observed an emission outside the app's
+    /// declared closed-world effect summary: a handler cascade transmits
+    /// on a path the declaration says cannot transmit. The sharded
+    /// engine's certificate-aware horizon *spends* these summaries
+    /// (certified-local events skip cross-shard rendezvous), so a
+    /// violated summary is not a style issue — it breaks the safe-window
+    /// induction and with it determinism.
+    SummaryViolation,
 }
 
 impl LintCode {
     /// Every catalogued code, in code order.
-    pub const ALL: [LintCode; 13] = [
+    pub const ALL: [LintCode; 15] = [
         LintCode::MultiWriterRegister,
         LintCode::CrossHandlerRmw,
         LintCode::DuplicateLpmPrefix,
@@ -89,12 +104,14 @@ impl LintCode {
         LintCode::UnraisableEventHandler,
         LintCode::UnhandledUserEvent,
         LintCode::AccessorMismatch,
+        LintCode::UndeclaredEmission,
         LintCode::MergeNotCommutative,
         LintCode::ShadowedRule,
         LintCode::MergeNotAssociative,
         LintCode::MergeBadIdentity,
         LintCode::ProbePanic,
         LintCode::NonExactInExactTable,
+        LintCode::SummaryViolation,
     ];
 
     /// The stable code string.
@@ -107,12 +124,14 @@ impl LintCode {
             LintCode::UnraisableEventHandler => "EDP-W005",
             LintCode::UnhandledUserEvent => "EDP-W006",
             LintCode::AccessorMismatch => "EDP-W007",
+            LintCode::UndeclaredEmission => "EDP-W008",
             LintCode::MergeNotCommutative => "EDP-E001",
             LintCode::ShadowedRule => "EDP-E002",
             LintCode::MergeNotAssociative => "EDP-E003",
             LintCode::MergeBadIdentity => "EDP-E004",
             LintCode::ProbePanic => "EDP-E005",
             LintCode::NonExactInExactTable => "EDP-E006",
+            LintCode::SummaryViolation => "EDP-E007",
         }
     }
 
@@ -126,12 +145,14 @@ impl LintCode {
             LintCode::UnraisableEventHandler => "unraisable-event-handler",
             LintCode::UnhandledUserEvent => "unhandled-user-event",
             LintCode::AccessorMismatch => "accessor-mismatch",
+            LintCode::UndeclaredEmission => "undeclared-emission",
             LintCode::MergeNotCommutative => "merge-not-commutative",
             LintCode::ShadowedRule => "shadowed-rule",
             LintCode::MergeNotAssociative => "merge-not-associative",
             LintCode::MergeBadIdentity => "merge-bad-identity",
             LintCode::ProbePanic => "probe-panic",
             LintCode::NonExactInExactTable => "non-exact-in-exact-table",
+            LintCode::SummaryViolation => "summary-violation",
         }
     }
 
@@ -143,7 +164,8 @@ impl LintCode {
             | LintCode::MergeNotAssociative
             | LintCode::MergeBadIdentity
             | LintCode::ProbePanic
-            | LintCode::NonExactInExactTable => Severity::Error,
+            | LintCode::NonExactInExactTable
+            | LintCode::SummaryViolation => Severity::Error,
             _ => Severity::Warning,
         }
     }

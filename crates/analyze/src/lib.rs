@@ -19,6 +19,11 @@
 //!    (`EDP-W004`).
 //! 4. **Event coverage** ([`coverage`]) — dead handlers (`EDP-W005`) and
 //!    raised-but-unhandled user events (`EDP-W006`).
+//! 5. **Effect summaries** ([`effects`]) — observed emissions are
+//!    cross-checked against the manifest's declared closed world:
+//!    emissions with no declaration at all (`EDP-W008`) and emissions
+//!    outside the declared closure (`EDP-E007`), the certificate the
+//!    sharded engine spends to skip cross-shard rendezvous.
 //!
 //! Findings are [`diag::Diagnostic`]s with stable codes; an app's
 //! [`AppManifest`] can `allow` individual `(code, subject)` pairs with a
@@ -32,12 +37,14 @@
 pub mod access;
 pub mod coverage;
 pub mod diag;
+pub mod effects;
 pub mod hazard;
 pub mod merge;
 pub mod tables;
 
 pub use access::{AccessCell, AccessMatrix};
 pub use diag::{Diagnostic, LintCode, Report, Severity};
+pub use effects::{EffectReport, EffectRow};
 
 use edp_core::{AppManifest, EventProgram};
 
@@ -60,5 +67,13 @@ pub fn lint_app(program: &mut dyn EventProgram, manifest: &AppManifest, seed: u6
         raw.extend(tables::check(manifest.name, shape));
     }
     raw.extend(coverage::check(manifest.name, manifest, &matrix));
+    raw.extend(effects::check(manifest.name, manifest, &matrix));
     Report::from_findings(raw, &manifest.allows)
+}
+
+/// Probes one program and renders its effect report (the `--effects`
+/// view): observed vs declared vs closure footprints per event kind.
+pub fn effect_report(program: &mut dyn EventProgram, manifest: &AppManifest) -> EffectReport {
+    let matrix = access::extract(program, manifest);
+    effects::report(manifest, &matrix)
 }

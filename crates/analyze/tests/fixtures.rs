@@ -5,11 +5,13 @@
 
 use edp_analyze::lint_app;
 use edp_core::aggreg::MergeOp;
-use edp_core::event::{DequeueEvent, EnqueueEvent};
-use edp_core::{AppManifest, EventActions, EventKind, EventProgram};
+use edp_core::event::{DequeueEvent, EnqueueEvent, TimerEvent};
+use edp_core::{AppManifest, EmitFootprint, EventActions, EventKind, EventProgram};
 use edp_evsim::SimTime;
 use edp_packet::{Packet, ParsedPacket};
-use edp_pisa::{FieldMatch, MatchKind, RegisterArray, ShapeEntry, StdMeta, TableShape};
+use edp_pisa::{
+    Destination, FieldMatch, MatchKind, RegisterArray, ShapeEntry, StdMeta, TableShape,
+};
 
 const SEED: u64 = 7;
 
@@ -150,4 +152,82 @@ fn unhandled_user_event_is_w006() {
         .find(|d| d.code.code() == "EDP-W006")
         .unwrap_or_else(|| panic!("expected EDP-W006, got: {:?}", report.diagnostics));
     assert_eq!(w006.subject, "42");
+}
+
+/// Forwards ingress traffic and, on every timer, generates a frame the
+/// (default) generated pass routes right back out — a timer cascade
+/// that emits.
+struct CovertTimerEmitter;
+impl EventProgram for CovertTimerEmitter {
+    fn on_ingress(
+        &mut self,
+        _pkt: &mut Packet,
+        _parsed: &ParsedPacket,
+        meta: &mut StdMeta,
+        _now: SimTime,
+        _a: &mut EventActions,
+    ) {
+        meta.dest = Destination::Port(1);
+    }
+    fn on_timer(&mut self, _ev: &TimerEvent, _now: SimTime, a: &mut EventActions) {
+        a.generate_packet(
+            edp_packet::PacketBuilder::udp(
+                std::net::Ipv4Addr::new(10, 0, 0, 5),
+                std::net::Ipv4Addr::new(10, 0, 0, 6),
+                5,
+                6,
+                &[],
+            )
+            .build(),
+        );
+    }
+}
+
+fn emitter_manifest() -> AppManifest {
+    AppManifest::new("fixture-emitter")
+        .handles([EventKind::IngressPacket, EventKind::TimerExpiration])
+        .timers([0])
+}
+
+#[test]
+fn undeclared_emission_is_w008() {
+    // No emission declarations at all: the app is open-world, and every
+    // probed emission — here the plain ingress forward — is the nudge
+    // to close it.
+    let report = lint_app(&mut CovertTimerEmitter, &emitter_manifest(), SEED);
+    let w008 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code.code() == "EDP-W008")
+        .unwrap_or_else(|| panic!("expected EDP-W008, got: {:?}", report.diagnostics));
+    assert_eq!(w008.subject, EventKind::IngressPacket.name());
+    // Open-world means nothing can be *violated*.
+    assert!(!report.has_code("EDP-E007"));
+}
+
+#[test]
+fn summary_violation_is_e007() {
+    // Declares only the ingress footprint, silently omitting both the
+    // `generates()` flag and the timer's generated-frame cascade. The
+    // closed world then claims closure(Timer) = None while probing
+    // watches the timer cascade emit: the exact lie the sharded engine
+    // must never load as a certificate.
+    let manifest = emitter_manifest().emits(EventKind::IngressPacket, EmitFootprint::Any);
+    let report = lint_app(&mut CovertTimerEmitter, &manifest, SEED);
+    let e007 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code.code() == "EDP-E007")
+        .unwrap_or_else(|| panic!("expected EDP-E007, got: {:?}", report.diagnostics));
+    assert_eq!(e007.subject, EventKind::TimerExpiration.name());
+    assert!(report.errors() >= 1, "EDP-E007 must gate as an error");
+
+    // The honest declaration of the same program is clean.
+    let honest = emitter_manifest()
+        .generates()
+        .emits(EventKind::IngressPacket, EmitFootprint::Any)
+        .emits(EventKind::GeneratedPacket, EmitFootprint::Any);
+    let report = lint_app(&mut CovertTimerEmitter, &honest, SEED);
+    assert!(!report.has_code("EDP-E007"), "{:?}", report.diagnostics);
+    assert!(!report.has_code("EDP-W008"));
 }

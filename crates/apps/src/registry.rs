@@ -12,7 +12,7 @@ use crate::{
     rate_monitor, scheduler,
 };
 use edp_core::aggreg::MERGE_ADD;
-use edp_core::{AppManifest, BaselineAdapter, EventKind, EventProgram};
+use edp_core::{AppManifest, BaselineAdapter, EmitFootprint, EventKind, EventProgram};
 use edp_evsim::SimTime;
 use edp_pisa::{PisaProgram, TableRouter};
 use std::net::Ipv4Addr;
@@ -61,6 +61,8 @@ pub fn builtin_apps() -> Vec<RegisteredApp> {
             manifest: AppManifest::new("microburst")
                 .handles([IngressPacket, BufferEnqueue, BufferDequeue])
                 .merge_op(MERGE_ADD)
+                .emits(IngressPacket, EmitFootprint::Any)
+                .source(file!())
                 .allow("EDP-W001", "flowBufSize_reg", MULTIPORT_REASON)
                 .allow("EDP-W002", "flowBufSize_reg", MULTIPORT_REASON),
             program: Box::new(microburst::MicroburstEvent::new(64, 8_000, 1)),
@@ -69,7 +71,10 @@ pub fn builtin_apps() -> Vec<RegisteredApp> {
             manifest: AppManifest::new("hula-leaf")
                 .handles([IngressPacket, GeneratedPacket, TimerExpiration])
                 .timers([hula::TIMER_PROBE])
-                .generates(),
+                .generates()
+                .emits(IngressPacket, EmitFootprint::Any)
+                .emits(GeneratedPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(hula::HulaLeaf::new(
                 0,
                 Ipv4Addr::new(10, 0, 0, 1),
@@ -81,7 +86,12 @@ pub fn builtin_apps() -> Vec<RegisteredApp> {
         RegisteredApp {
             manifest: AppManifest::new("hula-spine")
                 .handles([IngressPacket, PacketTransmitted, TimerExpiration])
-                .timers([hula::TIMER_PROBE]),
+                .timers([hula::TIMER_PROBE])
+                // Probe decay and tx-rate accounting only: the timer and
+                // transmit handlers touch no wire, so the closed world
+                // certifies spine timer cranks as shard-local.
+                .emits(IngressPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(hula::HulaSpine::new(
                 vec![0, 1],
                 vec![40_000_000_000; 2],
@@ -89,19 +99,33 @@ pub fn builtin_apps() -> Vec<RegisteredApp> {
             )),
         },
         RegisteredApp {
-            manifest: AppManifest::new("ndp-trim").handles([IngressPacket, BufferOverflow]),
+            manifest: AppManifest::new("ndp-trim")
+                .handles([IngressPacket, BufferOverflow])
+                // The overflow trim re-offers the victim header to the
+                // queue that overflowed — a real emission decided by the
+                // overflow handler, so it carries its own footprint.
+                .emits(IngressPacket, EmitFootprint::Any)
+                .emits(BufferOverflow, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(ndp::NdpTrim::new(1)),
         },
         RegisteredApp {
             manifest: AppManifest::new("timer-policer")
                 .handles([IngressPacket, TimerExpiration])
-                .timers([policer::TIMER_REFILL]),
+                .timers([policer::TIMER_REFILL])
+                // Refill mutates bucket state only — the canonical
+                // certified-local timer of the effects analysis.
+                .emits(IngressPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(policer::TimerPolicer::new(1_000_000, 1_000_000, 3_000, 1)),
         },
         RegisteredApp {
             manifest: AppManifest::new("state-migrate")
                 .handles([IngressPacket, GeneratedPacket, LinkStatusChange])
-                .generates(),
+                .generates()
+                .emits(IngressPacket, EmitFootprint::Any)
+                .emits(GeneratedPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(migrate::StatefulCounter::new(
                 Ipv4Addr::new(10, 0, 0, 1),
                 Ipv4Addr::new(10, 0, 0, 2),
@@ -111,24 +135,29 @@ pub fn builtin_apps() -> Vec<RegisteredApp> {
             )),
         },
         RegisteredApp {
-            manifest: AppManifest::new("telemetry-marker").handles([
-                IngressPacket,
-                BufferDequeue,
-                EgressPacket,
-            ]),
+            manifest: AppManifest::new("telemetry-marker")
+                .handles([IngressPacket, BufferDequeue, EgressPacket])
+                .emits(IngressPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(crate::ecn::TelemetryMarker::new(4, 1)),
         },
         RegisteredApp {
             manifest: AppManifest::new("rate-monitor")
                 .handles([IngressPacket, TimerExpiration])
-                .timers([rate_monitor::TIMER_SHIFT, rate_monitor::TIMER_SAMPLE]),
+                .timers([rate_monitor::TIMER_SHIFT, rate_monitor::TIMER_SAMPLE])
+                // Both timers shift/sample local estimators — certified.
+                .emits(IngressPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(rate_monitor::RateMonitor::new(64, 8, 1_000_000, 1)),
         },
         RegisteredApp {
             manifest: AppManifest::new("liveness-monitor")
                 .handles([IngressPacket, GeneratedPacket, TimerExpiration])
                 .timers([liveness::TIMER_PROBE, liveness::TIMER_CHECK])
-                .generates(),
+                .generates()
+                .emits(IngressPacket, EmitFootprint::Any)
+                .emits(GeneratedPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(liveness::LivenessMonitor::new(
                 Ipv4Addr::new(10, 0, 0, 1),
                 vec![
@@ -145,7 +174,11 @@ pub fn builtin_apps() -> Vec<RegisteredApp> {
             )),
         },
         RegisteredApp {
-            manifest: AppManifest::new("frr").handles([IngressPacket, LinkStatusChange]),
+            manifest: AppManifest::new("frr")
+                .handles([IngressPacket, LinkStatusChange])
+                // Failover flips the active port; only packets emit.
+                .emits(IngressPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(frr::FrrEvent::new(1, 2)),
         },
         RegisteredApp {
@@ -153,6 +186,10 @@ pub fn builtin_apps() -> Vec<RegisteredApp> {
                 .handles([IngressPacket, BufferEnqueue, BufferDequeue, TimerExpiration])
                 .timers([fred::TIMER_REPORT])
                 .merge_op(MERGE_ADD)
+                // The report timer notifies the control plane — an async
+                // channel that never crosses the wire — so it certifies.
+                .emits(IngressPacket, EmitFootprint::Any)
+                .source(file!())
                 .allow("EDP-W001", "flow_occ", MULTIPORT_REASON)
                 .allow("EDP-W002", "flow_occ", MULTIPORT_REASON),
             program: Box::new(fred::FredAqm::new(64, 60_000, 1_500, 1)),
@@ -161,18 +198,31 @@ pub fn builtin_apps() -> Vec<RegisteredApp> {
             manifest: AppManifest::new("netcache")
                 .handles([IngressPacket, GeneratedPacket, TimerExpiration])
                 .timers([netcache::TIMER_STATS])
-                .generates(),
+                .generates()
+                // The stats timer itself is silent, but `generates()` is
+                // app-global: cache-hit replies keep the timer closure
+                // open, so netcache timers stay horizon-bound. Honest.
+                .emits(IngressPacket, EmitFootprint::Any)
+                .emits(GeneratedPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(netcache::NetCacheSwitch::new(0, 1, 64, 3, true)),
         },
         RegisteredApp {
             manifest: AppManifest::new("cms-monitor")
                 .handles([IngressPacket, TimerExpiration, ControlPlaneTriggered])
                 .timers([0])
-                .cp_ops([cms_reset::CP_OP_RESET]),
+                .cp_ops([cms_reset::CP_OP_RESET])
+                // Sketch reset (timer or controller-triggered) is pure
+                // state mutation — both control kinds certify local.
+                .emits(IngressPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(cms_reset::CmsMonitor::new(64, 4, 1)),
         },
         RegisteredApp {
-            manifest: AppManifest::new("stfq-scheduler").handles([IngressPacket, BufferDequeue]),
+            manifest: AppManifest::new("stfq-scheduler")
+                .handles([IngressPacket, BufferDequeue])
+                .emits(IngressPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(scheduler::StfqScheduler::new(64, 1)),
         },
         RegisteredApp {
@@ -186,6 +236,10 @@ pub fn builtin_apps() -> Vec<RegisteredApp> {
                 ])
                 .timers([int_reduce::TIMER_WINDOW])
                 .merge_op(MERGE_ADD)
+                // The window timer folds summaries and notifies the
+                // control plane; no frame leaves — certified local.
+                .emits(IngressPacket, EmitFootprint::Any)
+                .source(file!())
                 .allow("EDP-W001", "int_flow_occ", MULTIPORT_REASON)
                 .allow("EDP-W002", "int_flow_occ", MULTIPORT_REASON),
             program: Box::new(int_reduce::IntReduced::new(1, 4, 64, 1_000_000)),
@@ -194,7 +248,9 @@ pub fn builtin_apps() -> Vec<RegisteredApp> {
             manifest: AppManifest::new("baseline-router")
                 .handles([IngressPacket, EgressPacket, ControlPlaneTriggered])
                 .cp_ops([TableRouter::OP_INSERT_ROUTE, TableRouter::OP_CLEAR_ROUTES])
-                .table(router.routes().shape()),
+                .table(router.routes().shape())
+                .emits(IngressPacket, EmitFootprint::Any)
+                .source(file!()),
             program: Box::new(BaselineAdapter(router)),
         },
     ]
@@ -212,6 +268,52 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 16, "app names must be unique");
+    }
+
+    #[test]
+    fn every_app_declares_a_closed_emission_world() {
+        for app in builtin_apps() {
+            let s = edp_core::EffectSummary::from_manifest(&app.manifest);
+            assert!(
+                s.closed_world,
+                "{} left its emission world open — declare emits()/no_emissions()",
+                app.manifest.name
+            );
+            assert!(
+                app.manifest.source.is_some(),
+                "{} declares no source file for SARIF locations",
+                app.manifest.name
+            );
+        }
+    }
+
+    /// Pins which timers the effects analysis certifies as shard-local.
+    /// Adding an emission path to a certified app's timer cascade must
+    /// consciously move it to the horizon-bound list, not silently lose
+    /// (or worse, silently keep) the certificate.
+    #[test]
+    fn timer_certificates_match_the_documented_set() {
+        let certified = [
+            "hula-spine",
+            "timer-policer",
+            "rate-monitor",
+            "fred-aqm",
+            "cms-monitor",
+            "int-reduce",
+        ];
+        for app in builtin_apps() {
+            let m = &app.manifest;
+            if !m.implements(EventKind::TimerExpiration) {
+                continue;
+            }
+            let s = edp_core::EffectSummary::from_manifest(m);
+            assert_eq!(
+                s.timer_local(),
+                certified.contains(&m.name),
+                "{}: timer certificate drifted from the documented set",
+                m.name
+            );
+        }
     }
 
     #[test]

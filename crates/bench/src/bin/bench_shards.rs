@@ -1,8 +1,13 @@
 //! Sharded-engine scaling snapshot: wall-clock throughput of an
 //! 8-switch line topology at 1, 2, and 4 shards — each at burst
-//! factors 1 and 32 — written to `BENCH_2.json`. The `windows` column
+//! factors 1 and 32, plus a burst-32 leg under the certificate-aware
+//! effects horizon — written to `BENCH_2.json`. The `windows` column
 //! is the burst engine's headline: sub-window execution collapses the
-//! negotiated window count by an order of magnitude at burst 32.
+//! negotiated window count by an order of magnitude at burst 32, and
+//! the effects horizon collapses it further still by extending
+//! `safe_horizon` past runs of certified-local events. `barriers`
+//! counts actual rendezvous on the `WindowSync`, the honest
+//! synchronization cost either way.
 //!
 //! ```sh
 //! cargo run --release -p edp-bench --bin bench_shards
@@ -21,7 +26,7 @@
 //! rates so a number measured on a 1-core CI container is not mistaken
 //! for an engine regression.
 
-use edp_evsim::{Sim, SimDuration, SimTime};
+use edp_evsim::{HorizonMode, Sim, SimDuration, SimTime};
 use edp_netsim::traffic::start_cbr;
 use edp_netsim::{run_sharded_opts, Host, HostApp, LinkSpec, Network, NodeRef};
 use edp_packet::PacketBuilder;
@@ -31,10 +36,16 @@ use std::time::Instant;
 
 const SWITCHES: usize = 8;
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
-/// Burst factors swept per shard count: 1 = the legacy one-negotiation-
-/// per-window protocol, 32 = the sub-window fast path. Outputs are
-/// byte-identical; only windows (and wall clock) move.
-const BURSTS: [usize; 2] = [1, 32];
+/// Execution-strategy legs swept per shard count: burst 1 = the legacy
+/// one-negotiation-per-window protocol, burst 32 = the sub-window fast
+/// path, and burst 32 under `EDP_HORIZON=effects` = the certificate-
+/// aware horizon. Outputs are byte-identical; only windows, barriers
+/// (and wall clock) move.
+const LEGS: [(usize, HorizonMode); 3] = [
+    (1, HorizonMode::Classic),
+    (32, HorizonMode::Classic),
+    (32, HorizonMode::Effects),
+];
 
 /// Builds the 8-switch line with `n` CBR packets armed. Pure function
 /// of its arguments — every shard builds the identical world.
@@ -93,15 +104,16 @@ fn build(n: u64) -> (Network, Sim<Network>) {
     (net, sim)
 }
 
-/// Runs the line at `shards` x `burst` and returns `(delivered, window
-/// count, cross-shard messages, wall seconds)`.
-fn measure(shards: usize, burst: usize, n: u64) -> (u64, u64, u64, f64) {
+/// Runs the line at `shards` x `burst` under `mode` and returns
+/// `(delivered, windows, barriers, cross-shard messages, wall seconds)`.
+fn measure(shards: usize, burst: usize, mode: HorizonMode, n: u64) -> (u64, u64, u64, u64, f64) {
     // 500 ns spacing + the ~17 µs path + margin.
     let deadline = SimTime::from_nanos(500 * n + 1_000_000);
     let t0 = Instant::now();
     let (delivered, stats) = run_sharded_opts(
         shards,
         burst,
+        mode,
         deadline,
         |_shard| build(n),
         |_shard, net, _sim| net.hosts[1].stats.rx_pkts,
@@ -110,9 +122,17 @@ fn measure(shards: usize, burst: usize, n: u64) -> (u64, u64, u64, f64) {
     (
         delivered.iter().sum(),
         stats.windows,
+        stats.barriers,
         stats.cross_messages,
         secs,
     )
+}
+
+fn mode_name(mode: HorizonMode) -> &'static str {
+    match mode {
+        HorizonMode::Classic => "classic",
+        HorizonMode::Effects => "effects",
+    }
 }
 
 fn main() {
@@ -149,27 +169,46 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut base_rate = 0.0f64;
+    let mut base_secs = 0.0f64;
     let mut base_rx = None;
     for shards in SHARD_COUNTS {
-        for burst in BURSTS {
-            let (rx, windows, crossed, secs) = measure(shards, burst, pkts);
+        for (burst, mode) in LEGS {
+            let (rx, windows, barriers, crossed, secs) = measure(shards, burst, mode, pkts);
             match base_rx {
                 None => base_rx = Some(rx),
                 Some(b) => assert_eq!(
-                    rx, b,
-                    "{shards}-shard burst-{burst} run delivered a different count"
+                    rx,
+                    b,
+                    "{shards}-shard burst-{burst} {} run delivered a different count",
+                    mode_name(mode)
                 ),
             }
             let rate = pkts as f64 / secs;
             if shards == 1 && burst == 1 {
                 base_rate = rate;
+                base_secs = secs;
             }
             let speedup = rate / base_rate;
+            // Wall-clock ratio vs the 1-shard burst-1 baseline: < 1.0
+            // means this leg finished the same work faster.
+            let wall_ratio = secs / base_secs;
             println!(
-                "  {shards} shard(s) x burst {burst:>2}: {rate:>12.0} pkts/s  \
-                 ({windows} windows, {crossed} cross msgs, speedup {speedup:.2}x)"
+                "  {shards} shard(s) x burst {burst:>2} [{}]: {rate:>12.0} pkts/s  \
+                 ({windows} windows, {barriers} barriers, {crossed} cross msgs, \
+                 speedup {speedup:.2}x, wall {wall_ratio:.3}x)",
+                mode_name(mode)
             );
-            rows.push((shards, burst, rate, windows, crossed, speedup));
+            rows.push((
+                shards,
+                burst,
+                mode_name(mode),
+                rate,
+                windows,
+                barriers,
+                crossed,
+                speedup,
+                wall_ratio,
+            ));
         }
     }
 
@@ -182,13 +221,18 @@ fn main() {
          cannot show parallel gains regardless of engine quality\",\n",
     );
     json.push_str("  \"results\": [\n");
-    for (i, (shards, burst, rate, windows, crossed, speedup)) in rows.iter().enumerate() {
+    for (i, (shards, burst, horizon, rate, windows, barriers, crossed, speedup, wall_ratio)) in
+        rows.iter().enumerate()
+    {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         json.push_str(&format!(
             "    {{\"shards\": {shards}, \"burst\": {burst}, \
+             \"horizon\": \"{horizon}\", \
              \"pkts_per_sec\": {rate:.1}, \
-             \"windows\": {windows}, \"cross_messages\": {crossed}, \
-             \"speedup_vs_1\": {speedup:.3}}}{comma}\n"
+             \"windows\": {windows}, \"barriers\": {barriers}, \
+             \"cross_messages\": {crossed}, \
+             \"speedup_vs_1\": {speedup:.3}, \
+             \"wall_clock_ratio\": {wall_ratio:.3}}}{comma}\n"
         ));
     }
     json.push_str("  ]\n}\n");

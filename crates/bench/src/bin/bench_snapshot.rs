@@ -384,6 +384,7 @@ fn run_dumbbell(n: u64, shards: usize, subwindows: usize) -> (f64, u64) {
     let (delivered, stats) = run_sharded_opts(
         shards,
         subwindows,
+        edp_evsim::HorizonMode::Classic,
         deadline,
         |_shard| {
             let mut net = Network::new(1);
@@ -449,6 +450,7 @@ fn run_line(n: u64, shards: usize, subwindows: usize) -> (f64, u64) {
     let (delivered, stats) = run_sharded_opts(
         shards,
         subwindows,
+        edp_evsim::HorizonMode::Classic,
         deadline,
         |_shard| {
             let mut net = Network::new(7);

@@ -18,7 +18,7 @@ use edp_core::event::{
     TransmitEvent, UnderflowEvent, UserEvent,
 };
 use edp_core::{EventActions, EventProgram, EventSwitch, EventSwitchConfig, TimerSpec};
-use edp_evsim::{default_threads, sweep, Sim, SimDuration, SimTime};
+use edp_evsim::{default_threads, sweep, HorizonMode, Sim, SimDuration, SimTime};
 use edp_netsim::traffic::start_cbr;
 use edp_netsim::{
     run_sharded_opts, start_endpoints, start_replay, EndpointConfig, EndpointFleet, HostApp,
@@ -74,6 +74,11 @@ pub struct TopOptions {
     /// negotiated shard window. Pure execution-strategy knob — output is
     /// byte-identical for any value `>= 1`; only the window count drops.
     pub burst: usize,
+    /// Horizon mode (`EDP_HORIZON` default): classic conservative
+    /// windows, or the certificate-aware effects horizon that spends each
+    /// app's [`edp_core::EffectSummary`]. Pure execution-strategy knob —
+    /// output is byte-identical; only window/barrier counts move.
+    pub horizon: HorizonMode,
     /// The traffic source (CBR, pcap replay, or endpoint fleet).
     pub workload: TopWorkload,
 }
@@ -95,6 +100,7 @@ impl Default for TopOptions {
             trace_capacity: 65_536,
             shards: shards_from_env(),
             burst: edp_evsim::burst_from_env(),
+            horizon: edp_evsim::horizon_from_env(),
             workload: TopWorkload::Cbr,
         }
     }
@@ -123,6 +129,9 @@ pub struct TopReport {
     pub shards: usize,
     /// Safe-horizon windows executed, summed across points (0 classic).
     pub shard_windows: u64,
+    /// Barrier rendezvous joined per shard, summed across points — the
+    /// true synchronization cost (0 classic).
+    pub shard_barriers: u64,
     /// Packets exchanged across shard boundaries, summed across points.
     pub shard_messages: u64,
 }
@@ -138,6 +147,7 @@ struct PointOutcome {
     records: u64,
     dropped: u64,
     windows: u64,
+    barriers: u64,
     cross_messages: u64,
 }
 
@@ -296,11 +306,19 @@ fn build_point(
         }),
         _ => reg_app.program,
     };
+    let summary = edp_core::EffectSummary::from_manifest(&reg_app.manifest);
     let sw: EventSwitch<Box<dyn EventProgram>> = EventSwitch::new(program, cfg);
     // One sender on port 0, sink behind a 50 Mb/s bottleneck on port 1 —
     // the port most registry apps egress to — so ~190 Mb/s of CBR load
     // builds real queues and forces overflow/trim paths.
     let (mut net, senders, sink, _) = dumbbell(Box::new(sw), 1, 50_000_000, seed);
+    // The app's emission certificate rides along so a sharded run under
+    // the effects horizon can class certified timer cranks local. The
+    // ReturnPath front adds an undeclared client-bound ingress emission,
+    // so the endpoint workload conservatively runs uncertified.
+    if !matches!(workload, TopWorkload::Endpoints { .. }) {
+        net.install_effect_summary(0, summary);
+    }
     let mut sim: Sim<Network> = Sim::new();
     let until = SimTime::ZERO + duration;
     match workload {
@@ -377,10 +395,20 @@ fn run_point(
     trace_capacity: usize,
     shards: usize,
     burst: usize,
+    horizon: HorizonMode,
     workload: &TopWorkload,
 ) -> PointOutcome {
     if shards > 0 {
-        return run_point_sharded(app, seed, duration, trace_capacity, shards, burst, workload);
+        return run_point_sharded(
+            app,
+            seed,
+            duration,
+            trace_capacity,
+            shards,
+            burst,
+            horizon,
+            workload,
+        );
     }
     telemetry::enable(TelemetryConfig {
         trace_capacity,
@@ -397,6 +425,7 @@ fn run_point(
         registry: t.registry,
         trace,
         windows: 0,
+        barriers: 0,
         cross_messages: 0,
     }
 }
@@ -418,11 +447,13 @@ fn run_point_sharded(
     trace_capacity: usize,
     shards: usize,
     burst: usize,
+    horizon: HorizonMode,
     workload: &TopWorkload,
 ) -> PointOutcome {
     let (sessions, stats) = run_sharded_opts(
         shards,
         burst,
+        horizon,
         SimTime::ZERO + duration,
         |_shard| {
             telemetry::enable(TelemetryConfig {
@@ -473,6 +504,7 @@ fn run_point_sharded(
         records,
         dropped,
         windows: stats.windows,
+        barriers: stats.barriers,
         cross_messages: stats.cross_messages,
     }
 }
@@ -511,15 +543,17 @@ pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
     let cap = opts.trace_capacity;
     let shards = opts.shards;
     let burst = opts.burst.max(1);
+    let horizon = opts.horizon;
     let workload = opts.workload.clone();
     let outcomes = sweep(opts.seeds.clone(), opts.threads, move |seed| {
-        run_point(app, seed, duration, cap, shards, burst, &workload)
+        run_point(app, seed, duration, cap, shards, burst, horizon, &workload)
     });
     let mut registry = Registry::new();
     let mut trace = String::new();
     let mut records = 0u64;
     let mut dropped = 0u64;
     let mut windows = 0u64;
+    let mut barriers = 0u64;
     let mut cross = 0u64;
     for o in &outcomes {
         registry.merge(&o.registry);
@@ -527,6 +561,7 @@ pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
         records += o.records;
         dropped += o.dropped;
         windows += o.windows;
+        barriers += o.barriers;
         cross += o.cross_messages;
     }
     // `merge` keeps the *later* gauge value; re-fold them as maxima so
@@ -546,6 +581,7 @@ pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
         trace_dropped: dropped,
         shards,
         shard_windows: windows,
+        shard_barriers: barriers,
         shard_messages: cross,
     })
 }
@@ -697,8 +733,8 @@ pub fn render(r: &TopReport) -> String {
     if r.shards > 0 {
         let _ = writeln!(
             out,
-            "  shards: {} | {} windows, {} cross-shard msgs",
-            r.shards, r.shard_windows, r.shard_messages
+            "  shards: {} | {} windows, {} barriers, {} cross-shard msgs",
+            r.shards, r.shard_windows, r.shard_barriers, r.shard_messages
         );
     }
     out
@@ -730,6 +766,7 @@ mod tests {
             trace_capacity: 4096,
             shards: 0,
             burst: 1,
+            horizon: HorizonMode::Classic,
             workload: TopWorkload::Cbr,
         }
     }

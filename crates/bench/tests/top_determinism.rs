@@ -6,7 +6,7 @@
 //! for every registered app.
 
 use edp_bench::top::{app_names, run, to_json_report, TopOptions, TopWorkload};
-use edp_evsim::SimDuration;
+use edp_evsim::{HorizonMode, SimDuration};
 
 fn opts(threads: usize) -> TopOptions {
     TopOptions {
@@ -16,6 +16,7 @@ fn opts(threads: usize) -> TopOptions {
         trace_capacity: 8192,
         shards: 0,
         burst: 1,
+        horizon: HorizonMode::Classic,
         workload: TopWorkload::Cbr,
     }
 }
@@ -54,6 +55,7 @@ fn shard_opts(shards: usize) -> TopOptions {
         trace_capacity: 65_536,
         shards,
         burst: 1,
+        horizon: HorizonMode::Classic,
         workload: TopWorkload::Cbr,
     }
 }
@@ -122,6 +124,44 @@ fn every_app_is_byte_identical_across_burst_factors() {
     }
 }
 
+/// `EDP_HORIZON` is a pure execution-strategy knob too: for every
+/// registered app the sharded point under the certificate-aware effects
+/// horizon must render the byte-identical canonical trace and exports
+/// at shard counts 1/2/4 crossed with burst 1/32. The build installs
+/// each app's effect summary, so certified-local timer cranks really do
+/// run past window bounds here — and must not change a byte.
+#[test]
+fn every_app_is_byte_identical_under_the_effects_horizon() {
+    for app in app_names() {
+        let base = run(app, &shard_opts(1)).expect("classic 1-shard run");
+        assert_eq!(base.trace_dropped, 0, "{app}: ring evicted; raise capacity");
+        let base_json = to_json_report(&base);
+        let base_prom = edp_telemetry::to_prometheus_text(&base.registry);
+        for shards in [1usize, 2, 4] {
+            for burst in [1usize, 32] {
+                let mut o = shard_opts(shards);
+                o.burst = burst;
+                o.horizon = HorizonMode::Effects;
+                let b = run(app, &o).expect("effects run");
+                assert_eq!(
+                    base.trace, b.trace,
+                    "{app}: trace differs under effects at {shards} shards x burst {burst}"
+                );
+                assert_eq!(
+                    base_json,
+                    to_json_report(&b),
+                    "{app}: JSON differs under effects at {shards} shards x burst {burst}"
+                );
+                assert_eq!(
+                    base_prom,
+                    edp_telemetry::to_prometheus_text(&b.registry),
+                    "{app}: Prometheus differs under effects at {shards} shards x burst {burst}"
+                );
+            }
+        }
+    }
+}
+
 /// The ingestion-plane acceptance pin: the pcap-replay and
 /// endpoint-fleet workloads are a pure function of `(file, seed)` —
 /// trace and exports byte-identical across shard counts 1/2/4 crossed
@@ -135,6 +175,7 @@ fn workload_pin(workload: TopWorkload, tag: &str) {
             trace_capacity: 262_144,
             shards,
             burst,
+            horizon: HorizonMode::Classic,
             workload: workload.clone(),
         };
         run("microburst", &o).expect("workload run")

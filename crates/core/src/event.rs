@@ -104,6 +104,27 @@ impl EventKind {
         }
     }
 
+    /// The `edp_pisa::probe` context label a handler of this kind runs
+    /// under — the shared vocabulary between the switch's dispatch
+    /// instrumentation and `edp-analyze`'s access/effect matrices.
+    pub fn probe_context(self) -> &'static str {
+        match self {
+            EventKind::IngressPacket => "ingress",
+            EventKind::EgressPacket => "egress",
+            EventKind::RecirculatedPacket => "recirculated",
+            EventKind::GeneratedPacket => "generated",
+            EventKind::PacketTransmitted => "transmit",
+            EventKind::BufferEnqueue => "enqueue",
+            EventKind::BufferDequeue => "dequeue",
+            EventKind::BufferOverflow => "overflow",
+            EventKind::BufferUnderflow => "underflow",
+            EventKind::TimerExpiration => "timer",
+            EventKind::ControlPlaneTriggered => "control-plane",
+            EventKind::LinkStatusChange => "link-status",
+            EventKind::UserEvent => "user",
+        }
+    }
+
     /// True for the three packet events baseline PISA already supports
     /// ("commonly supported in the baseline programming model").
     pub fn baseline_supported(self) -> bool {

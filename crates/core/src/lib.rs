@@ -62,6 +62,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod aggreg;
+pub mod effects;
 pub mod event;
 pub mod manifest;
 mod merger;
@@ -72,6 +73,7 @@ mod sume;
 pub use aggreg::{
     run_staleness_experiment, AggregConfig, AggregatedState, MergeOp, StalenessReport,
 };
+pub use effects::{EffectSummary, EmitFootprint};
 pub use event::{Event, EventCounters, EventKind};
 pub use manifest::{AppManifest, LintAllow};
 pub use merger::{EventMerger, MergerConfig, MergerStats};

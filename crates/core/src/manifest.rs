@@ -12,6 +12,7 @@
 //! reason. There is intentionally no way to suppress a code wholesale.
 
 use crate::aggreg::MergeOp;
+use crate::effects::EmitFootprint;
 use crate::event::EventKind;
 use edp_pisa::TableShape;
 
@@ -72,6 +73,15 @@ pub struct AppManifest {
     pub tables: Vec<TableShape>,
     /// Explicitly allowed diagnostics.
     pub allows: Vec<LintAllow>,
+    /// Declared per-event emission footprints (see
+    /// [`crate::effects::EffectSummary`]). `None` leaves the app
+    /// open-world: nothing is certified and any probed emission is an
+    /// EDP-W008 warning. `Some` closes the world: kinds absent from the
+    /// map are declared emission-free, and a probed emission outside the
+    /// declaration is an EDP-E007 error.
+    pub emissions: Option<Vec<(EventKind, EmitFootprint)>>,
+    /// Source file of the app (for SARIF locations), typically `file!()`.
+    pub source: Option<&'static str>,
 }
 
 impl AppManifest {
@@ -88,6 +98,8 @@ impl AppManifest {
             merge_ops: Vec::new(),
             tables: Vec::new(),
             allows: Vec::new(),
+            emissions: None,
+            source: None,
         }
     }
 
@@ -151,6 +163,30 @@ impl AppManifest {
             subject: subject.into(),
             reason,
         });
+        self
+    }
+
+    /// Declares the emission footprint of one event kind, closing the
+    /// app's emission world (kinds never passed here are declared
+    /// emission-free). See [`crate::effects::EffectSummary`].
+    pub fn emits(mut self, kind: EventKind, footprint: EmitFootprint) -> Self {
+        self.emissions
+            .get_or_insert_with(Vec::new)
+            .push((kind, footprint));
+        self
+    }
+
+    /// Declares that no handler of this app ever transmits a frame — the
+    /// empty closed world, the strongest certificate an app can carry.
+    pub fn no_emissions(mut self) -> Self {
+        self.emissions.get_or_insert_with(Vec::new);
+        self
+    }
+
+    /// Records the app's defining source file (use `file!()`), surfaced
+    /// as the finding location in `edp_lint --sarif` output.
+    pub fn source(mut self, path: &'static str) -> Self {
+        self.source = Some(path);
         self
     }
 

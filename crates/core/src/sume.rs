@@ -469,10 +469,13 @@ impl<P: EventProgram> EventSwitch<P> {
                 }
             },
         };
-        let mut actions = EventActions::new();
-        self.program
-            .on_egress(&mut pkt, &parsed, &mut meta, now, &mut actions);
-        self.drain_actions(now, actions, 0);
+        {
+            let _probe = ProbeScope::enter(EventKind::EgressPacket.probe_context());
+            let mut actions = EventActions::new();
+            self.program
+                .on_egress(&mut pkt, &parsed, &mut meta, now, &mut actions);
+            self.drain_actions(now, actions, 0);
+        }
         if meta.egress_drop {
             self.counters.dropped_by_program += 1;
             self.drop_record(now, DropReason::Program);
@@ -661,6 +664,7 @@ impl<P: EventProgram> EventSwitch<P> {
         flow_hash: Option<u64>,
         cached: Option<CachedDecision>,
     ) {
+        let _probe = ProbeScope::enter(kind.probe_context());
         // `still_parsed` is `parsed` for as long as it provably describes
         // `pkt`'s current bytes; a handler mutation invalidates it. It is
         // stashed with the packet at enqueue so egress can skip its
@@ -752,6 +756,11 @@ impl<P: EventProgram> EventSwitch<P> {
         meta: StdMeta,
         depth: u8,
     ) {
+        // The emission probe point: every routing decision that commits a
+        // frame toward an egress queue funnels through here (unicast,
+        // per-port flood copies, and the overflow trim re-offer targets
+        // the same port this first offer already recorded).
+        edp_pisa::probe::record_emission(u16::from(out));
         let orig_meta = meta;
         let (returned, tm_event) = self.tm.offer_parsed(out, pkt, parsed, meta, now);
         match tm_event {
@@ -796,6 +805,7 @@ impl<P: EventProgram> EventSwitch<P> {
                     q_bytes,
                     meta,
                 };
+                let _probe = ProbeScope::enter(EventKind::BufferOverflow.probe_context());
                 let mut actions = EventActions::new();
                 self.program.on_overflow(&ev, now, &mut actions);
                 let trim_rank = actions.trim_requeue.take();
@@ -899,6 +909,7 @@ impl<P: EventProgram> EventSwitch<P> {
                 );
             }
         }
+        let _probe = ProbeScope::enter(kind.probe_context());
         let mut actions = EventActions::new();
         match &ev {
             Event::Enqueue(e) => self.program.on_enqueue(e, now, &mut actions),
@@ -934,6 +945,34 @@ impl<P: EventProgram> EventSwitch<P> {
         }
         for frame in actions.generated {
             self.inject_generated(now, std::sync::Arc::new(frame), depth + 1);
+        }
+    }
+}
+
+/// RAII probe-context frame: while `edp_pisa::probe` is armed (analysis
+/// runs only), dispatch sites push the handler context they enter so
+/// recorded accesses carry the innermost handler and recorded emissions
+/// carry both it and the outermost entry event. Disarmed cost is one
+/// thread-local flag check per dispatch; the `Drop` impl keeps the stack
+/// balanced across early returns and handler panics.
+struct ProbeScope(bool);
+
+impl ProbeScope {
+    #[inline]
+    fn enter(context: &'static str) -> ProbeScope {
+        let armed = edp_pisa::probe::armed();
+        if armed {
+            edp_pisa::probe::push_context(context);
+        }
+        ProbeScope(armed)
+    }
+}
+
+impl Drop for ProbeScope {
+    #[inline]
+    fn drop(&mut self) {
+        if self.0 {
+            edp_pisa::probe::pop_context();
         }
     }
 }

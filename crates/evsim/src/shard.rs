@@ -23,6 +23,13 @@
 //! ([`WindowSync::exchange_vote`]) instead of a fresh negotiation — see
 //! [`drive_windows`] for the induction that keeps this conservative.
 //!
+//! The *effects horizon* (`EDP_HORIZON=effects`, see [`HorizonMode`])
+//! goes further by spending static analysis: events whose whole cascade
+//! is certified emission-free (classed [`crate::EventClass::Local`] under
+//! an `EffectSummary` certificate) stop bounding the window at all, and
+//! each barrier extends the horizon from the group's earliest *bound*
+//! event instead of its earliest event of any kind.
+//!
 //! The loop ends when no shard has an event at or before the deadline;
 //! messages cannot appear out of thin air, so the shards agree on that
 //! state. What makes the merged schedule *byte-identical* to a
@@ -47,10 +54,24 @@ struct SyncState {
     generation: u64,
     /// Set by [`WindowSync::poison`]; every waiter panics on observing it.
     poisoned: bool,
-    /// OR-accumulator for the in-progress [`WindowSync::exchange_vote`].
+    /// OR-accumulator for the in-progress [`WindowSync::exchange_vote`]
+    /// (also the `active` bit of [`WindowSync::exchange_horizon`]).
     vote_accum: bool,
     /// The accumulated vote of the barrier round that last filled.
     vote_latched: bool,
+    /// Min-accumulator for the in-progress
+    /// [`WindowSync::exchange_horizon`]: earliest horizon-bounding time
+    /// (pending bound event or in-flight message arrival) over the group.
+    emit_accum: Option<SimTime>,
+    /// The accumulated emit floor of the barrier round that last filled.
+    emit_latched: Option<SimTime>,
+}
+
+fn min_opt(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
 }
 
 /// Shared barrier state for one sharded run: a reusable, poisonable
@@ -74,6 +95,8 @@ impl WindowSync {
                 poisoned: false,
                 vote_accum: false,
                 vote_latched: false,
+                emit_accum: None,
+                emit_latched: None,
             }),
             cv: Condvar::new(),
             shards,
@@ -176,6 +199,82 @@ impl WindowSync {
         assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
         st.vote_latched
     }
+
+    /// Exchange barrier for the effects horizon: every shard contributes
+    /// its `active` bit and its *emit floor* — the earliest time at which
+    /// it could still cause a cross-shard transmission (its earliest
+    /// pending [`crate::EventClass::Bound`] event, folded with the
+    /// earliest arrival it just published). All shards receive the OR of
+    /// the bits and the min of the floors.
+    ///
+    /// The same single-wait latch argument as [`WindowSync::exchange_vote`]
+    /// applies: the latched pair can only be overwritten by the next
+    /// barrier fill, which needs every shard to arrive again.
+    pub fn exchange_horizon(
+        &self,
+        active: bool,
+        emit_next: Option<SimTime>,
+    ) -> (bool, Option<SimTime>) {
+        let mut st = self.lock();
+        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
+        st.vote_accum |= active;
+        st.emit_accum = min_opt(st.emit_accum, emit_next);
+        st.arrived += 1;
+        if st.arrived == self.shards {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            st.vote_latched = st.vote_accum;
+            st.emit_latched = st.emit_accum;
+            st.vote_accum = false;
+            st.emit_accum = None;
+            self.cv.notify_all();
+            return (st.vote_latched, st.emit_latched);
+        }
+        let generation = st.generation;
+        while st.generation == generation && !st.poisoned {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
+        (st.vote_latched, st.emit_latched)
+    }
+}
+
+/// How [`drive_windows`] bounds each execution window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HorizonMode {
+    /// Every pending event bounds the horizon: negotiated windows of
+    /// `lookahead`, optionally stretched into burst sub-windows. Needs no
+    /// certificates; the PR-6 behavior.
+    #[default]
+    Classic,
+    /// Certificate-aware: events classed [`crate::EventClass::Local`] are
+    /// invisible to the horizon, which extends from the group's *emit
+    /// floor* (earliest bound event or in-flight arrival) instead of from
+    /// the earliest event of any kind. Requires the scheduler's `Local`
+    /// classifications to be backed by effect-summary certificates.
+    Effects,
+}
+
+/// Horizon mode from the `EDP_HORIZON` environment variable: `effects`
+/// selects [`HorizonMode::Effects`]; anything else (or unset) is the
+/// conservative [`HorizonMode::Classic`] default.
+pub fn horizon_from_env() -> HorizonMode {
+    match std::env::var("EDP_HORIZON") {
+        Ok(v) if v.trim() == "effects" => HorizonMode::Effects,
+        _ => HorizonMode::Classic,
+    }
+}
+
+/// Counters returned by [`drive_windows`]; identical on every shard of a
+/// run (each counted step is a full-group rendezvous).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveStats {
+    /// Negotiated windows executed.
+    pub windows: u64,
+    /// Barrier rendezvous joined (a negotiation counts its two waits;
+    /// every exchange/vote/horizon barrier counts one). The true
+    /// synchronization cost of the run.
+    pub barriers: u64,
 }
 
 /// Burst size from the `EDP_BURST` environment variable (default 1 —
@@ -213,15 +312,16 @@ pub fn safe_horizon(
 }
 
 /// Runs one shard's event loop to `deadline` in conservative windows of up
-/// to `subwindows` lookahead-sized sub-steps each.
+/// to `subwindows` lookahead-sized sub-steps each (classic mode), or in
+/// certificate-extended windows ([`HorizonMode::Effects`]).
 ///
 /// `accept` schedules messages handed over at the previous barrier into
 /// `sim`; `publish` moves outbound messages into the shared mailboxes and
-/// reports whether it published anything. Both run on the shard's own
-/// thread. Returns the number of *negotiated* windows executed (identical
-/// on every shard).
+/// returns the earliest *arrival time* among the messages it just
+/// published (`None` when it published nothing). Both run on the shard's
+/// own thread. Returns [`DriveStats`], identical on every shard.
 ///
-/// # Sub-windows
+/// # Sub-windows (classic mode)
 ///
 /// A full window negotiates the global earliest event time (two waits) and
 /// then fires everything before `global_next + lookahead` (one exchange
@@ -236,6 +336,38 @@ pub fn safe_horizon(
 /// negotiation in lockstep and the negotiated minimum jumps the idle gap
 /// in one hop. The executed event schedule is identical for every
 /// `subwindows >= 1`; `subwindows == 1` is exactly the legacy protocol.
+///
+/// # The effects horizon
+///
+/// [`HorizonMode::Effects`] replaces the fixed sub-window budget with an
+/// uncapped continuation driven by *certificates*: events classed
+/// [`crate::EventClass::Local`] are guaranteed (by their scheduler's
+/// effect summary) never to publish cross-shard, so they need not bound
+/// the window. Each round ends with one [`WindowSync::exchange_horizon`]
+/// barrier where every shard contributes its emit floor — the min of its
+/// earliest pending *bound* event ([`Sim::peek_next_bound`]) and the
+/// earliest arrival it published this round — and the next bound becomes
+/// `global_emit + lookahead` (the deadline cap when no floor exists
+/// anywhere). Soundness is the window induction specialized to the floor:
+///
+/// * every pending bound event on any shard is `>= global_emit` (it is a
+///   min over exactly those), so any future transmission happens at
+///   `t >= global_emit` and arrives at `t + lookahead >= global_emit +
+///   lookahead` — at or past the next bound;
+/// * messages published this round had their arrivals folded into the
+///   floor, were made visible at this barrier, and are accepted before
+///   the next round runs, so an arrival inside the next window is already
+///   scheduled when that window fires;
+/// * local events may fire anywhere inside the extended window: their
+///   cascades publish nothing, and certified cranks schedule their
+///   successors as local again.
+///
+/// Progress is strict: the floor is never below the horizon just run
+/// (remaining bound events were not fired, published arrivals are at
+/// least one lookahead past the *previous* floor), so each round advances
+/// the bound by at least `lookahead`. The executed schedule is identical
+/// to classic mode — classes never reorder events, they only decide how
+/// often the shards rendezvous.
 #[allow(clippy::too_many_arguments)] // deliberate: the low-level engine entry point takes the full window protocol
 pub fn drive_windows<W>(
     world: &mut W,
@@ -244,59 +376,100 @@ pub fn drive_windows<W>(
     sync: &WindowSync,
     lookahead: Option<SimDuration>,
     deadline: SimTime,
+    mode: HorizonMode,
     subwindows: usize,
     mut accept: impl FnMut(&mut W, &mut Sim<W>),
-    mut publish: impl FnMut(&mut W, &mut Sim<W>) -> bool,
-) -> u64 {
+    mut publish: impl FnMut(&mut W, &mut Sim<W>, SimTime) -> Option<SimTime>,
+) -> DriveStats {
     let subwindows = subwindows.max(1) as u64;
     let cap = deadline.as_nanos().saturating_add(1);
-    let mut windows = 0u64;
+    let cap_t = SimTime::from_nanos(cap);
+    // Effects mode is meaningful only with cross-shard links; with no
+    // lookahead the classic path already runs the whole span as one
+    // window, which no certificate can improve on.
+    let effects = mode == HorizonMode::Effects && lookahead.is_some();
+    let mut stats = DriveStats::default();
     loop {
         accept(world, sim);
         let local = sim.peek_next();
-        let Some(global) = sync.negotiate(shard, local) else {
+        let global = sync.negotiate(shard, local);
+        stats.barriers += 2;
+        let Some(global) = global else {
             break;
         };
         if global > deadline {
             break;
         }
-        windows += 1;
+        stats.windows += 1;
         let mut horizon = safe_horizon(global, lookahead, deadline);
-        let mut remaining = subwindows;
-        loop {
-            sim.run_before(world, horizon);
-            let published = publish(world, sim);
-            remaining -= 1;
-            // Extend by one more lookahead without renegotiating, unless
-            // the sub-window budget or the deadline cap is exhausted.
-            let next = match lookahead {
-                Some(la) if remaining > 0 && horizon.as_nanos() < cap => {
-                    SimTime::from_nanos(horizon.as_nanos().saturating_add(la.as_nanos()).min(cap))
-                }
-                _ => {
-                    sync.exchange();
+        if effects {
+            let la = lookahead.expect("effects horizon requires lookahead");
+            loop {
+                sim.run_before(world, horizon);
+                let published = publish(world, sim, horizon);
+                let emit_next = min_opt(sim.peek_next_bound(), published);
+                // A shard stays active while anything at or before the
+                // deadline remains (bound or local) or it just published;
+                // the window keeps extending until the whole group drains.
+                let active = published.is_some() || sim.peek_next().is_some_and(|t| t < cap_t);
+                let (any_active, global_emit) = sync.exchange_horizon(active, emit_next);
+                stats.barriers += 1;
+                if !any_active {
                     break;
                 }
-            };
-            let active = published || sim.peek_next().is_some_and(|t| t < next);
-            if !sync.exchange_vote(active) {
-                // Every shard idle below `next` and nothing in flight:
-                // renegotiate so the global minimum jumps the gap.
-                break;
+                let next = match global_emit {
+                    Some(e) => {
+                        SimTime::from_nanos(e.as_nanos().saturating_add(la.as_nanos()).min(cap))
+                    }
+                    // No bound event and nothing in flight anywhere:
+                    // whatever remains is certified local, run it out.
+                    None => cap_t,
+                };
+                accept(world, sim);
+                horizon = next;
             }
-            accept(world, sim);
-            horizon = next;
+        } else {
+            let mut remaining = subwindows;
+            loop {
+                sim.run_before(world, horizon);
+                let published = publish(world, sim, horizon).is_some();
+                remaining -= 1;
+                // Extend by one more lookahead without renegotiating,
+                // unless the sub-window budget or the deadline cap is
+                // exhausted.
+                let next = match lookahead {
+                    Some(la) if remaining > 0 && horizon.as_nanos() < cap => SimTime::from_nanos(
+                        horizon.as_nanos().saturating_add(la.as_nanos()).min(cap),
+                    ),
+                    _ => {
+                        sync.exchange();
+                        stats.barriers += 1;
+                        break;
+                    }
+                };
+                let active = published || sim.peek_next().is_some_and(|t| t < next);
+                let vote = sync.exchange_vote(active);
+                stats.barriers += 1;
+                if !vote {
+                    // Every shard idle below `next` and nothing in flight:
+                    // renegotiate so the global minimum jumps the gap.
+                    break;
+                }
+                accept(world, sim);
+                horizon = next;
+            }
         }
     }
     // Mirror run_until's clock semantics once the shards agree that
     // nothing at or before the deadline remains.
     sim.fast_forward(deadline);
-    windows
+    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::{EventClass, UNKEYED};
 
     #[test]
     fn horizon_is_lookahead_past_next_capped_at_deadline() {
@@ -324,10 +497,10 @@ mod tests {
         );
     }
 
-    /// Runs the two-shard ping-pong under `subwindows` and returns the
-    /// per-shard fired-time logs plus the (identical-across-shards)
-    /// window count.
-    fn ping_pong(subwindows: usize) -> (Vec<u64>, Vec<u64>, u64) {
+    /// Runs the two-shard ping-pong under `subwindows`/`mode` and returns
+    /// the per-shard fired-time logs plus the (identical-across-shards)
+    /// drive stats.
+    fn ping_pong_mode(subwindows: usize, mode: HorizonMode) -> (Vec<u64>, Vec<u64>, DriveStats) {
         use std::sync::Mutex as StdMutex;
         let lookahead = SimDuration::from_nanos(10);
         let deadline = SimTime::from_nanos(200);
@@ -335,7 +508,10 @@ mod tests {
         let mailbox: [StdMutex<Vec<SimTime>>; 2] =
             [StdMutex::new(Vec::new()), StdMutex::new(Vec::new())];
         let log: [StdMutex<Vec<u64>>; 2] = [StdMutex::new(Vec::new()), StdMutex::new(Vec::new())];
-        let wins: [StdMutex<u64>; 2] = [StdMutex::new(0), StdMutex::new(0)];
+        let wins: [StdMutex<DriveStats>; 2] = [
+            StdMutex::new(DriveStats::default()),
+            StdMutex::new(DriveStats::default()),
+        ];
 
         std::thread::scope(|scope| {
             for me in 0..2usize {
@@ -344,7 +520,7 @@ mod tests {
                 let log = &log;
                 let wins = &wins;
                 scope.spawn(move || {
-                    // World = (outbox of send-times, fired-times log).
+                    // World = (outbox of arrival-times, fired-times log).
                     type World = (Vec<SimTime>, Vec<u64>);
                     let mut world: World = (Vec::new(), Vec::new());
                     let mut sim: Sim<World> = Sim::new();
@@ -355,13 +531,14 @@ mod tests {
                             w.0.push(s.now() + SimDuration::from_nanos(10));
                         });
                     }
-                    let windows = drive_windows(
+                    let stats = drive_windows(
                         &mut world,
                         &mut sim,
                         me,
                         sync,
                         Some(lookahead),
                         deadline,
+                        mode,
                         subwindows,
                         |_w, s| {
                             let mut inbox = mailbox[me].lock().unwrap();
@@ -379,15 +556,15 @@ mod tests {
                                 );
                             }
                         },
-                        |w, _s| {
+                        |w, _s, _horizon| {
                             let peer = 1 - me;
-                            let sent = !w.0.is_empty();
+                            let min_arrival = w.0.iter().copied().min();
                             mailbox[peer].lock().unwrap().append(&mut w.0);
-                            sent
+                            min_arrival
                         },
                     );
-                    assert!(windows >= 1 || me == 1);
-                    *wins[me].lock().unwrap() = windows;
+                    assert!(stats.windows >= 1 || me == 1);
+                    *wins[me].lock().unwrap() = stats;
                     *log[me].lock().unwrap() = world.1;
                 });
             }
@@ -396,8 +573,13 @@ mod tests {
         let l0 = log[0].lock().unwrap().clone();
         let l1 = log[1].lock().unwrap().clone();
         let (w0, w1) = (*wins[0].lock().unwrap(), *wins[1].lock().unwrap());
-        assert_eq!(w0, w1, "window count must agree across shards");
+        assert_eq!(w0, w1, "drive stats must agree across shards");
         (l0, l1, w0)
+    }
+
+    fn ping_pong(subwindows: usize) -> (Vec<u64>, Vec<u64>, u64) {
+        let (l0, l1, stats) = ping_pong_mode(subwindows, HorizonMode::Classic);
+        (l0, l1, stats.windows)
     }
 
     #[test]
@@ -420,6 +602,123 @@ mod tests {
                 w < w_base,
                 "subwindows={sub} should negotiate fewer windows ({w} vs {w_base})"
             );
+        }
+    }
+
+    #[test]
+    fn effects_horizon_preserves_the_schedule_and_collapses_negotiations() {
+        let (l0_base, l1_base, w_base) = ping_pong(1);
+        let (l0, l1, stats) = ping_pong_mode(1, HorizonMode::Effects);
+        assert_eq!(l0, l0_base, "effects horizon changed shard 0's schedule");
+        assert_eq!(l1, l1_base, "effects horizon changed shard 1's schedule");
+        assert!(
+            stats.windows < w_base,
+            "effects horizon should negotiate fewer windows ({} vs {w_base})",
+            stats.windows
+        );
+    }
+
+    /// A shard whose whole frontier is certified local must not drag its
+    /// peer through per-event rendezvous: the effects horizon runs the
+    /// local chain out in one extended window.
+    fn local_chain(mode: HorizonMode) -> (Vec<u64>, DriveStats) {
+        use std::sync::Mutex as StdMutex;
+        let sync = WindowSync::new(2);
+        let log: StdMutex<Vec<u64>> = StdMutex::new(Vec::new());
+        let stats_out: StdMutex<DriveStats> = StdMutex::new(DriveStats::default());
+
+        std::thread::scope(|scope| {
+            for me in 0..2usize {
+                let sync = &sync;
+                let log = &log;
+                let stats_out = &stats_out;
+                scope.spawn(move || {
+                    type World = Vec<u64>;
+                    let mut world: World = Vec::new();
+                    let mut sim: Sim<World> = Sim::new();
+                    if me == 0 {
+                        // A self-perpetuating certified-local chain: fires
+                        // every 5 ns, never publishes anything.
+                        fn tick(w: &mut Vec<u64>, s: &mut Sim<Vec<u64>>) {
+                            w.push(s.now().as_nanos());
+                            let next = s.now() + SimDuration::from_nanos(5);
+                            if next <= SimTime::from_nanos(100) {
+                                s.schedule_classed_at(next, UNKEYED, EventClass::Local, tick);
+                            }
+                        }
+                        sim.schedule_classed_at(SimTime::ZERO, UNKEYED, EventClass::Local, tick);
+                    }
+                    let stats = drive_windows(
+                        &mut world,
+                        &mut sim,
+                        me,
+                        sync,
+                        Some(SimDuration::from_nanos(10)),
+                        SimTime::from_nanos(200),
+                        mode,
+                        1,
+                        |_w, _s| {},
+                        |_w, _s, _horizon| None,
+                    );
+                    if me == 0 {
+                        *log.lock().unwrap() = world;
+                        *stats_out.lock().unwrap() = stats;
+                    }
+                });
+            }
+        });
+
+        let l = log.lock().unwrap().clone();
+        let stats = *stats_out.lock().unwrap();
+        (l, stats)
+    }
+
+    #[test]
+    fn certified_local_chain_runs_in_one_extended_window() {
+        let (l_classic, s_classic) = local_chain(HorizonMode::Classic);
+        let (l_effects, s_effects) = local_chain(HorizonMode::Effects);
+        assert_eq!(l_effects, l_classic, "schedule must not change");
+        assert_eq!(l_classic, (0..=100).step_by(5).collect::<Vec<u64>>());
+        assert_eq!(
+            s_effects.windows, 1,
+            "one negotiation covers the whole certified-local chain"
+        );
+        assert!(
+            s_effects.barriers < s_classic.barriers,
+            "effects barriers {} must undercut classic {}",
+            s_effects.barriers,
+            s_classic.barriers
+        );
+    }
+
+    #[test]
+    fn exchange_horizon_ors_votes_and_mins_floors() {
+        let sync = std::sync::Arc::new(WindowSync::new(2));
+        let t = SimTime::from_nanos;
+        let peer = {
+            let sync = std::sync::Arc::clone(&sync);
+            std::thread::spawn(move || {
+                [
+                    sync.exchange_horizon(false, Some(t(10))),
+                    sync.exchange_horizon(true, Some(t(30))),
+                    sync.exchange_horizon(false, None),
+                ]
+            })
+        };
+        let got = [
+            sync.exchange_horizon(false, None),
+            sync.exchange_horizon(false, Some(t(20))),
+            sync.exchange_horizon(false, None),
+        ];
+        let want = [(false, Some(t(10))), (true, Some(t(20))), (false, None)];
+        assert_eq!(got, want);
+        assert_eq!(peer.join().unwrap(), want);
+    }
+
+    #[test]
+    fn horizon_env_defaults_to_classic() {
+        if std::env::var("EDP_HORIZON").is_err() {
+            assert_eq!(horizon_from_env(), HorizonMode::Classic);
         }
     }
 

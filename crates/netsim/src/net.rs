@@ -10,8 +10,8 @@ use crate::host::{Host, HostId};
 use crate::link::{Dir, LinkDirState, LinkFaults, LinkId, LinkSpec, LinkState};
 use crate::shard::{ShardCtx, ShardMsg, ShardPlan};
 use crate::trace::Tracer;
-use edp_core::CpNotification;
-use edp_evsim::{Sim, SimDuration, SimRng, SimTime};
+use edp_core::{CpNotification, EffectSummary};
+use edp_evsim::{EventClass, Sim, SimDuration, SimRng, SimTime, UNKEYED};
 use edp_packet::{Packet, PacketUid};
 use edp_pisa::PortId;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -43,6 +43,10 @@ pub struct Network {
     /// Per-switch stall deadline: a switch with `stalled_until > now`
     /// neither receives, transmits, nor cranks timers until the deadline.
     stalled_until: Vec<SimTime>,
+    /// Per-switch emission certificate (see
+    /// [`install_effect_summary`](Self::install_effect_summary)); `None`
+    /// means no proof — every event stays horizon-bound.
+    effect_summaries: Vec<Option<EffectSummary>>,
     port_links: HashMap<Endpoint, (LinkId, Dir)>,
     tx_armed: HashSet<Endpoint>,
     host_txq: Vec<VecDeque<Packet>>,
@@ -74,6 +78,7 @@ impl Network {
             hosts: Vec::new(),
             links: Vec::new(),
             stalled_until: Vec::new(),
+            effect_summaries: Vec::new(),
             port_links: HashMap::new(),
             tx_armed: HashSet::new(),
             host_txq: Vec::new(),
@@ -93,7 +98,51 @@ impl Network {
     pub fn add_switch(&mut self, sw: Box<dyn SwitchHarness>) -> usize {
         self.switches.push(sw);
         self.stalled_until.push(SimTime::ZERO);
+        self.effect_summaries.push(None);
         self.switches.len() - 1
+    }
+
+    /// Installs the emission certificate for switch `i`'s program (see
+    /// [`EffectSummary`]). Under [`crate::run_sharded`] with the effects
+    /// horizon (`EDP_HORIZON=effects`), a summary whose timer closure
+    /// cannot emit lets the engine class that switch's timer cranks
+    /// [`EventClass::Local`] — invisible to the safe-horizon negotiation,
+    /// so purely internal bookkeeping (policer refills, sketch decay,
+    /// epoch rotation) no longer forces a barrier per period.
+    ///
+    /// Install the same summary in every shard's build closure (the
+    /// engine is SPMD: all shards must agree on event classes). Without a
+    /// summary every event stays conservatively horizon-bound.
+    pub fn install_effect_summary(&mut self, i: usize, summary: EffectSummary) {
+        self.effect_summaries[i] = Some(summary);
+    }
+
+    /// Event class for switch `i`'s timer cranks: `Local` only when an
+    /// installed summary proves the whole timer cascade (timer handler,
+    /// raised user events, generated packets) emits nothing.
+    fn timer_class(&self, i: usize) -> EventClass {
+        match &self.effect_summaries[i] {
+            Some(s) if s.timer_local() => EventClass::Local,
+            _ => EventClass::Bound,
+        }
+    }
+
+    /// Event class for a delivery to `dest`. Deliveries to hosts that
+    /// never respond ([`crate::host::HostApp::Sink`] and
+    /// [`crate::host::HostApp::ClientFleet`], whose requests are injected
+    /// by a separate — bound — pacer event) are certified local: their
+    /// cascades end at the host's counters. Switch deliveries stay bound:
+    /// the receive path can enqueue and hence transmit.
+    fn delivery_class(&self, dest: Endpoint) -> EventClass {
+        match dest.0 {
+            NodeRef::Host(h) => match self.hosts[h].app {
+                crate::host::HostApp::Sink | crate::host::HostApp::ClientFleet(_) => {
+                    EventClass::Local
+                }
+                _ => EventClass::Bound,
+            },
+            NodeRef::Switch(_) => EventClass::Bound,
+        }
     }
 
     /// Adds a host; returns its id.
@@ -424,9 +473,13 @@ impl Network {
         key: u64,
     ) {
         if self.owns_node(dest.0) {
-            sim.schedule_keyed_at(at, key, move |w: &mut Network, s: &mut Sim<Network>| {
-                w.deliver(s, dest, pkt, key)
-            });
+            let class = self.delivery_class(dest);
+            sim.schedule_classed_at(
+                at,
+                key,
+                class,
+                move |w: &mut Network, s: &mut Sim<Network>| w.deliver(s, dest, pkt, key),
+            );
         } else {
             // Hand the frame to the destination shard at the window
             // close. The in-flight send-time record travels with it so
@@ -454,9 +507,13 @@ impl Network {
         let ShardMsg {
             at, dest, pkt, key, ..
         } = m;
-        sim.schedule_keyed_at(at, key, move |w: &mut Network, s: &mut Sim<Network>| {
-            w.deliver(s, dest, pkt, key)
-        });
+        let class = self.delivery_class(dest);
+        sim.schedule_classed_at(
+            at,
+            key,
+            class,
+            move |w: &mut Network, s: &mut Sim<Network>| w.deliver(s, dest, pkt, key),
+        );
     }
 
     /// Drains the outbound mailbox, tagging each message with its
@@ -547,9 +604,17 @@ impl Network {
             return;
         };
         let due = due.max(sim.now()).max(self.stalled_until[i]);
-        sim.schedule_at(due, move |w: &mut Network, s: &mut Sim<Network>| {
-            w.crank_timers(s, i)
-        });
+        // A crank backed by an emission-free timer certificate is local:
+        // its whole cascade (handler, user events, the re-arm below) stays
+        // inside the switch, so under the effects horizon it never forces
+        // a window barrier.
+        let class = self.timer_class(i);
+        sim.schedule_classed_at(
+            due,
+            UNKEYED,
+            class,
+            move |w: &mut Network, s: &mut Sim<Network>| w.crank_timers(s, i),
+        );
     }
 
     fn crank_timers(&mut self, sim: &mut Sim<Network>, i: usize) {
@@ -557,9 +622,13 @@ impl Network {
         if until > sim.now() {
             // The switch is stalled mid-chain: wait out the stall, then
             // crank (there is exactly one crank chain per switch).
-            sim.schedule_at(until, move |w: &mut Network, s: &mut Sim<Network>| {
-                w.crank_timers(s, i)
-            });
+            let class = self.timer_class(i);
+            sim.schedule_classed_at(
+                until,
+                UNKEYED,
+                class,
+                move |w: &mut Network, s: &mut Sim<Network>| w.crank_timers(s, i),
+            );
             return;
         }
         self.switches[i].fire_due_timers(sim.now());

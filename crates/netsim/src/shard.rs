@@ -31,7 +31,7 @@
 
 use crate::net::{Endpoint, Network, NodeRef};
 use crate::trace::Tracer;
-use edp_evsim::{drive_windows, Sim, SimDuration, SimTime, WindowSync};
+use edp_evsim::{drive_windows, HorizonMode, Sim, SimDuration, SimTime, WindowSync};
 use edp_packet::Packet;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -168,6 +168,9 @@ impl ShardPlan {
 pub struct ShardStats {
     /// Safe-horizon windows executed (identical on every shard).
     pub windows: u64,
+    /// Barrier rendezvous joined per shard (identical on every shard) —
+    /// the true synchronization cost; see [`edp_evsim::DriveStats`].
+    pub barriers: u64,
     /// Packets that crossed a shard boundary through the mailboxes.
     pub cross_messages: u64,
 }
@@ -186,7 +189,9 @@ pub struct ShardStats {
 /// larger counts produce the byte-identical observable outcome.
 ///
 /// The sub-window batch size comes from the `EDP_BURST` environment
-/// variable (default 1); use [`run_sharded_opts`] to pin it explicitly.
+/// variable (default 1) and the horizon mode from `EDP_HORIZON`
+/// (`effects` spends installed [`edp_core::EffectSummary`] certificates;
+/// default classic); use [`run_sharded_opts`] to pin both explicitly.
 pub fn run_sharded<T, B, F>(
     nshards: usize,
     deadline: SimTime,
@@ -201,22 +206,29 @@ where
     run_sharded_opts(
         nshards,
         edp_evsim::burst_from_env(),
+        edp_evsim::horizon_from_env(),
         deadline,
         build,
         finish,
     )
 }
 
-/// [`run_sharded`] with an explicit sub-window batch size.
+/// [`run_sharded`] with an explicit sub-window batch size and horizon
+/// mode.
 ///
 /// `subwindows` is the number of lookahead-sized sub-steps each negotiated
 /// window may cover (see [`edp_evsim::drive_windows`]); `1` reproduces the
-/// legacy one-negotiation-per-lookahead protocol exactly. The observable
-/// simulation outcome is byte-identical for every value — only the barrier
-/// count (and [`ShardStats::windows`]) changes.
+/// legacy one-negotiation-per-lookahead protocol exactly. `mode` selects
+/// the classic conservative horizon or the certificate-aware effects
+/// horizon ([`HorizonMode::Effects`]), which extends windows past events
+/// proven local by installed effect summaries (see
+/// [`Network::install_effect_summary`]). The observable simulation
+/// outcome is byte-identical for every combination — only the window and
+/// barrier counts ([`ShardStats`]) change.
 pub fn run_sharded_opts<T, B, F>(
     nshards: usize,
     subwindows: usize,
+    mode: HorizonMode,
     deadline: SimTime,
     build: B,
     finish: F,
@@ -232,7 +244,7 @@ where
         .map(|_| (0..nshards).map(|_| Mutex::new(Vec::new())).collect())
         .collect();
     let crossed = AtomicU64::new(0);
-    let mut results: Vec<Option<(T, u64)>> = (0..nshards).map(|_| None).collect();
+    let mut results: Vec<Option<(T, edp_evsim::DriveStats)>> = (0..nshards).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..nshards)
             .map(|me| {
@@ -244,8 +256,8 @@ where
                 scope.spawn(move || {
                     let out = catch_unwind(AssertUnwindSafe(|| {
                         run_shard(
-                            me, nshards, subwindows, deadline, sync, mailboxes, crossed, build,
-                            finish,
+                            me, nshards, subwindows, mode, deadline, sync, mailboxes, crossed,
+                            build, finish,
                         )
                     }));
                     match out {
@@ -267,19 +279,20 @@ where
             }
         }
     });
-    let mut windows = 0;
+    let mut drive = edp_evsim::DriveStats::default();
     let outs: Vec<T> = results
         .into_iter()
         .map(|r| {
-            let (t, w) = r.expect("shard result");
-            windows = w;
+            let (t, d) = r.expect("shard result");
+            drive = d;
             t
         })
         .collect();
     (
         outs,
         ShardStats {
-            windows,
+            windows: drive.windows,
+            barriers: drive.barriers,
             cross_messages: crossed.load(Ordering::Relaxed),
         },
     )
@@ -290,13 +303,14 @@ fn run_shard<T, B, F>(
     me: usize,
     nshards: usize,
     subwindows: usize,
+    mode: HorizonMode,
     deadline: SimTime,
     sync: &WindowSync,
     mailboxes: &[Vec<Mutex<Vec<ShardMsg>>>],
     crossed: &AtomicU64,
     build: &B,
     finish: &F,
-) -> (T, u64)
+) -> (T, edp_evsim::DriveStats)
 where
     B: Fn(usize) -> (Network, Sim<Network>) + Sync,
     F: Fn(usize, Network, Sim<Network>) -> T + Sync,
@@ -309,13 +323,14 @@ where
     // Reused per-destination staging rows so a window's whole batch for a
     // peer costs one mailbox lock instead of one per message.
     let mut staged: Vec<Vec<ShardMsg>> = (0..nshards).map(|_| Vec::new()).collect();
-    let windows = drive_windows(
+    let stats = drive_windows(
         &mut net,
         &mut sim,
         me,
         sync,
         lookahead,
         deadline,
+        mode,
         subwindows,
         |net, sim| {
             for row in mailboxes.iter() {
@@ -329,13 +344,29 @@ where
                 }
             }
         },
-        |net, _sim| {
+        |net, _sim, horizon| {
             let out = net.take_outbox();
             if out.is_empty() {
-                return false;
+                return None;
             }
             crossed.fetch_add(out.len() as u64, Ordering::Relaxed);
+            let mut earliest: Option<SimTime> = None;
             for (dst, msg) in out {
+                // The conservative-window invariant, checked at runtime:
+                // everything published from a window arrives at or past
+                // its horizon. A failure here means an event classed
+                // local emitted after all — an effect summary lied (the
+                // dynamic face of lint EDP-E007).
+                assert!(
+                    msg.at >= horizon,
+                    "cross-shard arrival at {} precedes the window horizon {horizon}: \
+                     a handler emitted outside its effect summary (EDP-E007)",
+                    msg.at
+                );
+                earliest = Some(match earliest {
+                    Some(e) if e <= msg.at => e,
+                    _ => msg.at,
+                });
                 staged[dst].push(msg);
             }
             for (dst, batch) in staged.iter_mut().enumerate() {
@@ -346,10 +377,10 @@ where
                         .append(batch);
                 }
             }
-            true
+            earliest
         },
     );
-    (finish(me, net, sim), windows)
+    (finish(me, net, sim), stats)
 }
 
 /// Deterministically merges per-shard packet traces into one canonical
@@ -479,13 +510,18 @@ mod tests {
     /// Runs the two-switch line under `shards` workers and folds the
     /// observables: (delivered count, flow latency means, merged trace).
     fn run_line(shards: usize) -> (u64, String, String, ShardStats) {
-        run_line_opts(shards, 1)
+        run_line_opts(shards, 1, HorizonMode::Classic)
     }
 
-    fn run_line_opts(shards: usize, subwindows: usize) -> (u64, String, String, ShardStats) {
+    fn run_line_opts(
+        shards: usize,
+        subwindows: usize,
+        mode: HorizonMode,
+    ) -> (u64, String, String, ShardStats) {
         let (nets, stats) = run_sharded_opts(
             shards,
             subwindows,
+            mode,
             SimTime::from_millis(1),
             |_me| {
                 let (mut net, h0, _h1) = two_switch_line(11);
@@ -533,9 +569,10 @@ mod tests {
 
     #[test]
     fn subwindows_keep_byte_identity_and_shrink_the_window_count() {
-        let (rx_base, means_base, trace_base, stats_base) = run_line_opts(2, 1);
+        let (rx_base, means_base, trace_base, stats_base) =
+            run_line_opts(2, 1, HorizonMode::Classic);
         for sub in [8usize, 32] {
-            let (rx, means, trace, stats) = run_line_opts(2, sub);
+            let (rx, means, trace, stats) = run_line_opts(2, sub, HorizonMode::Classic);
             assert_eq!(rx, rx_base);
             assert_eq!(
                 means, means_base,
@@ -553,5 +590,116 @@ mod tests {
                 stats_base.windows
             );
         }
+    }
+
+    #[test]
+    fn effects_horizon_without_summaries_stays_byte_identical() {
+        // No certificates installed: the effects horizon can only lean on
+        // the structurally local sink deliveries, but the schedule must
+        // still match classic mode byte for byte.
+        let (rx_c, means_c, trace_c, _) = run_line_opts(2, 1, HorizonMode::Classic);
+        let (rx_e, means_e, trace_e, stats_e) = run_line_opts(2, 1, HorizonMode::Effects);
+        assert_eq!(rx_c, rx_e);
+        assert_eq!(means_c, means_e, "latency accounting under effects");
+        assert_eq!(trace_c, trace_e, "merged trace under effects");
+        assert!(stats_e.barriers > 0);
+    }
+
+    /// h0 — ev0 — ev1 — h1: two event switches with a silent 10 us
+    /// periodic timer each, forwarding toward h1, plus a certificate
+    /// declaring the pipeline emission and the timer's silence.
+    fn timer_line(certify: bool) -> (Network, HostId) {
+        use edp_core::{
+            AppManifest, BaselineAdapter, EffectSummary, EmitFootprint, EventKind, EventSwitch,
+            EventSwitchConfig, TimerSpec,
+        };
+        let mut net = Network::new(3);
+        let manifest = AppManifest::new("silent-timer")
+            .handles([EventKind::IngressPacket, EventKind::TimerExpiration])
+            .emits(EventKind::IngressPacket, EmitFootprint::Any);
+        for _ in 0..2 {
+            let cfg = EventSwitchConfig {
+                n_ports: 2,
+                timers: vec![TimerSpec {
+                    id: 0,
+                    period: SimDuration::from_micros(10),
+                    start: SimDuration::from_micros(10),
+                }],
+                ..Default::default()
+            };
+            let i = net.add_switch(Box::new(EventSwitch::new(
+                BaselineAdapter(ForwardTo(1)),
+                cfg,
+            )));
+            if certify {
+                net.install_effect_summary(i, EffectSummary::from_manifest(&manifest));
+            }
+        }
+        let h0 = net.add_host(Host::new(a(1), HostApp::Sink));
+        let h1 = net.add_host(Host::new(a(2), HostApp::Sink));
+        let edge = LinkSpec::ten_gig(SimDuration::from_micros(1));
+        let trunk = LinkSpec::ten_gig(SimDuration::from_micros(2));
+        net.connect((NodeRef::Host(h0), 0), (NodeRef::Switch(0), 0), edge);
+        net.connect((NodeRef::Switch(0), 1), (NodeRef::Switch(1), 0), trunk);
+        net.connect((NodeRef::Switch(1), 1), (NodeRef::Host(h1), 0), edge);
+        (net, h0)
+    }
+
+    fn run_timer_line(mode: HorizonMode, certify: bool) -> (u64, String, ShardStats) {
+        let (nets, stats) = run_sharded_opts(
+            2,
+            1,
+            mode,
+            SimTime::from_millis(1),
+            |_me| {
+                let (mut net, h0) = timer_line(certify);
+                net.tracer.enabled = true;
+                let mut sim: Sim<Network> = Sim::new();
+                for i in 0..5u16 {
+                    sim.schedule_at(
+                        SimTime::from_micros(i as u64 * 7),
+                        move |w: &mut Network, s: &mut Sim<Network>| {
+                            let f = PacketBuilder::udp(a(1), a(2), 5, 6, &[])
+                                .ident(i)
+                                .pad_to(500)
+                                .build();
+                            w.host_send(s, h0, f);
+                        },
+                    );
+                }
+                (net, sim)
+            },
+            |_me, net, _sim| net,
+        );
+        let rx: u64 = nets.iter().map(|n| n.hosts[1].stats.rx_pkts).sum();
+        let tracers: Vec<&Tracer> = nets.iter().map(|n| &n.tracer).collect();
+        (rx, merge_tracers(&tracers), stats)
+    }
+
+    #[test]
+    fn certified_timers_collapse_barriers_without_changing_the_schedule() {
+        let (rx_c, trace_c, stats_c) = run_timer_line(HorizonMode::Classic, true);
+        let (rx_e, trace_e, stats_e) = run_timer_line(HorizonMode::Effects, true);
+        assert_eq!(rx_c, 5);
+        assert_eq!(rx_c, rx_e);
+        assert_eq!(
+            trace_c, trace_e,
+            "certificates must not change the schedule"
+        );
+        // Classic mode pays a rendezvous per 10 us timer period over the
+        // whole millisecond; the certificate proves those cranks local, so
+        // once traffic drains the effects run coasts to the deadline.
+        assert!(
+            stats_e.barriers * 4 < stats_c.barriers,
+            "effects barriers {} vs classic {}",
+            stats_e.barriers,
+            stats_c.barriers
+        );
+        // Without the certificate the effects horizon has nothing to
+        // spend: every crank stays bound and the barrier bill comes back.
+        let (rx_u, trace_u, stats_u) = run_timer_line(HorizonMode::Effects, false);
+        assert_eq!(rx_u, rx_c);
+        assert_eq!(trace_u, trace_c);
+        assert!(stats_u.barriers > stats_e.barriers * 4);
     }
 }

@@ -66,33 +66,90 @@ pub struct ProbeClaim {
     pub context: &'static str,
 }
 
+/// One recorded frame emission: a packet left (or was queued to leave)
+/// the switch on `port` while the probe was armed.
+#[derive(Debug, Clone)]
+pub struct ProbeEmission {
+    /// Egress port the frame was destined to.
+    pub port: u16,
+    /// The innermost handler context active at the emission (the handler
+    /// whose decision routed the frame).
+    pub context: &'static str,
+    /// The outermost context of the dispatch — the event that *entered*
+    /// the switch and, possibly through a cascade (raise → user handler,
+    /// generate → generated-packet pipeline), caused the emission.
+    pub entry: &'static str,
+}
+
 thread_local! {
     static ARMED: Cell<bool> = const { Cell::new(false) };
     static CONTEXT: Cell<&'static str> = const { Cell::new("") };
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
     static RECORDS: RefCell<Vec<ProbeRecord>> = const { RefCell::new(Vec::new()) };
     static CLAIMS: RefCell<Vec<ProbeClaim>> = const { RefCell::new(Vec::new()) };
+    static EMISSIONS: RefCell<Vec<ProbeEmission>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Arms recording on this thread and clears any previous log.
 pub fn arm() {
     ARMED.with(|a| a.set(true));
     CONTEXT.with(|c| c.set(""));
+    STACK.with(|s| s.borrow_mut().clear());
     RECORDS.with(|r| r.borrow_mut().clear());
     CLAIMS.with(|c| c.borrow_mut().clear());
+    EMISSIONS.with(|e| e.borrow_mut().clear());
 }
 
-/// Sets the handler context subsequent accesses are attributed to.
+/// Sets the handler context subsequent accesses are attributed to,
+/// resetting any nested context stack to this single frame.
 pub fn set_context(context: &'static str) {
+    CONTEXT.with(|c| c.set(context));
+    STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.clear();
+        s.push(context);
+    });
+}
+
+/// Pushes a nested handler context (a cascaded dispatch: a handler
+/// raising an event whose handler runs inside it). The innermost frame
+/// is what accesses are attributed to; the outermost is the `entry` of
+/// any emission recorded meanwhile.
+pub fn push_context(context: &'static str) {
+    STACK.with(|s| s.borrow_mut().push(context));
     CONTEXT.with(|c| c.set(context));
 }
 
-/// Disarms recording and returns everything recorded since [`arm`].
-pub fn disarm() -> (Vec<ProbeRecord>, Vec<ProbeClaim>) {
+/// Pops the innermost handler context pushed by [`push_context`].
+pub fn pop_context() {
+    STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.pop();
+        CONTEXT.with(|c| c.set(s.last().copied().unwrap_or("")));
+    });
+}
+
+/// The innermost active handler context (empty outside any handler).
+pub fn context() -> &'static str {
+    CONTEXT.with(|c| c.get())
+}
+
+/// The outermost active handler context — the event that entered the
+/// switch (empty outside any handler).
+pub fn entry() -> &'static str {
+    STACK.with(|s| s.borrow().first().copied().unwrap_or(""))
+}
+
+/// Disarms recording and returns everything recorded since [`arm`]:
+/// register accesses, accessor claims, and frame emissions.
+pub fn disarm() -> (Vec<ProbeRecord>, Vec<ProbeClaim>, Vec<ProbeEmission>) {
     ARMED.with(|a| a.set(false));
     CONTEXT.with(|c| c.set(""));
+    STACK.with(|s| s.borrow_mut().clear());
     (
         RECORDS.with(|r| std::mem::take(&mut *r.borrow_mut())),
         CLAIMS.with(|c| std::mem::take(&mut *c.borrow_mut())),
+        EMISSIONS.with(|e| std::mem::take(&mut *e.borrow_mut())),
     )
 }
 
@@ -120,6 +177,23 @@ pub fn record(register: &str, class: ProbeClass, access: ProbeAccess) {
     });
 }
 
+/// Records one frame emission toward `port`. No-op unless [`arm`]ed.
+/// Called by the switch models at the points where a routing decision
+/// commits a frame to an egress queue.
+#[inline]
+pub fn record_emission(port: u16) {
+    if !armed() {
+        return;
+    }
+    EMISSIONS.with(|e| {
+        e.borrow_mut().push(ProbeEmission {
+            port,
+            context: context(),
+            entry: entry(),
+        })
+    });
+}
+
 /// Records an accessor-class claim. No-op unless [`arm`]ed.
 #[inline]
 pub fn record_claim(register: &str, claimed: &'static str) {
@@ -143,10 +217,12 @@ mod tests {
     #[test]
     fn disarmed_records_nothing() {
         record("x", ProbeClass::Plain, ProbeAccess::Read);
+        record_emission(3);
         arm();
-        let (records, claims) = disarm();
+        let (records, claims, emissions) = disarm();
         assert!(records.is_empty());
         assert!(claims.is_empty());
+        assert!(emissions.is_empty());
     }
 
     #[test]
@@ -157,7 +233,7 @@ mod tests {
         record_claim("occ", "enqueue");
         set_context("ingress");
         record("occ", ProbeClass::Aggregated, ProbeAccess::Read);
-        let (records, claims) = disarm();
+        let (records, claims, _) = disarm();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].context, "enqueue");
         assert_eq!(records[0].access, ProbeAccess::Rmw);
@@ -168,7 +244,30 @@ mod tests {
         // Disarm cleared the log.
         record("occ", ProbeClass::Plain, ProbeAccess::Read);
         arm();
-        let (records, _) = disarm();
+        let (records, _, _) = disarm();
         assert!(records.is_empty());
+    }
+
+    #[test]
+    fn context_stack_attributes_innermost_and_entry() {
+        arm();
+        push_context("timer");
+        record("cnt", ProbeClass::Plain, ProbeAccess::Read);
+        push_context("user");
+        record("cnt", ProbeClass::Plain, ProbeAccess::Write);
+        record_emission(5);
+        pop_context();
+        record_emission(6);
+        pop_context();
+        assert_eq!(context(), "");
+        let (records, _, emissions) = disarm();
+        assert_eq!(records[0].context, "timer");
+        assert_eq!(records[1].context, "user");
+        assert_eq!(emissions.len(), 2);
+        assert_eq!(emissions[0].port, 5);
+        assert_eq!(emissions[0].context, "user");
+        assert_eq!(emissions[0].entry, "timer");
+        assert_eq!(emissions[1].context, "timer");
+        assert_eq!(emissions[1].entry, "timer");
     }
 }

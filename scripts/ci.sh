@@ -4,14 +4,17 @@
 #   scripts/ci.sh               # full local gate (everything below)
 #   scripts/ci.sh --quick       # fmt, build, test, edp_lint, telemetry smoke
 #   scripts/ci.sh --matrix-leg  # build + tier-1 tests under the ambient
-#                               # EDP_SHARDS / EDP_BURST (one CI matrix leg)
-#   scripts/ci.sh --gate        # fmt, clippy, edp_lint, pcap fixture
-#                               # round-trip, replay smoke, bench gate
+#                               # EDP_SHARDS / EDP_BURST / EDP_HORIZON
+#                               # (one CI matrix leg)
+#   scripts/ci.sh --gate        # fmt, clippy, edp_lint (+ SARIF artifact),
+#                               # pcap fixture round-trip, replay smoke,
+#                               # bench gate
 #
 # The CI pipeline fans the engine matrix {EDP_SHARDS=1,4} x {EDP_BURST=1,32}
-# across `--matrix-leg` jobs and runs `--gate` once beside them; the
-# default (no-flag) mode runs the union locally, emulating the matrix
-# with in-process EDP_SHARDS=4 / EDP_BURST=32 re-runs.
+# plus an EDP_HORIZON=effects leg (shards=4, burst=32) across
+# `--matrix-leg` jobs and runs `--gate` once beside them; the default
+# (no-flag) mode runs the union locally, emulating the matrix with
+# in-process EDP_SHARDS=4 / EDP_BURST=32 / EDP_HORIZON=effects re-runs.
 #
 # The workspace vendors all third-party crates (see vendor/), so the
 # whole gate runs with the cargo registry unreachable.
@@ -52,18 +55,32 @@ step_build() {
 }
 
 step_test() {
-    echo "==> cargo test (EDP_SHARDS=${EDP_SHARDS:-unset} EDP_BURST=${EDP_BURST:-unset})"
+    echo "==> cargo test (EDP_SHARDS=${EDP_SHARDS:-unset} EDP_BURST=${EDP_BURST:-unset} EDP_HORIZON=${EDP_HORIZON:-unset})"
     cargo test --offline -q
 }
 
 step_lint() {
     echo "==> edp_lint --deny warnings (static hazard/lint gate)"
     # Static analysis over every registered app: shared-state hazards,
-    # merge op algebra, table rule reachability, event coverage. Stable
-    # codes are documented in DESIGN.md §9; intentional findings are
-    # allowed per-(code, subject) in the app's manifest, never
+    # merge op algebra, table rule reachability, event coverage, and the
+    # effect-summary cross-check (EDP-W008/EDP-E007). Stable codes are
+    # documented in DESIGN.md §9; intentional findings are allowed
+    # per-(code, subject) in the app's manifest, never
     # blanket-suppressed.
     cargo run --offline --release -q -p edp-analyze --bin edp_lint -- --deny warnings
+}
+
+step_lint_sarif() {
+    echo "==> edp_lint --sarif (code-scanning artifact)"
+    # The same catalog rendered as SARIF 2.1.0 for code-scanning UIs;
+    # the gate job uploads target/edp_lint.sarif as a build artifact.
+    # python3 validates it parses — SARIF consumers are strict.
+    mkdir -p target
+    cargo run --offline --release -q -p edp-analyze --bin edp_lint -- --sarif \
+        >target/edp_lint.sarif
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c 'import json,sys; json.load(open(sys.argv[1]))' target/edp_lint.sarif
+    fi
 }
 
 step_top_smoke() {
@@ -136,6 +153,12 @@ step_engine_matrix_local() {
     # byte-identity with the per-packet path is asserted by the tests
     # themselves (top_determinism, integration_shards).
     EDP_BURST=32 cargo test --offline -q
+
+    echo "==> cargo test (EDP_HORIZON=effects: certificate-aware horizon)"
+    # The sharded engine loads per-app effect summaries and extends
+    # safe_horizon past certified-local event runs; the determinism
+    # suites assert the merged schedule stays byte-identical to classic.
+    EDP_HORIZON=effects EDP_SHARDS=4 EDP_BURST=32 cargo test --offline -q
 }
 
 step_clippy() {
@@ -180,6 +203,7 @@ gate)
     step_build
     step_clippy
     step_lint
+    step_lint_sarif
     step_top_smoke
     step_pcap
     step_bench_gate

@@ -5,7 +5,7 @@
 //! one of those outcomes is byte-identical between the classic engine
 //! and `run_sharded_opts` at 2/4 shards crossed with burst 1/32.
 
-use edp_evsim::{Sim, SimDuration, SimTime};
+use edp_evsim::{HorizonMode, Sim, SimDuration, SimTime};
 use edp_netsim::{
     run_sharded_opts, start_endpoints, EndpointConfig, EndpointFleet, FaultPlan, FleetStats, Host,
     HostApp, LinkFaultModel, LinkSpec, Network, NodeRef,
@@ -104,6 +104,7 @@ fn run_sharded(
     let (results, _) = run_sharded_opts(
         shards,
         burst,
+        HorizonMode::Classic,
         DEADLINE,
         |_shard| build(seed, model),
         |_shard, net, _sim| harvest(&net),

@@ -12,7 +12,7 @@ use edp_apps::common::{addr, run_until};
 use edp_apps::frr::{FrrBaseline, FrrEvent, CP_OP_SET_ROUTE};
 use edp_apps::liveness::{LivenessMonitor, LivenessReflector, Neighbor, TIMER_CHECK, TIMER_PROBE};
 use edp_core::{EventSwitch, EventSwitchConfig, TimerSpec};
-use edp_evsim::{Sim, SimDuration, SimTime};
+use edp_evsim::{HorizonMode, Sim, SimDuration, SimTime};
 use edp_netsim::{
     merge_tracers, run_sharded_opts, Dir, FaultPlan, Host, HostApp, LinkFaultModel, LinkSpec,
     Network, NodeRef, Tracer,
@@ -33,23 +33,31 @@ fn run_shards<B>(shards: usize, deadline: SimTime, build: B) -> (Vec<Network>, S
 where
     B: Fn() -> (Network, Sim<Network>) + Sync,
 {
-    run_shards_at(shards, 1, deadline, build)
+    run_shards_at(shards, 1, HorizonMode::Classic, deadline, build)
 }
 
 /// Same, at an explicit burst factor (sub-windows per negotiated
-/// window). Passed explicitly rather than via `EDP_BURST` so parallel
-/// tests never race on process-global env state.
+/// window) and horizon mode. Passed explicitly rather than via
+/// `EDP_BURST`/`EDP_HORIZON` so parallel tests never race on
+/// process-global env state.
 fn run_shards_at<B>(
     shards: usize,
     burst: usize,
+    mode: HorizonMode,
     deadline: SimTime,
     build: B,
 ) -> (Vec<Network>, String, String)
 where
     B: Fn() -> (Network, Sim<Network>) + Sync,
 {
-    let (nets, _stats) =
-        run_sharded_opts(shards, burst, deadline, |_s| build(), |_s, net, _sim| net);
+    let (nets, _stats) = run_sharded_opts(
+        shards,
+        burst,
+        mode,
+        deadline,
+        |_s| build(),
+        |_s, net, _sim| net,
+    );
     let tracers: Vec<&Tracer> = nets.iter().map(|n| &n.tracer).collect();
     let trace = merge_tracers(&tracers);
     // One registry per shard, merged: `publish_metrics` *sets* net-scope
@@ -102,22 +110,27 @@ where
     );
     for shards in SHARD_COUNTS {
         // Burst 1 is the legacy one-negotiation-per-window protocol;
-        // burst 32 exercises the sub-window fast path. Every scenario
-        // family must be invariant under both.
-        for burst in [1usize, 32] {
-            let (many, trace, json) = run_shards_at(shards, burst, deadline, &build);
+        // burst 32 exercises the sub-window fast path; the effects
+        // horizon exercises the certificate-extended windows. Every
+        // scenario family must be invariant under all three.
+        for (burst, mode) in [
+            (1usize, HorizonMode::Classic),
+            (32, HorizonMode::Classic),
+            (32, HorizonMode::Effects),
+        ] {
+            let (many, trace, json) = run_shards_at(shards, burst, mode, deadline, &build);
             assert_eq!(
                 observe(&many),
                 classic_obs,
-                "{shards}-shard burst-{burst} observables diverged"
+                "{shards}-shard burst-{burst} {mode:?} observables diverged"
             );
             assert_eq!(
                 one_trace, trace,
-                "{shards}-shard burst-{burst} merged trace diverged"
+                "{shards}-shard burst-{burst} {mode:?} merged trace diverged"
             );
             assert_eq!(
                 one_json, json,
-                "{shards}-shard burst-{burst} metrics JSON diverged"
+                "{shards}-shard burst-{burst} {mode:?} metrics JSON diverged"
             );
         }
     }
