@@ -7,7 +7,12 @@
 //! the effects horizon collapses it further still by extending
 //! `safe_horizon` past runs of certified-local events. `barriers`
 //! counts actual rendezvous on the `WindowSync`, the honest
-//! synchronization cost either way.
+//! synchronization cost either way. Each leg also runs a second,
+//! profiled pass (`edp_telemetry::prof`) to attribute its wall-clock:
+//! the `barrier_wait_frac` and `exchange_frac` columns pin how much of
+//! the run waited at barriers vs moved mailbox traffic — the numbers
+//! the "make the sharded engine win" roadmap item spends next. The
+//! reported rate always comes from the unprofiled pass.
 //!
 //! ```sh
 //! cargo run --release -p edp-bench --bin bench_shards
@@ -31,6 +36,7 @@ use edp_netsim::traffic::start_cbr;
 use edp_netsim::{run_sharded_opts, Host, HostApp, LinkSpec, Network, NodeRef};
 use edp_packet::PacketBuilder;
 use edp_pisa::{BaselineSwitch, ForwardTo, QueueConfig};
+use edp_telemetry::prof;
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
@@ -128,6 +134,40 @@ fn measure(shards: usize, burst: usize, mode: HorizonMode, n: u64) -> (u64, u64,
     )
 }
 
+/// Re-runs the leg with the wall-clock profiler enabled and returns
+/// `(barrier_wait_frac, exchange_frac)` — the fraction of the group's
+/// attributed wall-clock spent waiting at negotiation/exchange barriers
+/// and doing mailbox work, summed over shards. A separate pass so the
+/// profiler's own overhead never contaminates the reported rate.
+fn measure_fracs(shards: usize, burst: usize, mode: HorizonMode, n: u64) -> (f64, f64) {
+    let deadline = SimTime::from_nanos(500 * n + 1_000_000);
+    let epoch = Instant::now();
+    let (profiles, _) = run_sharded_opts(
+        shards,
+        burst,
+        mode,
+        deadline,
+        |shard| {
+            prof::enable(epoch, shard, shards);
+            build(n)
+        },
+        |_shard, _net, _sim| prof::disable().expect("profiling enabled in build"),
+    );
+    let mut phase_ns = [0u64; prof::NPHASES];
+    for p in &profiles {
+        for (dst, src) in phase_ns.iter_mut().zip(p.phase_ns.iter()) {
+            *dst += src;
+        }
+    }
+    let attr: u64 = phase_ns.iter().sum();
+    if attr == 0 {
+        return (0.0, 0.0);
+    }
+    let wait = phase_ns[prof::Phase::Negotiate.index()] + phase_ns[prof::Phase::Barrier.index()];
+    let exchange = phase_ns[prof::Phase::Mailbox.index()] + phase_ns[prof::Phase::Extend.index()];
+    (wait as f64 / attr as f64, exchange as f64 / attr as f64)
+}
+
 fn mode_name(mode: HorizonMode) -> &'static str {
     match mode {
         HorizonMode::Classic => "classic",
@@ -192,11 +232,17 @@ fn main() {
             // Wall-clock ratio vs the 1-shard burst-1 baseline: < 1.0
             // means this leg finished the same work faster.
             let wall_ratio = secs / base_secs;
+            // A second, profiled pass attributes the leg's wall-clock;
+            // the rate above stays unprofiled.
+            let (wait_frac, exch_frac) = measure_fracs(shards, burst, mode, pkts);
             println!(
                 "  {shards} shard(s) x burst {burst:>2} [{}]: {rate:>12.0} pkts/s  \
                  ({windows} windows, {barriers} barriers, {crossed} cross msgs, \
-                 speedup {speedup:.2}x, wall {wall_ratio:.3}x)",
-                mode_name(mode)
+                 speedup {speedup:.2}x, wall {wall_ratio:.3}x, \
+                 barrier-wait {:.0}%, exchange {:.0}%)",
+                mode_name(mode),
+                wait_frac * 100.0,
+                exch_frac * 100.0,
             );
             rows.push((
                 shards,
@@ -208,6 +254,8 @@ fn main() {
                 crossed,
                 speedup,
                 wall_ratio,
+                wait_frac,
+                exch_frac,
             ));
         }
     }
@@ -221,8 +269,22 @@ fn main() {
          cannot show parallel gains regardless of engine quality\",\n",
     );
     json.push_str("  \"results\": [\n");
-    for (i, (shards, burst, horizon, rate, windows, barriers, crossed, speedup, wall_ratio)) in
-        rows.iter().enumerate()
+    for (
+        i,
+        (
+            shards,
+            burst,
+            horizon,
+            rate,
+            windows,
+            barriers,
+            crossed,
+            speedup,
+            wall_ratio,
+            wait_frac,
+            exch_frac,
+        ),
+    ) in rows.iter().enumerate()
     {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         json.push_str(&format!(
@@ -232,7 +294,9 @@ fn main() {
              \"windows\": {windows}, \"barriers\": {barriers}, \
              \"cross_messages\": {crossed}, \
              \"speedup_vs_1\": {speedup:.3}, \
-             \"wall_clock_ratio\": {wall_ratio:.3}}}{comma}\n"
+             \"wall_clock_ratio\": {wall_ratio:.3}, \
+             \"barrier_wait_frac\": {wait_frac:.3}, \
+             \"exchange_frac\": {exch_frac:.3}}}{comma}\n"
         ));
     }
     json.push_str("  ]\n}\n");

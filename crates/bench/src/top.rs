@@ -26,9 +26,10 @@ use edp_netsim::{
 };
 use edp_packet::{Packet, PacketBuilder, ParsedPacket, PcapPacket};
 use edp_pisa::{Destination, StdMeta};
-use edp_telemetry::{self as telemetry, Registry, TelemetryConfig};
+use edp_telemetry::{self as telemetry, prof, Registry, TelemetryConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The traffic a sweep point drives through the app's dumbbell.
 #[derive(Debug, Clone, Default)]
@@ -81,6 +82,12 @@ pub struct TopOptions {
     pub horizon: HorizonMode,
     /// The traffic source (CBR, pcap replay, or endpoint fleet).
     pub workload: TopWorkload,
+    /// Opt-in wall-clock profiler ([`edp_telemetry::prof`]). Collects
+    /// per-shard phase attribution over the monotonic clock —
+    /// nondeterministic by nature, and therefore kept strictly out of
+    /// the canonical trace/JSON/prom outputs, which stay byte-identical
+    /// whether this is on or off.
+    pub profile: bool,
 }
 
 /// Reads `EDP_SHARDS`; unset or unparsable means `0` (classic path).
@@ -102,6 +109,7 @@ impl Default for TopOptions {
             burst: edp_evsim::burst_from_env(),
             horizon: edp_evsim::horizon_from_env(),
             workload: TopWorkload::Cbr,
+            profile: false,
         }
     }
 }
@@ -134,6 +142,11 @@ pub struct TopReport {
     pub shard_barriers: u64,
     /// Packets exchanged across shard boundaries, summed across points.
     pub shard_messages: u64,
+    /// Wall-clock profiles, one `(seed, per-shard profiles)` entry per
+    /// point in seed order — empty unless [`TopOptions::profile`] was
+    /// set. Nondeterministic; rendered only by [`render_profile`] and
+    /// [`profile_trace_json`], never by the canonical outputs.
+    pub profiles: Vec<(u64, Vec<prof::Profile>)>,
 }
 
 /// Names of every registered app, in registry order.
@@ -149,6 +162,7 @@ struct PointOutcome {
     windows: u64,
     barriers: u64,
     cross_messages: u64,
+    profiles: Vec<prof::Profile>,
 }
 
 /// Fronts a registry app's program with a static return route: ingress
@@ -387,35 +401,28 @@ fn drive(app: &str, seed: u64, duration: SimDuration, workload: &TopWorkload) ->
 /// One sweep point: a pure function of `(app, seed, duration, capacity)`
 /// on the classic path, and of those *plus nothing else* on the sharded
 /// path — the sharded outcome is byte-identical for every `shards >= 1`.
-#[allow(clippy::too_many_arguments)]
-fn run_point(
-    app: &str,
-    seed: u64,
-    duration: SimDuration,
-    trace_capacity: usize,
-    shards: usize,
-    burst: usize,
-    horizon: HorizonMode,
-    workload: &TopWorkload,
-) -> PointOutcome {
-    if shards > 0 {
-        return run_point_sharded(
-            app,
-            seed,
-            duration,
-            trace_capacity,
-            shards,
-            burst,
-            horizon,
-            workload,
-        );
+/// The opt-in profiler rides alongside in separate (wall-clock,
+/// nondeterministic) structures and never touches these outputs.
+fn run_point(app: &str, seed: u64, o: &TopOptions) -> PointOutcome {
+    if o.shards > 0 {
+        return run_point_sharded(app, seed, o);
     }
     telemetry::enable(TelemetryConfig {
-        trace_capacity,
+        trace_capacity: o.trace_capacity,
         ..TelemetryConfig::default()
     });
-    let net = drive(app, seed, duration, workload);
+    // The classic engine has no windows or barriers: its minimal profile
+    // is setup + one long execute span, comparable with a sharded run's
+    // compute fraction.
+    if o.profile {
+        prof::enable(Instant::now(), 0, 1);
+    }
+    let (mut net, mut sim) = build_point(app, seed, o.duration, &o.workload);
+    prof::lap(prof::Phase::Setup);
+    run_until(&mut net, &mut sim, SimTime::ZERO + o.duration);
+    prof::lap(prof::Phase::Execute);
     telemetry::with(|t| net.publish_metrics(&mut t.registry));
+    let profiles = prof::disable().into_iter().collect();
     let t = telemetry::disable().expect("session enabled above");
     let mut trace = format!("== {app} seed {seed} ==\n");
     trace.push_str(&t.render_trace());
@@ -427,6 +434,7 @@ fn run_point(
         windows: 0,
         barriers: 0,
         cross_messages: 0,
+        profiles,
     }
 }
 
@@ -439,35 +447,38 @@ fn run_point(
 /// over shards — and the merged trace uses the canonical (span-less)
 /// rendering sorted by `(time, text)`, so the whole outcome is a pure
 /// function of `(app, seed, duration, capacity)` for any shard count.
-#[allow(clippy::too_many_arguments)]
-fn run_point_sharded(
-    app: &str,
-    seed: u64,
-    duration: SimDuration,
-    trace_capacity: usize,
-    shards: usize,
-    burst: usize,
-    horizon: HorizonMode,
-    workload: &TopWorkload,
-) -> PointOutcome {
+fn run_point_sharded(app: &str, seed: u64, o: &TopOptions) -> PointOutcome {
+    // One epoch per point, created before the workers spawn, so every
+    // shard's profiling timestamps share an origin and the per-shard
+    // tracks of the trace export line up.
+    let epoch = Instant::now();
     let (sessions, stats) = run_sharded_opts(
-        shards,
-        burst,
-        horizon,
-        SimTime::ZERO + duration,
-        |_shard| {
+        o.shards,
+        o.burst,
+        o.horizon,
+        SimTime::ZERO + o.duration,
+        |shard| {
             telemetry::enable(TelemetryConfig {
-                trace_capacity,
+                trace_capacity: o.trace_capacity,
                 scheduler_records: false,
                 ..TelemetryConfig::default()
             });
-            build_point(app, seed, duration, workload)
+            if o.profile {
+                prof::enable(epoch, shard, o.shards);
+            }
+            build_point(app, seed, o.duration, &o.workload)
         },
         |_shard, net, _sim| {
             telemetry::with(|t| net.publish_metrics(&mut t.registry));
-            telemetry::disable().expect("session enabled in build")
+            let profile = prof::disable();
+            (
+                telemetry::disable().expect("session enabled in build"),
+                profile,
+            )
         },
     );
+    let (sessions, profiles): (Vec<_>, Vec<_>) = sessions.into_iter().unzip();
+    let profiles: Vec<prof::Profile> = profiles.into_iter().flatten().collect();
     // Counters/histograms are per-scope partial sums; gauges are written
     // only by the owning shard, so `merge`'s overwrite is safe and the
     // max re-fold below is a no-op kept for symmetry with `run`.
@@ -496,7 +507,8 @@ fn run_point_sharded(
         trace.push('\n');
     }
     trace.push_str(&format!(
-        "-- {records} records, {dropped} dropped (ring capacity {trace_capacity})\n"
+        "-- {records} records, {dropped} dropped (ring capacity {})\n",
+        o.trace_capacity
     ));
     PointOutcome {
         registry,
@@ -506,6 +518,7 @@ fn run_point_sharded(
         windows: stats.windows,
         barriers: stats.barriers,
         cross_messages: stats.cross_messages,
+        profiles,
     }
 }
 
@@ -531,6 +544,43 @@ pub fn measure_overhead(app: &str, duration: SimDuration, reps: u64) -> (f64, f6
     (enabled, disabled)
 }
 
+/// Wall-clock cost of the profiler itself on the instrumented sharded
+/// engine (the path with hooks at every rendezvous): runs a 2-shard
+/// point `reps` times with a profiling session enabled, then `reps`
+/// times with the hooks on their disabled one-branch path, and returns
+/// `(profiled_secs, unprofiled_secs)` totals. Telemetry stays off for
+/// both so the ratio isolates the profiler.
+pub fn measure_prof_overhead(app: &str, duration: SimDuration, reps: u64) -> (f64, f64) {
+    let run_once = |seed: u64, profile: bool| {
+        let epoch = Instant::now();
+        let (_, stats) = run_sharded_opts(
+            2,
+            1,
+            HorizonMode::Classic,
+            SimTime::ZERO + duration,
+            |shard| {
+                if profile {
+                    prof::enable(epoch, shard, 2);
+                }
+                build_point(app, seed, duration, &TopWorkload::Cbr)
+            },
+            |_shard, _net, _sim| prof::disable(),
+        );
+        stats
+    };
+    let t0 = Instant::now();
+    for r in 0..reps {
+        run_once(1 + r, true);
+    }
+    let profiled = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    for r in 0..reps {
+        run_once(1 + r, false);
+    }
+    let unprofiled = t1.elapsed().as_secs_f64();
+    (profiled, unprofiled)
+}
+
 /// Runs `app` over every seed in `opts` and merges the outcomes.
 pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
     if !builtin_apps().iter().any(|a| a.manifest.name == app) {
@@ -539,14 +589,12 @@ pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
             app_names().join(", ")
         ));
     }
-    let duration = opts.duration;
-    let cap = opts.trace_capacity;
-    let shards = opts.shards;
-    let burst = opts.burst.max(1);
-    let horizon = opts.horizon;
-    let workload = opts.workload.clone();
-    let outcomes = sweep(opts.seeds.clone(), opts.threads, move |seed| {
-        run_point(app, seed, duration, cap, shards, burst, horizon, &workload)
+    let point_opts = TopOptions {
+        burst: opts.burst.max(1),
+        ..opts.clone()
+    };
+    let mut outcomes = sweep(opts.seeds.clone(), opts.threads, move |seed| {
+        run_point(app, seed, &point_opts)
     });
     let mut registry = Registry::new();
     let mut trace = String::new();
@@ -564,6 +612,15 @@ pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
         barriers += o.barriers;
         cross += o.cross_messages;
     }
+    // `sweep` returns outcomes in input order, so zipping the seeds back
+    // on labels each point's profiles correctly whatever thread ran it.
+    let profiles: Vec<(u64, Vec<prof::Profile>)> = opts
+        .seeds
+        .iter()
+        .zip(outcomes.iter_mut())
+        .filter(|(_, o)| !o.profiles.is_empty())
+        .map(|(&seed, o)| (seed, std::mem::take(&mut o.profiles)))
+        .collect();
     // `merge` keeps the *later* gauge value; re-fold them as maxima so
     // high-water marks (staleness bounds, queue peaks) survive merging.
     for o in &outcomes {
@@ -574,16 +631,38 @@ pub fn run(app: &str, opts: &TopOptions) -> Result<TopReport, String> {
     Ok(TopReport {
         app: app.to_string(),
         n_seeds: outcomes.len(),
-        duration,
+        duration: opts.duration,
         registry,
         trace,
         trace_records: records,
         trace_dropped: dropped,
-        shards,
+        shards: opts.shards,
         shard_windows: windows,
         shard_barriers: barriers,
         shard_messages: cross,
+        profiles,
     })
+}
+
+/// Renders the wall-clock profile table for a profiled report: per-shard
+/// phase attribution, the compute/barrier-wait/exchange headline, the
+/// straggler-by-decile line, and the cross-shard message matrix.
+/// Nondeterministic output — print it to a human, never into a pinned
+/// artifact.
+pub fn render_profile(r: &TopReport) -> String {
+    let points: Vec<&[prof::Profile]> = r.profiles.iter().map(|(_, p)| p.as_slice()).collect();
+    prof::render_table(&points)
+}
+
+/// Renders a profiled report as Chrome trace-event JSON (one process per
+/// seed, one thread track per shard) for Perfetto / `chrome://tracing`.
+pub fn profile_trace_json(r: &TopReport) -> String {
+    let points: Vec<(String, &[prof::Profile])> = r
+        .profiles
+        .iter()
+        .map(|(seed, p)| (format!("{} seed {seed}", r.app), p.as_slice()))
+        .collect();
+    prof::to_trace_json(&points)
 }
 
 /// Renders the report as the human-facing summary table.
@@ -768,6 +847,7 @@ mod tests {
             burst: 1,
             horizon: HorizonMode::Classic,
             workload: TopWorkload::Cbr,
+            profile: false,
         }
     }
 
@@ -815,6 +895,29 @@ mod tests {
         assert_eq!(one.shards, 1);
         assert_eq!(two.shards, 2);
         assert!(render(&two).contains("shards: 2"));
+    }
+
+    #[test]
+    fn profiled_points_attribute_their_wall_clock() {
+        let mut opts = quick();
+        opts.profile = true;
+        let classic = run("microburst", &opts).expect("runs");
+        assert_eq!(classic.profiles.len(), 1, "one profiled point");
+        let (seed, profs) = &classic.profiles[0];
+        assert_eq!(*seed, 7);
+        assert_eq!(profs.len(), 1, "classic path is a single track");
+        assert_eq!(profs[0].attributed_ns(), profs[0].total_ns);
+        assert!(profs[0].phase_ns[prof::Phase::Execute.index()] > 0);
+
+        opts.shards = 2;
+        let sharded = run("microburst", &opts).expect("runs");
+        assert_eq!(sharded.profiles[0].1.len(), 2, "one profile per shard");
+        for p in &sharded.profiles[0].1 {
+            assert_eq!(p.attributed_ns(), p.total_ns);
+            assert!(p.phase_ns[prof::Phase::Negotiate.index()] > 0);
+        }
+        assert!(render_profile(&sharded).contains("wall-clock profile"));
+        assert!(profile_trace_json(&sharded).contains("\"traceEvents\""));
     }
 
     #[test]

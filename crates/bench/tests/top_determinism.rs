@@ -18,6 +18,7 @@ fn opts(threads: usize) -> TopOptions {
         burst: 1,
         horizon: HorizonMode::Classic,
         workload: TopWorkload::Cbr,
+        profile: false,
     }
 }
 
@@ -57,6 +58,7 @@ fn shard_opts(shards: usize) -> TopOptions {
         burst: 1,
         horizon: HorizonMode::Classic,
         workload: TopWorkload::Cbr,
+        profile: false,
     }
 }
 
@@ -177,6 +179,7 @@ fn workload_pin(workload: TopWorkload, tag: &str) {
             burst,
             horizon: HorizonMode::Classic,
             workload: workload.clone(),
+            profile: false,
         };
         run("microburst", &o).expect("workload run")
     };
@@ -230,6 +233,53 @@ fn pcap_replay_is_byte_identical_across_shards_and_burst() {
 #[test]
 fn endpoint_fleet_is_byte_identical_across_shards_and_burst() {
     workload_pin(TopWorkload::Endpoints { count: 1000 }, "endpoints");
+}
+
+/// The PR-9 pin: the wall-clock profiler is opt-in and *outside* the
+/// determinism boundary. Enabling it on the classic and the sharded
+/// path must leave every canonical output — trace, JSON report,
+/// Prometheus export — byte-identical to the unprofiled run, while the
+/// profiles themselves land only in the separate `profiles` field.
+#[test]
+fn profiling_leaves_canonical_outputs_byte_identical() {
+    for shards in [0usize, 2] {
+        let off = shard_opts(shards); // 0 = the classic single-world path
+        let base = run("microburst", &off).expect("unprofiled run");
+        let mut on = off.clone();
+        on.profile = true;
+        let profiled = run("microburst", &on).expect("profiled run");
+        assert_eq!(
+            base.trace, profiled.trace,
+            "shards={shards}: profiling changed the canonical trace"
+        );
+        assert_eq!(
+            to_json_report(&base),
+            to_json_report(&profiled),
+            "shards={shards}: profiling changed the JSON report"
+        );
+        assert_eq!(
+            edp_telemetry::to_prometheus_text(&base.registry),
+            edp_telemetry::to_prometheus_text(&profiled.registry),
+            "shards={shards}: profiling changed the Prometheus export"
+        );
+        assert!(base.profiles.is_empty(), "unprofiled run must carry none");
+        assert_eq!(
+            profiled.profiles.len(),
+            off.seeds.len(),
+            "shards={shards}: one profile set per seed"
+        );
+        let tracks = shards.max(1);
+        for (_, point) in &profiled.profiles {
+            assert_eq!(point.len(), tracks, "one profile per shard track");
+            for p in point {
+                assert_eq!(
+                    p.attributed_ns(),
+                    p.total_ns,
+                    "shards={shards}: lap attribution must cover the session"
+                );
+            }
+        }
+    }
 }
 
 #[test]

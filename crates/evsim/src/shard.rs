@@ -43,6 +43,7 @@
 
 use crate::sim::Sim;
 use crate::time::{SimDuration, SimTime};
+use edp_telemetry::prof;
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 struct SyncState {
@@ -391,9 +392,12 @@ pub fn drive_windows<W>(
     let mut stats = DriveStats::default();
     loop {
         accept(world, sim);
+        prof::lap(prof::Phase::Mailbox);
         let local = sim.peek_next();
         let global = sync.negotiate(shard, local);
         stats.barriers += 2;
+        prof::lap(prof::Phase::Negotiate);
+        prof::rendezvous(2);
         let Some(global) = global else {
             break;
         };
@@ -401,12 +405,15 @@ pub fn drive_windows<W>(
             break;
         }
         stats.windows += 1;
+        prof::window_begin();
         let mut horizon = safe_horizon(global, lookahead, deadline);
         if effects {
             let la = lookahead.expect("effects horizon requires lookahead");
             loop {
                 sim.run_before(world, horizon);
+                prof::lap(prof::Phase::Execute);
                 let published = publish(world, sim, horizon);
+                prof::lap(prof::Phase::Mailbox);
                 let emit_next = min_opt(sim.peek_next_bound(), published);
                 // A shard stays active while anything at or before the
                 // deadline remains (bound or local) or it just published;
@@ -414,6 +421,8 @@ pub fn drive_windows<W>(
                 let active = published.is_some() || sim.peek_next().is_some_and(|t| t < cap_t);
                 let (any_active, global_emit) = sync.exchange_horizon(active, emit_next);
                 stats.barriers += 1;
+                prof::lap(prof::Phase::Barrier);
+                prof::rendezvous(1);
                 if !any_active {
                     break;
                 }
@@ -426,13 +435,16 @@ pub fn drive_windows<W>(
                     None => cap_t,
                 };
                 accept(world, sim);
+                prof::lap(prof::Phase::Extend);
                 horizon = next;
             }
         } else {
             let mut remaining = subwindows;
             loop {
                 sim.run_before(world, horizon);
+                prof::lap(prof::Phase::Execute);
                 let published = publish(world, sim, horizon).is_some();
+                prof::lap(prof::Phase::Mailbox);
                 remaining -= 1;
                 // Extend by one more lookahead without renegotiating,
                 // unless the sub-window budget or the deadline cap is
@@ -444,21 +456,27 @@ pub fn drive_windows<W>(
                     _ => {
                         sync.exchange();
                         stats.barriers += 1;
+                        prof::lap(prof::Phase::Barrier);
+                        prof::rendezvous(1);
                         break;
                     }
                 };
                 let active = published || sim.peek_next().is_some_and(|t| t < next);
                 let vote = sync.exchange_vote(active);
                 stats.barriers += 1;
+                prof::lap(prof::Phase::Barrier);
+                prof::rendezvous(1);
                 if !vote {
                     // Every shard idle below `next` and nothing in flight:
                     // renegotiate so the global minimum jumps the gap.
                     break;
                 }
                 accept(world, sim);
+                prof::lap(prof::Phase::Extend);
                 horizon = next;
             }
         }
+        prof::window_end();
     }
     // Mirror run_until's clock semantics once the shards agree that
     // nothing at or before the deadline remains.

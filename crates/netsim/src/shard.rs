@@ -33,6 +33,7 @@ use crate::net::{Endpoint, Network, NodeRef};
 use crate::trace::Tracer;
 use edp_evsim::{drive_windows, HorizonMode, Sim, SimDuration, SimTime, WindowSync};
 use edp_packet::Packet;
+use edp_telemetry::prof;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -320,6 +321,9 @@ where
     let lookahead = plan.lookahead();
     net.install_shard(me, plan);
     net.arm_all_timers(&mut sim);
+    // Everything since prof::enable (world build, partition, timer
+    // arming) is setup; the drive loop laps the rest.
+    prof::lap(prof::Phase::Setup);
     // Reused per-destination staging rows so a window's whole batch for a
     // peer costs one mailbox lock instead of one per message.
     let mut staged: Vec<Vec<ShardMsg>> = (0..nshards).map(|_| Vec::new()).collect();
@@ -333,12 +337,15 @@ where
         mode,
         subwindows,
         |net, sim| {
-            for row in mailboxes.iter() {
+            for (src, row) in mailboxes.iter().enumerate() {
                 let msgs: Vec<ShardMsg> = row[me]
                     .lock()
                     .expect("shard mailbox poisoned")
                     .drain(..)
                     .collect();
+                if !msgs.is_empty() {
+                    prof::flow_recv(src, msgs.len() as u64);
+                }
                 for m in msgs {
                     net.accept_shard_msg(sim, m);
                 }
@@ -371,6 +378,7 @@ where
             }
             for (dst, batch) in staged.iter_mut().enumerate() {
                 if !batch.is_empty() {
+                    prof::flow_send(dst, batch.len() as u64);
                     mailboxes[me][dst]
                         .lock()
                         .expect("shard mailbox poisoned")

@@ -16,6 +16,9 @@
 //! thread ran it or what ran before.
 //!
 //! Records carry *sim time only* (nanoseconds), never wall-clock time.
+//! Wall-clock attribution lives in the separate, opt-in [`prof`] module,
+//! whose output is structurally nondeterministic and therefore never
+//! feeds a canonical export.
 //!
 //! # Span/cause model
 //!
@@ -29,6 +32,7 @@
 
 pub mod export;
 pub mod metrics;
+pub mod prof;
 pub mod record;
 pub mod ring;
 

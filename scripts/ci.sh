@@ -7,6 +7,7 @@
 #                               # EDP_SHARDS / EDP_BURST / EDP_HORIZON
 #                               # (one CI matrix leg)
 #   scripts/ci.sh --gate        # fmt, clippy, edp_lint (+ SARIF artifact),
+#                               # profiled-run smoke (+ trace artifact),
 #                               # pcap fixture round-trip, replay smoke,
 #                               # bench gate
 #
@@ -139,6 +140,51 @@ step_pcap() {
     done
 }
 
+step_profile_smoke() {
+    echo "==> edp_top --profile smoke (wall-clock profiler + trace export)"
+    # Drives a 2-shard profiled run, checks the human table attributes
+    # the run, and validates the Chrome trace-event export is well
+    # formed (required keys, nonnegative durations, monotone ts per
+    # (pid, tid) track). The gate job uploads the trace as an artifact.
+    mkdir -p target
+    local out
+    out="$(cargo run --offline --release -q -p edp-bench --bin edp_top -- \
+        microburst --shards 2 --seeds 1 --duration-ms 2 \
+        --profile --profile-out target/edp_profile_trace.json)"
+    echo "$out" | grep -q "wall-clock profile" || {
+        echo "edp_top --profile: no profile table" >&2
+        exit 1
+    }
+    echo "$out" | grep -q "attributed" || {
+        echo "edp_top --profile: no attribution line" >&2
+        exit 1
+    }
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - target/edp_profile_trace.json <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+last = {}
+for e in events:
+    for key in ("name", "ph", "ts", "pid", "tid"):
+        assert key in e, f"event missing {key}: {e}"
+    if e["ph"] == "X":
+        assert e["dur"] >= 0, f"negative duration: {e}"
+        track = (e["pid"], e["tid"])
+        assert e["ts"] >= last.get(track, -1.0), f"ts regressed on {track}: {e}"
+        last[track] = e["ts"]
+assert last, "no complete (ph=X) span events"
+print(f"profile trace ok: {len(events)} events, {len(last)} span track(s)")
+PYEOF
+    else
+        grep -q '"traceEvents"' target/edp_profile_trace.json || {
+            echo "edp_top --profile-out: not trace-event JSON" >&2
+            exit 1
+        }
+    fi
+}
+
 step_engine_matrix_local() {
     echo "==> cargo test (EDP_SHARDS=4: tier-1 through the sharded engine)"
     # Everything that consults EDP_SHARDS (edp_top's TopOptions default
@@ -205,6 +251,7 @@ gate)
     step_lint
     step_lint_sarif
     step_top_smoke
+    step_profile_smoke
     step_pcap
     step_bench_gate
     ;;
@@ -214,6 +261,7 @@ full)
     step_test
     step_lint
     step_top_smoke
+    step_profile_smoke
     step_pcap
     step_engine_matrix_local
     step_clippy
