@@ -293,7 +293,7 @@ fn main() {
              \"pkts_per_sec\": {rate:.1}, \
              \"windows\": {windows}, \"barriers\": {barriers}, \
              \"cross_messages\": {crossed}, \
-             \"speedup_vs_1\": {speedup:.3}, \
+             \"speedup_vs_baseline\": {speedup:.3}, \
              \"wall_clock_ratio\": {wall_ratio:.3}, \
              \"barrier_wait_frac\": {wait_frac:.3}, \
              \"exchange_frac\": {exch_frac:.3}}}{comma}\n"

@@ -431,19 +431,34 @@ fn run_dumbbell(n: u64, shards: usize, subwindows: usize) -> (f64, u64) {
 /// the whole run is a single window. The 4-switch line's 2 µs trunks
 /// give the shards a real lookahead to negotiate over.
 fn bench_shard_windows() -> f64 {
-    run_line(10_000, 2, 32).1 as f64
+    run_line(10_000, 2, 32, 4).1.windows as f64
 }
 
-/// Runs a 4-switch line (`h0 — sw0 — sw1 — sw2 — sw3 — h1`, 2 µs
-/// trunks) through the sharded engine and returns `(pkts/s, negotiated
-/// windows)`. The window count is a pure function of
-/// `(n, shards, subwindows)` — no wall-clock input.
-fn run_line(n: u64, shards: usize, subwindows: usize) -> (f64, u64) {
+/// Rendezvous fired for a *fixed* 8-switch 2-shard 32-sub-window line
+/// workload — the leg the PR-10 exchange-elision work attacks. Like
+/// `shard_windows` it is a pure function of the workload (elision
+/// decisions fold through the negotiated bound, never a wall clock), so
+/// it gates lower-is-better: a change that reintroduces per-sub-step
+/// rendezvous on traffic-free spans fails CI instead of silently giving
+/// the barrier latency back.
+fn bench_shard_barriers() -> f64 {
+    run_line(10_000, 2, 32, 8).1.barriers as f64
+}
+
+/// Runs an `switches`-switch line (`h0 — sw0 — … — h1`, 2 µs trunks)
+/// through the sharded engine and returns `(pkts/s, ShardStats)`. The
+/// window and barrier counts are pure functions of
+/// `(n, shards, subwindows, switches)` — no wall-clock input.
+fn run_line(
+    n: u64,
+    shards: usize,
+    subwindows: usize,
+    switches: usize,
+) -> (f64, edp_netsim::ShardStats) {
     use edp_netsim::traffic::start_cbr;
     use edp_netsim::{run_sharded_opts, Host, HostApp, LinkSpec, Network, NodeRef};
     use edp_pisa::QueueConfig;
 
-    const SWITCHES: usize = 4;
     let interval = SimDuration::from_nanos(500);
     let deadline = SimTime::from_nanos(500 * n + 1_000_000);
     let t0 = Instant::now();
@@ -454,7 +469,7 @@ fn run_line(n: u64, shards: usize, subwindows: usize) -> (f64, u64) {
         deadline,
         |_shard| {
             let mut net = Network::new(7);
-            let switches: Vec<usize> = (0..SWITCHES)
+            let switches: Vec<usize> = (0..switches)
                 .map(|_| {
                     net.add_switch(Box::new(edp_pisa::BaselineSwitch::new(
                         ForwardTo(1),
@@ -480,7 +495,10 @@ fn run_line(n: u64, shards: usize, subwindows: usize) -> (f64, u64) {
                 );
             }
             net.connect(
-                (NodeRef::Switch(switches[SWITCHES - 1]), 1),
+                (
+                    NodeRef::Switch(*switches.last().expect("at least one switch")),
+                    1,
+                ),
                 (NodeRef::Host(h1), 0),
                 edge,
             );
@@ -503,7 +521,7 @@ fn run_line(n: u64, shards: usize, subwindows: usize) -> (f64, u64) {
     );
     let total: u64 = delivered.iter().sum();
     assert_eq!(total, n, "line must deliver every frame");
-    (rate(n, t0.elapsed()), stats.windows)
+    (rate(n, t0.elapsed()), stats)
 }
 
 /// pkts/s for the capture-ingestion path: decode a generated classic
@@ -569,7 +587,7 @@ fn bench_pcap_replay(n: u64) -> f64 {
 /// measures the fast path regardless of the ambient `EDP_BURST`), and
 /// the deterministic window count. The raw per-packet path metrics are
 /// too machine-noise-prone at smoke scale to gate on.
-const GATED_METRICS: [&str; 8] = [
+const GATED_METRICS: [&str; 9] = [
     "events_schedule_fire_per_sec",
     "events_cancel_heavy_per_sec",
     "events_periodic_per_sec",
@@ -578,12 +596,13 @@ const GATED_METRICS: [&str; 8] = [
     "switch_forward_burst_pkts_per_sec",
     "pcap_replay_pkts_per_sec",
     "shard_windows",
+    "shard_barriers",
 ];
 
 /// Gated metrics where *lower* is better — deterministic counts, not
 /// throughput rates. For these the regression fraction is how far the
 /// measurement rose above the baseline.
-const LOWER_IS_BETTER: [&str; 1] = ["shard_windows"];
+const LOWER_IS_BETTER: [&str; 2] = ["shard_windows", "shard_barriers"];
 
 /// Scale for re-measuring a tripped gated metric: windows of tens to
 /// hundreds of milliseconds, wide enough that CPU-frequency and
@@ -608,6 +627,7 @@ fn bench_gated(name: &str, s: &Scale) -> Option<f64> {
         "switch_forward_burst_pkts_per_sec" => bench_switch_pkts_at(s.pkts, 32),
         "pcap_replay_pkts_per_sec" => bench_pcap_replay(s.pkts),
         "shard_windows" => bench_shard_windows(),
+        "shard_barriers" => bench_shard_barriers(),
         _ => return None,
     })
 }
@@ -756,6 +776,7 @@ fn main() {
     );
     record("pcap_replay_pkts_per_sec", bench_pcap_replay(s.pkts));
     record("shard_windows", bench_shard_windows());
+    record("shard_barriers", bench_shard_barriers());
 
     let path = out.unwrap_or_else(next_snapshot_path);
     let mut json = String::from("{\n");
@@ -847,7 +868,8 @@ mod tests {
     "sharded_dumbbell_pkts_per_sec": 500000.0,
     "switch_forward_burst_pkts_per_sec": 8000000.0,
     "pcap_replay_pkts_per_sec": 400000.0,
-    "shard_windows": 1000.0
+    "shard_windows": 1000.0,
+    "shard_barriers": 5000.0
   }
 }"#;
 

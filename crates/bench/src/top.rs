@@ -90,12 +90,28 @@ pub struct TopOptions {
     pub profile: bool,
 }
 
-/// Reads `EDP_SHARDS`; unset or unparsable means `0` (classic path).
+/// Reads `EDP_SHARDS`; unset or empty means `0` (classic path).
+///
+/// Anything else must parse as a non-negative integer — garbage or
+/// negative values exit with a diagnostic naming the bad value, matching
+/// the engine's misconfiguration policy (`EDP_BURST`, `EDP_HORIZON`).
 pub fn shards_from_env() -> usize {
-    std::env::var("EDP_SHARDS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(0)
+    let raw = match std::env::var("EDP_SHARDS") {
+        Ok(v) => v,
+        Err(_) => return 0,
+    };
+    let v = raw.trim();
+    if v.is_empty() {
+        return 0;
+    }
+    match v.parse() {
+        Ok(n) => n,
+        Err(_) => edp_evsim::env_config_error(
+            "EDP_SHARDS",
+            v,
+            "a non-negative shard count (0 = classic single-world path)",
+        ),
+    }
 }
 
 impl Default for TopOptions {

@@ -22,13 +22,19 @@
 //! sub-windows, each closed by a single combined exchange-and-vote barrier
 //! ([`WindowSync::exchange_vote`]) instead of a fresh negotiation — see
 //! [`drive_windows`] for the induction that keeps this conservative.
+//! Sub-steps that provably cannot carry traffic anywhere — every event
+//! below the group's negotiated *bound floor* is certified emission-free —
+//! skip even that barrier and free-run to the next sub-horizon
+//! (*exchange elision*, counted in [`DriveStats::elided`]).
 //!
 //! The *effects horizon* (`EDP_HORIZON=effects`, see [`HorizonMode`])
-//! goes further by spending static analysis: events whose whole cascade
-//! is certified emission-free (classed [`crate::EventClass::Local`] under
-//! an `EffectSummary` certificate) stop bounding the window at all, and
-//! each barrier extends the horizon from the group's earliest *bound*
-//! event instead of its earliest event of any kind.
+//! goes further and drops the per-round rendezvous entirely: shards
+//! exchange through lock-free per-shard *frontier* atomics and
+//! per-destination mailbox sequence counters, each shard executing up to
+//! `min(peer frontiers) + lookahead` and draining its inbox whenever the
+//! shared traffic counter moves. Barriers remain only at the opening
+//! negotiation and the closing one that confirms termination. See
+//! [`drive_windows`] for the induction.
 //!
 //! The loop ends when no shard has an event at or before the deadline;
 //! messages cannot appear out of thin air, so the shards agree on that
@@ -38,69 +44,111 @@
 //!
 //! The rendezvous is poisonable: a worker that panics mid-window calls
 //! [`WindowSync::poison`] before unwinding, which wakes every peer blocked
-//! at a barrier and makes it panic too — the run fails loudly instead of
-//! deadlocking on a barrier that will never fill.
+//! at a barrier (or spinning on a frontier) and makes it panic too — the
+//! run fails loudly instead of deadlocking on a rendezvous that will
+//! never fill.
 
 use crate::sim::Sim;
 use crate::time::{SimDuration, SimTime};
 use edp_telemetry::prof;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
-struct SyncState {
-    /// Per-shard earliest-pending-event slots for the negotiation.
-    next: Vec<Option<SimTime>>,
-    /// Threads currently parked at the barrier.
-    arrived: usize,
-    /// Bumped each time the barrier fills; waiters leave when it changes.
-    generation: u64,
-    /// Set by [`WindowSync::poison`]; every waiter panics on observing it.
-    poisoned: bool,
-    /// OR-accumulator for the in-progress [`WindowSync::exchange_vote`]
-    /// (also the `active` bit of [`WindowSync::exchange_horizon`]).
-    vote_accum: bool,
-    /// The accumulated vote of the barrier round that last filled.
-    vote_latched: bool,
-    /// Min-accumulator for the in-progress
-    /// [`WindowSync::exchange_horizon`]: earliest horizon-bounding time
-    /// (pending bound event or in-flight message arrival) over the group.
-    emit_accum: Option<SimTime>,
-    /// The accumulated emit floor of the barrier round that last filled.
-    emit_latched: Option<SimTime>,
+/// Sentinel for "no time" in the atomic negotiation slots and
+/// accumulators.
+const NONE_NS: u64 = u64::MAX;
+
+fn pack(t: Option<SimTime>) -> u64 {
+    t.map_or(NONE_NS, |t| t.as_nanos())
 }
 
-fn min_opt(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
-    match (a, b) {
-        (Some(a), Some(b)) => Some(a.min(b)),
-        (a, b) => a.or(b),
+fn unpack(v: u64) -> Option<SimTime> {
+    (v != NONE_NS).then(|| SimTime::from_nanos(v))
+}
+
+/// A cache-line-padded atomic so per-shard frontier and sequence slots
+/// never false-share under the spin-heavy exchange path.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    fn new(v: u64) -> Self {
+        PaddedU64(AtomicU64::new(v))
     }
 }
 
-/// Shared barrier state for one sharded run: a reusable, poisonable
-/// rendezvous plus a per-shard slot for the earliest-pending-event
-/// negotiation.
+/// Shared synchronization state for one sharded run: a reusable,
+/// poisonable sense-reversing spin-then-park barrier, per-shard slots for
+/// the earliest-pending-event negotiation, and the lock-free exchange
+/// state (per-shard frontiers, per-destination inbox sequence counters,
+/// and the shared round-traffic counter).
 pub struct WindowSync {
-    state: Mutex<SyncState>,
-    cv: Condvar,
     shards: usize,
+    /// Threads currently arrived at the in-progress barrier.
+    arrived: AtomicUsize,
+    /// The barrier's sense ticket: bumped by the last arriver; waiters
+    /// spin (then park) until it changes.
+    generation: AtomicU64,
+    /// Set by [`WindowSync::poison`]; every waiter panics on observing it.
+    poisoned: AtomicBool,
+    /// OR-accumulator for the in-progress [`WindowSync::exchange_vote`]
+    /// (also the `active` bit of [`WindowSync::exchange_horizon`]).
+    vote_accum: AtomicBool,
+    /// The accumulated vote of the barrier round that last filled.
+    vote_latched: AtomicBool,
+    /// Min-accumulator for the in-progress
+    /// [`WindowSync::exchange_horizon`] (ns; [`NONE_NS`] = no floor).
+    emit_accum: AtomicU64,
+    /// The accumulated emit floor of the barrier round that last filled.
+    emit_latched: AtomicU64,
+    /// Per-shard earliest-pending-event slots for the negotiation.
+    next: Vec<PaddedU64>,
+    /// Per-shard earliest *bound* (emission-capable) event slots, folded
+    /// by [`WindowSync::negotiate_bound`] into the elision floor.
+    bound: Vec<PaddedU64>,
+    /// Per-shard execution/emission frontiers (ns) for the lock-free
+    /// effects-mode exchange; monotone over the whole run.
+    frontier: Vec<PaddedU64>,
+    /// Per-destination publish sequence counters: bumped after a message
+    /// lands in that destination's mailbox, so receivers drain only when
+    /// something actually arrived.
+    inbox_seq: Vec<PaddedU64>,
+    /// The shared "round has traffic" counter: total publish marks so
+    /// far, bumped on every publish.
+    traffic: AtomicU64,
+    /// Parking fallback for oversubscribed hosts: waiters that exhaust
+    /// the spin budget sleep here until the generation ticket moves.
+    park: Mutex<()>,
+    cv: Condvar,
 }
 
 impl WindowSync {
+    /// Iterations of busy-spin before a barrier waiter starts yielding —
+    /// sized for sub-microsecond window closes.
+    const SPIN: u32 = 128;
+    /// `yield_now` rounds after the spin budget, before parking on the
+    /// condvar. Short: on an oversubscribed host the peer needs the CPU.
+    const YIELDS: u32 = 64;
+
     /// Creates synchronization state for `shards` worker threads.
     pub fn new(shards: usize) -> Self {
         assert!(shards >= 1, "a sharded run needs at least one shard");
         WindowSync {
-            state: Mutex::new(SyncState {
-                next: vec![None; shards],
-                arrived: 0,
-                generation: 0,
-                poisoned: false,
-                vote_accum: false,
-                vote_latched: false,
-                emit_accum: None,
-                emit_latched: None,
-            }),
-            cv: Condvar::new(),
             shards,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            vote_accum: AtomicBool::new(false),
+            vote_latched: AtomicBool::new(false),
+            emit_accum: AtomicU64::new(NONE_NS),
+            emit_latched: AtomicU64::new(NONE_NS),
+            next: (0..shards).map(|_| PaddedU64::new(NONE_NS)).collect(),
+            bound: (0..shards).map(|_| PaddedU64::new(NONE_NS)).collect(),
+            frontier: (0..shards).map(|_| PaddedU64::new(0)).collect(),
+            inbox_seq: (0..shards).map(|_| PaddedU64::new(0)).collect(),
+            traffic: AtomicU64::new(0),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
         }
     }
 
@@ -109,58 +157,114 @@ impl WindowSync {
         self.shards
     }
 
-    fn lock(&self) -> MutexGuard<'_, SyncState> {
-        // A peer that panicked while holding the lock poisons the mutex;
-        // the explicit `poisoned` flag below is the real signal, so keep
-        // going and let the flag check raise the meaningful panic.
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
     /// Marks the run as failed and wakes every thread blocked at a
     /// barrier. Call from a worker that is about to unwind so its peers
     /// panic instead of waiting forever for a rendezvous it will never
     /// join.
     pub fn poison(&self) {
-        let mut st = self.lock();
-        st.poisoned = true;
+        self.poisoned.store(true, Ordering::SeqCst);
+        // Take and drop the park lock so a waiter between its generation
+        // check and its condvar wait cannot miss the wake.
+        drop(self.park.lock().unwrap_or_else(|e| e.into_inner()));
         self.cv.notify_all();
     }
 
-    fn wait(&self) {
-        let mut st = self.lock();
-        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
-        st.arrived += 1;
-        if st.arrived == self.shards {
-            st.arrived = 0;
-            st.generation = st.generation.wrapping_add(1);
+    /// Whether [`WindowSync::poison`] has been called. Lock-free loops
+    /// (frontier spins) poll this so a peer's panic still fails the run
+    /// loudly.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    fn check_poison(&self) {
+        assert!(
+            !self.is_poisoned(),
+            "sharded run poisoned: a peer shard panicked"
+        );
+    }
+
+    /// One rendezvous of the sense-reversing barrier. The last arriver
+    /// runs `latch` (publishing any accumulator results) before releasing
+    /// the generation ticket, then wakes parked waiters. Everyone else
+    /// spins on the ticket, yields a while, and finally parks.
+    fn wait_with(&self, latch: impl FnOnce(&Self)) {
+        self.check_poison();
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.shards {
+            // Safe to reset before the ticket moves: peers leave on the
+            // generation, not the arrival count, and cannot re-arrive
+            // until the ticket releases them.
+            self.arrived.store(0, Ordering::Release);
+            latch(self);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            // Close the park race: a waiter either re-checks the ticket
+            // under this lock before sleeping or is already waiting.
+            drop(self.park.lock().unwrap_or_else(|e| e.into_inner()));
             self.cv.notify_all();
             return;
         }
-        let generation = st.generation;
-        while st.generation == generation && !st.poisoned {
-            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        let mut rounds = 0u32;
+        loop {
+            if self.generation.load(Ordering::Acquire) != gen || self.is_poisoned() {
+                break;
+            }
+            rounds += 1;
+            if rounds <= Self::SPIN {
+                std::hint::spin_loop();
+            } else if rounds <= Self::SPIN + Self::YIELDS {
+                std::thread::yield_now();
+            } else {
+                let mut g = self.park.lock().unwrap_or_else(|e| e.into_inner());
+                while self.generation.load(Ordering::Acquire) == gen && !self.is_poisoned() {
+                    g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+                break;
+            }
         }
-        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
+        self.check_poison();
+    }
+
+    fn wait(&self) {
+        self.wait_with(|_| {});
     }
 
     /// Publishes this shard's earliest pending event time and returns the
     /// global minimum over all shards. Every shard must call this once per
     /// window; all callers return the same value.
     pub fn negotiate(&self, shard: usize, local_next: Option<SimTime>) -> Option<SimTime> {
-        {
-            let mut st = self.lock();
-            assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
-            st.next[shard] = local_next;
-        }
+        self.negotiate_bound(shard, local_next, local_next).0
+    }
+
+    /// [`WindowSync::negotiate`] that additionally folds each shard's
+    /// earliest *bound* (emission-capable) event time. The second
+    /// returned value is the group's emission floor: no shard can publish
+    /// a message from an event strictly before it, so sub-steps entirely
+    /// below it need no rendezvous at all (see [`drive_windows`]).
+    pub fn negotiate_bound(
+        &self,
+        shard: usize,
+        local_next: Option<SimTime>,
+        local_bound: Option<SimTime>,
+    ) -> (Option<SimTime>, Option<SimTime>) {
+        self.check_poison();
+        self.next[shard]
+            .0
+            .store(pack(local_next), Ordering::Release);
+        self.bound[shard]
+            .0
+            .store(pack(local_bound), Ordering::Release);
         self.wait();
-        let global = {
-            let st = self.lock();
-            st.next.iter().filter_map(|t| *t).min()
-        };
+        let mut g_next = NONE_NS;
+        let mut g_bound = NONE_NS;
+        for s in 0..self.shards {
+            g_next = g_next.min(self.next[s].0.load(Ordering::Acquire));
+            g_bound = g_bound.min(self.bound[s].0.load(Ordering::Acquire));
+        }
         // Second rendezvous so no shard can overwrite its slot for the
         // next window while a peer is still reading this one.
         self.wait();
-        global
+        (unpack(g_next), unpack(g_bound))
     }
 
     /// Barrier after the outbound mailboxes are filled, so the next
@@ -178,35 +282,24 @@ impl WindowSync {
     /// any shard still has work before the next sub-horizon. One wait
     /// suffices — the latched result can only be overwritten by the next
     /// barrier fill, which requires every shard (including the slowest
-    /// reader, which reads under the same lock it wakes with) to have
-    /// arrived again.
+    /// reader) to have arrived again.
     pub fn exchange_vote(&self, active: bool) -> bool {
-        let mut st = self.lock();
-        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
-        st.vote_accum |= active;
-        st.arrived += 1;
-        if st.arrived == self.shards {
-            st.arrived = 0;
-            st.generation = st.generation.wrapping_add(1);
-            st.vote_latched = st.vote_accum;
-            st.vote_accum = false;
-            self.cv.notify_all();
-            return st.vote_latched;
+        if active {
+            self.vote_accum.store(true, Ordering::Release);
         }
-        let generation = st.generation;
-        while st.generation == generation && !st.poisoned {
-            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
-        }
-        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
-        st.vote_latched
+        self.wait_with(|s| {
+            s.vote_latched.store(
+                s.vote_accum.swap(false, Ordering::AcqRel),
+                Ordering::Release,
+            );
+        });
+        self.vote_latched.load(Ordering::Acquire)
     }
 
-    /// Exchange barrier for the effects horizon: every shard contributes
-    /// its `active` bit and its *emit floor* — the earliest time at which
-    /// it could still cause a cross-shard transmission (its earliest
-    /// pending [`crate::EventClass::Bound`] event, folded with the
-    /// earliest arrival it just published). All shards receive the OR of
-    /// the bits and the min of the floors.
+    /// Exchange barrier for a horizon fold: every shard contributes its
+    /// `active` bit and its *emit floor* — the earliest time at which it
+    /// could still cause a cross-shard transmission. All shards receive
+    /// the OR of the bits and the min of the floors.
     ///
     /// The same single-wait latch argument as [`WindowSync::exchange_vote`]
     /// applies: the latched pair can only be overwritten by the next
@@ -216,27 +309,73 @@ impl WindowSync {
         active: bool,
         emit_next: Option<SimTime>,
     ) -> (bool, Option<SimTime>) {
-        let mut st = self.lock();
-        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
-        st.vote_accum |= active;
-        st.emit_accum = min_opt(st.emit_accum, emit_next);
-        st.arrived += 1;
-        if st.arrived == self.shards {
-            st.arrived = 0;
-            st.generation = st.generation.wrapping_add(1);
-            st.vote_latched = st.vote_accum;
-            st.emit_latched = st.emit_accum;
-            st.vote_accum = false;
-            st.emit_accum = None;
-            self.cv.notify_all();
-            return (st.vote_latched, st.emit_latched);
+        if active {
+            self.vote_accum.store(true, Ordering::Release);
         }
-        let generation = st.generation;
-        while st.generation == generation && !st.poisoned {
-            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        if let Some(t) = emit_next {
+            self.emit_accum.fetch_min(t.as_nanos(), Ordering::AcqRel);
         }
-        assert!(!st.poisoned, "sharded run poisoned: a peer shard panicked");
-        (st.vote_latched, st.emit_latched)
+        self.wait_with(|s| {
+            s.vote_latched.store(
+                s.vote_accum.swap(false, Ordering::AcqRel),
+                Ordering::Release,
+            );
+            s.emit_latched.store(
+                s.emit_accum.swap(NONE_NS, Ordering::AcqRel),
+                Ordering::Release,
+            );
+        });
+        (
+            self.vote_latched.load(Ordering::Acquire),
+            unpack(self.emit_latched.load(Ordering::Acquire)),
+        )
+    }
+
+    /// Raises this shard's execution/emission frontier (monotone): a
+    /// promise that it will never again publish a message arriving before
+    /// `ns + lookahead`. Store *after* the publishes it covers so a peer
+    /// that reads the new frontier also sees their traffic bumps.
+    pub fn set_frontier(&self, shard: usize, ns: u64) {
+        self.frontier[shard].0.fetch_max(ns, Ordering::AcqRel);
+    }
+
+    /// Minimum frontier over the other shards — the receive-bound
+    /// certificate: nothing can arrive here before `min + lookahead`.
+    /// Read *before* the traffic counter so a drain never misses a
+    /// message published under a frontier this call observed.
+    pub fn peer_frontier_min(&self, me: usize) -> u64 {
+        let mut m = u64::MAX;
+        for (s, f) in self.frontier.iter().enumerate() {
+            if s != me {
+                m = m.min(f.0.load(Ordering::Acquire));
+            }
+        }
+        m
+    }
+
+    /// Marks a publish to `dst`: bumps the destination's inbox sequence
+    /// and the shared round-traffic counter. Call after the message is in
+    /// the mailbox and before raising the frontier.
+    pub fn mark_traffic(&self, dst: usize) {
+        self.inbox_seq[dst].0.fetch_add(1, Ordering::AcqRel);
+        self.traffic.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Bumps only the shared round-traffic counter (generic callers whose
+    /// publish hooks do not track destinations).
+    pub fn note_publish(&self) {
+        self.traffic.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Inbox sequence for `shard` — a drain is needed only when this has
+    /// moved since the last one.
+    pub fn inbox_seq(&self, shard: usize) -> u64 {
+        self.inbox_seq[shard].0.load(Ordering::Acquire)
+    }
+
+    /// The shared round-traffic counter: total publish marks so far.
+    pub fn traffic(&self) -> u64 {
+        self.traffic.load(Ordering::Acquire)
     }
 }
 
@@ -244,50 +383,86 @@ impl WindowSync {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum HorizonMode {
     /// Every pending event bounds the horizon: negotiated windows of
-    /// `lookahead`, optionally stretched into burst sub-windows. Needs no
-    /// certificates; the PR-6 behavior.
+    /// `lookahead`, optionally stretched into burst sub-windows (with
+    /// rendezvous elided below the negotiated bound floor). Needs no
+    /// certificates; the PR-6 behavior plus elision.
     #[default]
     Classic,
-    /// Certificate-aware: events classed [`crate::EventClass::Local`] are
-    /// invisible to the horizon, which extends from the group's *emit
-    /// floor* (earliest bound event or in-flight arrival) instead of from
-    /// the earliest event of any kind. Requires the scheduler's `Local`
-    /// classifications to be backed by effect-summary certificates.
+    /// Rendezvous-free: shards exchange through lock-free frontier
+    /// atomics instead of per-round barriers, and events classed
+    /// [`crate::EventClass::Local`] are invisible to the negotiated
+    /// emission floor. The `Local` classifications must be backed by
+    /// effect-summary certificates.
     Effects,
 }
 
-/// Horizon mode from the `EDP_HORIZON` environment variable: `effects`
-/// selects [`HorizonMode::Effects`]; anything else (or unset) is the
-/// conservative [`HorizonMode::Classic`] default.
+/// Diagnostic exit for a misconfigured environment knob, matching the
+/// engine's misconfiguration policy: name the variable and the bad value,
+/// never silently coerce.
+pub fn env_config_error(var: &str, got: &str, want: &str) -> ! {
+    eprintln!("error: {var} must be {want}, got `{got}`");
+    std::process::exit(2);
+}
+
+/// Horizon mode from the `EDP_HORIZON` environment variable:
+/// case-insensitive `effects` selects [`HorizonMode::Effects`] and
+/// `classic` the conservative default; unset (or empty) is `classic`.
+/// Any other value exits with a diagnostic naming it — a typo must not
+/// silently fall back to the slow path.
 pub fn horizon_from_env() -> HorizonMode {
     match std::env::var("EDP_HORIZON") {
-        Ok(v) if v.trim() == "effects" => HorizonMode::Effects,
-        _ => HorizonMode::Classic,
+        Err(std::env::VarError::NotPresent) => HorizonMode::Classic,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            env_config_error("EDP_HORIZON", "<non-unicode>", "`classic` or `effects`")
+        }
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "" => HorizonMode::Classic,
+            "classic" => HorizonMode::Classic,
+            "effects" => HorizonMode::Effects,
+            _ => env_config_error("EDP_HORIZON", &v, "`classic` or `effects`"),
+        },
     }
 }
 
 /// Counters returned by [`drive_windows`]; identical on every shard of a
-/// run (each counted step is a full-group rendezvous).
+/// run (each counted step is a pure function of group-agreed state).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DriveStats {
     /// Negotiated windows executed.
     pub windows: u64,
     /// Barrier rendezvous joined (a negotiation counts its two waits;
-    /// every exchange/vote/horizon barrier counts one). The true
-    /// synchronization cost of the run.
+    /// every exchange/vote barrier counts one). The true synchronization
+    /// cost of the run — the lock-free frontier exchange of
+    /// [`HorizonMode::Effects`] joins none inside a window.
     pub barriers: u64,
+    /// Sub-steps advanced with *no* rendezvous because the whole span lay
+    /// at or below the group's negotiated bound floor (classic-mode
+    /// exchange elision). Deterministic: the skip set is a pure function
+    /// of the negotiated floor, so every shard counts the same elisions.
+    pub elided: u64,
 }
 
 /// Burst size from the `EDP_BURST` environment variable (default 1 —
-/// exactly today's one-at-a-time behavior). The knob sizes both packet
-/// bursts on the switch fast path and the number of lookahead-sized
-/// sub-windows a sharded run executes per negotiated window.
+/// exactly the one-sub-window-at-a-time legacy behavior). The knob sizes
+/// both packet bursts on the switch fast path and the number of
+/// lookahead-sized sub-windows a sharded run executes per negotiated
+/// window. Unset (or empty) means 1; anything that is not a positive
+/// integer exits with a diagnostic naming the bad value instead of
+/// silently running the slow path.
 pub fn burst_from_env() -> usize {
-    std::env::var("EDP_BURST")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
+    match std::env::var("EDP_BURST") {
+        Err(std::env::VarError::NotPresent) => 1,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            env_config_error("EDP_BURST", "<non-unicode>", "a positive integer")
+        }
+        Ok(v) => match v.trim() {
+            "" => 1,
+            t => match t.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => env_config_error("EDP_BURST", &v, "a positive integer"),
+            },
+        },
+    }
 }
 
 /// The exclusive event-execution bound for one window: events strictly
@@ -313,16 +488,16 @@ pub fn safe_horizon(
 }
 
 /// Runs one shard's event loop to `deadline` in conservative windows of up
-/// to `subwindows` lookahead-sized sub-steps each (classic mode), or in
-/// certificate-extended windows ([`HorizonMode::Effects`]).
+/// to `subwindows` lookahead-sized sub-steps each (classic mode), or
+/// through the lock-free frontier exchange ([`HorizonMode::Effects`]).
 ///
-/// `accept` schedules messages handed over at the previous barrier into
-/// `sim`; `publish` moves outbound messages into the shared mailboxes and
-/// returns the earliest *arrival time* among the messages it just
-/// published (`None` when it published nothing). Both run on the shard's
-/// own thread. Returns [`DriveStats`], identical on every shard.
+/// `accept` schedules messages handed over by peers into `sim`; `publish`
+/// moves outbound messages into the shared mailboxes and returns the
+/// earliest *arrival time* among the messages it just published (`None`
+/// when it published nothing). Both run on the shard's own thread.
+/// Returns [`DriveStats`], identical on every shard.
 ///
-/// # Sub-windows (classic mode)
+/// # Sub-windows and elision (classic mode)
 ///
 /// A full window negotiates the global earliest event time (two waits) and
 /// then fires everything before `global_next + lookahead` (one exchange
@@ -335,40 +510,53 @@ pub fn safe_horizon(
 /// early exit: when no shard has a pending event before the next
 /// sub-horizon and none published this round, every shard breaks back to
 /// negotiation in lockstep and the negotiated minimum jumps the idle gap
-/// in one hop. The executed event schedule is identical for every
+/// in one hop.
+///
+/// *Exchange elision* removes the barrier from sub-steps that provably
+/// cannot carry traffic: the negotiation also folds the group's earliest
+/// **bound** (emission-capable) event ([`WindowSync::negotiate_bound`]).
+/// Every event strictly below that floor is certified emission-free, so a
+/// sub-step whose extended horizon stays at or below the floor publishes
+/// nothing on any shard — there is nothing to exchange and no vote worth
+/// taking, and every shard derives the identical skip from the identical
+/// floor. Those sub-steps merge into one free-running span (counted in
+/// [`DriveStats::elided`]); the first sub-step past the floor resumes the
+/// per-round vote. The executed schedule is identical for every
 /// `subwindows >= 1`; `subwindows == 1` is exactly the legacy protocol.
 ///
-/// # The effects horizon
+/// # The effects horizon: lock-free frontier exchange
 ///
-/// [`HorizonMode::Effects`] replaces the fixed sub-window budget with an
-/// uncapped continuation driven by *certificates*: events classed
-/// [`crate::EventClass::Local`] are guaranteed (by their scheduler's
-/// effect summary) never to publish cross-shard, so they need not bound
-/// the window. Each round ends with one [`WindowSync::exchange_horizon`]
-/// barrier where every shard contributes its emit floor — the min of its
-/// earliest pending *bound* event ([`Sim::peek_next_bound`]) and the
-/// earliest arrival it published this round — and the next bound becomes
-/// `global_emit + lookahead` (the deadline cap when no floor exists
-/// anywhere). Soundness is the window induction specialized to the floor:
+/// [`HorizonMode::Effects`] replaces the per-round rendezvous with one
+/// continuous *frontier session* spanning the whole run. Each shard
+/// maintains an atomic frontier `F` — a promise that it will never again
+/// publish a message arriving before `F + lookahead` — and repeats, with
+/// no barrier:
 ///
-/// * every pending bound event on any shard is `>= global_emit` (it is a
-///   min over exactly those), so any future transmission happens at
-///   `t >= global_emit` and arrives at `t + lookahead >= global_emit +
-///   lookahead` — at or past the next bound;
-/// * messages published this round had their arrivals folded into the
-///   floor, were made visible at this barrier, and are accepted before
-///   the next round runs, so an arrival inside the next window is already
-///   scheduled when that window fires;
-/// * local events may fire anywhere inside the extended window: their
-///   cascades publish nothing, and certified cranks schedule their
-///   successors as local again.
+/// 1. read the peers' frontiers; the receive bound is
+///    `min(peer F) + lookahead` (nothing can arrive here before it);
+/// 2. if the shared traffic counter moved, drain the inbox (messages are
+///    published *before* the sender's covering frontier raise, so a
+///    reader of the frontier also sees their traffic bumps);
+/// 3. fire everything strictly before the receive bound and publish —
+///    every fired event is at or past the previous promise, so published
+///    arrivals respect it;
+/// 4. raise `F` to the receive bound.
 ///
-/// Progress is strict: the floor is never below the horizon just run
-/// (remaining bound events were not fired, published arrivals are at
-/// least one lookahead past the *previous* floor), so each round advances
-/// the bound by at least `lookahead`. The executed schedule is identical
-/// to classic mode — classes never reorder events, they only decide how
-/// often the shards rendezvous.
+/// Soundness is the window induction applied per message: a message
+/// published after a peer read `F = f` from this shard arrives at or past
+/// `f + lookahead`, which is exactly the bound the peer executes below;
+/// a message published *before* that read is visible to the peer's
+/// traffic check (the publish precedes the frontier raise the peer
+/// observed) and is drained before the peer executes. Progress is the
+/// classic lookahead argument: the globally smallest frontier always
+/// advances, because its owner's receive bound exceeds it. The session
+/// ends when every frontier reaches the deadline cap and the traffic
+/// counter has quiesced; because a promise is only meaningful while the
+/// session lasts, the frontiers are never reused — one session covers the
+/// run, and the closing negotiation (which finds no event left at or
+/// before the deadline) confirms termination group-wide. The executed
+/// schedule is identical to classic mode — the protocol only changes how
+/// the shards synchronize, never which events fire.
 #[allow(clippy::too_many_arguments)] // deliberate: the low-level engine entry point takes the full window protocol
 pub fn drive_windows<W>(
     world: &mut W,
@@ -384,17 +572,17 @@ pub fn drive_windows<W>(
 ) -> DriveStats {
     let subwindows = subwindows.max(1) as u64;
     let cap = deadline.as_nanos().saturating_add(1);
-    let cap_t = SimTime::from_nanos(cap);
-    // Effects mode is meaningful only with cross-shard links; with no
-    // lookahead the classic path already runs the whole span as one
-    // window, which no certificate can improve on.
+    // The frontier session needs a finite lookahead; with none the
+    // classic path already runs the whole span as one window, which no
+    // frontier can improve on.
     let effects = mode == HorizonMode::Effects && lookahead.is_some();
     let mut stats = DriveStats::default();
     loop {
         accept(world, sim);
         prof::lap(prof::Phase::Mailbox);
         let local = sim.peek_next();
-        let global = sync.negotiate(shard, local);
+        let local_bound = sim.peek_next_bound();
+        let (global, global_bound) = sync.negotiate_bound(shard, local, local_bound);
         stats.barriers += 2;
         prof::lap(prof::Phase::Negotiate);
         prof::rendezvous(2);
@@ -406,75 +594,92 @@ pub fn drive_windows<W>(
         }
         stats.windows += 1;
         prof::window_begin();
-        let mut horizon = safe_horizon(global, lookahead, deadline);
         if effects {
-            let la = lookahead.expect("effects horizon requires lookahead");
-            loop {
-                sim.run_before(world, horizon);
-                prof::lap(prof::Phase::Execute);
-                let published = publish(world, sim, horizon);
-                prof::lap(prof::Phase::Mailbox);
-                let emit_next = min_opt(sim.peek_next_bound(), published);
-                // A shard stays active while anything at or before the
-                // deadline remains (bound or local) or it just published;
-                // the window keeps extending until the whole group drains.
-                let active = published.is_some() || sim.peek_next().is_some_and(|t| t < cap_t);
-                let (any_active, global_emit) = sync.exchange_horizon(active, emit_next);
-                stats.barriers += 1;
-                prof::lap(prof::Phase::Barrier);
-                prof::rendezvous(1);
-                if !any_active {
-                    break;
-                }
-                let next = match global_emit {
-                    Some(e) => {
-                        SimTime::from_nanos(e.as_nanos().saturating_add(la.as_nanos()).min(cap))
-                    }
-                    // No bound event and nothing in flight anywhere:
-                    // whatever remains is certified local, run it out.
-                    None => cap_t,
-                };
-                accept(world, sim);
-                prof::lap(prof::Phase::Extend);
-                horizon = next;
-            }
-        } else {
-            let mut remaining = subwindows;
-            loop {
-                sim.run_before(world, horizon);
-                prof::lap(prof::Phase::Execute);
-                let published = publish(world, sim, horizon).is_some();
-                prof::lap(prof::Phase::Mailbox);
-                remaining -= 1;
-                // Extend by one more lookahead without renegotiating,
-                // unless the sub-window budget or the deadline cap is
-                // exhausted.
-                let next = match lookahead {
-                    Some(la) if remaining > 0 && horizon.as_nanos() < cap => SimTime::from_nanos(
-                        horizon.as_nanos().saturating_add(la.as_nanos()).min(cap),
-                    ),
-                    _ => {
-                        sync.exchange();
-                        stats.barriers += 1;
-                        prof::lap(prof::Phase::Barrier);
-                        prof::rendezvous(1);
+            // One frontier session runs the whole remaining span; every
+            // arrival it leaves behind is past the deadline, so the next
+            // negotiation terminates the loop (the frontiers, being
+            // monotone promises, are never reused).
+            drive_frontier_session(
+                world,
+                sim,
+                shard,
+                sync,
+                lookahead,
+                cap,
+                &mut accept,
+                &mut publish,
+            );
+            prof::window_end();
+            continue;
+        }
+        let mut horizon = safe_horizon(global, lookahead, deadline);
+        let bound_ns = global_bound.map_or(cap, |b| b.as_nanos());
+        let mut remaining = subwindows;
+        loop {
+            // Exchange elision: sub-steps whose whole span stays at or
+            // below the group's bound floor cannot publish on any shard —
+            // extend the horizon with no rendezvous at all. Every shard
+            // derives the same span from the same negotiated floor, so
+            // the skip set (and the counters) stay identical group-wide.
+            let mut elided_here = 0u64;
+            if let Some(la) = lookahead {
+                while remaining > 1 && horizon.as_nanos() < cap {
+                    let next = horizon.as_nanos().saturating_add(la.as_nanos()).min(cap);
+                    if next > bound_ns {
                         break;
                     }
-                };
-                let active = published || sim.peek_next().is_some_and(|t| t < next);
-                let vote = sync.exchange_vote(active);
-                stats.barriers += 1;
-                prof::lap(prof::Phase::Barrier);
-                prof::rendezvous(1);
-                if !vote {
-                    // Every shard idle below `next` and nothing in flight:
-                    // renegotiate so the global minimum jumps the gap.
+                    horizon = SimTime::from_nanos(next);
+                    remaining -= 1;
+                    elided_here += 1;
+                }
+                if elided_here > 0 {
+                    stats.elided += elided_here;
+                    prof::lap(prof::Phase::Elide);
+                }
+            }
+            sim.run_before(world, horizon);
+            prof::lap(prof::Phase::Execute);
+            let published = publish(world, sim, horizon).is_some();
+            if published {
+                sync.note_publish();
+            }
+            prof::lap(prof::Phase::Mailbox);
+            // The dynamic face of the elision proof: a span at or below
+            // the bound floor is certified emission-free, so publishing
+            // inside one means an effect summary lied (EDP-E007).
+            assert!(
+                !(published && horizon.as_nanos() <= bound_ns),
+                "a message was published inside an elided span ending at {horizon}: \
+                 an event below the negotiated bound floor emitted after all (EDP-E007)"
+            );
+            remaining -= 1;
+            // Extend by one more lookahead without renegotiating, unless
+            // the sub-window budget or the deadline cap is exhausted.
+            let next = match lookahead {
+                Some(la) if remaining > 0 && horizon.as_nanos() < cap => {
+                    SimTime::from_nanos(horizon.as_nanos().saturating_add(la.as_nanos()).min(cap))
+                }
+                _ => {
+                    sync.exchange();
+                    stats.barriers += 1;
+                    prof::lap(prof::Phase::Barrier);
+                    prof::rendezvous(1);
                     break;
                 }
-                accept(world, sim);
-                prof::lap(prof::Phase::Extend);
-                horizon = next;
+            };
+            let active = published || sim.peek_next().is_some_and(|t| t < next);
+            let vote = sync.exchange_vote(active);
+            stats.barriers += 1;
+            prof::lap(prof::Phase::Barrier);
+            prof::rendezvous(1);
+            if !vote {
+                // Every shard idle below `next` and nothing in flight:
+                // renegotiate so the global minimum jumps the gap.
+                break;
             }
+            accept(world, sim);
+            prof::lap(prof::Phase::Extend);
+            horizon = next;
         }
         prof::window_end();
     }
@@ -482,6 +687,104 @@ pub fn drive_windows<W>(
     // nothing at or before the deadline remains.
     sim.fast_forward(deadline);
     stats
+}
+
+/// The effects-mode frontier session (see [`drive_windows`]): runs this
+/// shard to the deadline cap through the lock-free frontier exchange,
+/// joining no barriers. Returns once every shard's frontier has reached
+/// the cap and the traffic counter has quiesced past this shard's last
+/// drain.
+#[allow(clippy::too_many_arguments)]
+fn drive_frontier_session<W>(
+    world: &mut W,
+    sim: &mut Sim<W>,
+    shard: usize,
+    sync: &WindowSync,
+    lookahead: Option<SimDuration>,
+    cap: u64,
+    accept: &mut impl FnMut(&mut W, &mut Sim<W>),
+    publish: &mut impl FnMut(&mut W, &mut Sim<W>, SimTime) -> Option<SimTime>,
+) {
+    let la = lookahead
+        .expect("effects frontier requires lookahead")
+        .as_nanos();
+    // Stall ladder for waiting on a slow peer's frontier: tuned for
+    // sub-microsecond rounds, with a sleep fallback so an oversubscribed
+    // host is not starved by busy loops. There is no wake channel on the
+    // frontier atomics, so the park is a timed backoff, not a condvar.
+    const SPIN: u32 = 64;
+    const YIELDS: u32 = 4096;
+    // Force a drain on the first iteration: a peer already in its session
+    // may have published between this shard's negotiation-top accept and
+    // here, and that publish must not be absorbed into the baseline.
+    let mut seen_traffic: Option<u64> = None;
+    // The exclusive bound this shard has executed to, which is also the
+    // frontier value it last promised (both monotone).
+    let mut exec_bound: u64 = 0;
+    let mut dirty = false;
+    let mut stalls = 0u32;
+    loop {
+        // Order matters: read peer frontiers before the traffic counter,
+        // so any message published under an observed frontier raise is
+        // seen by the drain below.
+        let recv = sync.peer_frontier_min(shard);
+        let bound = recv.saturating_add(la).min(cap);
+        let traffic_now = sync.traffic();
+        if seen_traffic != Some(traffic_now) {
+            seen_traffic = Some(traffic_now);
+            prof::lap(prof::Phase::Elide);
+            accept(world, sim);
+            prof::lap(prof::Phase::Mailbox);
+            dirty = true;
+        }
+        let mut progressed = false;
+        if bound > exec_bound || dirty {
+            prof::lap(prof::Phase::Elide);
+            sim.run_before(world, SimTime::from_nanos(bound));
+            prof::lap(prof::Phase::Execute);
+            // Everything just fired was at or past the previous promise
+            // (drained arrivals included — they postdate it), so published
+            // arrivals land at or past promise + lookahead.
+            let promise_t = SimTime::from_nanos(exec_bound.saturating_add(la).min(cap));
+            if publish(world, sim, promise_t).is_some() {
+                sync.note_publish();
+            }
+            prof::lap(prof::Phase::Mailbox);
+            progressed = dirty || bound > exec_bound;
+            dirty = false;
+            if bound > exec_bound {
+                exec_bound = bound;
+                // Raise the promise only after the publishes it must
+                // cover are marked in the traffic counter.
+                sync.set_frontier(shard, bound);
+            }
+        }
+        if exec_bound >= cap
+            && sync.peer_frontier_min(shard) >= cap
+            && Some(sync.traffic()) == seen_traffic
+        {
+            prof::lap(prof::Phase::Elide);
+            break;
+        }
+        prof::lap(prof::Phase::Elide);
+        if progressed {
+            stalls = 0;
+            continue;
+        }
+        assert!(
+            !sync.is_poisoned(),
+            "sharded run poisoned: a peer shard panicked"
+        );
+        stalls = stalls.saturating_add(1);
+        if stalls <= SPIN {
+            std::hint::spin_loop();
+        } else if stalls <= SPIN + YIELDS {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        prof::lap(prof::Phase::Barrier);
+    }
 }
 
 #[cfg(test)]
@@ -575,9 +878,13 @@ mod tests {
                             }
                         },
                         |w, _s, _horizon| {
+                            if w.0.is_empty() {
+                                return None;
+                            }
                             let peer = 1 - me;
                             let min_arrival = w.0.iter().copied().min();
                             mailbox[peer].lock().unwrap().append(&mut w.0);
+                            sync.mark_traffic(peer);
                             min_arrival
                         },
                     );
@@ -636,10 +943,21 @@ mod tests {
         );
     }
 
+    #[test]
+    fn effects_frontier_joins_no_barriers_inside_the_session() {
+        let (_, _, base) = ping_pong_mode(1, HorizonMode::Classic);
+        let (_, _, stats) = ping_pong_mode(1, HorizonMode::Effects);
+        // Two negotiations (opening + termination), two waits each — the
+        // session itself is rendezvous-free.
+        assert_eq!(stats.barriers, 4, "frontier session must not rendezvous");
+        assert!(stats.barriers * 4 < base.barriers);
+    }
+
     /// A shard whose whole frontier is certified local must not drag its
     /// peer through per-event rendezvous: the effects horizon runs the
-    /// local chain out in one extended window.
-    fn local_chain(mode: HorizonMode) -> (Vec<u64>, DriveStats) {
+    /// chain out with no barriers at all, and the classic loop elides the
+    /// barrier for every sub-step below the negotiated bound floor.
+    fn local_chain(mode: HorizonMode, subwindows: usize) -> (Vec<u64>, DriveStats) {
         use std::sync::Mutex as StdMutex;
         let sync = WindowSync::new(2);
         let log: StdMutex<Vec<u64>> = StdMutex::new(Vec::new());
@@ -674,7 +992,7 @@ mod tests {
                         Some(SimDuration::from_nanos(10)),
                         SimTime::from_nanos(200),
                         mode,
-                        1,
+                        subwindows,
                         |_w, _s| {},
                         |_w, _s, _horizon| None,
                     );
@@ -693,8 +1011,8 @@ mod tests {
 
     #[test]
     fn certified_local_chain_runs_in_one_extended_window() {
-        let (l_classic, s_classic) = local_chain(HorizonMode::Classic);
-        let (l_effects, s_effects) = local_chain(HorizonMode::Effects);
+        let (l_classic, s_classic) = local_chain(HorizonMode::Classic, 1);
+        let (l_effects, s_effects) = local_chain(HorizonMode::Effects, 1);
         assert_eq!(l_effects, l_classic, "schedule must not change");
         assert_eq!(l_classic, (0..=100).step_by(5).collect::<Vec<u64>>());
         assert_eq!(
@@ -706,6 +1024,23 @@ mod tests {
             "effects barriers {} must undercut classic {}",
             s_effects.barriers,
             s_classic.barriers
+        );
+    }
+
+    #[test]
+    fn classic_elision_skips_barriers_below_the_bound_floor() {
+        // With no bound event anywhere, every burst sub-step lies below
+        // the (absent) floor: the whole budget free-runs with a single
+        // closing exchange per window instead of a vote per sub-step.
+        let (l_base, s_base) = local_chain(HorizonMode::Classic, 1);
+        let (l, s) = local_chain(HorizonMode::Classic, 32);
+        assert_eq!(l, l_base, "elision changed the schedule");
+        assert!(s.elided > 0, "certified-local span must elide sub-steps");
+        assert!(
+            s.barriers * 4 < s_base.barriers,
+            "elided barriers {} vs per-step {}",
+            s.barriers,
+            s_base.barriers
         );
     }
 
@@ -763,6 +1098,26 @@ mod tests {
         if std::env::var("EDP_BURST").is_err() {
             assert_eq!(burst_from_env(), 1);
         }
+    }
+
+    #[test]
+    fn frontier_and_traffic_counters_are_monotone() {
+        let sync = WindowSync::new(3);
+        assert_eq!(sync.peer_frontier_min(0), 0);
+        sync.set_frontier(1, 100);
+        sync.set_frontier(2, 50);
+        assert_eq!(sync.peer_frontier_min(0), 50);
+        assert_eq!(sync.peer_frontier_min(2), 0, "own slot is excluded");
+        sync.set_frontier(2, 20);
+        assert_eq!(sync.peer_frontier_min(0), 50, "frontiers never retreat");
+        let t0 = sync.traffic();
+        let s0 = sync.inbox_seq(1);
+        sync.mark_traffic(1);
+        assert_eq!(sync.traffic(), t0 + 1);
+        assert_eq!(sync.inbox_seq(1), s0 + 1);
+        assert_eq!(sync.inbox_seq(0), 0, "other inboxes untouched");
+        sync.note_publish();
+        assert_eq!(sync.traffic(), t0 + 2);
     }
 
     #[test]

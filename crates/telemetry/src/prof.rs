@@ -57,7 +57,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Number of profiling phases (the length of [`Phase::ALL`]).
-pub const NPHASES: usize = 7;
+pub const NPHASES: usize = 8;
 
 /// The wall-clock phase a lap attributes time to. Mirrors the event
 /// lifecycle of one shard worker: build the world, then loop
@@ -83,9 +83,13 @@ pub enum Phase {
     /// Horizon extension: continuing a window past a sub-barrier
     /// (mid-window accepts and the next-horizon bookkeeping).
     Extend = 5,
+    /// Rendezvous elision: the bookkeeping of sub-steps that advance
+    /// without a barrier — bound-floor checks, frontier publication,
+    /// and seq-counter polling on the lock-free exchange path.
+    Elide = 6,
     /// Teardown after the window loop: metric publication, session
     /// collection, and the tail up to `disable`.
-    Finish = 6,
+    Finish = 7,
 }
 
 impl Phase {
@@ -97,6 +101,7 @@ impl Phase {
         Phase::Mailbox,
         Phase::Barrier,
         Phase::Extend,
+        Phase::Elide,
         Phase::Finish,
     ];
 
@@ -115,6 +120,7 @@ impl Phase {
             Phase::Mailbox => "mailbox",
             Phase::Barrier => "barrier",
             Phase::Extend => "extend",
+            Phase::Elide => "elide",
             Phase::Finish => "finish",
         }
     }
@@ -645,7 +651,7 @@ pub fn render_table(points: &[&[Profile]]) -> String {
     );
     let _ = writeln!(
         out,
-        "  shard     wall ms   attr%  setup%   exec%  negot%  mailbx%  barrier%  extend%  finish%"
+        "  shard     wall ms   attr%  setup%   exec%  negot%  mailbx%  barrier%  extend%  elide%  finish%"
     );
     let mut grand = ShardAgg::default();
     for a in &aggs {
@@ -656,7 +662,7 @@ pub fn render_table(points: &[&[Profile]]) -> String {
         let attr = a.attributed_ns();
         let _ = writeln!(
             out,
-            "  {:<7} {:>9.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>8.1} {:>9.1} {:>8.1} {:>8.1}",
+            "  {:<7} {:>9.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>8.1} {:>9.1} {:>8.1} {:>7.1} {:>8.1}",
             a.shard,
             a.total_ns as f64 / 1e6,
             pct(attr, a.total_ns),
@@ -666,6 +672,7 @@ pub fn render_table(points: &[&[Profile]]) -> String {
             pct(a.phase_ns[Phase::Mailbox.index()], attr),
             pct(a.phase_ns[Phase::Barrier.index()], attr),
             pct(a.phase_ns[Phase::Extend.index()], attr),
+            pct(a.phase_ns[Phase::Elide.index()], attr),
             pct(a.phase_ns[Phase::Finish.index()], attr),
         );
     }

@@ -8,6 +8,7 @@
 #                               # (one CI matrix leg)
 #   scripts/ci.sh --gate        # fmt, clippy, edp_lint (+ SARIF artifact),
 #                               # profiled-run smoke (+ trace artifact),
+#                               # EDP_HORIZON=effects elision smoke,
 #                               # pcap fixture round-trip, replay smoke,
 #                               # bench gate
 #
@@ -207,6 +208,23 @@ step_engine_matrix_local() {
     EDP_HORIZON=effects EDP_SHARDS=4 EDP_BURST=32 cargo test --offline -q
 }
 
+step_elision_smoke() {
+    echo "==> EDP_HORIZON=effects elision smoke (barrier elision end-to-end)"
+    # Runs the barrier-elision suites (traffic-free gaps must cut
+    # DriveStats.barriers >=10x with a byte-identical merged schedule;
+    # the frontier session must stay rendezvous-free) and then drives a
+    # registered app through the 2-shard engine under the effects
+    # horizon, checking the JSON report is non-degenerate.
+    EDP_HORIZON=effects cargo test --offline --release -q -p edp-netsim barriers
+    local out
+    out="$(EDP_HORIZON=effects cargo run --offline --release -q -p edp-bench --bin edp_top -- \
+        microburst --shards 2 --seeds 1 --duration-ms 2 --json)"
+    echo "$out" | grep -q '"app":"microburst"' || {
+        echo "effects elision smoke: degenerate edp_top output under EDP_HORIZON=effects" >&2
+        exit 1
+    }
+}
+
 step_clippy() {
     echo "==> cargo clippy (-D warnings)"
     cargo clippy --offline --all-targets -q -- -D warnings
@@ -252,6 +270,7 @@ gate)
     step_lint_sarif
     step_top_smoke
     step_profile_smoke
+    step_elision_smoke
     step_pcap
     step_bench_gate
     ;;
@@ -262,6 +281,7 @@ full)
     step_lint
     step_top_smoke
     step_profile_smoke
+    step_elision_smoke
     step_pcap
     step_engine_matrix_local
     step_clippy
